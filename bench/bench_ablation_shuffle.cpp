@@ -1,0 +1,106 @@
+// E14 -- ablation: axis-aligned vs interior-shuffled RadiX-Nets.
+//
+// The raw generator output is highly axis-aligned (edges go to
+// consecutive labels mod N').  The Graph Challenge ships *shuffled*
+// networks.  Because shuffling is a per-layer relabeling, every paper
+// property is invariant -- density, degrees, symmetry constant -- and
+// training from a fresh initialization should behave identically in
+// distribution.  This bench verifies the invariances exactly and
+// measures the training effect.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+#include <memory>
+
+#include "graph/analysis.hpp"
+#include "graph/properties.hpp"
+#include "nn/trainer.hpp"
+#include "radixnet/builder.hpp"
+#include "support/table.hpp"
+
+using namespace radix;
+using nn::Activation;
+
+namespace {
+
+double train_on(const Fnnt& topo, const nn::Split& split,
+                std::uint64_t seed) {
+  Rng rng(seed);
+  nn::Network net;
+  net.add(std::make_unique<nn::DenseLinear>(split.train.features(),
+                                            topo.input_width(), rng));
+  net.add(std::make_unique<nn::ActivationLayer>(Activation::kRelu,
+                                                topo.input_width()));
+  for (std::size_t i = 0; i < topo.depth(); ++i) {
+    net.add(std::make_unique<nn::SparseLinear>(topo.layer(i), rng));
+    net.add(std::make_unique<nn::ActivationLayer>(Activation::kRelu,
+                                                  topo.layer(i).cols()));
+  }
+  net.add(std::make_unique<nn::DenseLinear>(topo.output_width(),
+                                            split.train.num_classes, rng));
+  nn::Adam opt(0.005f);
+  nn::TrainConfig cfg;
+  cfg.epochs = 6;
+  return nn::train_classifier(net, opt, split, cfg).final_test_accuracy;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== E14: ablation -- axis-aligned vs shuffled topology ==\n\n");
+
+  const auto aligned = build_extended_mixed_radix(
+      RadixNetSpec::extended({MixedRadix({16, 16})}));
+  const auto shuffled = shuffle_interior(aligned, 2019);
+
+  // Structural invariances (must be exact).
+  Table inv({"property", "aligned", "shuffled", "equal"});
+  const auto sa = symmetry_constant(aligned);
+  const auto ss = symmetry_constant(shuffled);
+  inv.add_row({"edges", std::to_string(aligned.num_edges()),
+               std::to_string(shuffled.num_edges()),
+               aligned.num_edges() == shuffled.num_edges() ? "yes" : "NO"});
+  inv.add_row({"density", Table::fmt(density(aligned), 6),
+               Table::fmt(density(shuffled), 6),
+               density(aligned) == density(shuffled) ? "yes" : "NO"});
+  inv.add_row({"symmetry constant",
+               sa.has_value() ? sa->to_decimal() : "-",
+               ss.has_value() ? ss->to_decimal() : "-",
+               (sa.has_value() && ss.has_value() && *sa == *ss) ? "yes"
+                                                                : "NO"});
+  const auto da = layer_degree_stats(aligned.layer(0));
+  const auto ds = layer_degree_stats(shuffled.layer(0));
+  inv.add_row({"layer-0 out-degree", std::to_string(da.max_out),
+               std::to_string(ds.max_out),
+               da.max_out == ds.max_out ? "yes" : "NO"});
+  inv.add_row({"pattern identical", "-", "-",
+               aligned == shuffled ? "YES (shuffle failed)" : "no"});
+  inv.print(std::cout);
+
+  // Training effect across 3 seeds.
+  Rng data_rng(1);
+  const auto data = nn::datasets::glyphs(1200, data_rng);
+  const auto split = nn::split_dataset(data, 0.25, data_rng);
+  std::printf("\nglyphs test accuracy across seeds (6 epochs):\n\n");
+  Table t({"seed", "aligned", "shuffled", "|diff|"});
+  double max_gap = 0.0;
+  for (std::uint64_t seed : {11ull, 22ull, 33ull}) {
+    const double a = train_on(aligned, split, seed);
+    const double s = train_on(shuffled, split, seed);
+    max_gap = std::max(max_gap, std::fabs(a - s));
+    t.add_row({std::to_string(seed), Table::fmt(a, 4), Table::fmt(s, 4),
+               Table::fmt(std::fabs(a - s), 4)});
+  }
+  t.print(std::cout);
+
+  const bool inv_ok = sa.has_value() && ss.has_value() && *sa == *ss &&
+                      aligned.num_edges() == shuffled.num_edges() &&
+                      !(aligned == shuffled);
+  std::printf("\nfinding: relabeling preserves every paper property "
+              "exactly (%s); training accuracy differs by at most %.3f "
+              "across seeds -- axis alignment is cosmetic, as the Graph "
+              "Challenge's shuffling presumes.\n",
+              inv_ok ? "verified" : "VIOLATED", max_gap);
+  return inv_ok ? 0 : 1;
+}

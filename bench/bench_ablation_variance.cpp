@@ -1,0 +1,78 @@
+// E13 -- ablation: how fast do the eq. (5)/(6) approximations degrade as
+// radix variance grows?
+//
+// The paper qualifies both approximations with "sufficiently small
+// variance" but never quantifies the boundary.  We sweep factorizations
+// of fixed products N' from balanced to maximally lopsided and chart the
+// relative error of mu/N' against the exact eq. (4) -- with D = 1s the
+// exact density is sum(N_i)/(L*N') = mu/N', so the interesting deviation
+// appears once D is non-uniform; we sweep both.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+#include <utility>
+#include <vector>
+
+#include "radixnet/analytics.hpp"
+#include "radixnet/enumerate.hpp"
+#include "support/table.hpp"
+
+using namespace radix;
+
+int main() {
+  std::printf("== E13: ablation -- approximation error vs radix variance "
+              "==\n\n");
+
+  // All 2-digit factorizations of 64 and 144, uniform and skewed D.
+  bool monotone_ok = true;
+  for (std::uint64_t n_prime : {64ull, 144ull}) {
+    std::printf("N' = %llu, skewed D = (5, 1, 1):\n\n",
+                static_cast<unsigned long long>(n_prime));
+    Table t({"system", "variance", "mu", "exact eq.(4)", "mu/N' eq.(5)",
+             "rel err"});
+    std::vector<std::pair<double, double>> var_err;
+    for (const auto& radices : systems_with_product(n_prime, 2)) {
+      const MixedRadix sys(radices);
+      const RadixNetSpec spec({sys}, {5, 1, 1});
+      const double exact = exact_density(spec);
+      const double approx = approx_density_mu(spec);
+      const double rel = std::fabs(exact - approx) / exact;
+      t.add_row({sys.to_string(), Table::fmt(sys.radix_variance(), 1),
+                 Table::fmt(sys.mean_radix(), 1), Table::fmt_sci(exact, 3),
+                 Table::fmt_sci(approx, 3), Table::fmt_sci(rel, 2)});
+      var_err.emplace_back(sys.radix_variance(), rel);
+    }
+    t.print(std::cout);
+    std::printf("\n");
+    std::sort(var_err.begin(), var_err.end());
+    for (std::size_t i = 1; i < var_err.size(); ++i) {
+      monotone_ok =
+          monotone_ok && var_err[i].second >= var_err[i - 1].second - 1e-12;
+    }
+  }
+
+  // Uniform D: the approximation is exact regardless of variance -- the
+  // dependence enters only through the D weighting.
+  std::printf("control -- uniform D = (1, 1, 1):\n\n");
+  Table c({"system", "variance", "rel err (must be 0)"});
+  double max_err = 0.0;
+  for (const auto& radices : systems_with_product(64, 2)) {
+    const MixedRadix sys(radices);
+    const RadixNetSpec spec({sys}, {1, 1, 1});
+    const double exact = exact_density(spec);
+    const double approx = approx_density_mu(spec);
+    const double rel = std::fabs(exact - approx) / exact;
+    max_err = std::max(max_err, rel);
+    c.add_row({sys.to_string(), Table::fmt(sys.radix_variance(), 1),
+               Table::fmt_sci(rel, 2)});
+  }
+  c.print(std::cout);
+
+  std::printf("\nfinding: eq.(5) error is 0 at uniform D for ANY variance; "
+              "with non-uniform D the error grows with radix variance "
+              "(monotone in these sweeps: %s).  'Sufficiently small "
+              "variance' is thus only needed when D varies.\n",
+              monotone_ok ? "yes" : "no");
+  return max_err < 1e-12 ? 0 : 1;
+}

@@ -1,0 +1,151 @@
+// E9 -- numerical probe of the Section IV.B conjecture: if dense FNNT
+// families approximate continuous functions at rate O(N^-p), symmetric
+// sparse families do too.
+//
+// Operationalization (the conjecture itself is asymptotic and cannot be
+// *proved* numerically): for growing hidden width N we train
+//   dense:  1 -> N -> N -> N -> 1   (fully connected hidden block)
+//   sparse: same widths, the two N x N hidden transitions replaced by a
+//           symmetric RadiX-Net block (uniform radices, mu^2 = N)
+// on 1-D targets, and compare the decay of the sup-norm error delta =
+// max_x |f(x) - g(x)| on a fine grid.  Expected shape: both curves
+// decrease with N at comparable slopes; the sparse family does not
+// plateau above the dense one.
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <memory>
+
+#include "nn/loss.hpp"
+#include "nn/network.hpp"
+#include "nn/optimizer.hpp"
+#include "radixnet/builder.hpp"
+#include "support/table.hpp"
+
+using namespace radix;
+using nn::Activation;
+using nn::Tensor;
+
+namespace {
+
+struct Target {
+  const char* name;
+  double (*f)(double);
+};
+
+double target_sine(double x) { return std::sin(6.28318530718 * x); }
+double target_abs(double x) { return std::fabs(x - 0.5) * 2.0 - 0.5; }
+double target_bump(double x) {
+  return std::exp(-40.0 * (x - 0.5) * (x - 0.5));
+}
+
+// Train a 1-D regressor and return the sup-norm error on a fine grid.
+double sup_error(nn::Network& net, double (*f)(double), int steps,
+                 float lr) {
+  const index_t train_n = 256;
+  Tensor x(train_n, 1), y(train_n, 1);
+  for (index_t i = 0; i < train_n; ++i) {
+    const double xi = (i + 0.5) / train_n;
+    x.at(i, 0) = static_cast<float>(xi);
+    y.at(i, 0) = static_cast<float>(f(xi));
+  }
+  nn::Adam opt(lr);
+  Tensor dpred(train_n, 1);
+  for (int s = 0; s < steps; ++s) {
+    net.zero_grad();
+    Tensor pred = net.forward(x);
+    (void)nn::mse_loss(pred, y, dpred);
+    net.backward(dpred);
+    opt.step(net.params());
+  }
+  // Sup error on a 4x finer grid.
+  const index_t grid = 1024;
+  Tensor gx(grid, 1);
+  for (index_t i = 0; i < grid; ++i) {
+    gx.at(i, 0) = static_cast<float>((i + 0.5) / grid);
+  }
+  Tensor gy = net.forward(gx);
+  double sup = 0.0;
+  for (index_t i = 0; i < grid; ++i) {
+    sup = std::max(sup, std::fabs(gy.at(i, 0) -
+                                  f((i + 0.5) / static_cast<double>(grid))));
+  }
+  return sup;
+}
+
+nn::Network dense_net(index_t n, Rng& rng) {
+  nn::Network net;
+  net.add(std::make_unique<nn::DenseLinear>(1, n, rng));
+  net.add(std::make_unique<nn::ActivationLayer>(Activation::kTanh, n));
+  net.add(std::make_unique<nn::DenseLinear>(n, n, rng));
+  net.add(std::make_unique<nn::ActivationLayer>(Activation::kTanh, n));
+  net.add(std::make_unique<nn::DenseLinear>(n, n, rng));
+  net.add(std::make_unique<nn::ActivationLayer>(Activation::kTanh, n));
+  net.add(std::make_unique<nn::DenseLinear>(n, 1, rng));
+  return net;
+}
+
+nn::Network sparse_net(index_t n, std::uint32_t mu, Rng& rng) {
+  // Symmetric hidden block: one system (mu, mu) with product n.
+  const auto topo = build_extended_mixed_radix(
+      RadixNetSpec::extended({MixedRadix({mu, mu})}));
+  nn::Network net;
+  net.add(std::make_unique<nn::DenseLinear>(1, n, rng));
+  net.add(std::make_unique<nn::ActivationLayer>(Activation::kTanh, n));
+  for (std::size_t i = 0; i < topo.depth(); ++i) {
+    net.add(std::make_unique<nn::SparseLinear>(topo.layer(i), rng));
+    net.add(std::make_unique<nn::ActivationLayer>(Activation::kTanh, n));
+  }
+  net.add(std::make_unique<nn::DenseLinear>(n, 1, rng));
+  return net;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== E9: conjecture probe -- sup-norm error decay, dense vs "
+              "symmetric sparse ==\n\n");
+  const char* env = std::getenv("RADIX_CONJ_STEPS");
+  const int steps = env != nullptr ? std::atoi(env) : 400;
+
+  const Target targets[] = {{"sin(2 pi x)", target_sine},
+                            {"|x - 1/2|", target_abs},
+                            {"gauss bump", target_bump}};
+  const struct {
+    index_t n;
+    std::uint32_t mu;
+  } sizes[] = {{16, 4}, {36, 6}, {64, 8}};
+
+  bool sparse_tracks_dense = true;
+  for (const auto& target : targets) {
+    std::printf("target f(x) = %s, %d Adam steps:\n\n", target.name, steps);
+    Table t({"N", "dense sup err", "sparse sup err", "sparse/dense",
+             "dense weights", "sparse weights"});
+    double last_ratio = 0.0;
+    for (const auto& size : sizes) {
+      Rng rng_d(1234), rng_s(1234);
+      auto dnet = dense_net(size.n, rng_d);
+      auto snet = sparse_net(size.n, size.mu, rng_s);
+      const double de = sup_error(dnet, target.f, steps, 0.01f);
+      const double se = sup_error(snet, target.f, steps, 0.01f);
+      last_ratio = se / de;
+      t.add_row({std::to_string(size.n), Table::fmt(de, 4),
+                 Table::fmt(se, 4), Table::fmt(se / de, 2),
+                 std::to_string(dnet.num_weights()),
+                 std::to_string(snet.num_weights())});
+    }
+    t.print(std::cout);
+    // "Tracks" = at the largest width, sparse is within a small constant
+    // factor of dense (not orders of magnitude worse).
+    sparse_tracks_dense = sparse_tracks_dense && last_ratio < 8.0;
+    std::printf("\n");
+  }
+
+  std::printf("conjecture-consistent (sparse error within a constant "
+              "factor of dense at max width): %s\n",
+              sparse_tracks_dense ? "yes" : "NO");
+  std::printf("note: a finite sweep can only be consistent with the "
+              "conjecture, never prove it.\n");
+  return 0;
+}

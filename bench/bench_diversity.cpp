@@ -1,0 +1,53 @@
+// E15 -- the diversity claim of Section I: RadiX-Nets admit "much more
+// diverse" topologies than explicit X-Nets.
+//
+// An explicit X-Linear layer from a Cayley graph of Z_n with a fixed
+// generator set has exactly one structure per (n, k), and requires equal
+// adjacent widths.  A RadiX-Net at the same width chooses (a) any
+// factorization of N' per system, (b) any number of systems, (c) any
+// dense-width vector D, and (d) a divisor-product final system.  We
+// count (a), (b) and (d) exactly per width and show the growth.
+#include <cstdio>
+#include <iostream>
+
+#include "radixnet/enumerate.hpp"
+#include "support/table.hpp"
+
+using namespace radix;
+
+int main() {
+  std::printf("== E15: configuration diversity vs explicit X-Net ==\n\n");
+
+  Table t({"width N'", "factorizations of N'", "1-system configs",
+           "2-system configs", "3-system configs",
+           "explicit Cayley structures"});
+  bool growing = true;
+  std::uint64_t prev = 0;
+  for (std::uint64_t n : {16ull, 64ull, 144ull, 1024ull}) {
+    const std::uint64_t f = factorizations(n).size();
+    const std::uint64_t one = count_emr_configurations(n, 1);
+    const std::uint64_t two = count_emr_configurations(n, 2);
+    const std::uint64_t three = count_emr_configurations(n, 3);
+    // One Cayley structure per (n, k): k ranges over 1..n, but the
+    // structure is fixed by the generator convention -- count n.
+    t.add_row({std::to_string(n), std::to_string(f), std::to_string(one),
+               std::to_string(two), std::to_string(three),
+               std::to_string(n)});
+    growing = growing && two > prev;
+    prev = two;
+  }
+  t.print(std::cout);
+
+  std::printf("\nnote: the RadiX-Net counts above still exclude the "
+              "(unbounded) choice of D and of layer counts; even so the\n"
+              "2-system count dwarfs the per-width Cayley structure count "
+              "-- the diversity gap the paper claims.\n");
+
+  // Width flexibility: RadiX-Nets allow D_i != D_j (different layer
+  // widths); explicit X-Nets do not.  Show a valid non-uniform-width spec.
+  const RadixNetSpec spec({MixedRadix({4, 4})}, {3, 1, 2});
+  std::printf("\nnon-uniform widths example: %s -> layer widths "
+              "48, 16, 32 (impossible for a Cayley X-Net).\n",
+              spec.to_string().c_str());
+  return growing ? 0 : 1;
+}

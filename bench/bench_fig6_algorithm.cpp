@@ -1,0 +1,74 @@
+// E3 -- Fig 5 / Fig 6 reproduction: the full RadiX-Net generator.
+//
+// Fig 5 illustrates the Kronecker stage with dense widths D = (3, 5, 4, 2)
+// wrapped around three mixed-radix factors; Fig 6 gives the algorithm.
+// We run the generator on that configuration, cross-check every layer
+// against the direct edge-rule + explicit Kronecker construction, and
+// verify the Theorem 1 invariants of the result.
+#include <cstdio>
+#include <iostream>
+
+#include "graph/export.hpp"
+#include "graph/properties.hpp"
+#include "radixnet/analytics.hpp"
+#include "radixnet/builder.hpp"
+#include "radixnet/mrt.hpp"
+#include "sparse/kron.hpp"
+#include "support/table.hpp"
+
+using namespace radix;
+
+int main() {
+  std::printf("== E3: Fig 5/6 -- RadiX-Net construction with "
+              "D = (3,5,4,2) ==\n\n");
+
+  // One mixed-radix system N = (3, 2, 2) (N' = 12) supplies the three
+  // Kronecker factors W_1, W_2, W_3 of the Fig 5 sketch; D wraps the
+  // boundaries.
+  const std::vector<std::uint32_t> radices = {3, 2, 2};
+  const std::vector<std::uint32_t> d = {3, 5, 4, 2};
+  const RadixNetSpec spec({MixedRadix(radices)}, d);
+  const Fnnt g = build_radix_net(spec);
+
+  std::printf("spec: %s\n\n", spec.to_string().c_str());
+
+  Table t({"layer", "W* shape", "W shape", "result", "nnz",
+           "matches manual kron"});
+  bool all_match = true;
+  std::uint64_t pv = 1;
+  for (std::size_t i = 0; i < g.depth(); ++i) {
+    // Manual reconstruction: ones(D_{i-1}, D_i) (x) (sum_j P^(j*pv)).
+    const auto w = mrt_submatrix(12, radices[i], pv);
+    pv *= radices[i];
+    const auto manual = kron(Csr<pattern_t>::ones(d[i], d[i + 1]), w);
+    const bool match = manual == g.layer(i);
+    all_match = all_match && match;
+    t.add_row({std::to_string(i + 1),
+               std::to_string(d[i]) + "x" + std::to_string(d[i + 1]),
+               "12x12",
+               std::to_string(g.layer(i).rows()) + "x" +
+                   std::to_string(g.layer(i).cols()),
+               std::to_string(g.layer(i).nnz()), match ? "yes" : "NO"});
+  }
+  t.print(std::cout);
+
+  std::cout << "\n" << summarize(g);
+
+  const auto sym = symmetry_constant(g);
+  const BigUInt expected = predicted_path_count(spec);
+  std::printf("\nvalid FNNT: %s\n", g.validate().ok ? "yes" : "NO");
+  std::printf("path-connected: %s\n", is_path_connected(g) ? "yes" : "NO");
+  std::printf("symmetric: %s, paths %s (Theorem 1 predicts %s)\n",
+              sym.has_value() ? "yes" : "NO",
+              sym.has_value() ? sym->to_decimal().c_str() : "-",
+              expected.to_decimal().c_str());
+  std::printf("density measured %.6f, eq.(4) %.6f\n", density(g),
+              exact_density(spec));
+
+  const bool ok = all_match && g.validate().ok && sym.has_value() &&
+                  *sym == expected;
+  std::printf("\npaper expectation: algorithm output == eq.(1) + eq.(3) "
+              "manual construction, symmetric: %s\n",
+              ok ? "REPRODUCED" : "MISMATCH");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,62 @@
+// E8 -- Graph-Challenge-style sparse inference scaling ([2], [11]).
+//
+// Runs the challenge forward rule over RadiX-Net preset networks across
+// widths and depths and reports the standard metric: edges processed per
+// second (batch x nnz / wall).  Expected shape: per-edge cost roughly
+// constant, so edges/s flat across widths and depths, and total runtime
+// linear in batch * edges.  Set RADIX_INFER_BATCH to change the batch.
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+
+#include "infer/sparse_dnn.hpp"
+#include "radixnet/graph_challenge.hpp"
+#include "support/table.hpp"
+
+using namespace radix;
+
+int main() {
+  std::printf("== E8: sparse DNN inference scaling (Graph-Challenge rule) "
+              "==\n\n");
+  const char* env = std::getenv("RADIX_INFER_BATCH");
+  const index_t batch =
+      env != nullptr ? static_cast<index_t>(std::atoi(env)) : 32;
+
+  Table t({"neurons", "layers", "nnz total", "batch", "wall s",
+           "edges/s", "active rows"});
+  double min_rate = 0.0, max_rate = 0.0;
+  for (index_t neurons : {1024u, 4096u}) {
+    const std::size_t period = neurons == 1024 ? 2 : 3;
+    for (std::size_t layers : {6u, 12u, 24u}) {
+      if (layers % period != 0) continue;
+      Rng rng(99);
+      const auto net = gc::network(neurons, layers, &rng);
+      infer::SparseDnn dnn(net.layers, net.bias, gc::kClamp);
+      Rng input_rng(7);
+      const auto x = gc::synthetic_input(batch, neurons, 0.4, input_rng);
+      infer::InferenceStats stats;
+      (void)dnn.forward(x, batch, nullptr);  // warm-up (page-in, caches)
+      const auto y = dnn.forward(x, batch, &stats);
+      const auto active =
+          infer::SparseDnn::active_rows(y, batch, neurons);
+      if (min_rate == 0.0 || stats.edges_per_second < min_rate) {
+        min_rate = stats.edges_per_second;
+      }
+      max_rate = std::max(max_rate, stats.edges_per_second);
+      t.add_row({std::to_string(neurons), std::to_string(layers),
+                 std::to_string(dnn.total_nnz()), std::to_string(batch),
+                 Table::fmt(stats.wall_seconds, 4),
+                 Table::fmt_sci(stats.edges_per_second, 3),
+                 std::to_string(active.size()) + "/" +
+                     std::to_string(batch)});
+    }
+  }
+  t.print(std::cout);
+
+  std::printf("\nedges/s spread (max/min): %.2fx\n",
+              min_rate > 0.0 ? max_rate / min_rate : 0.0);
+  std::printf("\npaper-lineage expectation: throughput roughly constant "
+              "per edge across widths and depths (work scales with nnz, "
+              "not with width^2).\n");
+  return 0;
+}

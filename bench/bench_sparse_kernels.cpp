@@ -1,0 +1,131 @@
+// E11 -- substrate kernel performance (google-benchmark): SpGEMM,
+// Kronecker products, and the SpMM kernels that power training and
+// inference.  These underpin every experiment binary; regressions here
+// surface as wall-clock shifts in E7/E8.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "radixnet/mrt.hpp"
+#include "sparse/kron.hpp"
+#include "sparse/spgemm.hpp"
+#include "sparse/spmm.hpp"
+#include "support/random.hpp"
+
+namespace radix {
+namespace {
+
+Csr<float> random_sparse_f32(index_t n, index_t row_nnz, Rng& rng) {
+  Coo<float> coo(n, n);
+  for (index_t r = 0; r < n; ++r) {
+    for (index_t k = 0; k < row_nnz; ++k) {
+      coo.push(r, static_cast<index_t>(rng.uniform(n)),
+               static_cast<float>(rng.uniform(-1.0, 1.0)));
+    }
+  }
+  return Csr<float>::from_coo(coo);
+}
+
+void BM_SpgemmBool_RadixLayers(benchmark::State& state) {
+  const index_t n = static_cast<index_t>(state.range(0));
+  // Two structured layers with degree 32 each (GC shape).
+  const auto a = mrt_submatrix(n, 32, 1);
+  const auto b = mrt_submatrix(n, 32, 32);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(spgemm_bool(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * a.nnz() * 32);
+}
+BENCHMARK(BM_SpgemmBool_RadixLayers)->Arg(1024)->Arg(4096);
+
+void BM_SpgemmF32_Random(benchmark::State& state) {
+  const index_t n = static_cast<index_t>(state.range(0));
+  Rng rng(1);
+  const auto a = random_sparse_f32(n, 16, rng);
+  const auto b = random_sparse_f32(n, 16, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(spgemm_f32(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * a.nnz() * 16);
+}
+BENCHMARK(BM_SpgemmF32_Random)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_KronOnes(benchmark::State& state) {
+  const index_t d = static_cast<index_t>(state.range(0));
+  const auto b = mrt_submatrix(1024, 32, 1)
+                     .map<float>([](pattern_t) { return 1.0f; });
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kron_ones(d, d, b));
+  }
+  state.SetItemsProcessed(state.iterations() * d * d * b.nnz());
+}
+BENCHMARK(BM_KronOnes)->Arg(1)->Arg(2)->Arg(4);
+
+void BM_KronGeneral(benchmark::State& state) {
+  const index_t n = static_cast<index_t>(state.range(0));
+  Rng rng(2);
+  const auto a = random_sparse_f32(n, 4, rng);
+  const auto b = random_sparse_f32(n, 4, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kron(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * a.nnz() * b.nnz());
+}
+BENCHMARK(BM_KronGeneral)->Arg(32)->Arg(64);
+
+void BM_SpmmDenseCsr(benchmark::State& state) {
+  const index_t n = static_cast<index_t>(state.range(0));
+  const index_t batch = 32;
+  const auto w = mrt_submatrix(n, 32, 1)
+                     .map<float>([](pattern_t) { return 0.0625f; });
+  std::vector<float> x(static_cast<std::size_t>(batch) * n, 0.5f);
+  std::vector<float> y(x.size());
+  for (auto _ : state) {
+    std::fill(y.begin(), y.end(), 0.0f);
+    spmm_dense_csr(x.data(), batch, n, w, y.data());
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * batch * w.nnz());
+}
+BENCHMARK(BM_SpmmDenseCsr)->Arg(1024)->Arg(4096);
+
+void BM_SpmmDenseCsrT(benchmark::State& state) {
+  const index_t n = static_cast<index_t>(state.range(0));
+  const index_t batch = 32;
+  const auto w = mrt_submatrix(n, 32, 1)
+                     .map<float>([](pattern_t) { return 0.0625f; });
+  std::vector<float> x(static_cast<std::size_t>(batch) * n, 0.5f);
+  std::vector<float> y(x.size());
+  for (auto _ : state) {
+    std::fill(y.begin(), y.end(), 0.0f);
+    spmm_dense_csrT(x.data(), batch, n, w, y.data());
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * batch * w.nnz());
+}
+BENCHMARK(BM_SpmmDenseCsrT)->Arg(1024)->Arg(4096);
+
+void BM_PathCountBigUInt(benchmark::State& state) {
+  const index_t n = static_cast<index_t>(state.range(0));
+  const auto a = mrt_submatrix(n, 8, 1)
+                     .map<BigUInt>([](pattern_t) { return BigUInt(1); });
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(spgemm_count(a, a));
+  }
+}
+BENCHMARK(BM_PathCountBigUInt)->Arg(64)->Arg(256);
+
+void BM_Transpose(benchmark::State& state) {
+  const index_t n = static_cast<index_t>(state.range(0));
+  Rng rng(3);
+  const auto a = random_sparse_f32(n, 16, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.transpose());
+  }
+  state.SetItemsProcessed(state.iterations() * a.nnz());
+}
+BENCHMARK(BM_Transpose)->Arg(1024)->Arg(4096);
+
+}  // namespace
+}  // namespace radix

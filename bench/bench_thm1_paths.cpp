@@ -1,0 +1,83 @@
+// E6 -- Theorem 1 / Lemmas 1-2: exact path counts of RadiX-Nets.
+//
+// For a sweep of specs we compute the full input/output path-count matrix
+// with arbitrary-precision SpGEMM and compare the (required-constant)
+// value against Theorem 1's closed form (N')^(M-1) * prod D_i, including
+// the divisor case of constraint 2 where the count generalizes (see
+// radixnet/analytics.hpp).
+#include <cstdio>
+#include <iostream>
+
+#include "graph/properties.hpp"
+#include "radixnet/analytics.hpp"
+#include "radixnet/builder.hpp"
+#include "support/table.hpp"
+#include "support/timer.hpp"
+
+using namespace radix;
+
+int main() {
+  std::printf("== E6: Theorem 1 -- exact path counts via BigUInt SpGEMM "
+              "==\n\n");
+
+  struct Case {
+    const char* label;
+    std::vector<std::vector<std::uint32_t>> systems;
+    std::vector<std::uint32_t> d;
+  };
+  const std::vector<Case> cases = {
+      {"Lemma 1: single MRT (2,2,2)", {{2, 2, 2}}, {1, 1, 1, 1}},
+      {"Lemma 1: single MRT (3,3,4)", {{3, 3, 4}}, {1, 1, 1, 1}},
+      {"Lemma 2: EMR (2,3) x3", {{2, 3}, {2, 3}, {2, 3}},
+       {1, 1, 1, 1, 1, 1, 1}},
+      {"Thm 1: (2,2,2) with D", {{2, 2, 2}}, {2, 3, 1, 2}},
+      {"Thm 1: two systems + D", {{2, 3}, {6}}, {1, 2, 4, 1}},
+      {"Thm 1: three systems", {{2, 2}, {4}, {2, 2}}, {2, 1, 3, 1, 2, 1}},
+      {"divisor case: (2,2,2)+(2,2)", {{2, 2, 2}, {2, 2}},
+       {1, 1, 1, 1, 1, 1}},
+      {"divisor case with D", {{2, 2, 2}, {4}}, {1, 2, 1, 3, 1}},
+      {"wide: (32,32) x2", {{32, 32}, {32, 32}}, {1, 1, 1, 1, 1}},
+      {"deep: (4,4) x5",
+       {{4, 4}, {4, 4}, {4, 4}, {4, 4}, {4, 4}},
+       std::vector<std::uint32_t>(11, 1)},
+  };
+
+  Table t({"case", "N'", "edges", "symmetric", "paths measured",
+           "paths predicted", "match", "ms"});
+  bool all_ok = true;
+  for (const auto& c : cases) {
+    Timer timer;
+    std::vector<MixedRadix> sys;
+    for (const auto& s : c.systems) sys.emplace_back(s);
+    const RadixNetSpec spec(sys, c.d);
+    const Fnnt g = build_radix_net(spec);
+    const auto sym = symmetry_constant(g);
+    const BigUInt expected = predicted_path_count(spec);
+    const bool ok = sym.has_value() && *sym == expected;
+    all_ok = all_ok && ok;
+    t.add_row({c.label, std::to_string(spec.n_prime()),
+               std::to_string(g.num_edges()),
+               sym.has_value() ? "yes" : "NO",
+               sym.has_value() ? sym->to_decimal() : "-",
+               expected.to_decimal(), ok ? "yes" : "NO",
+               Table::fmt(timer.millis(), 1)});
+  }
+  t.print(std::cout);
+
+  // Show the 64-bit overflow motivation: a configuration whose count
+  // cannot be held in a machine word.
+  std::printf("\noverflow showcase: (1024 = (32,32)) x 8 systems, paths = "
+              "1024^7:\n");
+  {
+    std::vector<MixedRadix> sys(8, MixedRadix({32, 32}));
+    const auto spec = RadixNetSpec::extended(std::move(sys));
+    const BigUInt paths = predicted_path_count(spec);
+    std::printf("  predicted = %s (%zu bits; uint64 holds 64)\n",
+                paths.to_decimal().c_str(), paths.bit_length());
+  }
+
+  std::printf("\npaper expectation: every RadiX-Net symmetric with "
+              "(N')^(M-1) * prod(D_i) paths: %s\n",
+              all_ok ? "REPRODUCED" : "MISMATCH");
+  return all_ok ? 0 : 1;
+}

@@ -1,0 +1,65 @@
+// Size a brain-scale RadiX-Net without building it ([18] substitution):
+// closed-form planning with the analytics API, then build the largest
+// tier that fits in memory as a sanity check.
+//
+//   $ ./brain_scale [mu] [systems]
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+
+#include "graph/properties.hpp"
+#include "radixnet/analytics.hpp"
+#include "radixnet/builder.hpp"
+#include "support/table.hpp"
+#include "support/timer.hpp"
+
+int main(int argc, char** argv) {
+  using namespace radix;
+
+  const std::uint32_t mu =
+      argc > 1 ? static_cast<std::uint32_t>(std::atoi(argv[1])) : 32;
+  const std::size_t num_systems =
+      argc > 2 ? static_cast<std::size_t>(std::atoi(argv[2])) : 4;
+
+  std::printf("== brain-scale planning: uniform radix mu = %u, %zu "
+              "systems ==\n\n",
+              mu, num_systems);
+
+  Table t({"d", "layer width mu^d", "total neurons", "synapses",
+           "density", "storage GB"});
+  for (std::size_t d = 2; d <= 8; ++d) {
+    const double width = std::pow(static_cast<double>(mu),
+                                  static_cast<double>(d));
+    if (width > 9e18) break;
+    const double transitions = static_cast<double>(num_systems) * d;
+    const double synapses = transitions * width * mu;
+    const double neurons = (transitions + 1.0) * width;
+    t.add_row({std::to_string(d), Table::fmt_sci(width, 2),
+               Table::fmt_sci(neurons, 2), Table::fmt_sci(synapses, 2),
+               Table::fmt_sci(mu / width, 2),
+               Table::fmt((synapses * 5 + neurons * 8) / 1e9, 2)});
+  }
+  t.print(std::cout);
+
+  std::printf("\nhuman brain reference: ~8.6e10 neurons, ~1e14-1e15 "
+              "synapses.\n");
+
+  // Build the largest tier that is still laptop-sized (width mu^3 for
+  // mu = 32 -> 32768 nodes/layer).
+  const std::size_t d_build = mu >= 16 ? 3 : 4;
+  std::printf("\nbuilding the d = %zu tier for validation...\n", d_build);
+  std::vector<MixedRadix> systems(num_systems,
+                                  MixedRadix::uniform(mu, d_build));
+  const auto spec = RadixNetSpec::extended(std::move(systems));
+  Timer timer;
+  const Fnnt g = build_radix_net(spec);
+  std::printf("built %llu edges in %.1f ms; density %.3e (predicted "
+              "%.3e); valid: %s\n",
+              static_cast<unsigned long long>(g.num_edges()),
+              timer.millis(), density(g), exact_density(spec),
+              g.validate().ok ? "yes" : "no");
+  std::printf("Theorem 1 paths per input/output pair: %s\n",
+              predicted_path_count(spec).to_decimal().c_str());
+  return 0;
+}

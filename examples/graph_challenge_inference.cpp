@@ -1,0 +1,62 @@
+// Graph-Challenge-style sparse DNN inference on a RadiX-Net preset.
+//
+//   $ ./graph_challenge_inference [neurons] [layers] [batch]
+//
+// Builds the preset network (shuffled neuron ids, uniform 1/16 weights,
+// published bias), runs a synthetic activation batch through the
+// challenge rule Y <- min(32, ReLU(Y W + b)), and reports the standard
+// edges/second metric plus the surviving-row count per layer depth.
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+
+#include "infer/sparse_dnn.hpp"
+#include "radixnet/graph_challenge.hpp"
+#include "support/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace radix;
+
+  const index_t neurons =
+      argc > 1 ? static_cast<index_t>(std::atoi(argv[1])) : 1024;
+  const std::size_t layers =
+      argc > 2 ? static_cast<std::size_t>(std::atoi(argv[2])) : 12;
+  const index_t batch =
+      argc > 3 ? static_cast<index_t>(std::atoi(argv[3])) : 64;
+
+  if (!gc::is_supported_width(neurons)) {
+    std::fprintf(stderr,
+                 "unsupported width %u (choose 1024/4096/16384/65536)\n",
+                 neurons);
+    return 2;
+  }
+
+  std::printf("building RadiX-Net challenge network: %u neurons x %zu "
+              "layers\n",
+              neurons, layers);
+  Rng rng(2019);  // challenge year
+  const auto net = gc::network(neurons, layers, &rng);
+  infer::SparseDnn dnn(net.layers, net.bias, gc::kClamp);
+  std::printf("total weights: %llu, bias %.2f, weight %.4f\n\n",
+              static_cast<unsigned long long>(dnn.total_nnz()), net.bias,
+              gc::kWeight);
+
+  Rng input_rng(7);
+  const auto x = gc::synthetic_input(batch, neurons, 0.4, input_rng);
+
+  infer::InferenceStats stats;
+  const auto y = dnn.forward(x, batch, &stats);
+  const auto active = infer::SparseDnn::active_rows(y, batch, neurons);
+
+  Table t({"metric", "value"});
+  t.add_row({"batch", std::to_string(batch)});
+  t.add_row({"wall seconds", Table::fmt(stats.wall_seconds, 4)});
+  t.add_row({"edges processed",
+             std::to_string(stats.edges_processed)});
+  t.add_row({"edges / second", Table::fmt_sci(stats.edges_per_second, 3)});
+  t.add_row({"active rows at output",
+             std::to_string(active.size()) + " / " + std::to_string(batch)});
+  t.add_row({"nonzero outputs", std::to_string(stats.nonzero_outputs)});
+  t.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,180 @@
+#include "graph/analysis.hpp"
+
+#include "graph/properties.hpp"
+#include "sparse/permutation.hpp"
+#include "sparse/spgemm.hpp"
+#include "support/error.hpp"
+#include "support/random.hpp"
+
+namespace radix {
+
+index_t reachable_outputs(const Fnnt& g, index_t u) {
+  RADIX_REQUIRE(g.depth() > 0, "reachable_outputs: empty topology");
+  RADIX_REQUIRE(u < g.input_width(),
+                "reachable_outputs: input node out of range");
+  SparseVec<pattern_t> frontier =
+      SparseVec<pattern_t>::unit(g.input_width(), u);
+  for (std::size_t i = 0; i < g.depth(); ++i) {
+    frontier = frontier_step(frontier, g.layer(i));
+  }
+  return static_cast<index_t>(frontier.nnz());
+}
+
+std::vector<index_t> reachable_outputs_all(const Fnnt& g) {
+  std::vector<index_t> out(g.input_width());
+  for (index_t u = 0; u < g.input_width(); ++u) {
+    out[u] = reachable_outputs(g, u);
+  }
+  return out;
+}
+
+std::vector<index_t> frontier_profile(const Fnnt& g, index_t u) {
+  RADIX_REQUIRE(g.depth() > 0, "frontier_profile: empty topology");
+  RADIX_REQUIRE(u < g.input_width(),
+                "frontier_profile: input node out of range");
+  std::vector<index_t> profile;
+  profile.reserve(g.depth() + 1);
+  SparseVec<pattern_t> frontier =
+      SparseVec<pattern_t>::unit(g.input_width(), u);
+  profile.push_back(1);
+  for (std::size_t i = 0; i < g.depth(); ++i) {
+    frontier = frontier_step(frontier, g.layer(i));
+    profile.push_back(static_cast<index_t>(frontier.nnz()));
+  }
+  return profile;
+}
+
+SparseVec<BigUInt> path_counts_from(const Fnnt& g, index_t u) {
+  RADIX_REQUIRE(g.depth() > 0, "path_counts_from: empty topology");
+  RADIX_REQUIRE(u < g.input_width(),
+                "path_counts_from: input node out of range");
+  SparseVec<BigUInt> counts =
+      SparseVec<BigUInt>::unit(g.input_width(), u, BigUInt(1));
+  for (std::size_t i = 0; i < g.depth(); ++i) {
+    const auto layer =
+        g.layer(i).map<BigUInt>([](pattern_t) { return BigUInt(1); });
+    counts = vxm<CountSemiring>(counts, layer);
+  }
+  return counts;
+}
+
+PathStats path_stats(const Fnnt& g) {
+  PathStats stats;
+  bool first = true;
+  double total = 0.0;
+  const std::uint64_t pairs =
+      static_cast<std::uint64_t>(g.input_width()) * g.output_width();
+  for (index_t u = 0; u < g.input_width(); ++u) {
+    const auto counts = path_counts_from(g, u);
+    stats.zero_pairs += g.output_width() - counts.nnz();
+    for (const BigUInt& v : counts.values()) {
+      if (first) {
+        stats.min = v;
+        stats.max = v;
+        first = false;
+      } else {
+        if (v < stats.min) stats.min = v;
+        if (stats.max < v) stats.max = v;
+      }
+      total += v.to_double();
+    }
+  }
+  stats.mean = pairs > 0 ? total / static_cast<double>(pairs) : 0.0;
+  return stats;
+}
+
+std::map<index_t, index_t> out_degree_histogram(
+    const Csr<pattern_t>& layer) {
+  std::map<index_t, index_t> h;
+  for (index_t r = 0; r < layer.rows(); ++r) {
+    ++h[static_cast<index_t>(layer.row_nnz(r))];
+  }
+  return h;
+}
+
+std::map<index_t, index_t> in_degree_histogram(const Csr<pattern_t>& layer) {
+  std::vector<index_t> indeg(layer.cols(), 0);
+  for (index_t c : layer.colind()) ++indeg[c];
+  std::map<index_t, index_t> h;
+  for (index_t d : indeg) ++h[d];
+  return h;
+}
+
+Fnnt reverse(const Fnnt& g) {
+  RADIX_REQUIRE(g.depth() > 0, "reverse: empty topology");
+  std::vector<Csr<pattern_t>> layers;
+  layers.reserve(g.depth());
+  for (std::size_t i = g.depth(); i-- > 0;) {
+    layers.push_back(g.layer(i).transpose());
+  }
+  return Fnnt(std::move(layers));
+}
+
+Fnnt relabel(const Fnnt& g, const std::vector<std::vector<index_t>>& perms) {
+  const auto widths = g.widths();
+  RADIX_REQUIRE(perms.size() == widths.size(),
+                "relabel: need one permutation per node layer");
+  for (std::size_t i = 0; i < perms.size(); ++i) {
+    RADIX_REQUIRE(perms[i].size() == widths[i],
+                  "relabel: permutation size mismatch at layer " +
+                      std::to_string(i));
+  }
+  // New layer i = P_i^T * W_i * P_{i+1}, with P the row->new-id matrix;
+  // equivalently relabel sources by inverse perm and targets by perm.
+  std::vector<Csr<pattern_t>> layers;
+  layers.reserve(g.depth());
+  for (std::size_t i = 0; i < g.depth(); ++i) {
+    const auto& w = g.layer(i);
+    Coo<pattern_t> coo(w.rows(), w.cols());
+    coo.reserve(w.nnz());
+    for (index_t r = 0; r < w.rows(); ++r) {
+      for (index_t c : w.row_cols(r)) {
+        coo.push(perms[i][r], perms[i + 1][c], 1);
+      }
+    }
+    layers.push_back(Csr<pattern_t>::from_coo(coo));
+  }
+  return Fnnt(std::move(layers));
+}
+
+Fnnt drop_edges(const Fnnt& g, double p, std::uint64_t seed) {
+  RADIX_REQUIRE(p >= 0.0 && p <= 1.0, "drop_edges: p must be in [0, 1]");
+  Rng rng(seed);
+  std::vector<Csr<pattern_t>> layers;
+  layers.reserve(g.depth());
+  for (std::size_t i = 0; i < g.depth(); ++i) {
+    const auto& w = g.layer(i);
+    Coo<pattern_t> coo(w.rows(), w.cols());
+    for (index_t r = 0; r < w.rows(); ++r) {
+      for (index_t c : w.row_cols(r)) {
+        if (!rng.bernoulli(p)) coo.push(r, c, 1);
+      }
+    }
+    layers.push_back(Csr<pattern_t>::from_coo(coo));
+  }
+  return Fnnt(std::move(layers));
+}
+
+double connected_pair_fraction(const Fnnt& g) {
+  const auto r = reachability_matrix(g);
+  const double pairs = static_cast<double>(r.rows()) * r.cols();
+  return pairs > 0.0 ? static_cast<double>(r.nnz()) / pairs : 0.0;
+}
+
+Fnnt shuffle_interior(const Fnnt& g, std::uint64_t seed) {
+  Rng rng(seed);
+  const auto widths = g.widths();
+  std::vector<std::vector<index_t>> perms(widths.size());
+  for (std::size_t i = 0; i < widths.size(); ++i) {
+    if (i == 0 || i + 1 == widths.size()) {
+      perms[i].resize(widths[i]);
+      for (index_t k = 0; k < widths[i]; ++k) perms[i][k] = k;
+    } else {
+      const auto p = rng.permutation(widths[i]);
+      perms[i].assign(p.begin(), p.end());
+    }
+  }
+  return relabel(g, perms);
+}
+
+}  // namespace radix

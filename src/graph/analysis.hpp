@@ -1,0 +1,72 @@
+// Deeper structural analysis of FNNTs, beyond the paper's core
+// predicates: per-node reachability sweeps (frontier-based, memory-light
+// compared with the full path-count matrix), non-symmetric path-count
+// statistics, degree histograms, and structure-preserving transforms
+// (reverse, per-layer relabeling).  Used by the ablation benches and the
+// topology explorer.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "graph/fnnt.hpp"
+#include "sparse/vector.hpp"
+#include "support/biguint.hpp"
+
+namespace radix {
+
+/// Number of output nodes reachable from input `u` (frontier sweep; uses
+/// O(width) memory instead of the O(width^2) reachability matrix).
+index_t reachable_outputs(const Fnnt& g, index_t u);
+
+/// Reachable-output counts for every input node.
+std::vector<index_t> reachable_outputs_all(const Fnnt& g);
+
+/// Frontier sizes layer by layer starting from input `u` -- the growth
+/// profile of the paper's decision-tree picture (Fig 1).
+std::vector<index_t> frontier_profile(const Fnnt& g, index_t u);
+
+/// Exact path counts from one input to all outputs (BigUInt frontier).
+SparseVec<BigUInt> path_counts_from(const Fnnt& g, index_t u);
+
+/// Path-count distribution statistics across all input/output pairs.
+/// For a symmetric topology min == max == the Theorem 1 constant and
+/// zero_pairs == 0.
+struct PathStats {
+  BigUInt min;           // over pairs with at least one path
+  BigUInt max;
+  double mean = 0.0;     // over all pairs (zeros included), approximate
+  std::uint64_t zero_pairs = 0;
+};
+PathStats path_stats(const Fnnt& g);
+
+/// Histogram of out-degrees (degree -> node count) for one layer.
+std::map<index_t, index_t> out_degree_histogram(const Csr<pattern_t>& layer);
+std::map<index_t, index_t> in_degree_histogram(const Csr<pattern_t>& layer);
+
+/// The reverse topology: layer order flipped and every submatrix
+/// transposed.  Reversal preserves symmetry and its constant.
+Fnnt reverse(const Fnnt& g);
+
+/// Relabel nodes: apply permutation pi_i to the node ids of layer
+/// boundary i (perms.size() == widths().size(); each perms[i] is a
+/// permutation of {0..width_i-1}).  Relabeling preserves all structural
+/// properties (degrees, path counts, symmetry).
+Fnnt relabel(const Fnnt& g, const std::vector<std::vector<index_t>>& perms);
+
+/// Convenience: random relabeling of all interior boundaries (inputs and
+/// outputs kept in place), seeded.
+Fnnt shuffle_interior(const Fnnt& g, std::uint64_t seed);
+
+/// Fault injection: independently delete each edge with probability p.
+/// The result may violate FNNT validity (zero rows/columns) -- that is
+/// the point; feed it to is_path_connected / validate to measure
+/// robustness.  Layers that lose every edge are kept as empty matrices.
+Fnnt drop_edges(const Fnnt& g, double p, std::uint64_t seed);
+
+/// Fraction of input/output pairs still connected after edge deletion
+/// (1.0 = fully path-connected).
+double connected_pair_fraction(const Fnnt& g);
+
+}  // namespace radix

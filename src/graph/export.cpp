@@ -1,0 +1,63 @@
+#include "graph/export.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "graph/properties.hpp"
+#include "support/error.hpp"
+
+namespace radix {
+
+std::string to_dot(const Fnnt& g, const std::string& graph_name) {
+  std::ostringstream os;
+  os << "digraph " << graph_name << " {\n";
+  os << "  rankdir=LR;\n  node [shape=circle, fontsize=10];\n";
+  const auto w = g.widths();
+  for (std::size_t l = 0; l < w.size(); ++l) {
+    os << "  { rank=same;";
+    for (index_t k = 0; k < w[l]; ++k) {
+      os << " u" << l << "_" << k << ";";
+    }
+    os << " }\n";
+  }
+  for (std::size_t l = 0; l < g.depth(); ++l) {
+    const auto& layer = g.layer(l);
+    for (index_t r = 0; r < layer.rows(); ++r) {
+      for (index_t c : layer.row_cols(r)) {
+        os << "  u" << l << "_" << r << " -> u" << (l + 1) << "_" << c
+           << ";\n";
+      }
+    }
+  }
+  os << "}\n";
+  return os.str();
+}
+
+void write_dot(const std::string& path, const Fnnt& g,
+               const std::string& graph_name) {
+  std::ofstream out(path);
+  if (!out) throw IoError("cannot open for writing: " + path);
+  out << to_dot(g, graph_name);
+  if (!out) throw IoError("write failed: " + path);
+}
+
+std::string summarize(const Fnnt& g) {
+  std::ostringstream os;
+  const auto w = g.widths();
+  os << "FNNT: " << g.depth() << " edge layers, widths [";
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    if (i) os << ", ";
+    os << w[i];
+  }
+  os << "], " << g.num_edges() << " edges, density " << density(g) << "\n";
+  for (std::size_t l = 0; l < g.depth(); ++l) {
+    const DegreeStats s = layer_degree_stats(g.layer(l));
+    os << "  layer " << l << ": " << g.layer(l).rows() << "x"
+       << g.layer(l).cols() << ", nnz " << g.layer(l).nnz() << ", out-deg ["
+       << s.min_out << ", " << s.max_out << "], in-deg [" << s.min_in << ", "
+       << s.max_in << "]\n";
+  }
+  return os.str();
+}
+
+}  // namespace radix

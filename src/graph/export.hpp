@@ -1,0 +1,22 @@
+// Exporters for visual / external-tool inspection of FNNTs.
+#pragma once
+
+#include <string>
+
+#include "graph/fnnt.hpp"
+
+namespace radix {
+
+/// Graphviz DOT of the layered topology.  Node ids are "uL_K" for node K
+/// of layer L; layers are ranked left-to-right.  Intended for small
+/// topologies (every edge is written).
+std::string to_dot(const Fnnt& g, const std::string& graph_name = "fnnt");
+
+/// Write the DOT text to a file; throws IoError on failure.
+void write_dot(const std::string& path, const Fnnt& g,
+               const std::string& graph_name = "fnnt");
+
+/// Compact human-readable summary: widths, edges, density, degree ranges.
+std::string summarize(const Fnnt& g);
+
+}  // namespace radix

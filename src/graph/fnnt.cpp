@@ -1,0 +1,117 @@
+#include "graph/fnnt.hpp"
+
+#include <limits>
+#include <numeric>
+
+#include "support/error.hpp"
+
+namespace radix {
+
+Fnnt::Fnnt(std::vector<Csr<pattern_t>> layers) : layers_(std::move(layers)) {
+  for (std::size_t i = 0; i + 1 < layers_.size(); ++i) {
+    RADIX_REQUIRE(layers_[i].cols() == layers_[i + 1].rows(),
+                  "Fnnt: adjacency submatrix shapes do not chain at layer " +
+                      std::to_string(i));
+  }
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    RADIX_REQUIRE(layers_[i].rows() > 0 && layers_[i].cols() > 0,
+                  "Fnnt: empty layer " + std::to_string(i));
+  }
+}
+
+std::vector<index_t> Fnnt::widths() const {
+  std::vector<index_t> w;
+  if (layers_.empty()) return w;
+  w.reserve(layers_.size() + 1);
+  w.push_back(layers_.front().rows());
+  for (const auto& l : layers_) w.push_back(l.cols());
+  return w;
+}
+
+index_t Fnnt::input_width() const {
+  RADIX_REQUIRE(!layers_.empty(), "Fnnt: empty topology has no input layer");
+  return layers_.front().rows();
+}
+
+index_t Fnnt::output_width() const {
+  RADIX_REQUIRE(!layers_.empty(), "Fnnt: empty topology has no output layer");
+  return layers_.back().cols();
+}
+
+std::uint64_t Fnnt::num_nodes() const {
+  const auto w = widths();
+  return std::accumulate(w.begin(), w.end(), std::uint64_t{0});
+}
+
+std::uint64_t Fnnt::num_edges() const noexcept {
+  std::uint64_t e = 0;
+  for (const auto& l : layers_) e += l.nnz();
+  return e;
+}
+
+const Csr<pattern_t>& Fnnt::layer(std::size_t i) const {
+  RADIX_REQUIRE(i < layers_.size(), "Fnnt::layer: index out of range");
+  return layers_[i];
+}
+
+Fnnt::Validity Fnnt::validate() const {
+  if (layers_.empty()) return {false, "no layers"};
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    if (layers_[i].count_empty_rows() > 0) {
+      return {false, "layer " + std::to_string(i) +
+                         " has a zero row (a node with out-degree 0)"};
+    }
+    if (layers_[i].count_empty_cols() > 0) {
+      return {false, "layer " + std::to_string(i) +
+                         " has a zero column (a node with in-degree 0)"};
+    }
+  }
+  return {true, ""};
+}
+
+void Fnnt::require_valid() const {
+  const Validity v = validate();
+  RADIX_REQUIRE(v.ok, "invalid FNNT: " + v.reason);
+}
+
+void Fnnt::append(Csr<pattern_t> layer) {
+  RADIX_REQUIRE(layer.rows() > 0 && layer.cols() > 0,
+                "Fnnt::append: empty layer");
+  if (!layers_.empty()) {
+    RADIX_REQUIRE(layers_.back().cols() == layer.rows(),
+                  "Fnnt::append: layer rows must equal current output width");
+  }
+  layers_.push_back(std::move(layer));
+}
+
+void Fnnt::concatenate(const Fnnt& next) {
+  for (const auto& l : next.layers_) append(l);
+}
+
+Csr<pattern_t> Fnnt::full_adjacency() const {
+  RADIX_REQUIRE(!layers_.empty(), "Fnnt::full_adjacency: empty topology");
+  const auto w = widths();
+  std::vector<std::uint64_t> base(w.size() + 1, 0);
+  for (std::size_t i = 0; i < w.size(); ++i) base[i + 1] = base[i] + w[i];
+  const std::uint64_t total = base.back();
+  RADIX_REQUIRE(total <= static_cast<std::uint64_t>(
+                             std::numeric_limits<index_t>::max()),
+                "Fnnt::full_adjacency: node count exceeds index range");
+
+  Coo<pattern_t> coo(static_cast<index_t>(total),
+                     static_cast<index_t>(total));
+  coo.reserve(num_edges());
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    const auto& l = layers_[i];
+    const index_t src_base = static_cast<index_t>(base[i]);
+    const index_t dst_base = static_cast<index_t>(base[i + 1]);
+    for (index_t r = 0; r < l.rows(); ++r) {
+      for (index_t c : l.row_cols(r)) {
+        coo.push(src_base + r, dst_base + c, 1);
+      }
+    }
+  }
+  return Csr<pattern_t>::from_coo(coo);
+}
+
+}  // namespace radix

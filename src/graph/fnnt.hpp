@@ -1,0 +1,81 @@
+// Feedforward Neural Net Topology (FNNT), Section II of the paper.
+//
+// An FNNT with n+1 layers of nodes U_0, ..., U_n is represented by its
+// ordered set of adjacency submatrices W = (W_1, ..., W_n), where W_i is
+// the |U_{i-1}| x |U_i| pattern with entry (r, c) nonzero iff there is an
+// edge from node r of U_{i-1} to node c of U_i.  Per the paper's
+// characterization, W defines a valid FNNT iff
+//   * consecutive shapes chain (cols(W_i) == rows(W_{i+1})),
+//   * no W_i has a zero column (every non-input node has in-degree > 0),
+//   * no W_i has a zero row (every non-output node has out-degree > 0;
+//     this is the FNNT out-degree constraint).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sparse/csr.hpp"
+
+namespace radix {
+
+class Fnnt {
+ public:
+  Fnnt() = default;
+
+  /// Take ownership of adjacency submatrices; throws SpecError if the
+  /// shapes do not chain or any submatrix is empty.
+  explicit Fnnt(std::vector<Csr<pattern_t>> layers);
+
+  /// Number of edge layers (n for an n+1-node-layer FNNT).
+  std::size_t depth() const noexcept { return layers_.size(); }
+
+  /// Node counts |U_0|, ..., |U_n|.
+  std::vector<index_t> widths() const;
+
+  index_t input_width() const;
+  index_t output_width() const;
+
+  /// Total node count across all layers.
+  std::uint64_t num_nodes() const;
+
+  /// Total edge count.
+  std::uint64_t num_edges() const noexcept;
+
+  const Csr<pattern_t>& layer(std::size_t i) const;
+  const std::vector<Csr<pattern_t>>& layers() const noexcept {
+    return layers_;
+  }
+
+  /// Structured validity report (see class comment).
+  struct Validity {
+    bool ok = false;
+    std::string reason;  // empty when ok
+  };
+  Validity validate() const;
+
+  /// Throwing variant of validate().
+  void require_valid() const;
+
+  /// Append an edge layer; its row count must equal the current output
+  /// width (unless the FNNT is empty).
+  void append(Csr<pattern_t> layer);
+
+  /// Concatenate another FNNT whose input width equals this output width
+  /// (identifies this FNNT's output nodes with `next`'s input nodes
+  /// label-wise, as in the paper's RadiX-Net construction).
+  void concatenate(const Fnnt& next);
+
+  /// Full (square) adjacency matrix A of the layered graph, with nodes
+  /// numbered layer-by-layer (eq. (11) block structure).
+  Csr<pattern_t> full_adjacency() const;
+
+  friend bool operator==(const Fnnt& a, const Fnnt& b) {
+    return a.layers_ == b.layers_;
+  }
+
+ private:
+  std::vector<Csr<pattern_t>> layers_;
+};
+
+}  // namespace radix

@@ -1,0 +1,128 @@
+#include "graph/properties.hpp"
+
+#include "sparse/spgemm.hpp"
+#include "support/error.hpp"
+
+namespace radix {
+
+Csr<BigUInt> path_count_matrix(const Fnnt& g) {
+  RADIX_REQUIRE(g.depth() > 0, "path_count_matrix: empty topology");
+  Csr<BigUInt> acc =
+      g.layer(0).map<BigUInt>([](pattern_t) { return BigUInt(1); });
+  for (std::size_t i = 1; i < g.depth(); ++i) {
+    Csr<BigUInt> next =
+        g.layer(i).map<BigUInt>([](pattern_t) { return BigUInt(1); });
+    acc = spgemm_count(acc, next);
+  }
+  return acc;
+}
+
+Csr<pattern_t> reachability_matrix(const Fnnt& g) {
+  RADIX_REQUIRE(g.depth() > 0, "reachability_matrix: empty topology");
+  Csr<pattern_t> acc = g.layer(0);
+  for (std::size_t i = 1; i < g.depth(); ++i) {
+    acc = spgemm_bool(acc, g.layer(i));
+  }
+  return acc;
+}
+
+bool is_path_connected(const Fnnt& g) {
+  const Csr<pattern_t> r = reachability_matrix(g);
+  return r.nnz() ==
+         static_cast<std::size_t>(r.rows()) * static_cast<std::size_t>(r.cols());
+}
+
+std::optional<BigUInt> symmetry_constant(const Fnnt& g) {
+  const Csr<BigUInt> p = path_count_matrix(g);
+  const std::size_t full =
+      static_cast<std::size_t>(p.rows()) * static_cast<std::size_t>(p.cols());
+  if (p.nnz() != full) return std::nullopt;  // some pair has zero paths
+  const BigUInt& m = p.values().front();
+  if (m.is_zero()) return std::nullopt;
+  for (const BigUInt& v : p.values()) {
+    if (v != m) return std::nullopt;
+  }
+  return m;
+}
+
+bool is_symmetric(const Fnnt& g) { return symmetry_constant(g).has_value(); }
+
+std::uint64_t dense_edge_count(const Fnnt& g) {
+  const auto w = g.widths();
+  std::uint64_t e = 0;
+  for (std::size_t i = 0; i + 1 < w.size(); ++i) {
+    e += static_cast<std::uint64_t>(w[i]) * w[i + 1];
+  }
+  return e;
+}
+
+double density(const Fnnt& g) {
+  const std::uint64_t dense = dense_edge_count(g);
+  RADIX_REQUIRE(dense > 0, "density: degenerate topology");
+  return static_cast<double>(g.num_edges()) / static_cast<double>(dense);
+}
+
+double min_density(const Fnnt& g) {
+  const auto w = g.widths();
+  std::uint64_t numer = 0, denom = 0;
+  for (std::size_t i = 0; i + 1 < w.size(); ++i) {
+    numer += w[i];
+    denom += static_cast<std::uint64_t>(w[i]) * w[i + 1];
+  }
+  RADIX_REQUIRE(denom > 0, "min_density: degenerate topology");
+  return static_cast<double>(numer) / static_cast<double>(denom);
+}
+
+DegreeStats layer_degree_stats(const Csr<pattern_t>& layer) {
+  DegreeStats s;
+  RADIX_REQUIRE(layer.rows() > 0 && layer.cols() > 0,
+                "layer_degree_stats: empty layer");
+  s.min_out = static_cast<index_t>(layer.row_nnz(0));
+  s.max_out = s.min_out;
+  std::uint64_t total = 0;
+  for (index_t r = 0; r < layer.rows(); ++r) {
+    const index_t d = static_cast<index_t>(layer.row_nnz(r));
+    s.min_out = std::min(s.min_out, d);
+    s.max_out = std::max(s.max_out, d);
+    total += d;
+  }
+  s.mean_out = static_cast<double>(total) / layer.rows();
+
+  std::vector<index_t> indeg(layer.cols(), 0);
+  for (index_t c : layer.colind()) ++indeg[c];
+  s.min_in = indeg.empty() ? 0 : indeg[0];
+  s.max_in = s.min_in;
+  for (index_t d : indeg) {
+    s.min_in = std::min(s.min_in, d);
+    s.max_in = std::max(s.max_in, d);
+  }
+  s.mean_in = static_cast<double>(total) / layer.cols();
+  return s;
+}
+
+bool verify_power_block_structure(const Fnnt& g) {
+  const Csr<pattern_t> a = g.full_adjacency();
+  // Boolean A^n where n = depth.
+  Csr<pattern_t> power = a;
+  for (std::size_t i = 1; i < g.depth(); ++i) {
+    power = spgemm_bool(power, a);
+  }
+  // The only nonzero entries allowed: rows in [0, |U_0|), cols in
+  // [total - |U_n|, total).
+  const auto w = g.widths();
+  const index_t in_w = w.front();
+  const index_t out_base = static_cast<index_t>(g.num_nodes()) - w.back();
+  for (index_t r = 0; r < power.rows(); ++r) {
+    const auto cols = power.row_cols(r);
+    if (r < in_w) {
+      for (index_t c : cols) {
+        if (c < out_base) return false;
+      }
+    } else if (!cols.empty()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace radix

@@ -1,0 +1,65 @@
+// Graph-theoretic properties of FNNTs (Section II of the paper).
+//
+// * path_count_matrix: the |U_0| x |U_n| matrix whose (u, v) entry is the
+//   exact number of distinct directed paths from input u to output v,
+//   computed as the semiring product W_1 * ... * W_n over BigUInt
+//   (this is the nonzero block of A^n in eq. (11)-(13)).
+// * symmetry: the FNNT is symmetric iff that matrix is a positive
+//   constant m (Theorem 1's subject); we return m exactly.
+// * path-connectedness: every entry positive (boolean product).
+// * density: edges(G) / edges(dense DNN on the same widths).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "graph/fnnt.hpp"
+#include "support/biguint.hpp"
+
+namespace radix {
+
+/// Exact path-count matrix from inputs to outputs.
+Csr<BigUInt> path_count_matrix(const Fnnt& g);
+
+/// Boolean reachability from inputs to outputs: entry (u, v) nonzero iff
+/// some path u -> v exists.  Cheaper than path_count_matrix.
+Csr<pattern_t> reachability_matrix(const Fnnt& g);
+
+/// True iff every output is reachable from every input.
+bool is_path_connected(const Fnnt& g);
+
+/// If the FNNT is symmetric (same positive number of paths m between
+/// every input/output pair), returns m; otherwise nullopt.
+std::optional<BigUInt> symmetry_constant(const Fnnt& g);
+
+bool is_symmetric(const Fnnt& g);
+
+/// Edge count of the fully-connected FNNT on the same node layers:
+/// sum_i |U_{i-1}| * |U_i|.
+std::uint64_t dense_edge_count(const Fnnt& g);
+
+/// Density of G per Section II: edges(G) / dense_edge_count(G).
+double density(const Fnnt& g);
+
+/// Minimum possible density for these widths:
+/// (sum_i |U_{i-1}|) / (sum_i |U_{i-1}||U_i|).
+double min_density(const Fnnt& g);
+
+/// Per-layer degree statistics (useful for comparing against X-Net's
+/// regular-degree requirement).
+struct DegreeStats {
+  index_t min_out = 0, max_out = 0;
+  index_t min_in = 0, max_in = 0;
+  double mean_out = 0.0, mean_in = 0.0;
+  bool out_regular() const noexcept { return min_out == max_out; }
+  bool in_regular() const noexcept { return min_in == max_in; }
+};
+DegreeStats layer_degree_stats(const Csr<pattern_t>& layer);
+
+/// Verify eq. (11)/(13): A^n (boolean) has its only nonzero block at
+/// (input rows x output cols).  Returns true iff the block structure
+/// matches.  Intended for small topologies (assembles the full A).
+bool verify_power_block_structure(const Fnnt& g);
+
+}  // namespace radix

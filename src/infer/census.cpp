@@ -1,0 +1,105 @@
+#include "infer/census.hpp"
+
+#include <algorithm>
+
+#include "sparse/dense.hpp"
+#include "sparse/spmm.hpp"
+#include "support/error.hpp"
+
+namespace radix::infer {
+
+namespace {
+
+void apply_rule(std::vector<float>& y, float bias, float clamp) {
+  for (float& v : y) {
+    v += bias;
+    if (v < 0.0f) v = 0.0f;
+    if (clamp > 0.0f && v > clamp) v = clamp;
+  }
+}
+
+LayerCensus take_census(std::size_t layer, const std::vector<float>& y,
+                        index_t batch, index_t width) {
+  LayerCensus c;
+  c.layer = layer;
+  double sum = 0.0;
+  for (index_t b = 0; b < batch; ++b) {
+    bool live = false;
+    for (index_t k = 0; k < width; ++k) {
+      const float v = y[static_cast<std::size_t>(b) * width + k];
+      if (v != 0.0f) {
+        ++c.nonzero_activations;
+        live = true;
+      }
+      sum += v;
+      c.max_activation = std::max(c.max_activation, v);
+    }
+    if (live) ++c.live_rows;
+  }
+  c.mean_activation = static_cast<float>(sum / y.size());
+  return c;
+}
+
+}  // namespace
+
+std::vector<LayerCensus> activation_census(
+    const std::vector<Csr<float>>& layers, const std::vector<float>& biases,
+    float clamp, const std::vector<float>& input, index_t batch) {
+  RADIX_REQUIRE(!layers.empty(), "activation_census: no layers");
+  RADIX_REQUIRE(biases.size() == layers.size(),
+                "activation_census: one bias per layer required");
+  RADIX_REQUIRE_DIM(
+      input.size() ==
+          static_cast<std::size_t>(batch) * layers.front().rows(),
+      "activation_census: input size mismatch");
+  std::vector<LayerCensus> out;
+  out.reserve(layers.size());
+  std::vector<float> cur = input;
+  for (std::size_t k = 0; k < layers.size(); ++k) {
+    const auto& w = layers[k];
+    RADIX_REQUIRE_DIM(
+        cur.size() == static_cast<std::size_t>(batch) * w.rows(),
+        "activation_census: layer shapes do not chain");
+    std::vector<float> next(static_cast<std::size_t>(batch) * w.cols(),
+                            0.0f);
+    spmm_dense_csr(cur.data(), batch, w.rows(), w, next.data());
+    apply_rule(next, biases[k], clamp);
+    out.push_back(take_census(k, next, batch, w.cols()));
+    cur.swap(next);
+  }
+  return out;
+}
+
+std::vector<float> dense_reference_forward(
+    const std::vector<Csr<float>>& layers, const std::vector<float>& biases,
+    float clamp, const std::vector<float>& input, index_t batch) {
+  RADIX_REQUIRE(!layers.empty(), "dense_reference_forward: no layers");
+  RADIX_REQUIRE(biases.size() == layers.size(),
+                "dense_reference_forward: one bias per layer required");
+  std::vector<float> cur = input;
+  for (std::size_t k = 0; k < layers.size(); ++k) {
+    const Dense w = to_dense(layers[k]);
+    RADIX_REQUIRE_DIM(
+        cur.size() == static_cast<std::size_t>(batch) * w.rows(),
+        "dense_reference_forward: shapes do not chain");
+    std::vector<float> next(static_cast<std::size_t>(batch) * w.cols(),
+                            0.0f);
+    for (index_t b = 0; b < batch; ++b) {
+      for (index_t c = 0; c < w.cols(); ++c) {
+        double acc = 0.0;
+        for (index_t r = 0; r < w.rows(); ++r) {
+          acc += static_cast<double>(
+                     cur[static_cast<std::size_t>(b) * w.rows() + r]) *
+                 w.at(r, c);
+        }
+        next[static_cast<std::size_t>(b) * w.cols() + c] =
+            static_cast<float>(acc);
+      }
+    }
+    apply_rule(next, biases[k], clamp);
+    cur.swap(next);
+  }
+  return cur;
+}
+
+}  // namespace radix::infer

@@ -1,0 +1,39 @@
+// Layer-by-layer activation census for sparse DNN inference, plus a
+// deliberately naive dense reference engine.
+//
+// The census runs the same challenge rule as infer::SparseDnn but
+// records, after every layer, how many activations are nonzero, how many
+// rows are still alive, and the mean activation -- the diagnostics used
+// to tune bias/weight rules (see gc::weight_for_indegree) and to study
+// activation survival depth.  The dense engine exists purely as an
+// oracle for tests and ablations; it materializes each layer densely.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sparse/csr.hpp"
+
+namespace radix::infer {
+
+struct LayerCensus {
+  std::size_t layer = 0;
+  std::uint64_t nonzero_activations = 0;
+  index_t live_rows = 0;     // batch rows with any nonzero
+  float mean_activation = 0.0f;  // over all entries
+  float max_activation = 0.0f;
+};
+
+/// Run the rule Y <- min(clamp, ReLU(Y W_k + b_k)) recording a census
+/// after every layer.  Returns one entry per layer.
+std::vector<LayerCensus> activation_census(
+    const std::vector<Csr<float>>& layers, const std::vector<float>& biases,
+    float clamp, const std::vector<float>& input, index_t batch);
+
+/// Dense oracle: same rule computed with dense matrices; O(batch *
+/// width^2 * depth).  For tests/ablations only.
+std::vector<float> dense_reference_forward(
+    const std::vector<Csr<float>>& layers, const std::vector<float>& biases,
+    float clamp, const std::vector<float>& input, index_t batch);
+
+}  // namespace radix::infer

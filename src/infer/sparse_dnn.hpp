@@ -1,0 +1,58 @@
+// Graph-Challenge-style sparse DNN inference engine.
+//
+// Executes the challenge's forward rule layer by layer over a dense
+// batch of activations:
+//     Y_{k+1} = min(clamp, ReLU(Y_k * W_k + b_k))
+// where W_k are CSR float layers (e.g. from radix::gc::network or any
+// weighted FNNT) and b_k is a per-layer scalar bias applied to every
+// *active* output unit (the challenge adds bias before ReLU).
+//
+// The engine reports the standard challenge throughput metric: edges
+// processed per second = batch * sum_k nnz(W_k) / wall time.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sparse/csr.hpp"
+
+namespace radix::infer {
+
+struct InferenceStats {
+  double wall_seconds = 0.0;
+  std::uint64_t edges_processed = 0;  // batch * total nnz
+  double edges_per_second = 0.0;
+  std::uint64_t nonzero_outputs = 0;  // nnz of the final activation
+};
+
+class SparseDnn {
+ public:
+  /// Layers must chain (cols of k == rows of k+1); bias is per layer.
+  SparseDnn(std::vector<Csr<float>> layers, std::vector<float> biases,
+            float clamp = 0.0f /* 0 = no clamp */);
+
+  /// Convenience: uniform bias across layers.
+  SparseDnn(std::vector<Csr<float>> layers, float bias, float clamp = 0.0f);
+
+  index_t input_width() const;
+  index_t output_width() const;
+  std::size_t depth() const noexcept { return layers_.size(); }
+  std::uint64_t total_nnz() const noexcept;
+
+  /// Run the full stack over a row-major [batch x input_width] batch.
+  /// Returns the final activations [batch x output_width].
+  std::vector<float> forward(const std::vector<float>& input, index_t batch,
+                             InferenceStats* stats = nullptr) const;
+
+  /// Rows of the final activation whose max entry is positive
+  /// ("categories" in challenge terms).
+  static std::vector<index_t> active_rows(const std::vector<float>& y,
+                                          index_t batch, index_t width);
+
+ private:
+  std::vector<Csr<float>> layers_;
+  std::vector<float> biases_;
+  float clamp_;
+};
+
+}  // namespace radix::infer

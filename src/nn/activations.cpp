@@ -1,0 +1,117 @@
+#include "nn/activations.hpp"
+
+#include <cmath>
+
+#include "support/error.hpp"
+#include "support/parallel.hpp"
+
+namespace radix::nn {
+
+void activate(Activation act, const Tensor& x, Tensor& y) {
+  RADIX_REQUIRE_DIM(x.rows() == y.rows() && x.cols() == y.cols(),
+                    "activate: shape mismatch");
+  const float* in = x.data();
+  float* out = y.data();
+  const std::int64_t n = static_cast<std::int64_t>(x.size());
+  switch (act) {
+    case Activation::kIdentity:
+      parallel_for(0, n, [&](std::int64_t i) { out[i] = in[i]; });
+      break;
+    case Activation::kRelu:
+      parallel_for(0, n, [&](std::int64_t i) {
+        out[i] = in[i] > 0.0f ? in[i] : 0.0f;
+      });
+      break;
+    case Activation::kSigmoid:
+      parallel_for(0, n, [&](std::int64_t i) {
+        out[i] = 1.0f / (1.0f + std::exp(-in[i]));
+      });
+      break;
+    case Activation::kTanh:
+      parallel_for(0, n, [&](std::int64_t i) { out[i] = std::tanh(in[i]); });
+      break;
+  }
+}
+
+void activate_backward(Activation act, const Tensor& x, const Tensor& y,
+                       const Tensor& dy, Tensor& dx) {
+  RADIX_REQUIRE_DIM(x.size() == dy.size() && x.size() == dx.size() &&
+                        x.size() == y.size(),
+                    "activate_backward: shape mismatch");
+  const float* in = x.data();
+  const float* out = y.data();
+  const float* g = dy.data();
+  float* o = dx.data();
+  const std::int64_t n = static_cast<std::int64_t>(x.size());
+  switch (act) {
+    case Activation::kIdentity:
+      parallel_for(0, n, [&](std::int64_t i) { o[i] = g[i]; });
+      break;
+    case Activation::kRelu:
+      parallel_for(0, n, [&](std::int64_t i) {
+        o[i] = in[i] > 0.0f ? g[i] : 0.0f;
+      });
+      break;
+    case Activation::kSigmoid:
+      parallel_for(0, n, [&](std::int64_t i) {
+        o[i] = g[i] * out[i] * (1.0f - out[i]);
+      });
+      break;
+    case Activation::kTanh:
+      parallel_for(0, n, [&](std::int64_t i) {
+        o[i] = g[i] * (1.0f - out[i] * out[i]);
+      });
+      break;
+  }
+}
+
+float activate_scalar(Activation act, float v) {
+  switch (act) {
+    case Activation::kIdentity:
+      return v;
+    case Activation::kRelu:
+      return v > 0.0f ? v : 0.0f;
+    case Activation::kSigmoid:
+      return 1.0f / (1.0f + std::exp(-v));
+    case Activation::kTanh:
+      return std::tanh(v);
+  }
+  throw InternalError("activate_scalar: unknown activation");
+}
+
+void softmax_rows(const Tensor& x, Tensor& y) {
+  RADIX_REQUIRE_DIM(x.rows() == y.rows() && x.cols() == y.cols(),
+                    "softmax_rows: shape mismatch");
+  parallel_for(
+      0, x.rows(),
+      [&](std::int64_t r) {
+        const float* in = x.row(static_cast<index_t>(r));
+        float* out = y.row(static_cast<index_t>(r));
+        float mx = in[0];
+        for (index_t c = 1; c < x.cols(); ++c) mx = std::max(mx, in[c]);
+        float sum = 0.0f;
+        for (index_t c = 0; c < x.cols(); ++c) {
+          out[c] = std::exp(in[c] - mx);
+          sum += out[c];
+        }
+        const float inv = 1.0f / sum;
+        for (index_t c = 0; c < x.cols(); ++c) out[c] *= inv;
+      },
+      /*grain=*/16);
+}
+
+const char* to_string(Activation act) {
+  switch (act) {
+    case Activation::kIdentity:
+      return "identity";
+    case Activation::kRelu:
+      return "relu";
+    case Activation::kSigmoid:
+      return "sigmoid";
+    case Activation::kTanh:
+      return "tanh";
+  }
+  return "?";
+}
+
+}  // namespace radix::nn

@@ -1,0 +1,30 @@
+// Pointwise activation functions and their derivatives.
+//
+// The sigmoidal class matters to the paper's conjecture (Cybenko's
+// theorem assumes sigma -> 0 / 1 at the infinities); ReLU is what the
+// training-parity experiments actually use, matching [15].
+#pragma once
+
+#include "nn/tensor.hpp"
+
+namespace radix::nn {
+
+enum class Activation { kIdentity, kRelu, kSigmoid, kTanh };
+
+/// y = act(x), elementwise.
+void activate(Activation act, const Tensor& x, Tensor& y);
+
+/// dx = dy * act'(x) given both the pre-activation x and output y
+/// (whichever is cheaper per function is used).
+void activate_backward(Activation act, const Tensor& x, const Tensor& y,
+                       const Tensor& dy, Tensor& dx);
+
+/// Scalar versions (used by tests and the conjecture experiment).
+float activate_scalar(Activation act, float v);
+
+/// Row-wise softmax (numerically stabilized by the row max).
+void softmax_rows(const Tensor& x, Tensor& y);
+
+const char* to_string(Activation act);
+
+}  // namespace radix::nn

@@ -1,0 +1,244 @@
+#include "nn/data.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "support/error.hpp"
+
+namespace radix::nn {
+
+Split split_dataset(const Dataset& d, double test_fraction, Rng& rng) {
+  RADIX_REQUIRE(test_fraction > 0.0 && test_fraction < 1.0,
+                "split_dataset: fraction must be in (0, 1)");
+  const index_t n = d.samples();
+  RADIX_REQUIRE(n >= 2, "split_dataset: need at least two samples");
+  auto order = rng.permutation(n);
+  index_t n_test = static_cast<index_t>(
+      std::max<std::uint64_t>(1, static_cast<std::uint64_t>(
+                                     test_fraction * n)));
+  if (n_test >= n) n_test = n - 1;
+  const index_t n_train = n - n_test;
+
+  Split s;
+  s.train.x = Tensor(n_train, d.features());
+  s.train.labels.resize(n_train);
+  s.train.num_classes = d.num_classes;
+  s.test.x = Tensor(n_test, d.features());
+  s.test.labels.resize(n_test);
+  s.test.num_classes = d.num_classes;
+  for (index_t i = 0; i < n_train; ++i) {
+    const index_t src = order[i];
+    std::copy(d.x.row(src), d.x.row(src) + d.features(), s.train.x.row(i));
+    s.train.labels[i] = d.labels[src];
+  }
+  for (index_t i = 0; i < n_test; ++i) {
+    const index_t src = order[n_train + i];
+    std::copy(d.x.row(src), d.x.row(src) + d.features(), s.test.x.row(i));
+    s.test.labels[i] = d.labels[src];
+  }
+  return s;
+}
+
+namespace datasets {
+
+namespace {
+
+// Seven-segment encoding: segments a..g (top, top-right, bottom-right,
+// bottom, bottom-left, top-left, middle) per digit.
+constexpr std::uint8_t kSegments[10] = {
+    0b0111111,  // 0: a b c d e f
+    0b0000110,  // 1: b c
+    0b1011011,  // 2: a b d e g
+    0b1001111,  // 3: a b c d g
+    0b1100110,  // 4: b c f g
+    0b1101101,  // 5: a c d f g
+    0b1111101,  // 6: a c d e f g
+    0b0000111,  // 7: a b c
+    0b1111111,  // 8
+    0b1101111,  // 9
+};
+
+// Draw a thick anti-aliased-ish line segment on a 16x16 canvas.
+void draw_segment(float* img, int x0, int y0, int x1, int y1) {
+  const int steps = std::max(std::abs(x1 - x0), std::abs(y1 - y0)) * 2 + 1;
+  for (int s = 0; s <= steps; ++s) {
+    const double t = static_cast<double>(s) / steps;
+    const double x = x0 + t * (x1 - x0);
+    const double y = y0 + t * (y1 - y0);
+    for (int dy = 0; dy <= 1; ++dy) {
+      for (int dx = 0; dx <= 1; ++dx) {
+        const int px = static_cast<int>(x) + dx;
+        const int py = static_cast<int>(y) + dy;
+        if (px >= 0 && px < 16 && py >= 0 && py < 16) {
+          img[py * 16 + px] = 1.0f;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+Dataset glyphs(index_t samples, Rng& rng) {
+  RADIX_REQUIRE(samples > 0, "glyphs: need samples");
+  Dataset d;
+  d.x = Tensor(samples, 256);
+  d.labels.resize(samples);
+  d.num_classes = 10;
+
+  // Segment endpoints on a 10x14 glyph box, later jittered.
+  // Corners: TL(2,1) TR(9,1) ML(2,7) MR(9,7) BL(2,13) BR(9,13).
+  struct Seg {
+    int x0, y0, x1, y1;
+  };
+  const Seg segs[7] = {
+      {2, 1, 9, 1},    // a top
+      {9, 1, 9, 7},    // b top-right
+      {9, 7, 9, 13},   // c bottom-right
+      {2, 13, 9, 13},  // d bottom
+      {2, 7, 2, 13},   // e bottom-left
+      {2, 1, 2, 7},    // f top-left
+      {2, 7, 9, 7},    // g middle
+  };
+
+  for (index_t i = 0; i < samples; ++i) {
+    const std::int32_t digit = static_cast<std::int32_t>(rng.uniform(10));
+    d.labels[i] = digit;
+    float* img = d.x.row(i);
+    const int jx = static_cast<int>(rng.uniform(3)) - 1;  // [-1, 1]
+    const int jy = static_cast<int>(rng.uniform(3)) - 1;  // [-1, 1]
+    for (int s = 0; s < 7; ++s) {
+      if (!(kSegments[digit] >> s & 1)) continue;
+      if (rng.uniform01() < 0.03) continue;  // stroke dropout
+      draw_segment(img, segs[s].x0 + jx, segs[s].y0 + jy, segs[s].x1 + jx,
+                   segs[s].y1 + jy);
+    }
+    // Multiplicative stroke intensity + additive background noise.
+    const float intensity = static_cast<float>(rng.uniform(0.75, 1.0));
+    for (int p = 0; p < 256; ++p) {
+      img[p] = img[p] * intensity +
+               static_cast<float>(rng.uniform01() * 0.10);
+      if (img[p] > 1.0f) img[p] = 1.0f;
+    }
+  }
+  return d;
+}
+
+Dataset blobs(index_t samples, index_t features, index_t classes,
+              double cluster_spread, Rng& rng) {
+  RADIX_REQUIRE(samples > 0 && features > 0 && classes >= 2,
+                "blobs: bad shape");
+  Dataset d;
+  d.x = Tensor(samples, features);
+  d.labels.resize(samples);
+  d.num_classes = classes;
+  // Cluster centers on a unit hypersphere (deterministic directions).
+  Tensor centers(classes, features);
+  for (index_t c = 0; c < classes; ++c) {
+    double norm = 0.0;
+    for (index_t f = 0; f < features; ++f) {
+      const double v = rng.normal();
+      centers.at(c, f) = static_cast<float>(v);
+      norm += v * v;
+    }
+    norm = std::sqrt(std::max(norm, 1e-12));
+    for (index_t f = 0; f < features; ++f) {
+      centers.at(c, f) = static_cast<float>(centers.at(c, f) / norm * 2.0);
+    }
+  }
+  for (index_t i = 0; i < samples; ++i) {
+    const index_t c = static_cast<index_t>(rng.uniform(classes));
+    d.labels[i] = static_cast<std::int32_t>(c);
+    for (index_t f = 0; f < features; ++f) {
+      d.x.at(i, f) = centers.at(c, f) +
+                     static_cast<float>(rng.normal(0.0, cluster_spread));
+    }
+  }
+  return d;
+}
+
+Dataset spirals(index_t samples, index_t arms, double noise, Rng& rng) {
+  RADIX_REQUIRE(samples > 0 && arms >= 2, "spirals: bad shape");
+  Dataset d;
+  d.x = Tensor(samples, 2);
+  d.labels.resize(samples);
+  d.num_classes = arms;
+  for (index_t i = 0; i < samples; ++i) {
+    const index_t arm = static_cast<index_t>(rng.uniform(arms));
+    d.labels[i] = static_cast<std::int32_t>(arm);
+    const double t = rng.uniform01();  // position along the arm
+    const double r = 0.1 + 0.9 * t;
+    const double theta = 3.0 * std::numbers::pi * t +
+                         2.0 * std::numbers::pi * arm / arms;
+    d.x.at(i, 0) = static_cast<float>(r * std::cos(theta) +
+                                      rng.normal(0.0, noise));
+    d.x.at(i, 1) = static_cast<float>(r * std::sin(theta) +
+                                      rng.normal(0.0, noise));
+  }
+  return d;
+}
+
+Dataset xor_grid(index_t samples, index_t cells, double noise, Rng& rng) {
+  RADIX_REQUIRE(samples > 0 && cells >= 2, "xor_grid: bad shape");
+  Dataset d;
+  d.x = Tensor(samples, 2);
+  d.labels.resize(samples);
+  d.num_classes = 2;
+  for (index_t i = 0; i < samples; ++i) {
+    const double x = rng.uniform(-1.0, 1.0);
+    const double y = rng.uniform(-1.0, 1.0);
+    const int cx = static_cast<int>((x + 1.0) / 2.0 * cells);
+    const int cy = static_cast<int>((y + 1.0) / 2.0 * cells);
+    d.labels[i] = static_cast<std::int32_t>((cx + cy) & 1);
+    d.x.at(i, 0) = static_cast<float>(x + rng.normal(0.0, noise));
+    d.x.at(i, 1) = static_cast<float>(y + rng.normal(0.0, noise));
+  }
+  return d;
+}
+
+Dataset two_moons(index_t samples, double noise, Rng& rng) {
+  RADIX_REQUIRE(samples > 0, "two_moons: need samples");
+  Dataset d;
+  d.x = Tensor(samples, 2);
+  d.labels.resize(samples);
+  d.num_classes = 2;
+  for (index_t i = 0; i < samples; ++i) {
+    const int moon = rng.bernoulli(0.5) ? 1 : 0;
+    d.labels[i] = moon;
+    const double t = rng.uniform01() * std::numbers::pi;
+    double x, y;
+    if (moon == 0) {
+      x = std::cos(t);
+      y = std::sin(t);
+    } else {
+      x = 1.0 - std::cos(t);
+      y = 0.5 - std::sin(t);
+    }
+    d.x.at(i, 0) = static_cast<float>(x + rng.normal(0.0, noise));
+    d.x.at(i, 1) = static_cast<float>(y + rng.normal(0.0, noise));
+  }
+  return d;
+}
+
+Dataset rings(index_t samples, index_t classes, double noise, Rng& rng) {
+  RADIX_REQUIRE(samples > 0 && classes >= 2, "rings: bad shape");
+  Dataset d;
+  d.x = Tensor(samples, 2);
+  d.labels.resize(samples);
+  d.num_classes = classes;
+  for (index_t i = 0; i < samples; ++i) {
+    const index_t ring = static_cast<index_t>(rng.uniform(classes));
+    d.labels[i] = static_cast<std::int32_t>(ring);
+    const double r = (ring + 1.0) / classes;
+    const double theta = rng.uniform01() * 2.0 * std::numbers::pi;
+    d.x.at(i, 0) = static_cast<float>(r * std::cos(theta) +
+                                      rng.normal(0.0, noise));
+    d.x.at(i, 1) = static_cast<float>(r * std::sin(theta) +
+                                      rng.normal(0.0, noise));
+  }
+  return d;
+}
+
+}  // namespace datasets
+
+}  // namespace radix::nn

@@ -1,0 +1,62 @@
+// Synthetic datasets (the offline stand-ins for MNIST et al.; see the
+// substitution table in DESIGN.md).
+//
+//   * glyphs:   16x16 grayscale renderings of the ten digits as
+//               seven-segment glyphs with positional jitter, stroke
+//               dropout noise, and background noise -- a 256-feature,
+//               10-class image task qualitatively matching what [14]/[15]
+//               use MNIST for;
+//   * blobs:    isotropic Gaussian clusters in d dimensions;
+//   * spirals:  k interleaved planar spiral arms (non-linearly separable);
+//   * xor_grid: 2-D checkerboard (the classic non-linear toy).
+//
+// All generators are deterministic given the Rng seed.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/tensor.hpp"
+#include "support/random.hpp"
+
+namespace radix::nn {
+
+struct Dataset {
+  Tensor x;                          // [samples x features]
+  std::vector<std::int32_t> labels;  // [samples]
+  index_t num_classes = 0;
+
+  index_t samples() const noexcept { return x.rows(); }
+  index_t features() const noexcept { return x.cols(); }
+};
+
+/// Split into train/test by shuffled indices; test_fraction in (0, 1).
+struct Split {
+  Dataset train, test;
+};
+Split split_dataset(const Dataset& d, double test_fraction, Rng& rng);
+
+namespace datasets {
+
+/// Seven-segment digit glyphs; features = 256 (16x16), classes = 10.
+Dataset glyphs(index_t samples, Rng& rng);
+
+/// Gaussian blobs: `classes` isotropic clusters in `features` dims.
+Dataset blobs(index_t samples, index_t features, index_t classes,
+              double cluster_spread, Rng& rng);
+
+/// k-arm spiral in 2-D; classes = arms.
+Dataset spirals(index_t samples, index_t arms, double noise, Rng& rng);
+
+/// Checkerboard XOR over [-1, 1]^2 with `cells` cells per side; 2 classes.
+Dataset xor_grid(index_t samples, index_t cells, double noise, Rng& rng);
+
+/// Two interleaving half-moons in 2-D; 2 classes.
+Dataset two_moons(index_t samples, double noise, Rng& rng);
+
+/// Concentric rings in 2-D; `classes` rings of increasing radius.
+Dataset rings(index_t samples, index_t classes, double noise, Rng& rng);
+
+}  // namespace datasets
+
+}  // namespace radix::nn

@@ -1,0 +1,184 @@
+#include "nn/layers.hpp"
+
+#include <cmath>
+#include <cstring>
+
+#include "sparse/spmm.hpp"
+#include "support/error.hpp"
+
+namespace radix::nn {
+
+void Layer::zero_grad() {
+  for (Param p : params()) {
+    std::memset(p.grad, 0, p.size * sizeof(float));
+  }
+}
+
+float glorot_bound(std::uint64_t fan_in, std::uint64_t fan_out) {
+  RADIX_REQUIRE(fan_in + fan_out > 0, "glorot_bound: zero fans");
+  return std::sqrt(6.0f / static_cast<float>(fan_in + fan_out));
+}
+
+// ---------------------------------------------------------------- dense
+
+DenseLinear::DenseLinear(index_t in, index_t out, Rng& rng, bool use_bias)
+    : in_(in), out_(out), use_bias_(use_bias),
+      weight_(in, out), weight_grad_(in, out),
+      bias_(out, 0.0f), bias_grad_(out, 0.0f) {
+  RADIX_REQUIRE(in > 0 && out > 0, "DenseLinear: empty shape");
+  const float bound = glorot_bound(in, out);
+  for (std::size_t i = 0; i < weight_.size(); ++i) {
+    weight_.data()[i] = static_cast<float>(rng.uniform(-bound, bound));
+  }
+}
+
+Tensor DenseLinear::forward(const Tensor& x) {
+  RADIX_REQUIRE_DIM(x.cols() == in_, "DenseLinear::forward: shape mismatch");
+  cached_x_ = x;
+  Tensor y = x.matmul(weight_);
+  if (use_bias_) y.add_row_vector(bias_);
+  return y;
+}
+
+Tensor DenseLinear::backward(const Tensor& dy) {
+  RADIX_REQUIRE_DIM(dy.cols() == out_ && dy.rows() == cached_x_.rows(),
+                    "DenseLinear::backward: shape mismatch");
+  // dW += X^T dY; db += column sums of dY; dX = dY W^T.
+  Tensor dw = cached_x_.transposed_matmul(dy);
+  for (std::size_t i = 0; i < weight_grad_.size(); ++i) {
+    weight_grad_.data()[i] += dw.data()[i];
+  }
+  if (use_bias_) {
+    const auto sums = dy.column_sums();
+    for (index_t c = 0; c < out_; ++c) bias_grad_[c] += sums[c];
+  }
+  return dy.matmul_transposed(weight_);
+}
+
+std::vector<Param> DenseLinear::params() {
+  std::vector<Param> p;
+  p.push_back({weight_.data(), weight_grad_.data(), weight_.size()});
+  if (use_bias_) {
+    p.push_back({bias_.data(), bias_grad_.data(), bias_.size()});
+  }
+  return p;
+}
+
+// ---------------------------------------------------------------- sparse
+
+SparseLinear::SparseLinear(Csr<pattern_t> pattern, Rng& rng, bool use_bias)
+    : use_bias_(use_bias),
+      weights_(pattern.map<float>([](pattern_t) { return 0.0f; })),
+      value_grad_(weights_.nnz(), 0.0f),
+      bias_(weights_.cols(), 0.0f),
+      bias_grad_(weights_.cols(), 0.0f) {
+  RADIX_REQUIRE(weights_.rows() > 0 && weights_.cols() > 0,
+                "SparseLinear: empty pattern");
+  // Column-structural Glorot: each destination unit's fan-in is its
+  // in-degree; fan-out of a source is its out-degree.  Use the layer
+  // means, which keeps initialization scale-correct at any density.
+  const std::uint64_t nnz = weights_.nnz();
+  const double mean_fan_in =
+      static_cast<double>(nnz) / weights_.cols();
+  const double mean_fan_out =
+      static_cast<double>(nnz) / weights_.rows();
+  const float bound =
+      glorot_bound(static_cast<std::uint64_t>(std::ceil(mean_fan_in)),
+                   static_cast<std::uint64_t>(std::ceil(mean_fan_out)));
+  for (float& v : weights_.values()) {
+    v = static_cast<float>(rng.uniform(-bound, bound));
+  }
+}
+
+Tensor SparseLinear::forward(const Tensor& x) {
+  RADIX_REQUIRE_DIM(x.cols() == weights_.rows(),
+                    "SparseLinear::forward: shape mismatch");
+  cached_x_ = x;
+  Tensor y(x.rows(), weights_.cols());
+  spmm_dense_csr(x.data(), x.rows(), x.cols(), weights_, y.data());
+  if (use_bias_) y.add_row_vector(bias_);
+  return y;
+}
+
+Tensor SparseLinear::backward(const Tensor& dy) {
+  RADIX_REQUIRE_DIM(dy.cols() == weights_.cols() &&
+                        dy.rows() == cached_x_.rows(),
+                    "SparseLinear::backward: shape mismatch");
+  // dW (pattern-restricted) += X^T dY on stored entries only.
+  sddmm_pattern(cached_x_.data(), dy.data(), dy.rows(), weights_.rows(),
+                weights_.cols(), weights_, value_grad_.data());
+  if (use_bias_) {
+    const auto sums = dy.column_sums();
+    for (index_t c = 0; c < weights_.cols(); ++c) bias_grad_[c] += sums[c];
+  }
+  Tensor dx(dy.rows(), weights_.rows());
+  spmm_dense_csrT(dy.data(), dy.rows(), dy.cols(), weights_, dx.data());
+  return dx;
+}
+
+std::vector<Param> SparseLinear::params() {
+  std::vector<Param> p;
+  p.push_back({weights_.values().data(), value_grad_.data(),
+               weights_.values().size()});
+  if (use_bias_) {
+    p.push_back({bias_.data(), bias_grad_.data(), bias_.size()});
+  }
+  return p;
+}
+
+// -------------------------------------------------------------- dropout
+
+DropoutLayer::DropoutLayer(float p, index_t features, std::uint64_t seed)
+    : p_(p), features_(features), rng_(seed) {
+  RADIX_REQUIRE(p >= 0.0f && p < 1.0f,
+                "DropoutLayer: p must be in [0, 1)");
+  RADIX_REQUIRE(features > 0, "DropoutLayer: empty shape");
+}
+
+Tensor DropoutLayer::forward(const Tensor& x) {
+  RADIX_REQUIRE_DIM(x.cols() == features_,
+                    "DropoutLayer::forward: shape mismatch");
+  if (!training_ || p_ == 0.0f) {
+    mask_.clear();
+    return x;
+  }
+  const float keep_scale = 1.0f / (1.0f - p_);
+  mask_.resize(x.size());
+  Tensor y(x.rows(), x.cols());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    mask_[i] = rng_.bernoulli(p_) ? 0.0f : keep_scale;
+    y.data()[i] = x.data()[i] * mask_[i];
+  }
+  return y;
+}
+
+Tensor DropoutLayer::backward(const Tensor& dy) {
+  if (mask_.empty()) return dy;  // eval mode or p == 0
+  RADIX_REQUIRE_DIM(dy.size() == mask_.size(),
+                    "DropoutLayer::backward: shape mismatch");
+  Tensor dx(dy.rows(), dy.cols());
+  for (std::size_t i = 0; i < dy.size(); ++i) {
+    dx.data()[i] = dy.data()[i] * mask_[i];
+  }
+  return dx;
+}
+
+// ------------------------------------------------------------ activation
+
+Tensor ActivationLayer::forward(const Tensor& x) {
+  RADIX_REQUIRE_DIM(x.cols() == features_,
+                    "ActivationLayer::forward: shape mismatch");
+  cached_x_ = x;
+  Tensor y(x.rows(), x.cols());
+  activate(act_, x, y);
+  cached_y_ = y;
+  return y;
+}
+
+Tensor ActivationLayer::backward(const Tensor& dy) {
+  Tensor dx(dy.rows(), dy.cols());
+  activate_backward(act_, cached_x_, cached_y_, dy, dx);
+  return dx;
+}
+
+}  // namespace radix::nn

@@ -1,0 +1,163 @@
+// Network layers with full backpropagation.
+//
+// Three layer kinds cover the paper's experiments:
+//   * DenseLinear      -- the fully-connected baseline;
+//   * SparseLinear     -- a linear layer *masked by a fixed topology*
+//                         (a Csr<pattern_t> adjacency submatrix W_i from
+//                         any FNNT: RadiX-Net, X-Net, ER).  Weights exist
+//                         only on stored entries; gradients never densify
+//                         the pattern, so training cost scales with nnz;
+//   * ActivationLayer  -- pointwise nonlinearity.
+//
+// Weight convention: W is [in x out] so that forward is Y = X W + b,
+// matching the paper's adjacency-submatrix orientation (rows = source
+// layer, cols = destination layer).  Glorot-uniform initialization uses
+// the *structural* fan-in/fan-out of each sparse column, which is what
+// keeps sparse nets trainable at RadiX-Net densities.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/activations.hpp"
+#include "nn/tensor.hpp"
+#include "sparse/csr.hpp"
+#include "support/random.hpp"
+
+namespace radix::nn {
+
+/// A view of one trainable parameter array and its gradient.
+struct Param {
+  float* value = nullptr;
+  float* grad = nullptr;
+  std::size_t size = 0;
+};
+
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  /// Forward: consumes x [batch x in], returns y [batch x out].  The
+  /// layer caches whatever it needs for backward.
+  virtual Tensor forward(const Tensor& x) = 0;
+
+  /// Backward: consumes dy [batch x out], accumulates parameter
+  /// gradients, returns dx [batch x in].
+  virtual Tensor backward(const Tensor& dy) = 0;
+
+  /// Trainable parameters (empty for activations).
+  virtual std::vector<Param> params() { return {}; }
+
+  /// Zero all parameter gradients.
+  void zero_grad();
+
+  /// Toggle train/eval behaviour (dropout etc.); default is a no-op.
+  virtual void set_training(bool training) { (void)training; }
+
+  virtual index_t in_features() const = 0;
+  virtual index_t out_features() const = 0;
+  virtual std::size_t num_weights() const { return 0; }
+  virtual std::string name() const = 0;
+};
+
+class DenseLinear final : public Layer {
+ public:
+  DenseLinear(index_t in, index_t out, Rng& rng, bool use_bias = true);
+
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& dy) override;
+  std::vector<Param> params() override;
+
+  index_t in_features() const override { return in_; }
+  index_t out_features() const override { return out_; }
+  std::size_t num_weights() const override { return weight_.size(); }
+  std::string name() const override { return "dense_linear"; }
+
+  Tensor& weight() noexcept { return weight_; }
+  std::vector<float>& bias() noexcept { return bias_; }
+
+ private:
+  index_t in_, out_;
+  bool use_bias_;
+  Tensor weight_;       // [in x out]
+  Tensor weight_grad_;  // same shape
+  std::vector<float> bias_, bias_grad_;
+  Tensor cached_x_;
+};
+
+class SparseLinear final : public Layer {
+ public:
+  /// Topology-masked linear layer; `pattern` is [in x out].
+  SparseLinear(Csr<pattern_t> pattern, Rng& rng, bool use_bias = true);
+
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& dy) override;
+  std::vector<Param> params() override;
+
+  index_t in_features() const override { return weights_.rows(); }
+  index_t out_features() const override { return weights_.cols(); }
+  std::size_t num_weights() const override { return weights_.nnz(); }
+  std::string name() const override { return "sparse_linear"; }
+
+  const Csr<float>& weights() const noexcept { return weights_; }
+  Csr<float>& weights() noexcept { return weights_; }
+  std::vector<float>& bias() noexcept { return bias_; }
+
+ private:
+  bool use_bias_;
+  Csr<float> weights_;             // values are the trainable weights
+  std::vector<float> value_grad_;  // parallel to weights_.values()
+  std::vector<float> bias_, bias_grad_;
+  Tensor cached_x_;
+};
+
+class ActivationLayer final : public Layer {
+ public:
+  ActivationLayer(Activation act, index_t features)
+      : act_(act), features_(features) {}
+
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& dy) override;
+
+  index_t in_features() const override { return features_; }
+  index_t out_features() const override { return features_; }
+  std::string name() const override {
+    return std::string("act_") + to_string(act_);
+  }
+
+ private:
+  Activation act_;
+  index_t features_;
+  Tensor cached_x_, cached_y_;
+};
+
+/// Inverted dropout: at train time zeroes each activation with
+/// probability p and scales survivors by 1/(1-p); at eval time identity.
+/// The sampled mask is reused by backward, so forward/backward pairs see
+/// a consistent subnetwork -- this is the stochastic-sparsity baseline
+/// the paper's reference [5] contrasts with fixed topological sparsity.
+class DropoutLayer final : public Layer {
+ public:
+  DropoutLayer(float p, index_t features, std::uint64_t seed = 7);
+
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& dy) override;
+  void set_training(bool training) override { training_ = training; }
+
+  index_t in_features() const override { return features_; }
+  index_t out_features() const override { return features_; }
+  std::string name() const override { return "dropout"; }
+
+ private:
+  float p_;
+  index_t features_;
+  bool training_ = true;
+  Rng rng_;
+  std::vector<float> mask_;  // 0 or 1/(1-p), one per cached element
+};
+
+/// Glorot-uniform bound for given structural fans.
+float glorot_bound(std::uint64_t fan_in, std::uint64_t fan_out);
+
+}  // namespace radix::nn

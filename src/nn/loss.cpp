@@ -1,0 +1,67 @@
+#include "nn/loss.hpp"
+
+#include <cmath>
+
+#include "nn/activations.hpp"
+#include "support/error.hpp"
+
+namespace radix::nn {
+
+float mse_loss(const Tensor& pred, const Tensor& target, Tensor& dpred) {
+  RADIX_REQUIRE_DIM(pred.rows() == target.rows() &&
+                        pred.cols() == target.cols() &&
+                        pred.rows() == dpred.rows() &&
+                        pred.cols() == dpred.cols(),
+                    "mse_loss: shape mismatch");
+  const std::size_t n = pred.size();
+  RADIX_REQUIRE(n > 0, "mse_loss: empty tensors");
+  double acc = 0.0;
+  const float scale = 2.0f / static_cast<float>(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const float d = pred.data()[i] - target.data()[i];
+    acc += static_cast<double>(d) * d;
+    dpred.data()[i] = scale * d;
+  }
+  return static_cast<float>(acc / static_cast<double>(n));
+}
+
+float softmax_cross_entropy(const Tensor& logits,
+                            const std::vector<std::int32_t>& labels,
+                            Tensor& dlogits) {
+  RADIX_REQUIRE_DIM(labels.size() == logits.rows(),
+                    "softmax_cross_entropy: label count mismatch");
+  RADIX_REQUIRE_DIM(dlogits.rows() == logits.rows() &&
+                        dlogits.cols() == logits.cols(),
+                    "softmax_cross_entropy: gradient shape mismatch");
+  const index_t batch = logits.rows();
+  const index_t classes = logits.cols();
+  RADIX_REQUIRE(batch > 0, "softmax_cross_entropy: empty batch");
+  softmax_rows(logits, dlogits);  // dlogits temporarily holds p
+  double loss = 0.0;
+  const float inv_batch = 1.0f / static_cast<float>(batch);
+  for (index_t r = 0; r < batch; ++r) {
+    const std::int32_t label = labels[r];
+    RADIX_REQUIRE(label >= 0 && static_cast<index_t>(label) < classes,
+                  "softmax_cross_entropy: label out of range");
+    float* p = dlogits.row(r);
+    loss -= std::log(std::max(p[label], 1e-12f));
+    for (index_t c = 0; c < classes; ++c) p[c] *= inv_batch;
+    p[label] -= inv_batch;
+  }
+  return static_cast<float>(loss / batch);
+}
+
+std::vector<std::int32_t> argmax_rows(const Tensor& logits) {
+  std::vector<std::int32_t> out(logits.rows());
+  for (index_t r = 0; r < logits.rows(); ++r) {
+    const float* p = logits.row(r);
+    index_t best = 0;
+    for (index_t c = 1; c < logits.cols(); ++c) {
+      if (p[c] > p[best]) best = c;
+    }
+    out[r] = static_cast<std::int32_t>(best);
+  }
+  return out;
+}
+
+}  // namespace radix::nn

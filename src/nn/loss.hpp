@@ -1,0 +1,29 @@
+// Loss functions.
+//
+// Softmax cross-entropy is fused (softmax + NLL) so its backward is the
+// numerically friendly (p - onehot)/batch; MSE serves the regression
+// tasks of the conjecture experiment (E9).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/tensor.hpp"
+
+namespace radix::nn {
+
+/// Mean squared error: mean over batch and outputs of (pred - target)^2.
+/// Returns the loss; fills dpred with the gradient d loss / d pred.
+float mse_loss(const Tensor& pred, const Tensor& target, Tensor& dpred);
+
+/// Fused softmax + cross-entropy with integer class labels.
+/// logits: [batch x classes], labels in [0, classes).  Returns mean NLL;
+/// fills dlogits.
+float softmax_cross_entropy(const Tensor& logits,
+                            const std::vector<std::int32_t>& labels,
+                            Tensor& dlogits);
+
+/// Argmax predictions per row.
+std::vector<std::int32_t> argmax_rows(const Tensor& logits);
+
+}  // namespace radix::nn

@@ -1,0 +1,72 @@
+#include "nn/metrics.hpp"
+
+#include "support/error.hpp"
+
+namespace radix::nn {
+
+double accuracy(const std::vector<std::int32_t>& predictions,
+                const std::vector<std::int32_t>& labels) {
+  RADIX_REQUIRE_DIM(predictions.size() == labels.size(),
+                    "accuracy: size mismatch");
+  RADIX_REQUIRE(!labels.empty(), "accuracy: empty inputs");
+  std::size_t hits = 0;
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (predictions[i] == labels[i]) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(labels.size());
+}
+
+std::vector<std::vector<std::uint32_t>> confusion_matrix(
+    const std::vector<std::int32_t>& predictions,
+    const std::vector<std::int32_t>& labels, index_t classes) {
+  RADIX_REQUIRE_DIM(predictions.size() == labels.size(),
+                    "confusion_matrix: size mismatch");
+  std::vector<std::vector<std::uint32_t>> m(
+      classes, std::vector<std::uint32_t>(classes, 0));
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    RADIX_REQUIRE(labels[i] >= 0 &&
+                      static_cast<index_t>(labels[i]) < classes &&
+                      predictions[i] >= 0 &&
+                      static_cast<index_t>(predictions[i]) < classes,
+                  "confusion_matrix: class out of range");
+    ++m[labels[i]][predictions[i]];
+  }
+  return m;
+}
+
+ClassMetrics per_class_metrics(const std::vector<std::int32_t>& predictions,
+                               const std::vector<std::int32_t>& labels,
+                               index_t classes) {
+  const auto cm = confusion_matrix(predictions, labels, classes);
+  ClassMetrics m;
+  m.precision.resize(classes, 0.0);
+  m.recall.resize(classes, 0.0);
+  m.f1.resize(classes, 0.0);
+  for (index_t c = 0; c < classes; ++c) {
+    std::uint64_t tp = cm[c][c];
+    std::uint64_t predicted = 0, actual = 0;
+    for (index_t k = 0; k < classes; ++k) {
+      predicted += cm[k][c];
+      actual += cm[c][k];
+    }
+    if (predicted > 0) {
+      m.precision[c] = static_cast<double>(tp) / predicted;
+    }
+    if (actual > 0) {
+      m.recall[c] = static_cast<double>(tp) / actual;
+    }
+    const double pr = m.precision[c] + m.recall[c];
+    if (pr > 0.0) {
+      m.f1[c] = 2.0 * m.precision[c] * m.recall[c] / pr;
+    }
+    m.macro_precision += m.precision[c];
+    m.macro_recall += m.recall[c];
+    m.macro_f1 += m.f1[c];
+  }
+  m.macro_precision /= classes;
+  m.macro_recall /= classes;
+  m.macro_f1 /= classes;
+  return m;
+}
+
+}  // namespace radix::nn

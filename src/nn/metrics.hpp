@@ -1,0 +1,35 @@
+// Classification metrics.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/tensor.hpp"
+
+namespace radix::nn {
+
+/// Fraction of predictions equal to labels.
+double accuracy(const std::vector<std::int32_t>& predictions,
+                const std::vector<std::int32_t>& labels);
+
+/// classes x classes confusion matrix; entry (t, p) counts label t
+/// predicted as p.
+std::vector<std::vector<std::uint32_t>> confusion_matrix(
+    const std::vector<std::int32_t>& predictions,
+    const std::vector<std::int32_t>& labels, index_t classes);
+
+/// Per-class precision/recall/F1 plus macro averages.  Classes with no
+/// predicted (resp. true) instances get precision (resp. recall) 0.
+struct ClassMetrics {
+  std::vector<double> precision;
+  std::vector<double> recall;
+  std::vector<double> f1;
+  double macro_precision = 0.0;
+  double macro_recall = 0.0;
+  double macro_f1 = 0.0;
+};
+ClassMetrics per_class_metrics(const std::vector<std::int32_t>& predictions,
+                               const std::vector<std::int32_t>& labels,
+                               index_t classes);
+
+}  // namespace radix::nn

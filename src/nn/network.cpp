@@ -1,0 +1,90 @@
+#include "nn/network.hpp"
+
+#include "support/error.hpp"
+
+namespace radix::nn {
+
+void Network::add(std::unique_ptr<Layer> layer) {
+  RADIX_REQUIRE(layer != nullptr, "Network::add: null layer");
+  if (!layers_.empty()) {
+    RADIX_REQUIRE(layers_.back()->out_features() == layer->in_features(),
+                  "Network::add: layer width mismatch");
+  }
+  layers_.push_back(std::move(layer));
+}
+
+Tensor Network::forward(const Tensor& x) {
+  RADIX_REQUIRE(!layers_.empty(), "Network::forward: empty network");
+  Tensor cur = x;
+  for (auto& l : layers_) cur = l->forward(cur);
+  return cur;
+}
+
+void Network::backward(const Tensor& dloss) {
+  RADIX_REQUIRE(!layers_.empty(), "Network::backward: empty network");
+  Tensor cur = dloss;
+  for (std::size_t i = layers_.size(); i-- > 0;) {
+    cur = layers_[i]->backward(cur);
+  }
+}
+
+void Network::zero_grad() {
+  for (auto& l : layers_) l->zero_grad();
+}
+
+void Network::set_training(bool training) {
+  for (auto& l : layers_) l->set_training(training);
+}
+
+std::vector<Param> Network::params() {
+  std::vector<Param> all;
+  for (auto& l : layers_) {
+    for (Param p : l->params()) all.push_back(p);
+  }
+  return all;
+}
+
+Layer& Network::layer(std::size_t i) {
+  RADIX_REQUIRE(i < layers_.size(), "Network::layer: index out of range");
+  return *layers_[i];
+}
+
+std::uint64_t Network::num_weights() const {
+  std::uint64_t n = 0;
+  for (const auto& l : layers_) n += l->num_weights();
+  return n;
+}
+
+std::uint64_t Network::num_params() {
+  std::uint64_t n = 0;
+  for (Param p : params()) n += p.size;
+  return n;
+}
+
+Network from_topology(const Fnnt& topology, Activation hidden_act, Rng& rng) {
+  RADIX_REQUIRE(topology.depth() > 0, "from_topology: empty topology");
+  Network net;
+  for (std::size_t i = 0; i < topology.depth(); ++i) {
+    net.add(std::make_unique<SparseLinear>(topology.layer(i), rng));
+    if (i + 1 < topology.depth()) {
+      net.add(std::make_unique<ActivationLayer>(
+          hidden_act, topology.layer(i).cols()));
+    }
+  }
+  return net;
+}
+
+Network dense_mlp(const std::vector<index_t>& widths, Activation hidden_act,
+                  Rng& rng) {
+  RADIX_REQUIRE(widths.size() >= 2, "dense_mlp: need at least two widths");
+  Network net;
+  for (std::size_t i = 0; i + 1 < widths.size(); ++i) {
+    net.add(std::make_unique<DenseLinear>(widths[i], widths[i + 1], rng));
+    if (i + 2 < widths.size()) {
+      net.add(std::make_unique<ActivationLayer>(hidden_act, widths[i + 1]));
+    }
+  }
+  return net;
+}
+
+}  // namespace radix::nn

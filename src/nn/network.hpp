@@ -1,0 +1,60 @@
+// Sequential network container + builders that turn an FNNT into a
+// trainable model.
+//
+// from_topology() is the bridge between the paper's graph constructions
+// and training: each adjacency submatrix W_i becomes a SparseLinear
+// masked by W_i, interleaved with the chosen activation.  dense_mlp()
+// builds the fully-connected counterpart on the same widths, so parity
+// experiments compare identical architectures differing only in the
+// linear layers' structure.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "graph/fnnt.hpp"
+#include "nn/layers.hpp"
+
+namespace radix::nn {
+
+class Network {
+ public:
+  Network() = default;
+
+  void add(std::unique_ptr<Layer> layer);
+
+  Tensor forward(const Tensor& x);
+
+  /// Backprop from the loss gradient; parameter grads accumulate.
+  void backward(const Tensor& dloss);
+
+  void zero_grad();
+
+  /// Propagate train/eval mode to all layers (dropout etc.).
+  void set_training(bool training);
+
+  /// All trainable parameters in layer order (stable across calls).
+  std::vector<Param> params();
+
+  std::size_t num_layers() const noexcept { return layers_.size(); }
+  Layer& layer(std::size_t i);
+
+  /// Total trainable weight count (excluding biases).
+  std::uint64_t num_weights() const;
+
+  /// Total trainable parameter count (including biases).
+  std::uint64_t num_params();
+
+ private:
+  std::vector<std::unique_ptr<Layer>> layers_;
+};
+
+/// Sparse model from a topology: SparseLinear(W_i) + activation after
+/// every layer except the last (which stays linear for the loss).
+Network from_topology(const Fnnt& topology, Activation hidden_act, Rng& rng);
+
+/// Dense model on explicit widths, same activation placement.
+Network dense_mlp(const std::vector<index_t>& widths, Activation hidden_act,
+                  Rng& rng);
+
+}  // namespace radix::nn

@@ -1,0 +1,81 @@
+#include "nn/optimizer.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/error.hpp"
+
+namespace radix::nn {
+
+float StepDecay::multiplier(index_t epoch) const {
+  RADIX_REQUIRE(period_ > 0, "StepDecay: period must be positive");
+  float m = 1.0f;
+  for (index_t e = period_; e <= epoch; e += period_) m *= gamma_;
+  return m;
+}
+
+float CosineAnneal::multiplier(index_t epoch) const {
+  RADIX_REQUIRE(total_ > 0, "CosineAnneal: total epochs must be positive");
+  const float t =
+      std::min(1.0f, static_cast<float>(epoch) / static_cast<float>(total_));
+  const float cosine = 0.5f * (1.0f + std::cos(3.14159265358979f * t));
+  return floor_ + (1.0f - floor_) * cosine;
+}
+
+void Sgd::step(const std::vector<Param>& params) {
+  if (momentum_ != 0.0f && velocity_.size() != params.size()) {
+    RADIX_REQUIRE(velocity_.empty(),
+                  "Sgd: parameter list changed between steps");
+    velocity_.resize(params.size());
+    for (std::size_t i = 0; i < params.size(); ++i) {
+      velocity_[i].assign(params[i].size, 0.0f);
+    }
+  }
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    const Param& p = params[i];
+    if (momentum_ != 0.0f) {
+      RADIX_REQUIRE(velocity_[i].size() == p.size,
+                    "Sgd: parameter size changed between steps");
+      for (std::size_t k = 0; k < p.size; ++k) {
+        float g = p.grad[k] + weight_decay_ * p.value[k];
+        velocity_[i][k] = momentum_ * velocity_[i][k] + g;
+        p.value[k] -= lr_ * velocity_[i][k];
+      }
+    } else {
+      for (std::size_t k = 0; k < p.size; ++k) {
+        const float g = p.grad[k] + weight_decay_ * p.value[k];
+        p.value[k] -= lr_ * g;
+      }
+    }
+  }
+}
+
+void Adam::step(const std::vector<Param>& params) {
+  if (m_.size() != params.size()) {
+    RADIX_REQUIRE(m_.empty(), "Adam: parameter list changed between steps");
+    m_.resize(params.size());
+    v_.resize(params.size());
+    for (std::size_t i = 0; i < params.size(); ++i) {
+      m_[i].assign(params[i].size, 0.0f);
+      v_[i].assign(params[i].size, 0.0f);
+    }
+  }
+  ++t_;
+  const float bc1 = 1.0f - std::pow(beta1_, static_cast<float>(t_));
+  const float bc2 = 1.0f - std::pow(beta2_, static_cast<float>(t_));
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    const Param& p = params[i];
+    RADIX_REQUIRE(m_[i].size() == p.size,
+                  "Adam: parameter size changed between steps");
+    for (std::size_t k = 0; k < p.size; ++k) {
+      const float g = p.grad[k];
+      m_[i][k] = beta1_ * m_[i][k] + (1.0f - beta1_) * g;
+      v_[i][k] = beta2_ * v_[i][k] + (1.0f - beta2_) * g * g;
+      const float mhat = m_[i][k] / bc1;
+      const float vhat = v_[i][k] / bc2;
+      p.value[k] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
+    }
+  }
+}
+
+}  // namespace radix::nn

@@ -1,0 +1,91 @@
+// First-order optimizers over Param views.
+//
+// Optimizers own per-parameter state (momentum / Adam moments) keyed by
+// registration order, so the same optimizer instance must be fed the same
+// parameter list every step (Network guarantees this).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "nn/layers.hpp"
+
+namespace radix::nn {
+
+class Optimizer {
+ public:
+  virtual ~Optimizer() = default;
+
+  /// Apply one update step to all parameters (grads already accumulated).
+  virtual void step(const std::vector<Param>& params) = 0;
+
+  /// Current / new base learning rate (for schedulers).
+  virtual float learning_rate() const = 0;
+  virtual void set_learning_rate(float lr) = 0;
+};
+
+/// Learning-rate schedules: map an epoch index to a multiplier on the
+/// optimizer's initial rate.  Trainer applies them when configured.
+class LrSchedule {
+ public:
+  virtual ~LrSchedule() = default;
+  virtual float multiplier(index_t epoch) const = 0;
+};
+
+/// Multiply the rate by `gamma` every `period` epochs.
+class StepDecay final : public LrSchedule {
+ public:
+  StepDecay(index_t period, float gamma) : period_(period), gamma_(gamma) {}
+  float multiplier(index_t epoch) const override;
+
+ private:
+  index_t period_;
+  float gamma_;
+};
+
+/// Cosine annealing from 1 down to `floor` over `total_epochs`.
+class CosineAnneal final : public LrSchedule {
+ public:
+  explicit CosineAnneal(index_t total_epochs, float floor = 0.0f)
+      : total_(total_epochs), floor_(floor) {}
+  float multiplier(index_t epoch) const override;
+
+ private:
+  index_t total_;
+  float floor_;
+};
+
+/// SGD with optional momentum and decoupled weight decay.
+class Sgd final : public Optimizer {
+ public:
+  explicit Sgd(float lr, float momentum = 0.0f, float weight_decay = 0.0f)
+      : lr_(lr), momentum_(momentum), weight_decay_(weight_decay) {}
+
+  void step(const std::vector<Param>& params) override;
+  float learning_rate() const override { return lr_; }
+  void set_learning_rate(float lr) override { lr_ = lr; }
+
+ private:
+  float lr_, momentum_, weight_decay_;
+  std::vector<std::vector<float>> velocity_;
+};
+
+/// Adam (Kingma & Ba) with bias correction.
+class Adam final : public Optimizer {
+ public:
+  explicit Adam(float lr, float beta1 = 0.9f, float beta2 = 0.999f,
+                float eps = 1e-8f)
+      : lr_(lr), beta1_(beta1), beta2_(beta2), eps_(eps) {}
+
+  void step(const std::vector<Param>& params) override;
+  float learning_rate() const override { return lr_; }
+  void set_learning_rate(float lr) override { lr_ = lr; }
+
+ private:
+  float lr_, beta1_, beta2_, eps_;
+  std::int64_t t_ = 0;
+  std::vector<std::vector<float>> m_, v_;
+};
+
+}  // namespace radix::nn

@@ -1,0 +1,78 @@
+#include "nn/serialize.hpp"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace radix::nn {
+
+namespace {
+
+std::uint32_t float_bits(float v) {
+  std::uint32_t bits;
+  std::memcpy(&bits, &v, sizeof bits);
+  return bits;
+}
+
+float bits_float(std::uint32_t bits) {
+  float v;
+  std::memcpy(&v, &bits, sizeof v);
+  return v;
+}
+
+}  // namespace
+
+void save_params(const std::string& path, Network& net) {
+  std::ofstream out(path);
+  if (!out) throw IoError("cannot open for writing: " + path);
+  const auto params = net.params();
+  out << "radixnet-params v1 " << params.size() << "\n";
+  out << std::hex;
+  for (const Param& p : params) {
+    out << std::dec << p.size << std::hex;
+    for (std::size_t i = 0; i < p.size; ++i) {
+      out << ' ' << float_bits(p.value[i]);
+    }
+    out << "\n";
+  }
+  if (!out) throw IoError("write failed: " + path);
+}
+
+void load_params(const std::string& path, Network& net) {
+  std::ifstream in(path);
+  if (!in) throw IoError("cannot open for reading: " + path);
+  std::string magic, version;
+  std::size_t count = 0;
+  if (!(in >> magic >> version >> count) || magic != "radixnet-params" ||
+      version != "v1") {
+    throw IoError(path + ": bad params header");
+  }
+  const auto params = net.params();
+  RADIX_REQUIRE(count == params.size(),
+                "load_params: network has " +
+                    std::to_string(params.size()) +
+                    " parameter arrays, file has " + std::to_string(count));
+  for (std::size_t k = 0; k < count; ++k) {
+    std::size_t size = 0;
+    if (!(in >> std::dec >> size)) {
+      throw IoError(path + ": truncated at array " + std::to_string(k));
+    }
+    RADIX_REQUIRE(size == params[k].size,
+                  "load_params: array " + std::to_string(k) + " has size " +
+                      std::to_string(params[k].size) + ", file has " +
+                      std::to_string(size));
+    for (std::size_t i = 0; i < size; ++i) {
+      std::uint32_t bits = 0;
+      if (!(in >> std::hex >> bits)) {
+        throw IoError(path + ": truncated values in array " +
+                      std::to_string(k));
+      }
+      params[k].value[i] = bits_float(bits);
+    }
+  }
+}
+
+}  // namespace radix::nn

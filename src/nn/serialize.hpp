@@ -1,0 +1,28 @@
+// Trained-parameter serialization.
+//
+// A Network's architecture is reconstructed from code (topology specs
+// are serialized separately via radixnet/serialize.hpp); this module
+// persists only the trainable parameter arrays, in layer order, with a
+// size manifest so mismatched architectures fail loudly instead of
+// silently mis-assigning weights.
+//
+// Format: text header "radixnet-params v1 <count>" followed by one line
+// per parameter array: "<size> <hex float values...>" -- floats are
+// stored as raw bit patterns so the round trip is exact.
+#pragma once
+
+#include <string>
+
+#include "nn/network.hpp"
+
+namespace radix::nn {
+
+/// Save all trainable parameters of `net` to `path`.
+void save_params(const std::string& path, Network& net);
+
+/// Load parameters saved by save_params into an identically structured
+/// network; throws IoError on format errors and SpecError when the
+/// parameter count or any array size differs.
+void load_params(const std::string& path, Network& net);
+
+}  // namespace radix::nn

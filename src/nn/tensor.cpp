@@ -1,0 +1,112 @@
+#include "nn/tensor.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/error.hpp"
+#include "support/parallel.hpp"
+
+namespace radix::nn {
+
+Tensor Tensor::matmul(const Tensor& rhs) const {
+  RADIX_REQUIRE_DIM(cols_ == rhs.rows_, "Tensor::matmul: shape mismatch");
+  Tensor out(rows_, rhs.cols_);
+  const index_t k_dim = cols_, n = rhs.cols_;
+  parallel_for(
+      0, rows_,
+      [&](std::int64_t i) {
+        const float* a = row(static_cast<index_t>(i));
+        float* o = out.row(static_cast<index_t>(i));
+        for (index_t k = 0; k < k_dim; ++k) {
+          const float av = a[k];
+          if (av == 0.0f) continue;
+          const float* b = rhs.row(k);
+          for (index_t j = 0; j < n; ++j) o[j] += av * b[j];
+        }
+      },
+      /*grain=*/8);
+  return out;
+}
+
+Tensor Tensor::matmul_transposed(const Tensor& rhs) const {
+  RADIX_REQUIRE_DIM(cols_ == rhs.cols_,
+                    "Tensor::matmul_transposed: shape mismatch");
+  Tensor out(rows_, rhs.rows_);
+  parallel_for(
+      0, rows_,
+      [&](std::int64_t i) {
+        const float* a = row(static_cast<index_t>(i));
+        float* o = out.row(static_cast<index_t>(i));
+        for (index_t j = 0; j < rhs.rows_; ++j) {
+          const float* b = rhs.row(j);
+          float acc = 0.0f;
+          for (index_t k = 0; k < cols_; ++k) acc += a[k] * b[k];
+          o[j] = acc;
+        }
+      },
+      /*grain=*/8);
+  return out;
+}
+
+Tensor Tensor::transposed_matmul(const Tensor& rhs) const {
+  RADIX_REQUIRE_DIM(rows_ == rhs.rows_,
+                    "Tensor::transposed_matmul: shape mismatch");
+  Tensor out(cols_, rhs.cols_);
+  // out[m x n] = sum_b this[b, m] * rhs[b, n]; accumulate row-blocks.
+  for (index_t b = 0; b < rows_; ++b) {
+    const float* a = row(b);
+    const float* r = rhs.row(b);
+    parallel_for(
+        0, cols_,
+        [&](std::int64_t m) {
+          const float av = a[m];
+          if (av == 0.0f) return;
+          float* o = out.row(static_cast<index_t>(m));
+          for (index_t n = 0; n < rhs.cols_; ++n) o[n] += av * r[n];
+        },
+        /*grain=*/256);
+  }
+  return out;
+}
+
+void Tensor::add_row_vector(const std::vector<float>& v) {
+  RADIX_REQUIRE_DIM(v.size() == cols_,
+                    "Tensor::add_row_vector: length mismatch");
+  parallel_for(
+      0, rows_,
+      [&](std::int64_t r) {
+        float* o = row(static_cast<index_t>(r));
+        for (index_t c = 0; c < cols_; ++c) o[c] += v[c];
+      },
+      /*grain=*/64);
+}
+
+std::vector<float> Tensor::column_sums() const {
+  std::vector<float> sums(cols_, 0.0f);
+  for (index_t r = 0; r < rows_; ++r) {
+    const float* a = row(r);
+    for (index_t c = 0; c < cols_; ++c) sums[c] += a[c];
+  }
+  return sums;
+}
+
+float Tensor::max_abs_diff(const Tensor& a, const Tensor& b) {
+  RADIX_REQUIRE_DIM(a.rows_ == b.rows_ && a.cols_ == b.cols_,
+                    "Tensor::max_abs_diff: shape mismatch");
+  float m = 0.0f;
+  for (std::size_t i = 0; i < a.data_.size(); ++i) {
+    m = std::max(m, std::fabs(a.data_[i] - b.data_[i]));
+  }
+  return m;
+}
+
+Tensor Tensor::slice_rows(index_t begin, index_t end) const {
+  RADIX_REQUIRE_DIM(begin <= end && end <= rows_,
+                    "Tensor::slice_rows: bad range");
+  Tensor out(end - begin, cols_);
+  std::copy(row(begin), row(begin) + static_cast<std::size_t>(end - begin) * cols_,
+            out.data());
+  return out;
+}
+
+}  // namespace radix::nn

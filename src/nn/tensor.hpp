@@ -1,0 +1,76 @@
+// Row-major float matrix for the training substrate.
+//
+// Shapes follow the batch-major convention: activations are
+// [batch x features].  Kernels are deliberately simple (blocked loops +
+// OpenMP over rows); the performance-critical sparse paths live in
+// sparse/spmm.*, and this type only has to be fast enough for the
+// training-parity experiments.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+#include "sparse/types.hpp"
+
+namespace radix::nn {
+
+class Tensor {
+ public:
+  Tensor() = default;
+  Tensor(index_t rows, index_t cols, float fill = 0.0f)
+      : rows_(rows), cols_(cols),
+        data_(static_cast<std::size_t>(rows) * cols, fill) {}
+
+  index_t rows() const noexcept { return rows_; }
+  index_t cols() const noexcept { return cols_; }
+  std::size_t size() const noexcept { return data_.size(); }
+
+  float* data() noexcept { return data_.data(); }
+  const float* data() const noexcept { return data_.data(); }
+
+  float& at(index_t r, index_t c) noexcept {
+    return data_[static_cast<std::size_t>(r) * cols_ + c];
+  }
+  float at(index_t r, index_t c) const noexcept {
+    return data_[static_cast<std::size_t>(r) * cols_ + c];
+  }
+
+  float* row(index_t r) noexcept {
+    return data_.data() + static_cast<std::size_t>(r) * cols_;
+  }
+  const float* row(index_t r) const noexcept {
+    return data_.data() + static_cast<std::size_t>(r) * cols_;
+  }
+
+  void fill(float v) noexcept { std::fill(data_.begin(), data_.end(), v); }
+
+  /// out = this * rhs  ([m x k] * [k x n]).
+  Tensor matmul(const Tensor& rhs) const;
+
+  /// out = this * rhs^T  ([m x k] * [n x k]^T -> [m x n]).
+  Tensor matmul_transposed(const Tensor& rhs) const;
+
+  /// out = this^T * rhs  ([k x m]^T ... i.e. [m x k] with this as [k x m]).
+  /// Computes A^T B for A = *this [k x m], rhs [k x n] -> [m x n].
+  Tensor transposed_matmul(const Tensor& rhs) const;
+
+  /// Add a row vector to every row (bias broadcast).
+  void add_row_vector(const std::vector<float>& v);
+
+  /// Sum over rows -> vector of length cols (bias gradient).
+  std::vector<float> column_sums() const;
+
+  /// Frobenius-norm of the difference; shapes must match.
+  static float max_abs_diff(const Tensor& a, const Tensor& b);
+
+  /// Rows [begin, end) copied into a new tensor.
+  Tensor slice_rows(index_t begin, index_t end) const;
+
+ private:
+  index_t rows_ = 0;
+  index_t cols_ = 0;
+  std::vector<float> data_;
+};
+
+}  // namespace radix::nn

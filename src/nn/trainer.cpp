@@ -1,0 +1,117 @@
+#include "nn/trainer.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "nn/loss.hpp"
+#include "nn/metrics.hpp"
+#include "support/error.hpp"
+#include "support/timer.hpp"
+
+namespace radix::nn {
+
+float clip_gradients(const std::vector<Param>& params, float max_norm) {
+  RADIX_REQUIRE(max_norm > 0.0f, "clip_gradients: max_norm must be > 0");
+  double sq = 0.0;
+  for (const Param& p : params) {
+    for (std::size_t i = 0; i < p.size; ++i) {
+      sq += static_cast<double>(p.grad[i]) * p.grad[i];
+    }
+  }
+  const float norm = static_cast<float>(std::sqrt(sq));
+  if (norm > max_norm) {
+    const float scale = max_norm / norm;
+    for (const Param& p : params) {
+      for (std::size_t i = 0; i < p.size; ++i) p.grad[i] *= scale;
+    }
+  }
+  return norm;
+}
+
+TrainResult train_classifier(Network& net, Optimizer& opt,
+                             const Split& split, const TrainConfig& config) {
+  RADIX_REQUIRE(config.batch_size > 0 && config.epochs > 0,
+                "train_classifier: bad config");
+  const Dataset& train = split.train;
+  RADIX_REQUIRE(train.samples() > 0, "train_classifier: empty train set");
+
+  Rng shuffle_rng(config.shuffle_seed);
+  Timer timer;
+  TrainResult result;
+  result.epochs.reserve(config.epochs);
+  const float base_lr = opt.learning_rate();
+  index_t epochs_since_best = 0;
+
+  for (index_t epoch = 0; epoch < config.epochs; ++epoch) {
+    if (config.lr_schedule != nullptr) {
+      opt.set_learning_rate(base_lr *
+                            config.lr_schedule->multiplier(epoch));
+    }
+    net.set_training(true);
+    const auto order = shuffle_rng.permutation(train.samples());
+    double loss_sum = 0.0;
+    index_t batches = 0;
+    for (index_t start = 0; start < train.samples();
+         start += config.batch_size) {
+      const index_t end =
+          std::min<index_t>(start + config.batch_size, train.samples());
+      const index_t bs = end - start;
+      Tensor xb(bs, train.features());
+      std::vector<std::int32_t> yb(bs);
+      for (index_t i = 0; i < bs; ++i) {
+        const index_t src = order[start + i];
+        std::copy(train.x.row(src), train.x.row(src) + train.features(),
+                  xb.row(i));
+        yb[i] = train.labels[src];
+      }
+      net.zero_grad();
+      Tensor logits = net.forward(xb);
+      Tensor dlogits(logits.rows(), logits.cols());
+      const float loss = softmax_cross_entropy(logits, yb, dlogits);
+      net.backward(dlogits);
+      if (config.clip_grad_norm > 0.0f) {
+        (void)clip_gradients(net.params(), config.clip_grad_norm);
+      }
+      opt.step(net.params());
+      loss_sum += loss;
+      ++batches;
+    }
+    EpochStats stats;
+    stats.train_loss = static_cast<float>(loss_sum / batches);
+    stats.test_accuracy = evaluate(net, split.test);
+    result.epochs.push_back(stats);
+    if (config.verbose) {
+      std::printf("epoch %3u  loss %.4f  test acc %.4f\n", epoch,
+                  stats.train_loss, stats.test_accuracy);
+    }
+    if (stats.test_accuracy > result.best_test_accuracy) {
+      result.best_test_accuracy = stats.test_accuracy;
+      epochs_since_best = 0;
+    } else if (config.early_stop_patience > 0 &&
+               ++epochs_since_best >= config.early_stop_patience) {
+      result.stopped_early = true;
+      break;
+    }
+  }
+  opt.set_learning_rate(base_lr);
+  result.final_test_accuracy = result.epochs.back().test_accuracy;
+  result.wall_seconds = timer.seconds();
+  return result;
+}
+
+double evaluate(Network& net, const Dataset& data) {
+  RADIX_REQUIRE(data.samples() > 0, "evaluate: empty dataset");
+  net.set_training(false);
+  // Evaluate in chunks to bound activation memory on wide nets.
+  constexpr index_t kChunk = 256;
+  std::vector<std::int32_t> preds;
+  preds.reserve(data.samples());
+  for (index_t start = 0; start < data.samples(); start += kChunk) {
+    const index_t end = std::min<index_t>(start + kChunk, data.samples());
+    Tensor logits = net.forward(data.x.slice_rows(start, end));
+    for (std::int32_t p : argmax_rows(logits)) preds.push_back(p);
+  }
+  return accuracy(preds, data.labels);
+}
+
+}  // namespace radix::nn

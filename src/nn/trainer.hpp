@@ -1,0 +1,59 @@
+// Minibatch training loop for classification.
+//
+// One Trainer drives one Network over one dataset split with an owned
+// optimizer; per-epoch train loss and test accuracy are recorded so the
+// parity experiment (E7) can report learning curves, not just endpoints.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "nn/data.hpp"
+#include "nn/network.hpp"
+#include "nn/optimizer.hpp"
+
+namespace radix::nn {
+
+struct TrainConfig {
+  index_t batch_size = 32;
+  index_t epochs = 10;
+  std::uint64_t shuffle_seed = 1;
+  bool verbose = false;  // print per-epoch lines to stdout
+
+  /// Clip the global L2 norm of all gradients to this value (0 = off).
+  float clip_grad_norm = 0.0f;
+
+  /// Stop when test accuracy has not improved for this many consecutive
+  /// epochs (0 = never stop early).
+  index_t early_stop_patience = 0;
+
+  /// Optional learning-rate schedule (not owned; applied per epoch as a
+  /// multiplier on the optimizer's starting rate).
+  const LrSchedule* lr_schedule = nullptr;
+};
+
+struct EpochStats {
+  float train_loss = 0.0f;
+  double test_accuracy = 0.0;
+};
+
+struct TrainResult {
+  std::vector<EpochStats> epochs;
+  double final_test_accuracy = 0.0;
+  double best_test_accuracy = 0.0;
+  bool stopped_early = false;
+  double wall_seconds = 0.0;
+};
+
+/// Scale all gradients so their global L2 norm is at most `max_norm`;
+/// returns the pre-clip norm.
+float clip_gradients(const std::vector<Param>& params, float max_norm);
+
+/// Train `net` on `split.train`, evaluating on `split.test` each epoch.
+TrainResult train_classifier(Network& net, Optimizer& opt,
+                             const Split& split, const TrainConfig& config);
+
+/// Accuracy of `net` on a dataset (argmax of logits).
+double evaluate(Network& net, const Dataset& data);
+
+}  // namespace radix::nn

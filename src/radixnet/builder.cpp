@@ -1,0 +1,55 @@
+#include "radixnet/builder.hpp"
+
+#include <limits>
+
+#include "radixnet/mrt.hpp"
+#include "sparse/kron.hpp"
+#include "support/error.hpp"
+
+namespace radix {
+
+Fnnt build_extended_mixed_radix(const RadixNetSpec& spec) {
+  RADIX_REQUIRE(spec.n_prime() <= std::numeric_limits<index_t>::max(),
+                "build_radix_net: N' exceeds index range");
+  const index_t nodes = static_cast<index_t>(spec.n_prime());
+  std::vector<Csr<pattern_t>> layers;
+  layers.reserve(spec.total_radices());
+  // Fig 6 outer loop: for each system, emit its submatrices with the
+  // place value (pv) resetting to 1 per system.
+  for (const auto& system : spec.systems()) {
+    std::uint64_t pv = 1;
+    for (std::uint32_t radix_value : system.radices()) {
+      layers.push_back(mrt_submatrix(nodes, radix_value, pv));
+      pv *= radix_value;
+    }
+  }
+  return Fnnt(std::move(layers));
+}
+
+Fnnt build_radix_net(const RadixNetSpec& spec) {
+  const Fnnt emr = build_extended_mixed_radix(spec);
+  const auto& d = spec.dense_widths();
+  RADIX_ASSERT(emr.depth() + 1 == d.size(),
+               "build_radix_net: EMR depth / D length mismatch");
+  // Fig 6 final loop: W_i <- 1_{D_{i-1} x D_i} (x) W_i.
+  std::vector<Csr<pattern_t>> layers;
+  layers.reserve(emr.depth());
+  for (std::size_t i = 0; i < emr.depth(); ++i) {
+    if (d[i] == 1 && d[i + 1] == 1) {
+      layers.push_back(emr.layer(i));  // 1x1 ones factor is the identity
+    } else {
+      layers.push_back(kron_ones(d[i], d[i + 1], emr.layer(i)));
+    }
+  }
+  return Fnnt(std::move(layers));
+}
+
+Fnnt build_radix_net(const std::vector<std::vector<std::uint32_t>>& systems,
+                     const std::vector<std::uint32_t>& d) {
+  std::vector<MixedRadix> sys;
+  sys.reserve(systems.size());
+  for (const auto& radices : systems) sys.emplace_back(radices);
+  return build_radix_net(RadixNetSpec(std::move(sys), d));
+}
+
+}  // namespace radix

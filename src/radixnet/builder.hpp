@@ -1,0 +1,30 @@
+// The RadiX-Net generator (Fig 6 of the paper).
+//
+// Construction proceeds in two stages:
+//   1. Extended mixed-radix (EMR) topology: concatenate the mixed-radix
+//      topologies G_1, ..., G_M (each laid out on N' nodes; the last
+//      system's product may be a proper divisor of N', Section III.A
+//      bullet 2), identifying outputs of G_i with inputs of G_{i+1}
+//      label-wise.  This yields W = (W_1, ..., W_Mbar) with each
+//      W_i = sum_{j<N_i} P^{j*pv} (eq. (1)).
+//   2. Kronecker stage (eq. (3)): replace each W_i with
+//      1_{D_{i-1} x D_i} (x) W_i.
+#pragma once
+
+#include "graph/fnnt.hpp"
+#include "radixnet/spec.hpp"
+
+namespace radix {
+
+/// Stage 1 only: the extended mixed-radix topology of the spec's systems
+/// (equivalent to building with all D_i = 1).
+Fnnt build_extended_mixed_radix(const RadixNetSpec& spec);
+
+/// Full construction: the RadiX-Net topology of the spec (Fig 6).
+Fnnt build_radix_net(const RadixNetSpec& spec);
+
+/// Convenience overload: build from raw radix lists and D.
+Fnnt build_radix_net(const std::vector<std::vector<std::uint32_t>>& systems,
+                     const std::vector<std::uint32_t>& d);
+
+}  // namespace radix

@@ -1,0 +1,147 @@
+#include "radixnet/enumerate.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "radixnet/analytics.hpp"
+#include "support/error.hpp"
+
+namespace radix {
+
+std::vector<std::uint64_t> prime_factors(std::uint64_t n) {
+  RADIX_REQUIRE(n >= 2, "prime_factors: n must be >= 2");
+  std::vector<std::uint64_t> out;
+  for (std::uint64_t p = 2; p * p <= n; p += (p == 2 ? 1 : 2)) {
+    while (n % p == 0) {
+      out.push_back(p);
+      n /= p;
+    }
+  }
+  if (n > 1) out.push_back(n);
+  return out;
+}
+
+namespace {
+
+void factorize_rec(std::uint64_t n, std::uint32_t min_factor,
+                   std::vector<std::uint32_t>& current,
+                   std::vector<std::vector<std::uint32_t>>& out,
+                   std::size_t limit) {
+  if (limit != 0 && out.size() >= limit) return;
+  if (n == 1) {
+    if (!current.empty()) out.push_back(current);
+    return;
+  }
+  for (std::uint64_t f = min_factor; f * f <= n; ++f) {
+    if (n % f == 0) {
+      current.push_back(static_cast<std::uint32_t>(f));
+      factorize_rec(n / f, static_cast<std::uint32_t>(f), current, out,
+                    limit);
+      current.pop_back();
+      if (limit != 0 && out.size() >= limit) return;
+    }
+  }
+  // n itself as the final (largest) factor.
+  if (n >= min_factor) {
+    RADIX_REQUIRE(n <= 0xffffffffull,
+                  "factorizations: factor exceeds 32 bits");
+    current.push_back(static_cast<std::uint32_t>(n));
+    out.push_back(current);
+    current.pop_back();
+  }
+}
+
+}  // namespace
+
+std::vector<std::vector<std::uint32_t>> factorizations(std::uint64_t n,
+                                                       std::size_t limit) {
+  RADIX_REQUIRE(n >= 2, "factorizations: n must be >= 2");
+  std::vector<std::vector<std::uint32_t>> out;
+  std::vector<std::uint32_t> current;
+  factorize_rec(n, 2, current, out, limit);
+  return out;
+}
+
+std::vector<std::vector<std::uint32_t>> systems_with_product(
+    std::uint64_t n, std::size_t digits) {
+  RADIX_REQUIRE(digits >= 1, "systems_with_product: digits must be >= 1");
+  auto all = factorizations(n);
+  std::vector<std::vector<std::uint32_t>> out;
+  for (auto& f : all) {
+    if (f.size() == digits) out.push_back(std::move(f));
+  }
+  return out;
+}
+
+std::optional<MixedRadix> balanced_system(std::uint64_t n,
+                                          std::size_t digits) {
+  const auto candidates = systems_with_product(n, digits);
+  if (candidates.empty()) return std::nullopt;
+  const std::vector<std::uint32_t>* best = nullptr;
+  double best_var = 0.0;
+  for (const auto& c : candidates) {
+    const MixedRadix m(c);
+    const double var = m.radix_variance();
+    if (best == nullptr || var < best_var) {
+      best = &c;
+      best_var = var;
+    }
+  }
+  return MixedRadix(*best);
+}
+
+std::uint64_t count_emr_configurations(std::uint64_t n_prime,
+                                       std::size_t num_systems,
+                                       std::size_t limit_per_system) {
+  RADIX_REQUIRE(num_systems >= 1,
+                "count_emr_configurations: need at least one system");
+  // Systems 1..M-1 must have product exactly n_prime; the last system may
+  // have any product dividing n_prime.
+  const std::uint64_t full =
+      factorizations(n_prime, limit_per_system).size();
+  std::uint64_t last = 0;
+  for (std::uint64_t q = 2; q <= n_prime; ++q) {
+    if (n_prime % q == 0) {
+      last += factorizations(q, limit_per_system).size();
+    }
+  }
+  std::uint64_t count = 1;
+  for (std::size_t i = 0; i + 1 < num_systems; ++i) count *= full;
+  return count * last;
+}
+
+std::optional<RadixNetSpec> spec_for_density(std::uint64_t n_prime,
+                                             std::size_t num_systems,
+                                             double target_density) {
+  RADIX_REQUIRE(target_density > 0.0 && target_density <= 1.0,
+                "spec_for_density: target density must lie in (0, 1]");
+  // Try every uniform system mu^d = n_prime and keep the density closest
+  // (in log space) to the target.
+  std::optional<MixedRadix> best;
+  double best_err = 0.0;
+  for (std::uint32_t mu = 2; static_cast<std::uint64_t>(mu) <= n_prime;
+       ++mu) {
+    std::uint64_t p = 1;
+    std::size_t d = 0;
+    while (p < n_prime) {
+      RADIX_REQUIRE(p <= n_prime, "unreachable");
+      p *= mu;
+      ++d;
+    }
+    if (p != n_prime) continue;  // mu is not an exact root of n_prime
+    const MixedRadix sys = MixedRadix::uniform(mu, d);
+    const double delta =
+        static_cast<double>(mu) / static_cast<double>(n_prime);
+    const double err =
+        std::fabs(std::log(delta) - std::log(target_density));
+    if (!best || err < best_err) {
+      best = sys;
+      best_err = err;
+    }
+  }
+  if (!best) return std::nullopt;
+  std::vector<MixedRadix> systems(num_systems, *best);
+  return RadixNetSpec::extended(std::move(systems));
+}
+
+}  // namespace radix

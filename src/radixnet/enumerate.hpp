@@ -1,0 +1,53 @@
+// Parameter-space exploration for RadiX-Nets.
+//
+// The paper's diversity claim is that RadiX-Nets admit far more valid
+// configurations than explicit X-Nets (which require equal-width
+// neighboring layers).  This module enumerates those configurations:
+// factorizations of N' into radices >= 2, balanced systems with a target
+// digit count, and spec search for a desired density.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "radixnet/spec.hpp"
+
+namespace radix {
+
+/// Prime factorization of n (>= 2), ascending with multiplicity.
+std::vector<std::uint64_t> prime_factors(std::uint64_t n);
+
+/// All multiplicative partitions of n into factors >= 2, each partition
+/// non-decreasing.  Exponential in general; `limit` caps the number of
+/// partitions returned (0 = unlimited).  n must be >= 2.
+std::vector<std::vector<std::uint32_t>> factorizations(
+    std::uint64_t n, std::size_t limit = 0);
+
+/// Partitions of n with exactly `digits` factors (>= 2 each), i.e. every
+/// valid mixed-radix system with product n and that many radices (up to
+/// digit order).
+std::vector<std::vector<std::uint32_t>> systems_with_product(
+    std::uint64_t n, std::size_t digits);
+
+/// A system with product n and `digits` radices whose values are as close
+/// to n^(1/digits) as possible (minimal variance among the enumerated
+/// partitions); nullopt when no such factorization exists.
+std::optional<MixedRadix> balanced_system(std::uint64_t n,
+                                          std::size_t digits);
+
+/// Count of distinct RadiX-Net layer-transition structures with product
+/// n' and `num_systems` systems, each chosen from the full factorization
+/// set (diversity measure quoted in Section I; grows combinatorially).
+std::uint64_t count_emr_configurations(std::uint64_t n_prime,
+                                       std::size_t num_systems,
+                                       std::size_t limit_per_system = 4096);
+
+/// Search for an extended spec (D = 1s) with `num_systems` uniform
+/// systems approximating a target density: picks mu and digit count d
+/// with mu^d = n_prime and mu^(1-d) closest to `target_density`.
+std::optional<RadixNetSpec> spec_for_density(std::uint64_t n_prime,
+                                             std::size_t num_systems,
+                                             double target_density);
+
+}  // namespace radix

@@ -1,0 +1,87 @@
+#include "radixnet/mixed_radix.hpp"
+
+#include <limits>
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace radix {
+
+MixedRadix::MixedRadix(std::vector<std::uint32_t> radices)
+    : radices_(std::move(radices)) {
+  RADIX_REQUIRE(!radices_.empty(),
+                "MixedRadix: need at least one radix");
+  for (std::uint32_t r : radices_) {
+    RADIX_REQUIRE(r >= 2, "MixedRadix: every radix must be >= 2");
+    RADIX_REQUIRE(product_ <= std::numeric_limits<std::uint64_t>::max() / r,
+                  "MixedRadix: product overflows 64 bits");
+    product_ *= r;
+  }
+}
+
+MixedRadix MixedRadix::uniform(std::uint32_t r, std::size_t count) {
+  RADIX_REQUIRE(count > 0, "MixedRadix::uniform: count must be positive");
+  return MixedRadix(std::vector<std::uint32_t>(count, r));
+}
+
+std::uint64_t MixedRadix::place_value(std::size_t i) const {
+  RADIX_REQUIRE(i < radices_.size(),
+                "MixedRadix::place_value: digit index out of range");
+  std::uint64_t v = 1;
+  for (std::size_t j = 0; j < i; ++j) v *= radices_[j];
+  return v;
+}
+
+std::vector<std::uint32_t> MixedRadix::encode(std::uint64_t v) const {
+  RADIX_REQUIRE(v < product_, "MixedRadix::encode: value out of range");
+  std::vector<std::uint32_t> out(radices_.size());
+  for (std::size_t i = 0; i < radices_.size(); ++i) {
+    out[i] = static_cast<std::uint32_t>(v % radices_[i]);
+    v /= radices_[i];
+  }
+  return out;
+}
+
+std::uint64_t MixedRadix::decode(
+    const std::vector<std::uint32_t>& digit_values) const {
+  RADIX_REQUIRE(digit_values.size() == radices_.size(),
+                "MixedRadix::decode: wrong digit count");
+  std::uint64_t v = 0;
+  std::uint64_t place = 1;
+  for (std::size_t i = 0; i < radices_.size(); ++i) {
+    RADIX_REQUIRE(digit_values[i] < radices_[i],
+                  "MixedRadix::decode: digit exceeds its radix");
+    v += digit_values[i] * place;
+    place *= radices_[i];
+  }
+  return v;
+}
+
+double MixedRadix::mean_radix() const noexcept {
+  double sum = 0.0;
+  for (std::uint32_t r : radices_) sum += r;
+  return sum / static_cast<double>(radices_.size());
+}
+
+double MixedRadix::radix_variance() const noexcept {
+  const double mu = mean_radix();
+  double acc = 0.0;
+  for (std::uint32_t r : radices_) {
+    const double d = r - mu;
+    acc += d * d;
+  }
+  return acc / static_cast<double>(radices_.size());
+}
+
+std::string MixedRadix::to_string() const {
+  std::ostringstream os;
+  os << '(';
+  for (std::size_t i = 0; i < radices_.size(); ++i) {
+    if (i) os << ',';
+    os << radices_[i];
+  }
+  os << ')';
+  return os.str();
+}
+
+}  // namespace radix

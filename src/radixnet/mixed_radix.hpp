@@ -1,0 +1,63 @@
+// Mixed-radix numeral systems (Section II of the paper).
+//
+// An ordered set N = (N_1, ..., N_L) of integers > 1 defines a numeral
+// system that bijectively represents {0, ..., N'-1}, N' = prod N_i, via
+//   (n_1, ..., n_L)  <->  sum_i n_i * prod_{j<i} N_j.
+// The place value of digit i is nu_i = prod_{j<i} N_j -- the same nu_i
+// that appears as the permutation stride in eq. (1).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace radix {
+
+class MixedRadix {
+ public:
+  /// Construct from radices; each must be >= 2 and the product must fit
+  /// in 64 bits.  Throws SpecError otherwise.
+  explicit MixedRadix(std::vector<std::uint32_t> radices);
+
+  /// Convenience: uniform system (r, r, ..., r) with `count` digits.
+  static MixedRadix uniform(std::uint32_t r, std::size_t count);
+
+  const std::vector<std::uint32_t>& radices() const noexcept {
+    return radices_;
+  }
+
+  std::size_t digits() const noexcept { return radices_.size(); }
+
+  /// N' = product of all radices.
+  std::uint64_t product() const noexcept { return product_; }
+
+  /// Place value nu_i = prod_{j<i} N_j (1 for the first digit).
+  /// i is 0-based.
+  std::uint64_t place_value(std::size_t i) const;
+
+  /// Digits of v (least significant first); v must be < product().
+  std::vector<std::uint32_t> encode(std::uint64_t v) const;
+
+  /// Inverse of encode; digits.size() must equal digits() and each digit
+  /// must be < its radix.
+  std::uint64_t decode(const std::vector<std::uint32_t>& digit_values) const;
+
+  /// Mean radix (the mu of eq. (5)-(6)).
+  double mean_radix() const noexcept;
+
+  /// Population variance of the radices.
+  double radix_variance() const noexcept;
+
+  /// "(N1,N2,...)" for logs and error messages.
+  std::string to_string() const;
+
+  friend bool operator==(const MixedRadix& a, const MixedRadix& b) {
+    return a.radices_ == b.radices_;
+  }
+
+ private:
+  std::vector<std::uint32_t> radices_;
+  std::uint64_t product_ = 1;
+};
+
+}  // namespace radix

@@ -1,0 +1,89 @@
+#include "radixnet/mrt.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "sparse/coo.hpp"
+#include "support/error.hpp"
+
+namespace radix {
+
+Csr<pattern_t> mrt_submatrix(index_t nodes, std::uint32_t radix,
+                             std::uint64_t stride) {
+  RADIX_REQUIRE(nodes > 0, "mrt_submatrix: nodes must be positive");
+  RADIX_REQUIRE(radix >= 1, "mrt_submatrix: radix must be >= 1");
+  // Collect the distinct offsets n*stride mod nodes once; every row uses
+  // the same offset set shifted by its own index.
+  std::vector<index_t> offsets;
+  offsets.reserve(radix);
+  for (std::uint32_t n = 0; n < radix; ++n) {
+    offsets.push_back(
+        static_cast<index_t>((static_cast<std::uint64_t>(n) * stride) % nodes));
+  }
+  std::sort(offsets.begin(), offsets.end());
+  offsets.erase(std::unique(offsets.begin(), offsets.end()), offsets.end());
+
+  const std::size_t per_row = offsets.size();
+  std::vector<offset_t> rowptr(static_cast<std::size_t>(nodes) + 1);
+  std::vector<index_t> colind(static_cast<std::size_t>(nodes) * per_row);
+  std::vector<pattern_t> val(colind.size(), 1);
+  for (index_t r = 0; r <= nodes; ++r)
+    rowptr[r] = static_cast<offset_t>(r) * per_row;
+  for (index_t r = 0; r < nodes; ++r) {
+    // Targets are (r + offset) mod nodes; generate in sorted column order
+    // by splitting at the wrap point.
+    offset_t w = rowptr[r];
+    // offsets >= nodes - r wrap around to the front.
+    const index_t wrap = nodes - r;
+    auto first_wrapped =
+        std::lower_bound(offsets.begin(), offsets.end(), wrap);
+    for (auto it = first_wrapped; it != offsets.end(); ++it)
+      colind[w++] = r + *it - nodes;
+    for (auto it = offsets.begin(); it != first_wrapped; ++it)
+      colind[w++] = r + *it;
+  }
+  return Csr<pattern_t>(nodes, nodes, std::move(rowptr), std::move(colind),
+                        std::move(val));
+}
+
+Fnnt mixed_radix_topology(const MixedRadix& system, index_t nodes) {
+  if (nodes == 0) {
+    RADIX_REQUIRE(system.product() <=
+                      std::numeric_limits<index_t>::max(),
+                  "mixed_radix_topology: product exceeds index range");
+    nodes = static_cast<index_t>(system.product());
+  }
+  RADIX_REQUIRE(nodes % system.product() == 0,
+                "mixed_radix_topology: system product " +
+                    std::to_string(system.product()) +
+                    " must divide node count " + std::to_string(nodes));
+  std::vector<Csr<pattern_t>> layers;
+  layers.reserve(system.digits());
+  std::uint64_t stride = 1;
+  for (std::size_t i = 0; i < system.digits(); ++i) {
+    layers.push_back(mrt_submatrix(nodes, system.radices()[i], stride));
+    stride *= system.radices()[i];
+  }
+  return Fnnt(std::move(layers));
+}
+
+std::vector<index_t> decision_tree_level(const MixedRadix& system,
+                                         index_t root, std::size_t depth) {
+  RADIX_REQUIRE(depth <= system.digits(),
+                "decision_tree_level: depth exceeds system digits");
+  const std::uint64_t nodes = system.product();
+  RADIX_REQUIRE(root < nodes, "decision_tree_level: root out of range");
+  // Reachable labels after `depth` transitions are root + (all values
+  // representable by the first `depth` digits), mod N'.
+  std::uint64_t span = 1;
+  for (std::size_t i = 0; i < depth; ++i) span *= system.radices()[i];
+  std::vector<index_t> out;
+  out.reserve(span);
+  for (std::uint64_t k = 0; k < span; ++k) {
+    out.push_back(static_cast<index_t>((root + k) % nodes));
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace radix

@@ -1,0 +1,42 @@
+// Mixed-radix topologies (Section III.A, eq. (1)-(2), Fig 1).
+//
+// Given N = (N_1, ..., N_L) with N' = prod N_i, the mixed-radix topology
+// induced by N has L+1 node layers of N' nodes each; layer transition i
+// connects node j of U_{i-1} to node (j + n * nu_i) mod N' of U_i for
+// every n in {0, ..., N_i - 1}, where nu_i = prod_{k<i} N_k.  Its
+// adjacency submatrix is therefore W_i = sum_{n<N_i} P^{n*nu_i} (eq. (1))
+// with P the N'-cyclic shift (eq. (2)).
+//
+// `nodes` may exceed the system's product: the RadiX-Net constraints
+// (Section III.A, bullet 2) allow the *last* system's product to merely
+// divide N', in which case its topology is laid out on N' nodes with the
+// same edge rule.  mixed_radix_topology defaults nodes to the product.
+#pragma once
+
+#include <vector>
+
+#include "graph/fnnt.hpp"
+#include "radixnet/mixed_radix.hpp"
+
+namespace radix {
+
+/// One adjacency submatrix W = sum_{n<radix} P^{n*stride} on `nodes`
+/// nodes.  Requires radix * ... not to alias: stride * radix <= nodes is
+/// NOT required (offsets wrap mod nodes), but duplicate offsets collapse,
+/// so callers wanting exactly `radix` distinct targets per node must keep
+/// n*stride distinct mod nodes.
+Csr<pattern_t> mrt_submatrix(index_t nodes, std::uint32_t radix,
+                             std::uint64_t stride);
+
+/// The full mixed-radix topology induced by `system`, on `nodes` nodes
+/// per layer (0 = use system.product()).  Throws SpecError unless
+/// system.product() divides nodes.
+Fnnt mixed_radix_topology(const MixedRadix& system, index_t nodes = 0);
+
+/// Decision-tree view (Fig 1): the set of nodes reachable in layer `depth`
+/// from input node `root` -- the mixed-radix topology restricted to one
+/// root is exactly an offset decision tree.  Returns sorted node labels.
+std::vector<index_t> decision_tree_level(const MixedRadix& system,
+                                         index_t root, std::size_t depth);
+
+}  // namespace radix

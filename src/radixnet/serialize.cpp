@@ -1,0 +1,118 @@
+#include "radixnet/serialize.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace radix {
+
+namespace {
+
+std::vector<std::uint32_t> parse_u32_list(const std::string& s,
+                                          const char* what) {
+  std::vector<std::uint32_t> out;
+  std::istringstream ss(s);
+  std::string tok;
+  while (std::getline(ss, tok, ',')) {
+    // Trim spaces.
+    const auto b = tok.find_first_not_of(" \t");
+    const auto e = tok.find_last_not_of(" \t");
+    if (b == std::string::npos) {
+      throw IoError(std::string("spec parse: empty entry in ") + what);
+    }
+    tok = tok.substr(b, e - b + 1);
+    try {
+      std::size_t used = 0;
+      const unsigned long v = std::stoul(tok, &used);
+      if (used != tok.size() || v == 0 || v > 0xffffffffUL) {
+        throw std::invalid_argument(tok);
+      }
+      out.push_back(static_cast<std::uint32_t>(v));
+    } catch (const std::exception&) {
+      throw IoError(std::string("spec parse: bad number '") + tok +
+                    "' in " + what);
+    }
+  }
+  if (out.empty()) {
+    throw IoError(std::string("spec parse: no entries in ") + what);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string spec_to_text(const RadixNetSpec& spec) {
+  std::ostringstream os;
+  os << "radixnet-spec v1\n";
+  os << "systems:";
+  const auto& systems = spec.systems();
+  for (std::size_t i = 0; i < systems.size(); ++i) {
+    os << (i == 0 ? " " : " | ");
+    const auto& r = systems[i].radices();
+    for (std::size_t j = 0; j < r.size(); ++j) {
+      if (j) os << ",";
+      os << r[j];
+    }
+  }
+  os << "\nD:";
+  const auto& d = spec.dense_widths();
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    os << (i == 0 ? " " : ",");
+    os << d[i];
+  }
+  os << "\n";
+  return os.str();
+}
+
+RadixNetSpec spec_from_text(const std::string& text) {
+  std::istringstream in(text);
+  std::string line;
+  bool have_header = false;
+  std::string systems_line, d_line;
+  while (std::getline(in, line)) {
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line = line.substr(0, hash);
+    const auto b = line.find_first_not_of(" \t\r");
+    if (b == std::string::npos) continue;
+    const auto e = line.find_last_not_of(" \t\r");
+    line = line.substr(b, e - b + 1);
+    if (line == "radixnet-spec v1") {
+      have_header = true;
+    } else if (line.rfind("systems:", 0) == 0) {
+      systems_line = line.substr(8);
+    } else if (line.rfind("D:", 0) == 0) {
+      d_line = line.substr(2);
+    } else {
+      throw IoError("spec parse: unrecognized line '" + line + "'");
+    }
+  }
+  if (!have_header) throw IoError("spec parse: missing header line");
+  if (systems_line.empty()) throw IoError("spec parse: missing systems:");
+  if (d_line.empty()) throw IoError("spec parse: missing D:");
+
+  std::vector<MixedRadix> systems;
+  std::istringstream ss(systems_line);
+  std::string sys_tok;
+  while (std::getline(ss, sys_tok, '|')) {
+    systems.emplace_back(parse_u32_list(sys_tok, "systems"));
+  }
+  return RadixNetSpec(std::move(systems), parse_u32_list(d_line, "D"));
+}
+
+void save_spec(const std::string& path, const RadixNetSpec& spec) {
+  std::ofstream out(path);
+  if (!out) throw IoError("cannot open for writing: " + path);
+  out << spec_to_text(spec);
+  if (!out) throw IoError("write failed: " + path);
+}
+
+RadixNetSpec load_spec(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw IoError("cannot open for reading: " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return spec_from_text(buf.str());
+}
+
+}  // namespace radix

@@ -1,0 +1,31 @@
+// Text serialization of RadiX-Net specs, so experiment configurations
+// can be checked in, diffed, and replayed.
+//
+// Format (one logical line per field, '#' comments allowed):
+//
+//   radixnet-spec v1
+//   systems: 3,3,4 | 4,3,3
+//   D: 1,1,1,1,1,1,2
+//
+// Parsing validates through RadixNetSpec's own constructor, so a file
+// that parses always describes a buildable topology.
+#pragma once
+
+#include <string>
+
+#include "radixnet/spec.hpp"
+
+namespace radix {
+
+/// Render a spec in the format above.
+std::string spec_to_text(const RadixNetSpec& spec);
+
+/// Parse; throws IoError for malformed text and SpecError for a
+/// syntactically fine but invalid spec.
+RadixNetSpec spec_from_text(const std::string& text);
+
+/// File round trip.
+void save_spec(const std::string& path, const RadixNetSpec& spec);
+RadixNetSpec load_spec(const std::string& path);
+
+}  // namespace radix

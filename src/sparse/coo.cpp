@@ -1,0 +1,14 @@
+// Explicit instantiations of the COO assembly format for the value types
+// used across the library, keeping template code out of every TU.
+#include "sparse/coo.hpp"
+
+#include "support/biguint.hpp"
+
+namespace radix {
+
+template struct Coo<pattern_t>;
+template struct Coo<float>;
+template struct Coo<double>;
+template struct Coo<BigUInt>;
+
+}  // namespace radix

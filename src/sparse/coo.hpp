@@ -1,0 +1,51 @@
+// Coordinate-format sparse matrix (triple list).
+//
+// COO is the assembly format: generators append (row, col, val) triples in
+// any order, possibly with duplicates, and convert once to CSR for
+// computation.  Csr<T>::from_coo performs the canonicalization (sort +
+// duplicate combination).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "sparse/types.hpp"
+#include "support/error.hpp"
+
+namespace radix {
+
+template <typename T>
+struct Coo {
+  index_t rows = 0;
+  index_t cols = 0;
+  std::vector<index_t> row;
+  std::vector<index_t> col;
+  std::vector<T> val;
+
+  Coo() = default;
+  Coo(index_t r, index_t c) : rows(r), cols(c) {}
+
+  std::size_t nnz() const noexcept { return row.size(); }
+
+  /// Append one entry; bounds-checked.
+  void push(index_t r, index_t c, T v) {
+    RADIX_REQUIRE_DIM(r < rows && c < cols, "Coo::push: index out of range");
+    row.push_back(r);
+    col.push_back(c);
+    val.push_back(v);
+  }
+
+  void reserve(std::size_t n) {
+    row.reserve(n);
+    col.reserve(n);
+    val.reserve(n);
+  }
+
+  void clear() noexcept {
+    row.clear();
+    col.clear();
+    val.clear();
+  }
+};
+
+}  // namespace radix

@@ -1,0 +1,13 @@
+// Explicit instantiations of Csr for the library's value types.
+#include "sparse/csr.hpp"
+
+#include "support/biguint.hpp"
+
+namespace radix {
+
+template class Csr<pattern_t>;
+template class Csr<float>;
+template class Csr<double>;
+template class Csr<BigUInt>;
+
+}  // namespace radix

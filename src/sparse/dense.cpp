@@ -1,0 +1,67 @@
+#include "sparse/dense.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/error.hpp"
+
+namespace radix {
+
+Dense Dense::identity(index_t n) {
+  Dense d(n, n);
+  for (index_t i = 0; i < n; ++i) d.at(i, i) = 1.0;
+  return d;
+}
+
+Dense Dense::matmul(const Dense& rhs) const {
+  RADIX_REQUIRE_DIM(cols_ == rhs.rows_, "Dense::matmul: shape mismatch");
+  Dense out(rows_, rhs.cols_);
+  for (index_t i = 0; i < rows_; ++i) {
+    for (index_t k = 0; k < cols_; ++k) {
+      const double a = at(i, k);
+      if (a == 0.0) continue;
+      for (index_t j = 0; j < rhs.cols_; ++j) {
+        out.at(i, j) += a * rhs.at(k, j);
+      }
+    }
+  }
+  return out;
+}
+
+Dense Dense::kron(const Dense& rhs) const {
+  Dense out(rows_ * rhs.rows_, cols_ * rhs.cols_);
+  for (index_t i = 0; i < rows_; ++i)
+    for (index_t j = 0; j < cols_; ++j) {
+      const double a = at(i, j);
+      if (a == 0.0) continue;
+      for (index_t r = 0; r < rhs.rows_; ++r)
+        for (index_t c = 0; c < rhs.cols_; ++c)
+          out.at(i * rhs.rows_ + r, j * rhs.cols_ + c) = a * rhs.at(r, c);
+    }
+  return out;
+}
+
+std::size_t Dense::nnz() const noexcept {
+  return static_cast<std::size_t>(
+      std::count_if(data_.begin(), data_.end(),
+                    [](double v) { return v != 0.0; }));
+}
+
+double Dense::max_abs_diff(const Dense& a, const Dense& b) {
+  RADIX_REQUIRE_DIM(a.rows_ == b.rows_ && a.cols_ == b.cols_,
+                    "Dense::max_abs_diff: shape mismatch");
+  double m = 0.0;
+  for (std::size_t i = 0; i < a.data_.size(); ++i)
+    m = std::max(m, std::fabs(a.data_[i] - b.data_[i]));
+  return m;
+}
+
+Csr<double> from_dense(const Dense& m) {
+  Coo<double> coo(m.rows(), m.cols());
+  for (index_t r = 0; r < m.rows(); ++r)
+    for (index_t c = 0; c < m.cols(); ++c)
+      if (m.at(r, c) != 0.0) coo.push(r, c, m.at(r, c));
+  return Csr<double>::from_coo(coo);
+}
+
+}  // namespace radix

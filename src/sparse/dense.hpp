@@ -1,0 +1,73 @@
+// Small dense row-major matrix used as a reference implementation in
+// tests (dense GEMM, dense Kronecker, dense path counting) and for
+// converting sparse results into directly inspectable form.  Not intended
+// for performance-critical paths; nn::Tensor is the fast dense type.
+#pragma once
+
+#include <vector>
+
+#include "sparse/csr.hpp"
+#include "sparse/types.hpp"
+
+namespace radix {
+
+class Dense {
+ public:
+  Dense() = default;
+  Dense(index_t rows, index_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols),
+        data_(static_cast<std::size_t>(rows) * cols, fill) {}
+
+  static Dense identity(index_t n);
+
+  index_t rows() const noexcept { return rows_; }
+  index_t cols() const noexcept { return cols_; }
+
+  double& at(index_t r, index_t c) {
+    return data_[static_cast<std::size_t>(r) * cols_ + c];
+  }
+  double at(index_t r, index_t c) const {
+    return data_[static_cast<std::size_t>(r) * cols_ + c];
+  }
+
+  const std::vector<double>& data() const noexcept { return data_; }
+
+  /// Conventional product this * rhs.
+  Dense matmul(const Dense& rhs) const;
+
+  /// Dense Kronecker product (reference for sparse kron).
+  Dense kron(const Dense& rhs) const;
+
+  /// Number of nonzero entries (exact comparison with 0.0).
+  std::size_t nnz() const noexcept;
+
+  friend bool operator==(const Dense& a, const Dense& b) {
+    return a.rows_ == b.rows_ && a.cols_ == b.cols_ && a.data_ == b.data_;
+  }
+
+  /// Max |a - b| over all entries; shapes must match.
+  static double max_abs_diff(const Dense& a, const Dense& b);
+
+ private:
+  index_t rows_ = 0;
+  index_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// Densify a sparse matrix (values converted through double).
+template <typename T>
+Dense to_dense(const Csr<T>& m) {
+  Dense out(m.rows(), m.cols());
+  for (index_t r = 0; r < m.rows(); ++r) {
+    auto cols = m.row_cols(r);
+    auto vals = m.row_vals(r);
+    for (std::size_t k = 0; k < cols.size(); ++k)
+      out.at(r, cols[k]) = static_cast<double>(vals[k]);
+  }
+  return out;
+}
+
+/// Sparsify a dense matrix (entries exactly 0.0 are dropped).
+Csr<double> from_dense(const Dense& m);
+
+}  // namespace radix

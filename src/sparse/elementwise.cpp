@@ -1,0 +1,41 @@
+#include "sparse/elementwise.hpp"
+
+#include <cmath>
+
+namespace radix {
+
+Csr<pattern_t> pattern_union(const Csr<pattern_t>& a,
+                             const Csr<pattern_t>& b) {
+  return ewise_add(a, b, [](pattern_t, pattern_t) { return pattern_t{1}; });
+}
+
+Csr<pattern_t> pattern_intersect(const Csr<pattern_t>& a,
+                                 const Csr<pattern_t>& b) {
+  return ewise_mult(a, b,
+                    [](pattern_t, pattern_t) { return pattern_t{1}; });
+}
+
+std::size_t pattern_difference_count(const Csr<pattern_t>& a,
+                                     const Csr<pattern_t>& b) {
+  RADIX_REQUIRE_DIM(a.rows() == b.rows() && a.cols() == b.cols(),
+                    "pattern_difference_count: shape mismatch");
+  return a.nnz() - pattern_intersect(a, b).nnz();
+}
+
+void scale_values(Csr<float>& m, float factor) {
+  for (float& v : m.values()) v *= factor;
+}
+
+double abs_sum(const Csr<float>& m) {
+  double acc = 0.0;
+  for (float v : m.values()) acc += std::fabs(v);
+  return acc;
+}
+
+double frobenius_norm(const Csr<float>& m) {
+  double acc = 0.0;
+  for (float v : m.values()) acc += static_cast<double>(v) * v;
+  return std::sqrt(acc);
+}
+
+}  // namespace radix

@@ -1,0 +1,191 @@
+// GraphBLAS-style elementwise operations on CSR matrices.
+//
+// eWiseAdd is a structural union (op applied where both present, values
+// passed through where only one is), eWiseMult a structural intersection
+// (op applied only where both present) -- the standard GraphBLAS
+// semantics [10], [11].  Reductions collapse rows/columns through a
+// binary op.  All kernels are single-pass merges over the sorted CSR
+// rows.
+#pragma once
+
+#include <functional>
+
+#include "sparse/csr.hpp"
+
+namespace radix {
+
+/// Structural union: C(i,j) = op(A(i,j), B(i,j)) where both stored,
+/// else the present operand's value.  Shapes must match.
+template <typename T, typename Op>
+Csr<T> ewise_add(const Csr<T>& a, const Csr<T>& b, Op op) {
+  RADIX_REQUIRE_DIM(a.rows() == b.rows() && a.cols() == b.cols(),
+                    "ewise_add: shape mismatch");
+  std::vector<offset_t> rowptr(static_cast<std::size_t>(a.rows()) + 1, 0);
+  std::vector<index_t> colind;
+  std::vector<T> val;
+  colind.reserve(a.nnz() + b.nnz());
+  val.reserve(a.nnz() + b.nnz());
+  for (index_t r = 0; r < a.rows(); ++r) {
+    auto ac = a.row_cols(r);
+    auto av = a.row_vals(r);
+    auto bc = b.row_cols(r);
+    auto bv = b.row_vals(r);
+    std::size_t i = 0, j = 0;
+    while (i < ac.size() || j < bc.size()) {
+      if (j >= bc.size() || (i < ac.size() && ac[i] < bc[j])) {
+        colind.push_back(ac[i]);
+        val.push_back(av[i]);
+        ++i;
+      } else if (i >= ac.size() || bc[j] < ac[i]) {
+        colind.push_back(bc[j]);
+        val.push_back(bv[j]);
+        ++j;
+      } else {
+        colind.push_back(ac[i]);
+        val.push_back(op(av[i], bv[j]));
+        ++i;
+        ++j;
+      }
+    }
+    rowptr[r + 1] = colind.size();
+  }
+  return Csr<T>(a.rows(), a.cols(), std::move(rowptr), std::move(colind),
+                std::move(val));
+}
+
+/// Structural intersection: C(i,j) = op(A(i,j), B(i,j)) where both
+/// stored.  Shapes must match.
+template <typename T, typename Op>
+Csr<T> ewise_mult(const Csr<T>& a, const Csr<T>& b, Op op) {
+  RADIX_REQUIRE_DIM(a.rows() == b.rows() && a.cols() == b.cols(),
+                    "ewise_mult: shape mismatch");
+  std::vector<offset_t> rowptr(static_cast<std::size_t>(a.rows()) + 1, 0);
+  std::vector<index_t> colind;
+  std::vector<T> val;
+  for (index_t r = 0; r < a.rows(); ++r) {
+    auto ac = a.row_cols(r);
+    auto av = a.row_vals(r);
+    auto bc = b.row_cols(r);
+    auto bv = b.row_vals(r);
+    std::size_t i = 0, j = 0;
+    while (i < ac.size() && j < bc.size()) {
+      if (ac[i] < bc[j]) {
+        ++i;
+      } else if (bc[j] < ac[i]) {
+        ++j;
+      } else {
+        colind.push_back(ac[i]);
+        val.push_back(op(av[i], bv[j]));
+        ++i;
+        ++j;
+      }
+    }
+    rowptr[r + 1] = colind.size();
+  }
+  return Csr<T>(a.rows(), a.cols(), std::move(rowptr), std::move(colind),
+                std::move(val));
+}
+
+/// Row reduction: out[r] = fold of row r's stored values through op
+/// starting from `init` (empty rows give `init`).
+template <typename T, typename Op>
+std::vector<T> reduce_rows(const Csr<T>& m, T init, Op op) {
+  std::vector<T> out(m.rows(), init);
+  for (index_t r = 0; r < m.rows(); ++r) {
+    for (const T& v : m.row_vals(r)) out[r] = op(out[r], v);
+  }
+  return out;
+}
+
+/// Column reduction: out[c] = fold of column c's stored values.
+template <typename T, typename Op>
+std::vector<T> reduce_cols(const Csr<T>& m, T init, Op op) {
+  std::vector<T> out(m.cols(), init);
+  for (index_t r = 0; r < m.rows(); ++r) {
+    auto cols = m.row_cols(r);
+    auto vals = m.row_vals(r);
+    for (std::size_t k = 0; k < cols.size(); ++k) {
+      out[cols[k]] = op(out[cols[k]], vals[k]);
+    }
+  }
+  return out;
+}
+
+/// Total reduction over all stored values.
+template <typename T, typename Op>
+T reduce_all(const Csr<T>& m, T init, Op op) {
+  T acc = init;
+  for (const T& v : m.values()) acc = op(acc, v);
+  return acc;
+}
+
+// Non-template conveniences (implemented in elementwise.cpp).
+
+/// Pattern union (boolean or).
+Csr<pattern_t> pattern_union(const Csr<pattern_t>& a,
+                             const Csr<pattern_t>& b);
+
+/// Pattern intersection (boolean and).
+Csr<pattern_t> pattern_intersect(const Csr<pattern_t>& a,
+                                 const Csr<pattern_t>& b);
+
+/// Number of stored positions present in a but not b (shape-checked).
+std::size_t pattern_difference_count(const Csr<pattern_t>& a,
+                                     const Csr<pattern_t>& b);
+
+/// Scale every stored value in place.
+void scale_values(Csr<float>& m, float factor);
+
+/// Sum of |v| over stored values.
+double abs_sum(const Csr<float>& m);
+
+/// Frobenius norm of stored values.
+double frobenius_norm(const Csr<float>& m);
+
+/// Stack vertically: [a; b] (column counts must match).
+template <typename T>
+Csr<T> vstack(const Csr<T>& a, const Csr<T>& b) {
+  RADIX_REQUIRE_DIM(a.cols() == b.cols(), "vstack: column mismatch");
+  std::vector<offset_t> rowptr;
+  rowptr.reserve(a.rows() + b.rows() + 1);
+  rowptr.insert(rowptr.end(), a.rowptr().begin(), a.rowptr().end());
+  for (std::size_t i = 1; i < b.rowptr().size(); ++i) {
+    rowptr.push_back(a.nnz() + b.rowptr()[i]);
+  }
+  std::vector<index_t> colind = a.colind();
+  colind.insert(colind.end(), b.colind().begin(), b.colind().end());
+  std::vector<T> val = a.values();
+  val.insert(val.end(), b.values().begin(), b.values().end());
+  return Csr<T>(a.rows() + b.rows(), a.cols(), std::move(rowptr),
+                std::move(colind), std::move(val));
+}
+
+/// Stack horizontally: [a, b] (row counts must match).
+template <typename T>
+Csr<T> hstack(const Csr<T>& a, const Csr<T>& b) {
+  RADIX_REQUIRE_DIM(a.rows() == b.rows(), "hstack: row mismatch");
+  std::vector<offset_t> rowptr(static_cast<std::size_t>(a.rows()) + 1, 0);
+  std::vector<index_t> colind;
+  std::vector<T> val;
+  colind.reserve(a.nnz() + b.nnz());
+  val.reserve(a.nnz() + b.nnz());
+  for (index_t r = 0; r < a.rows(); ++r) {
+    auto ac = a.row_cols(r);
+    auto av = a.row_vals(r);
+    for (std::size_t k = 0; k < ac.size(); ++k) {
+      colind.push_back(ac[k]);
+      val.push_back(av[k]);
+    }
+    auto bc = b.row_cols(r);
+    auto bv = b.row_vals(r);
+    for (std::size_t k = 0; k < bc.size(); ++k) {
+      colind.push_back(a.cols() + bc[k]);
+      val.push_back(bv[k]);
+    }
+    rowptr[r + 1] = colind.size();
+  }
+  return Csr<T>(a.rows(), a.cols() + b.cols(), std::move(rowptr),
+                std::move(colind), std::move(val));
+}
+
+}  // namespace radix

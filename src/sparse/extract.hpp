@@ -1,0 +1,55 @@
+// Submatrix extraction (GraphBLAS extract).
+//
+// Used by the analysis tooling to slice layers: contiguous row/column
+// windows and arbitrary row selections.  Indices in the result are
+// re-based to the window.
+#pragma once
+
+#include "sparse/csr.hpp"
+
+namespace radix {
+
+/// Rows [r0, r1) x cols [c0, c1) as a (r1-r0) x (c1-c0) matrix.
+template <typename T>
+Csr<T> extract_window(const Csr<T>& m, index_t r0, index_t r1, index_t c0,
+                      index_t c1) {
+  RADIX_REQUIRE_DIM(r0 <= r1 && r1 <= m.rows() && c0 <= c1 &&
+                        c1 <= m.cols(),
+                    "extract_window: bad range");
+  std::vector<offset_t> rowptr(static_cast<std::size_t>(r1 - r0) + 1, 0);
+  std::vector<index_t> colind;
+  std::vector<T> val;
+  for (index_t r = r0; r < r1; ++r) {
+    auto cols = m.row_cols(r);
+    auto vals = m.row_vals(r);
+    auto lo = std::lower_bound(cols.begin(), cols.end(), c0);
+    auto hi = std::lower_bound(cols.begin(), cols.end(), c1);
+    for (auto it = lo; it != hi; ++it) {
+      colind.push_back(*it - c0);
+      val.push_back(vals[static_cast<std::size_t>(it - cols.begin())]);
+    }
+    rowptr[r - r0 + 1] = colind.size();
+  }
+  return Csr<T>(r1 - r0, c1 - c0, std::move(rowptr), std::move(colind),
+                std::move(val));
+}
+
+/// Selected rows (in the given order, duplicates allowed), all columns.
+template <typename T>
+Csr<T> extract_rows(const Csr<T>& m, const std::vector<index_t>& rows) {
+  std::vector<offset_t> rowptr(rows.size() + 1, 0);
+  std::vector<index_t> colind;
+  std::vector<T> val;
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    RADIX_REQUIRE_DIM(rows[i] < m.rows(), "extract_rows: row out of range");
+    auto cols = m.row_cols(rows[i]);
+    auto vals = m.row_vals(rows[i]);
+    colind.insert(colind.end(), cols.begin(), cols.end());
+    val.insert(val.end(), vals.begin(), vals.end());
+    rowptr[i + 1] = colind.size();
+  }
+  return Csr<T>(static_cast<index_t>(rows.size()), m.cols(),
+                std::move(rowptr), std::move(colind), std::move(val));
+}
+
+}  // namespace radix

@@ -1,0 +1,39 @@
+// Plain-text serialization of sparse matrices and layer stacks.
+//
+// Format: Graph-Challenge-style TSV triples, one entry per line,
+// 1-based indices:
+//     row <tab> col <tab> value
+// A leading header line "%%shape rows cols" pins the matrix shape so that
+// trailing empty rows/columns round-trip.  Layer stacks are written one
+// file per layer plus an index file listing widths.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sparse/csr.hpp"
+
+namespace radix {
+
+/// Write a float CSR matrix as TSV triples.
+void write_tsv(const std::string& path, const Csr<float>& m);
+
+/// Write a pattern CSR matrix as TSV triples (value column = 1).
+void write_tsv(const std::string& path, const Csr<pattern_t>& m);
+
+/// Read a float CSR matrix written by write_tsv; throws IoError on parse
+/// failure.
+Csr<float> read_tsv_f32(const std::string& path);
+
+/// Read as a pure connectivity pattern (values ignored).
+Csr<pattern_t> read_tsv_pattern(const std::string& path);
+
+/// Serialize a stack of pattern layers to `<prefix>-layerK.tsv` plus a
+/// `<prefix>-meta.txt` listing layer count and shapes.
+void write_layer_stack(const std::string& prefix,
+                       const std::vector<Csr<pattern_t>>& layers);
+
+/// Read back a stack written by write_layer_stack.
+std::vector<Csr<pattern_t>> read_layer_stack(const std::string& prefix);
+
+}  // namespace radix

@@ -1,0 +1,20 @@
+// Explicit instantiations of the Kronecker kernels.
+#include "sparse/kron.hpp"
+
+#include "support/biguint.hpp"
+
+namespace radix {
+
+template Csr<pattern_t> kron(const Csr<pattern_t>&, const Csr<pattern_t>&);
+template Csr<float> kron(const Csr<float>&, const Csr<float>&);
+template Csr<double> kron(const Csr<double>&, const Csr<double>&);
+template Csr<BigUInt> kron(const Csr<BigUInt>&, const Csr<BigUInt>&);
+
+template Csr<pattern_t> kron_ones(index_t, index_t, const Csr<pattern_t>&);
+template Csr<float> kron_ones(index_t, index_t, const Csr<float>&);
+template Csr<double> kron_ones(index_t, index_t, const Csr<double>&);
+
+template Csr<pattern_t> kron_identity(index_t, const Csr<pattern_t>&);
+template Csr<float> kron_identity(index_t, const Csr<float>&);
+
+}  // namespace radix

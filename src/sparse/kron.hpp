@@ -1,0 +1,112 @@
+// Kronecker product of sparse matrices -- the final step of RadiX-Net
+// construction (eq. (3)):  W_i  <-  W*_i (x) W_i, where W*_i is the
+// D_{i-1} x D_i matrix of ones.
+//
+// Index convention (matches Van Loan [17] and the paper's Theorem 1
+// derivation): for A (m x n) and B (p x q),
+//   (A (x) B)[i*p + r][j*q + c] = A[i][j] * B[r][c].
+//
+// Two kernels are provided: the general sparse (x) sparse product, and a
+// fast path for ones(m, n) (x) B, which is the only shape the RadiX-Net
+// builder needs and avoids materializing the dense ones factor's index
+// arithmetic.
+#pragma once
+
+#include "sparse/csr.hpp"
+
+namespace radix {
+
+/// General Kronecker product over ordinary multiplication of T.
+template <typename T>
+Csr<T> kron(const Csr<T>& a, const Csr<T>& b) {
+  const index_t m = a.rows(), n = a.cols();
+  const index_t p = b.rows(), q = b.cols();
+  const std::size_t out_nnz = a.nnz() * b.nnz();
+  const index_t rows = m * p;
+  const index_t cols = n * q;
+
+  std::vector<offset_t> rowptr(static_cast<std::size_t>(rows) + 1, 0);
+  std::vector<index_t> colind(out_nnz);
+  std::vector<T> val(out_nnz);
+
+  // Row (i*p + r) has a.row_nnz(i) * b.row_nnz(r) entries.
+  for (index_t i = 0; i < m; ++i) {
+    const offset_t an = a.row_nnz(i);
+    for (index_t r = 0; r < p; ++r) {
+      rowptr[static_cast<std::size_t>(i) * p + r + 1] = an * b.row_nnz(r);
+    }
+  }
+  for (index_t row = 0; row < rows; ++row) rowptr[row + 1] += rowptr[row];
+
+  for (index_t i = 0; i < m; ++i) {
+    auto acols = a.row_cols(i);
+    auto avals = a.row_vals(i);
+    for (index_t r = 0; r < p; ++r) {
+      auto bcols = b.row_cols(r);
+      auto bvals = b.row_vals(r);
+      offset_t w = rowptr[static_cast<std::size_t>(i) * p + r];
+      // a's columns are sorted and b's columns are sorted, so emitting in
+      // (j, c) lexicographic order keeps the output row sorted because
+      // column index is j*q + c.
+      for (std::size_t ja = 0; ja < acols.size(); ++ja) {
+        const index_t base = acols[ja] * q;
+        for (std::size_t jb = 0; jb < bcols.size(); ++jb) {
+          colind[w] = base + bcols[jb];
+          val[w] = avals[ja] * bvals[jb];
+          ++w;
+        }
+      }
+    }
+  }
+  return Csr<T>(rows, cols, std::move(rowptr), std::move(colind),
+                std::move(val));
+}
+
+/// Fast path: ones(dr, dc) (x) B, with every implied one equal to
+/// `one_value`.  Equivalent to kron(Csr<T>::ones(dr, dc), b).
+template <typename T>
+Csr<T> kron_ones(index_t dr, index_t dc, const Csr<T>& b) {
+  const index_t p = b.rows(), q = b.cols();
+  const index_t rows = dr * p;
+  const index_t cols = dc * q;
+  const std::size_t out_nnz =
+      static_cast<std::size_t>(dr) * dc * b.nnz();
+
+  std::vector<offset_t> rowptr(static_cast<std::size_t>(rows) + 1, 0);
+  std::vector<index_t> colind(out_nnz);
+  std::vector<T> val(out_nnz);
+
+  for (index_t i = 0; i < dr; ++i)
+    for (index_t r = 0; r < p; ++r)
+      rowptr[static_cast<std::size_t>(i) * p + r + 1] =
+          static_cast<offset_t>(dc) * b.row_nnz(r);
+  for (index_t row = 0; row < rows; ++row) rowptr[row + 1] += rowptr[row];
+
+  for (index_t i = 0; i < dr; ++i) {
+    for (index_t r = 0; r < p; ++r) {
+      auto bcols = b.row_cols(r);
+      auto bvals = b.row_vals(r);
+      offset_t w = rowptr[static_cast<std::size_t>(i) * p + r];
+      for (index_t j = 0; j < dc; ++j) {
+        const index_t base = j * q;
+        for (std::size_t jb = 0; jb < bcols.size(); ++jb) {
+          colind[w] = base + bcols[jb];
+          val[w] = bvals[jb];
+          ++w;
+        }
+      }
+    }
+  }
+  return Csr<T>(rows, cols, std::move(rowptr), std::move(colind),
+                std::move(val));
+}
+
+/// Block-diagonal replication: identity(d) (x) B.  Used by the
+/// Graph-Challenge-style generator variant that replicates a topology
+/// without cross-connecting the copies.
+template <typename T>
+Csr<T> kron_identity(index_t d, const Csr<T>& b) {
+  return kron(Csr<T>::identity(d), b);
+}
+
+}  // namespace radix

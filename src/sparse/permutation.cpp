@@ -1,0 +1,63 @@
+#include "sparse/permutation.hpp"
+
+#include "support/error.hpp"
+
+namespace radix {
+
+Csr<pattern_t> cyclic_shift_pow(index_t n, std::uint64_t k) {
+  RADIX_REQUIRE(n > 0, "cyclic_shift_pow: n must be positive");
+  const index_t shift = static_cast<index_t>(k % n);
+  std::vector<offset_t> rowptr(static_cast<std::size_t>(n) + 1);
+  std::vector<index_t> colind(n);
+  std::vector<pattern_t> val(n, 1);
+  for (index_t r = 0; r <= n; ++r) rowptr[r] = r;
+  for (index_t r = 0; r < n; ++r) {
+    index_t c = r + shift;
+    if (c >= n) c -= n;
+    colind[r] = c;
+  }
+  return Csr<pattern_t>(n, n, std::move(rowptr), std::move(colind),
+                        std::move(val));
+}
+
+Csr<pattern_t> permutation_matrix(const std::vector<index_t>& perm) {
+  const index_t n = static_cast<index_t>(perm.size());
+  std::vector<bool> seen(n, false);
+  for (index_t c : perm) {
+    RADIX_REQUIRE(c < n, "permutation_matrix: target out of range");
+    RADIX_REQUIRE(!seen[c], "permutation_matrix: duplicate target");
+    seen[c] = true;
+  }
+  std::vector<offset_t> rowptr(static_cast<std::size_t>(n) + 1);
+  std::vector<pattern_t> val(n, 1);
+  for (index_t r = 0; r <= n; ++r) rowptr[r] = r;
+  return Csr<pattern_t>(n, n, std::move(rowptr), perm, std::move(val));
+}
+
+bool is_permutation_matrix(const Csr<pattern_t>& m) {
+  if (m.rows() != m.cols()) return false;
+  if (m.nnz() != m.rows()) return false;
+  std::vector<bool> seen(m.cols(), false);
+  for (index_t r = 0; r < m.rows(); ++r) {
+    if (m.row_nnz(r) != 1) return false;
+    const index_t c = m.row_cols(r)[0];
+    if (seen[c]) return false;
+    seen[c] = true;
+  }
+  return true;
+}
+
+Csr<pattern_t> compose_permutations(const Csr<pattern_t>& a,
+                                    const Csr<pattern_t>& b) {
+  RADIX_REQUIRE(is_permutation_matrix(a) && is_permutation_matrix(b),
+                "compose_permutations: operands must be permutations");
+  RADIX_REQUIRE_DIM(a.cols() == b.rows(),
+                    "compose_permutations: size mismatch");
+  std::vector<index_t> perm(a.rows());
+  for (index_t r = 0; r < a.rows(); ++r) {
+    perm[r] = b.row_cols(a.row_cols(r)[0])[0];
+  }
+  return permutation_matrix(perm);
+}
+
+}  // namespace radix

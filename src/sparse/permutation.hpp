@@ -1,0 +1,34 @@
+// Permutation matrices, specialized for the cyclic shifts of eq. (2).
+//
+// The paper builds mixed-radix adjacency submatrices as sums of powers of
+// a cyclic permutation matrix P (eq. (1)).  We adopt the convention
+//   P[r][(r + 1) mod n] = 1,
+// so that P^k maps node r to node (r + k) mod n, realizing the stated edge
+// rule "node j in U_{i-1} connects to node (j + n*nu_i) mod N' in U_i".
+// (The typeset matrix in the paper is ambiguous between this and its
+// transpose; both give isomorphic topologies.)
+#pragma once
+
+#include <vector>
+
+#include "sparse/csr.hpp"
+
+namespace radix {
+
+/// P^k for the n x n cyclic shift P; k is reduced mod n.
+Csr<pattern_t> cyclic_shift_pow(index_t n, std::uint64_t k);
+
+/// General permutation matrix: row r has its single 1 in column perm[r].
+/// perm must be a permutation of {0, ..., n-1}.
+Csr<pattern_t> permutation_matrix(const std::vector<index_t>& perm);
+
+/// True iff m is a permutation matrix (square, one 1 per row and column).
+bool is_permutation_matrix(const Csr<pattern_t>& m);
+
+/// Compose permutation matrices structurally: returns the permutation of
+/// a followed by b (i.e., the pattern of a*b). Both must be permutation
+/// matrices of equal size.
+Csr<pattern_t> compose_permutations(const Csr<pattern_t>& a,
+                                    const Csr<pattern_t>& b);
+
+}  // namespace radix

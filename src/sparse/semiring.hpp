@@ -1,0 +1,60 @@
+// GraphBLAS-style semirings.
+//
+// The paper's analysis is naturally expressed in linear algebra over
+// different semirings: adjacency composition is the boolean (or, and)
+// semiring, path counting is (plus, times) over arbitrary-precision
+// integers (Theorem 1), and conventional inference is (plus, times) over
+// float.  SpGEMM (sparse/spgemm.hpp) is templated on these structures.
+//
+// A semiring S over value type T provides:
+//   T zero()            additive identity (the implicit "no edge" value)
+//   T one()             multiplicative identity
+//   T add(T, T)         commutative, associative, identity zero()
+//   T mul(T, T)         associative, identity one(), annihilated by zero()
+#pragma once
+
+#include <algorithm>
+#include <limits>
+
+#include "support/biguint.hpp"
+
+namespace radix {
+
+/// Conventional arithmetic (+, *); used with float/double/BigUInt.
+template <typename T>
+struct PlusTimes {
+  using value_type = T;
+  static T zero() { return T{}; }
+  static T one() { return T{1}; }
+  static T add(const T& a, const T& b) { return a + b; }
+  static T mul(const T& a, const T& b) { return a * b; }
+};
+
+/// Boolean (or, and) over an integral carrier; values normalized to 0/1.
+template <typename T>
+struct OrAnd {
+  using value_type = T;
+  static T zero() { return T{0}; }
+  static T one() { return T{1}; }
+  static T add(const T& a, const T& b) { return (a || b) ? T{1} : T{0}; }
+  static T mul(const T& a, const T& b) { return (a && b) ? T{1} : T{0}; }
+};
+
+/// Tropical (min, +) semiring; distances / shortest hop counts.
+template <typename T>
+struct MinPlus {
+  using value_type = T;
+  static T zero() { return std::numeric_limits<T>::max(); }
+  static T one() { return T{0}; }
+  static T add(const T& a, const T& b) { return std::min(a, b); }
+  static T mul(const T& a, const T& b) {
+    // Saturating add so zero() stays absorbing.
+    if (a == zero() || b == zero()) return zero();
+    return a + b;
+  }
+};
+
+/// Path-count semiring: exact arithmetic over BigUInt.
+using CountSemiring = PlusTimes<BigUInt>;
+
+}  // namespace radix

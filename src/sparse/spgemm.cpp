@@ -1,0 +1,17 @@
+#include "sparse/spgemm.hpp"
+
+namespace radix {
+
+Csr<pattern_t> spgemm_bool(const Csr<pattern_t>& a, const Csr<pattern_t>& b) {
+  return spgemm<OrAnd<pattern_t>>(a, b);
+}
+
+Csr<BigUInt> spgemm_count(const Csr<BigUInt>& a, const Csr<BigUInt>& b) {
+  return spgemm<CountSemiring>(a, b);
+}
+
+Csr<float> spgemm_f32(const Csr<float>& a, const Csr<float>& b) {
+  return spgemm<PlusTimes<float>>(a, b);
+}
+
+}  // namespace radix

@@ -1,0 +1,112 @@
+// Sparse general matrix-matrix multiply (SpGEMM) over a semiring.
+//
+// Gustavson's row-wise algorithm with a sparse accumulator (SPA): for each
+// row i of A, scatter semiring products into a dense value buffer keyed by
+// a column marker array, then gather the touched columns in sorted order.
+// Rows are independent, so the symbolic+numeric pass parallelizes over
+// rows with OpenMP (two-phase: count, then fill).
+//
+// This single kernel powers three different computations in the library:
+//   * boolean closure (OrAnd)      -- path-connectedness checks,
+//   * exact path counting (BigUInt) -- Theorem 1 verification,
+//   * weighted composition (float)  -- effective linear maps.
+#pragma once
+
+#include <vector>
+
+#include "sparse/csr.hpp"
+#include "sparse/semiring.hpp"
+#include "support/error.hpp"
+#include "support/parallel.hpp"
+
+namespace radix {
+
+/// C = A (*) B over semiring SR.  A is m x k, B is k x n, C is m x n.
+template <typename SR, typename TA, typename TB>
+Csr<typename SR::value_type> spgemm(const Csr<TA>& a, const Csr<TB>& b) {
+  using TC = typename SR::value_type;
+  RADIX_REQUIRE_DIM(a.cols() == b.rows(),
+                    "spgemm: inner dimensions do not conform");
+  const index_t m = a.rows();
+  const index_t n = b.cols();
+
+  // Phase 1: per-row structural nnz via marker arrays (thread-private).
+  std::vector<offset_t> rowptr(static_cast<std::size_t>(m) + 1, 0);
+  {
+    std::vector<index_t> marker(n, static_cast<index_t>(-1));
+    for (index_t i = 0; i < m; ++i) {
+      offset_t count = 0;
+      for (offset_t ka = a.rowptr()[i]; ka < a.rowptr()[i + 1]; ++ka) {
+        const index_t j = a.colind()[ka];
+        for (offset_t kb = b.rowptr()[j]; kb < b.rowptr()[j + 1]; ++kb) {
+          const index_t c = b.colind()[kb];
+          if (marker[c] != i) {
+            marker[c] = i;
+            ++count;
+          }
+        }
+      }
+      rowptr[i + 1] = count;
+    }
+  }
+  for (index_t i = 0; i < m; ++i) rowptr[i + 1] += rowptr[i];
+
+  // Phase 2: numeric fill; rows are independent.
+  std::vector<index_t> colind(rowptr[m]);
+  std::vector<TC> values(rowptr[m], SR::zero());
+  parallel_for(
+      0, m,
+      [&](std::int64_t i64) {
+        const index_t i = static_cast<index_t>(i64);
+        // SPA local to the iteration: value accumulator + touched list.
+        thread_local std::vector<TC> acc;
+        thread_local std::vector<bool> occupied;
+        thread_local std::vector<index_t> touched;
+        if (acc.size() < n) {
+          acc.assign(n, SR::zero());
+          occupied.assign(n, false);
+        }
+        touched.clear();
+        for (offset_t ka = a.rowptr()[i]; ka < a.rowptr()[i + 1]; ++ka) {
+          const index_t j = a.colind()[ka];
+          const TC av = TC(a.values()[ka]);
+          for (offset_t kb = b.rowptr()[j]; kb < b.rowptr()[j + 1]; ++kb) {
+            const index_t c = b.colind()[kb];
+            const TC prod = SR::mul(av, TC(b.values()[kb]));
+            if (!occupied[c]) {
+              occupied[c] = true;
+              acc[c] = prod;
+              touched.push_back(c);
+            } else {
+              acc[c] = SR::add(acc[c], prod);
+            }
+          }
+        }
+        std::sort(touched.begin(), touched.end());
+        offset_t w = rowptr[i];
+        for (index_t c : touched) {
+          colind[w] = c;
+          values[w] = acc[c];
+          acc[c] = SR::zero();
+          occupied[c] = false;
+          ++w;
+        }
+        RADIX_ASSERT(w == rowptr[i + 1], "spgemm: fill does not match count");
+      },
+      /*grain=*/64);
+
+  return Csr<TC>(m, n, std::move(rowptr), std::move(colind),
+                 std::move(values));
+}
+
+/// Boolean product of two patterns: entry (i,j) is 1 iff a path i->j
+/// exists through the two layers.
+Csr<pattern_t> spgemm_bool(const Csr<pattern_t>& a, const Csr<pattern_t>& b);
+
+/// Exact path-count product over BigUInt.
+Csr<BigUInt> spgemm_count(const Csr<BigUInt>& a, const Csr<BigUInt>& b);
+
+/// Conventional float product.
+Csr<float> spgemm_f32(const Csr<float>& a, const Csr<float>& b);
+
+}  // namespace radix

@@ -1,0 +1,94 @@
+#include "sparse/spmm.hpp"
+
+#include "support/error.hpp"
+#include "support/parallel.hpp"
+
+namespace radix {
+
+void spmm_dense_csr(const float* x, index_t batch, index_t m,
+                    const Csr<float>& w, float* y) {
+  RADIX_REQUIRE_DIM(w.rows() == m, "spmm_dense_csr: inner dim mismatch");
+  const index_t n = w.cols();
+  const auto& rowptr = w.rowptr();
+  const auto& colind = w.colind();
+  const auto& vals = w.values();
+  parallel_for(
+      0, batch,
+      [&](std::int64_t b) {
+        const float* xb = x + static_cast<std::size_t>(b) * m;
+        float* yb = y + static_cast<std::size_t>(b) * n;
+        for (index_t r = 0; r < m; ++r) {
+          const float xv = xb[r];
+          if (xv == 0.0f) continue;  // activations are often sparse (ReLU)
+          for (offset_t k = rowptr[r]; k < rowptr[r + 1]; ++k) {
+            yb[colind[k]] += xv * vals[k];
+          }
+        }
+      },
+      /*grain=*/1);
+}
+
+void spmm_dense_csrT(const float* x, index_t batch, index_t n,
+                     const Csr<float>& w, float* y) {
+  RADIX_REQUIRE_DIM(w.cols() == n, "spmm_dense_csrT: inner dim mismatch");
+  const index_t m = w.rows();
+  const auto& rowptr = w.rowptr();
+  const auto& colind = w.colind();
+  const auto& vals = w.values();
+  parallel_for(
+      0, batch,
+      [&](std::int64_t b) {
+        const float* xb = x + static_cast<std::size_t>(b) * n;
+        float* yb = y + static_cast<std::size_t>(b) * m;
+        for (index_t r = 0; r < m; ++r) {
+          float acc = yb[r];
+          for (offset_t k = rowptr[r]; k < rowptr[r + 1]; ++k) {
+            acc += xb[colind[k]] * vals[k];
+          }
+          yb[r] = acc;
+        }
+      },
+      /*grain=*/1);
+}
+
+void spmv(const Csr<float>& w, const float* x, float* y) {
+  const auto& rowptr = w.rowptr();
+  const auto& colind = w.colind();
+  const auto& vals = w.values();
+  parallel_for(
+      0, w.rows(),
+      [&](std::int64_t r) {
+        float acc = 0.0f;
+        for (offset_t k = rowptr[r]; k < rowptr[r + 1]; ++k) {
+          acc += vals[k] * x[colind[k]];
+        }
+        y[r] = acc;
+      },
+      /*grain=*/4096);
+}
+
+void sddmm_pattern(const float* x, const float* dy, index_t batch,
+                   index_t m, index_t n, const Csr<float>& w,
+                   float* grad_values) {
+  RADIX_REQUIRE_DIM(w.rows() == m && w.cols() == n,
+                    "sddmm_pattern: shape mismatch");
+  const auto& rowptr = w.rowptr();
+  const auto& colind = w.colind();
+  // Parallel over pattern rows: each stored entry is written exactly once.
+  parallel_for(
+      0, m,
+      [&](std::int64_t r) {
+        for (offset_t k = rowptr[r]; k < rowptr[r + 1]; ++k) {
+          const index_t c = colind[k];
+          float acc = 0.0f;
+          for (index_t b = 0; b < batch; ++b) {
+            acc += x[static_cast<std::size_t>(b) * m + r] *
+                   dy[static_cast<std::size_t>(b) * n + c];
+          }
+          grad_values[k] += acc;
+        }
+      },
+      /*grain=*/64);
+}
+
+}  // namespace radix

@@ -1,0 +1,44 @@
+// Sparse x dense and dense x sparse multiply kernels.
+//
+// These are the inner loops of both the inference engine (infer/) and the
+// sparse NN layers (nn/):
+//
+//   spmm_dense_csr:  Y[b x n] = X[b x m] * W[m x n]   (W sparse)
+//     -- forward pass of a sparse linear layer: iterate W's rows r,
+//        scatter X[:, r] * w(r, c) into Y[:, c].  Parallel over batch.
+//
+//   spmm_dense_csrT: Y[b x m] = X[b x n] * W^T         (W sparse, m x n)
+//     -- backward pass (dX = dY * W^T) without materializing W^T:
+//        gather along W's rows.
+//
+// Dense operands are row-major float arrays (batch-major), matching
+// nn::Tensor's layout.
+#pragma once
+
+#include <cstddef>
+
+#include "sparse/csr.hpp"
+
+namespace radix {
+
+/// y[b*n + c] += sum_r x[b*m + r] * w(r, c);  y must be zero-initialized
+/// by the caller (or hold an accumuland).
+void spmm_dense_csr(const float* x, index_t batch, index_t m,
+                    const Csr<float>& w, float* y);
+
+/// y[b*m + r] += sum_c x[b*n + c] * w(r, c)   -- multiply by W^T.
+void spmm_dense_csrT(const float* x, index_t batch, index_t n,
+                     const Csr<float>& w, float* y);
+
+/// Sparse matrix times dense vector: y[r] = sum_c w(r,c) * x[c].
+void spmv(const Csr<float>& w, const float* x, float* y);
+
+/// Accumulate the outer-product gradient restricted to W's pattern:
+/// grad(r, c) += sum_b x[b*m + r] * dy[b*n + c] for every stored (r, c).
+/// `grad` must have the same pattern as `w` (values are written into the
+/// parallel value array `grad_values`).
+void sddmm_pattern(const float* x, const float* dy, index_t batch,
+                   index_t m, index_t n, const Csr<float>& w,
+                   float* grad_values);
+
+}  // namespace radix

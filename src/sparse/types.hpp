@@ -1,0 +1,18 @@
+// Shared index typedefs for the sparse substrate.
+//
+// 32-bit indices cover every topology this library targets (widths up to
+// tens of millions of nodes); row-pointer offsets are 64-bit so that edge
+// counts above 4G do not overflow.
+#pragma once
+
+#include <cstdint>
+
+namespace radix {
+
+using index_t = std::uint32_t;   ///< row / column index
+using offset_t = std::uint64_t;  ///< CSR row-pointer offset (edge count)
+
+/// Value type used for pure connectivity patterns (0/1 adjacency).
+using pattern_t = std::uint8_t;
+
+}  // namespace radix

@@ -1,0 +1,17 @@
+#include "sparse/vector.hpp"
+
+#include "support/biguint.hpp"
+
+namespace radix {
+
+SparseVec<pattern_t> frontier_step(const SparseVec<pattern_t>& frontier,
+                                   const Csr<pattern_t>& layer) {
+  return vxm<OrAnd<pattern_t>>(frontier, layer);
+}
+
+template class SparseVec<pattern_t>;
+template class SparseVec<float>;
+template class SparseVec<double>;
+template class SparseVec<BigUInt>;
+
+}  // namespace radix

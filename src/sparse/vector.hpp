@@ -1,0 +1,133 @@
+// Sparse vectors and vector-matrix products over semirings
+// (GraphBLAS-lite, in the spirit of the paper's references [10], [11]).
+//
+// A SparseVec is a sorted (index, value) list over a fixed dimension.
+// vxm computes w = v (*) A over a semiring -- one BFS/frontier step when
+// the semiring is boolean, one path-count propagation step over
+// PlusTimes<BigUInt>.  graph/analysis.cpp builds its per-node
+// reachability sweeps on top of this.
+#pragma once
+
+#include <vector>
+
+#include "sparse/csr.hpp"
+#include "sparse/semiring.hpp"
+
+namespace radix {
+
+template <typename T>
+class SparseVec {
+ public:
+  SparseVec() = default;
+  explicit SparseVec(index_t dim) : dim_(dim) {}
+
+  /// From entries; indices must be in range (any order, no duplicates).
+  SparseVec(index_t dim, std::vector<index_t> idx, std::vector<T> val)
+      : dim_(dim), idx_(std::move(idx)), val_(std::move(val)) {
+    RADIX_REQUIRE_DIM(idx_.size() == val_.size(),
+                      "SparseVec: index/value size mismatch");
+    canonicalize();
+  }
+
+  /// Singleton e_i * value.
+  static SparseVec unit(index_t dim, index_t i, T value = T{1}) {
+    RADIX_REQUIRE_DIM(i < dim, "SparseVec::unit: index out of range");
+    return SparseVec(dim, {i}, {value});
+  }
+
+  index_t dim() const noexcept { return dim_; }
+  std::size_t nnz() const noexcept { return idx_.size(); }
+  const std::vector<index_t>& indices() const noexcept { return idx_; }
+  const std::vector<T>& values() const noexcept { return val_; }
+
+  /// Value at i (T{} when absent).
+  T at(index_t i) const {
+    auto it = std::lower_bound(idx_.begin(), idx_.end(), i);
+    if (it == idx_.end() || *it != i) return T{};
+    return val_[static_cast<std::size_t>(it - idx_.begin())];
+  }
+
+  bool contains(index_t i) const {
+    return std::binary_search(idx_.begin(), idx_.end(), i);
+  }
+
+  std::vector<T> to_dense() const {
+    std::vector<T> out(dim_, T{});
+    for (std::size_t k = 0; k < idx_.size(); ++k) out[idx_[k]] = val_[k];
+    return out;
+  }
+
+  friend bool operator==(const SparseVec& a, const SparseVec& b) {
+    return a.dim_ == b.dim_ && a.idx_ == b.idx_ && a.val_ == b.val_;
+  }
+
+ private:
+  void canonicalize() {
+    std::vector<std::size_t> order(idx_.size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      return idx_[a] < idx_[b];
+    });
+    std::vector<index_t> idx(idx_.size());
+    std::vector<T> val(val_.size());
+    for (std::size_t i = 0; i < order.size(); ++i) {
+      idx[i] = idx_[order[i]];
+      val[i] = val_[order[i]];
+      RADIX_REQUIRE_DIM(idx[i] < dim_, "SparseVec: index out of range");
+      if (i > 0) {
+        RADIX_REQUIRE(idx[i - 1] != idx[i], "SparseVec: duplicate index");
+      }
+    }
+    idx_ = std::move(idx);
+    val_ = std::move(val);
+  }
+
+  index_t dim_ = 0;
+  std::vector<index_t> idx_;
+  std::vector<T> val_;
+};
+
+/// w = v (*) A over semiring SR: w[c] = add-reduce over r of
+/// mul(v[r], A(r, c)).  v.dim() must equal A.rows().
+template <typename SR, typename TV, typename TM>
+SparseVec<typename SR::value_type> vxm(const SparseVec<TV>& v,
+                                       const Csr<TM>& a) {
+  using TC = typename SR::value_type;
+  RADIX_REQUIRE_DIM(v.dim() == a.rows(), "vxm: dimension mismatch");
+  std::vector<TC> acc(a.cols(), SR::zero());
+  std::vector<bool> occupied(a.cols(), false);
+  std::vector<index_t> touched;
+  for (std::size_t k = 0; k < v.nnz(); ++k) {
+    const index_t r = v.indices()[k];
+    const TC vv = TC(v.values()[k]);
+    auto cols = a.row_cols(r);
+    auto vals = a.row_vals(r);
+    for (std::size_t j = 0; j < cols.size(); ++j) {
+      const index_t c = cols[j];
+      const TC prod = SR::mul(vv, TC(vals[j]));
+      if (!occupied[c]) {
+        occupied[c] = true;
+        acc[c] = prod;
+        touched.push_back(c);
+      } else {
+        acc[c] = SR::add(acc[c], prod);
+      }
+    }
+  }
+  std::sort(touched.begin(), touched.end());
+  std::vector<index_t> idx;
+  std::vector<TC> val;
+  idx.reserve(touched.size());
+  val.reserve(touched.size());
+  for (index_t c : touched) {
+    idx.push_back(c);
+    val.push_back(acc[c]);
+  }
+  return SparseVec<TC>(a.cols(), std::move(idx), std::move(val));
+}
+
+/// Boolean frontier step: nodes reachable in one hop from `frontier`.
+SparseVec<pattern_t> frontier_step(const SparseVec<pattern_t>& frontier,
+                                   const Csr<pattern_t>& layer);
+
+}  // namespace radix

@@ -1,0 +1,100 @@
+#include "support/args.hpp"
+
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace radix {
+
+void Args::add_flag(const std::string& name, const std::string& default_value,
+                    const std::string& help) {
+  RADIX_REQUIRE(!flags_.count(name), "Args: duplicate flag --" + name);
+  flags_[name] = Flag{default_value, help, false, false};
+}
+
+void Args::add_bool(const std::string& name, const std::string& help) {
+  RADIX_REQUIRE(!flags_.count(name), "Args: duplicate flag --" + name);
+  flags_[name] = Flag{"0", help, true, false};
+}
+
+void Args::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    std::string name = arg.substr(2);
+    std::string value;
+    bool has_value = false;
+    const auto eq = name.find('=');
+    if (eq != std::string::npos) {
+      value = name.substr(eq + 1);
+      name = name.substr(0, eq);
+      has_value = true;
+    }
+    auto it = flags_.find(name);
+    RADIX_REQUIRE(it != flags_.end(), "Args: unknown flag --" + name);
+    Flag& flag = it->second;
+    if (flag.is_bool) {
+      RADIX_REQUIRE(!has_value, "Args: boolean flag --" + name +
+                                    " does not take a value");
+      flag.value = "1";
+    } else {
+      if (!has_value) {
+        RADIX_REQUIRE(i + 1 < argc,
+                      "Args: flag --" + name + " needs a value");
+        value = argv[++i];
+      }
+      flag.value = value;
+    }
+    flag.seen = true;
+  }
+}
+
+std::string Args::get(const std::string& name) const {
+  auto it = flags_.find(name);
+  RADIX_REQUIRE(it != flags_.end(), "Args: undeclared flag --" + name);
+  return it->second.value;
+}
+
+std::int64_t Args::get_int(const std::string& name) const {
+  const std::string v = get(name);
+  try {
+    std::size_t used = 0;
+    const long long out = std::stoll(v, &used);
+    RADIX_REQUIRE(used == v.size(), "trailing characters");
+    return out;
+  } catch (const std::exception&) {
+    throw SpecError("Args: flag --" + name + " is not an integer: " + v);
+  }
+}
+
+double Args::get_double(const std::string& name) const {
+  const std::string v = get(name);
+  try {
+    std::size_t used = 0;
+    const double out = std::stod(v, &used);
+    RADIX_REQUIRE(used == v.size(), "trailing characters");
+    return out;
+  } catch (const std::exception&) {
+    throw SpecError("Args: flag --" + name + " is not a number: " + v);
+  }
+}
+
+bool Args::get_bool(const std::string& name) const {
+  return get(name) == "1";
+}
+
+std::string Args::usage(const std::string& program) const {
+  std::ostringstream os;
+  os << "usage: " << program << " [flags] [positional...]\n";
+  for (const auto& [name, flag] : flags_) {
+    os << "  --" << name;
+    if (!flag.is_bool) os << " <value=" << flag.value << ">";
+    os << "  " << flag.help << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace radix

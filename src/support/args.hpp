@@ -1,0 +1,48 @@
+// Minimal command-line flag parser for the examples and benches.
+//
+// Supports "--name value", "--name=value", and bare "--flag" booleans;
+// positional arguments are collected in order.  Unknown flags throw, so
+// typos surface immediately.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace radix {
+
+class Args {
+ public:
+  /// Declare flags before parsing; defaults double as documentation.
+  void add_flag(const std::string& name, const std::string& default_value,
+                const std::string& help);
+  void add_bool(const std::string& name, const std::string& help);
+
+  /// Parse argv; throws SpecError on unknown or malformed flags.
+  void parse(int argc, const char* const* argv);
+
+  std::string get(const std::string& name) const;
+  std::int64_t get_int(const std::string& name) const;
+  double get_double(const std::string& name) const;
+  bool get_bool(const std::string& name) const;
+
+  const std::vector<std::string>& positional() const noexcept {
+    return positional_;
+  }
+
+  /// Usage text assembled from the declarations.
+  std::string usage(const std::string& program) const;
+
+ private:
+  struct Flag {
+    std::string value;
+    std::string help;
+    bool is_bool = false;
+    bool seen = false;
+  };
+  std::map<std::string, Flag> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace radix

@@ -1,0 +1,146 @@
+#include "support/biguint.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+#include "support/error.hpp"
+
+namespace radix {
+
+BigUInt::BigUInt(std::uint64_t v) {
+  if (v != 0) {
+    limbs_.push_back(static_cast<std::uint32_t>(v & 0xffffffffu));
+    if (v >> 32) limbs_.push_back(static_cast<std::uint32_t>(v >> 32));
+  }
+}
+
+void BigUInt::trim() noexcept {
+  while (!limbs_.empty() && limbs_.back() == 0) limbs_.pop_back();
+}
+
+BigUInt& BigUInt::operator+=(const BigUInt& rhs) {
+  const std::size_t n = std::max(limbs_.size(), rhs.limbs_.size());
+  limbs_.resize(n, 0);
+  std::uint64_t carry = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    std::uint64_t sum = carry + limbs_[i];
+    if (i < rhs.limbs_.size()) sum += rhs.limbs_[i];
+    limbs_[i] = static_cast<std::uint32_t>(sum & 0xffffffffu);
+    carry = sum >> 32;
+  }
+  if (carry != 0) limbs_.push_back(static_cast<std::uint32_t>(carry));
+  return *this;
+}
+
+BigUInt& BigUInt::operator*=(const BigUInt& rhs) {
+  if (is_zero() || rhs.is_zero()) {
+    limbs_.clear();
+    return *this;
+  }
+  // Schoolbook multiply; operand sizes in this library stay tiny (a few
+  // hundred bits), so asymptotically smarter algorithms are not warranted.
+  std::vector<std::uint32_t> out(limbs_.size() + rhs.limbs_.size(), 0);
+  for (std::size_t i = 0; i < limbs_.size(); ++i) {
+    std::uint64_t carry = 0;
+    const std::uint64_t a = limbs_[i];
+    for (std::size_t j = 0; j < rhs.limbs_.size(); ++j) {
+      std::uint64_t cur = out[i + j] + a * rhs.limbs_[j] + carry;
+      out[i + j] = static_cast<std::uint32_t>(cur & 0xffffffffu);
+      carry = cur >> 32;
+    }
+    std::size_t k = i + rhs.limbs_.size();
+    while (carry != 0) {
+      std::uint64_t cur = out[k] + carry;
+      out[k] = static_cast<std::uint32_t>(cur & 0xffffffffu);
+      carry = cur >> 32;
+      ++k;
+    }
+  }
+  limbs_ = std::move(out);
+  trim();
+  return *this;
+}
+
+BigUInt BigUInt::pow(std::uint64_t e) const {
+  BigUInt result(1);
+  BigUInt base = *this;
+  while (e != 0) {
+    if (e & 1u) result *= base;
+    e >>= 1;
+    if (e != 0) base *= base;
+  }
+  return result;
+}
+
+bool operator<(const BigUInt& a, const BigUInt& b) noexcept {
+  if (a.limbs_.size() != b.limbs_.size())
+    return a.limbs_.size() < b.limbs_.size();
+  for (std::size_t i = a.limbs_.size(); i-- > 0;) {
+    if (a.limbs_[i] != b.limbs_[i]) return a.limbs_[i] < b.limbs_[i];
+  }
+  return false;
+}
+
+std::size_t BigUInt::bit_length() const noexcept {
+  if (limbs_.empty()) return 0;
+  std::uint32_t top = limbs_.back();
+  std::size_t bits = (limbs_.size() - 1) * 32;
+  while (top != 0) {
+    ++bits;
+    top >>= 1;
+  }
+  return bits;
+}
+
+std::uint64_t BigUInt::low_u64() const noexcept {
+  std::uint64_t v = 0;
+  if (!limbs_.empty()) v = limbs_[0];
+  if (limbs_.size() > 1) v |= static_cast<std::uint64_t>(limbs_[1]) << 32;
+  return v;
+}
+
+double BigUInt::to_double() const noexcept {
+  double v = 0.0;
+  for (std::size_t i = limbs_.size(); i-- > 0;) {
+    v = v * 4294967296.0 + static_cast<double>(limbs_[i]);
+  }
+  return v;
+}
+
+std::string BigUInt::to_decimal() const {
+  if (is_zero()) return "0";
+  std::vector<std::uint32_t> work = limbs_;
+  std::string digits;
+  while (!work.empty()) {
+    // Divide `work` by 10^9 in place; remainder becomes the next 9 digits.
+    std::uint64_t rem = 0;
+    for (std::size_t i = work.size(); i-- > 0;) {
+      std::uint64_t cur = (rem << 32) | work[i];
+      work[i] = static_cast<std::uint32_t>(cur / 1000000000u);
+      rem = cur % 1000000000u;
+    }
+    while (!work.empty() && work.back() == 0) work.pop_back();
+    std::string chunk = std::to_string(rem);
+    if (!work.empty()) chunk.insert(0, 9 - chunk.size(), '0');
+    digits.insert(0, chunk);
+  }
+  return digits;
+}
+
+BigUInt BigUInt::from_decimal(const std::string& s) {
+  RADIX_REQUIRE(!s.empty(), "BigUInt::from_decimal: empty string");
+  BigUInt v;
+  for (char c : s) {
+    RADIX_REQUIRE(c >= '0' && c <= '9',
+                  "BigUInt::from_decimal: non-digit character");
+    v *= BigUInt(10);
+    v += BigUInt(static_cast<std::uint64_t>(c - '0'));
+  }
+  return v;
+}
+
+std::ostream& operator<<(std::ostream& os, const BigUInt& v) {
+  return os << v.to_decimal();
+}
+
+}  // namespace radix

@@ -1,0 +1,80 @@
+// Arbitrary-precision unsigned integer.
+//
+// Theorem 1 of the paper states that a RadiX-Net has exactly
+// (N')^{M-1} * prod(D_i) paths between every input/output pair.  Even for
+// modest parameters (N' = 1024, M = 8) this overflows 64-bit arithmetic,
+// so exact verification of the theorem needs arbitrary precision.  The
+// path-counting semiring in graph/properties.cpp instantiates SpGEMM over
+// this type.
+//
+// The representation is a little-endian vector of 32-bit limbs with no
+// leading zero limbs (zero is the empty vector).  Only the operations the
+// library needs are provided: +, *, comparison, pow, decimal/hex
+// conversion, and doubling-friendly helpers.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace radix {
+
+class BigUInt {
+ public:
+  /// Zero.
+  BigUInt() = default;
+  /// From a 64-bit value.
+  BigUInt(std::uint64_t v);  // NOLINT(google-explicit-constructor) -- numeric literal ergonomics
+  /// Parse a base-10 string; throws SpecError on bad input.
+  static BigUInt from_decimal(const std::string& s);
+
+  bool is_zero() const noexcept { return limbs_.empty(); }
+
+  BigUInt& operator+=(const BigUInt& rhs);
+  BigUInt& operator*=(const BigUInt& rhs);
+  friend BigUInt operator+(BigUInt a, const BigUInt& b) { return a += b; }
+  friend BigUInt operator*(BigUInt a, const BigUInt& b) { return a *= b; }
+
+  /// this^e by square-and-multiply.
+  BigUInt pow(std::uint64_t e) const;
+
+  friend bool operator==(const BigUInt& a, const BigUInt& b) noexcept {
+    return a.limbs_ == b.limbs_;
+  }
+  friend bool operator!=(const BigUInt& a, const BigUInt& b) noexcept {
+    return !(a == b);
+  }
+  friend bool operator<(const BigUInt& a, const BigUInt& b) noexcept;
+  friend bool operator<=(const BigUInt& a, const BigUInt& b) noexcept {
+    return !(b < a);
+  }
+  friend bool operator>(const BigUInt& a, const BigUInt& b) noexcept {
+    return b < a;
+  }
+  friend bool operator>=(const BigUInt& a, const BigUInt& b) noexcept {
+    return !(a < b);
+  }
+
+  /// Number of significant bits (0 for zero).
+  std::size_t bit_length() const noexcept;
+
+  /// True iff the value fits in 64 bits.
+  bool fits_u64() const noexcept { return limbs_.size() <= 2; }
+  /// Low 64 bits (exact when fits_u64()).
+  std::uint64_t low_u64() const noexcept;
+
+  /// Approximate conversion to double (may lose precision; inf on overflow).
+  double to_double() const noexcept;
+
+  /// Base-10 representation.
+  std::string to_decimal() const;
+
+  friend std::ostream& operator<<(std::ostream& os, const BigUInt& v);
+
+ private:
+  void trim() noexcept;
+  std::vector<std::uint32_t> limbs_;  // little-endian base 2^32
+};
+
+}  // namespace radix

@@ -1,0 +1,71 @@
+// Typed error hierarchy for the radixnet library.
+//
+// All library-level precondition violations throw subclasses of
+// radix::Error so callers can distinguish "my spec is invalid"
+// (SpecError) from "these matrices do not conform" (DimensionError) from
+// "internal invariant broken" (InternalError).
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace radix {
+
+/// Base class of all exceptions thrown by this library.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// A user-supplied specification (radix systems, layer widths, layer
+/// parameters, ...) violates a documented precondition.
+class SpecError : public Error {
+ public:
+  explicit SpecError(const std::string& what) : Error("spec error: " + what) {}
+};
+
+/// Two operands have incompatible shapes.
+class DimensionError : public Error {
+ public:
+  explicit DimensionError(const std::string& what)
+      : Error("dimension error: " + what) {}
+};
+
+/// Input/output failure (file missing, parse error, ...).
+class IoError : public Error {
+ public:
+  explicit IoError(const std::string& what) : Error("io error: " + what) {}
+};
+
+/// An internal invariant that should be unreachable was violated.
+class InternalError : public Error {
+ public:
+  explicit InternalError(const std::string& what)
+      : Error("internal error: " + what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void throw_spec(const std::string& msg) {
+  throw SpecError(msg);
+}
+}  // namespace detail
+
+/// Check a user-facing precondition; throws SpecError on failure.
+#define RADIX_REQUIRE(cond, msg)                  \
+  do {                                            \
+    if (!(cond)) ::radix::detail::throw_spec(msg); \
+  } while (0)
+
+/// Check a shape precondition; throws DimensionError on failure.
+#define RADIX_REQUIRE_DIM(cond, msg)              \
+  do {                                            \
+    if (!(cond)) throw ::radix::DimensionError(msg); \
+  } while (0)
+
+/// Check an internal invariant; throws InternalError on failure.
+#define RADIX_ASSERT(cond, msg)                   \
+  do {                                            \
+    if (!(cond)) throw ::radix::InternalError(msg); \
+  } while (0)
+
+}  // namespace radix

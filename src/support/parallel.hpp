@@ -1,0 +1,71 @@
+// OpenMP-backed parallel loop helpers.
+//
+// All data-parallel kernels in the library funnel through parallel_for so
+// that builds without OpenMP degrade gracefully to serial execution and
+// the grain-size policy lives in one place.  Loop bodies must be free of
+// cross-iteration dependences; reductions go through parallel_reduce.
+#pragma once
+
+#include <cstdint>
+
+#if defined(_OPENMP)
+#include <omp.h>
+#endif
+
+namespace radix {
+
+/// Number of worker threads the runtime will use (1 when built serially).
+inline int hardware_threads() noexcept {
+#if defined(_OPENMP)
+  return omp_get_max_threads();
+#else
+  return 1;
+#endif
+}
+
+/// Parallel loop over [begin, end).  `body(i)` must be independent across
+/// iterations.  Small trip counts run serially to avoid fork overhead.
+template <typename Body>
+void parallel_for(std::int64_t begin, std::int64_t end, const Body& body,
+                  std::int64_t grain = 1024) {
+  const std::int64_t n = end - begin;
+  if (n <= 0) return;
+#if defined(_OPENMP)
+  if (n >= grain && omp_get_max_threads() > 1) {
+#pragma omp parallel for schedule(static)
+    for (std::int64_t i = begin; i < end; ++i) body(i);
+    return;
+  }
+#else
+  (void)grain;
+#endif
+  for (std::int64_t i = begin; i < end; ++i) body(i);
+}
+
+/// Parallel sum-reduction of `body(i)` over [begin, end).
+template <typename T, typename Body>
+T parallel_reduce_sum(std::int64_t begin, std::int64_t end, const Body& body,
+                      std::int64_t grain = 1024) {
+  T total{};
+  const std::int64_t n = end - begin;
+  if (n <= 0) return total;
+#if defined(_OPENMP)
+  if (n >= grain && omp_get_max_threads() > 1) {
+#pragma omp parallel
+    {
+      T local{};
+#pragma omp for schedule(static) nowait
+      for (std::int64_t i = begin; i < end; ++i) local += body(i);
+#pragma omp critical
+      total += local;
+    }
+    return total;
+  }
+#else
+  (void)grain;
+#endif
+  for (std::int64_t i = begin; i < end; ++i) total += body(i);
+  return total;
+}
+
+}  // namespace radix

@@ -1,0 +1,42 @@
+// Fixed-width ASCII table writer used by the experiment benches to print
+// paper-style result tables (rows of Fig 7, Theorem 1 sweeps, training
+// parity, ...).  Columns are sized to their widest cell; numeric cells are
+// right-aligned, text cells left-aligned.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace radix {
+
+class Table {
+ public:
+  /// Create a table with the given column headers.
+  explicit Table(std::vector<std::string> headers);
+
+  /// Append a row; must have exactly as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience cell formatters.
+  static std::string fmt(double v, int precision = 4);
+  static std::string fmt_sci(double v, int precision = 3);
+  static std::string fmt_pct(double v, int precision = 2);
+
+  std::size_t rows() const noexcept { return rows_.size(); }
+
+  /// Render with a header rule, e.g.
+  ///   mu  d   density
+  ///   --  --  -------
+  ///   2   3   0.25
+  void print(std::ostream& os) const;
+
+  /// Render as tab-separated values (for EXPERIMENTS.md ingestion).
+  void print_tsv(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace radix

@@ -1,0 +1,28 @@
+// Minimal wall-clock timer used by benches and throughput reporting.
+#pragma once
+
+#include <chrono>
+
+namespace radix {
+
+class Timer {
+ public:
+  Timer() noexcept : start_(clock::now()) {}
+
+  /// Restart the timer.
+  void reset() noexcept { start_ = clock::now(); }
+
+  /// Elapsed seconds since construction / last reset.
+  double seconds() const noexcept {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  /// Elapsed milliseconds.
+  double millis() const noexcept { return seconds() * 1e3; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace radix

@@ -1,0 +1,70 @@
+#include "xnet/cayley.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "sparse/coo.hpp"
+#include "support/error.hpp"
+
+namespace radix {
+
+Csr<pattern_t> cayley_circulant(index_t n, const std::vector<index_t>& s) {
+  RADIX_REQUIRE(n > 0, "cayley_circulant: n must be positive");
+  RADIX_REQUIRE(!s.empty(), "cayley_circulant: connection set is empty");
+  std::vector<index_t> offsets;
+  offsets.reserve(s.size());
+  for (index_t v : s) offsets.push_back(v % n);
+  std::sort(offsets.begin(), offsets.end());
+  offsets.erase(std::unique(offsets.begin(), offsets.end()), offsets.end());
+
+  Coo<pattern_t> coo(n, n);
+  coo.reserve(static_cast<std::size_t>(n) * offsets.size());
+  for (index_t r = 0; r < n; ++r) {
+    for (index_t off : offsets) {
+      index_t c = r + off;
+      if (c >= n) c -= n;
+      coo.push(r, c, 1);
+    }
+  }
+  return Csr<pattern_t>::from_coo(coo);
+}
+
+std::vector<index_t> cayley_generator_set(index_t n, index_t k, index_t g) {
+  RADIX_REQUIRE(n > 1 && k >= 1 && k <= n,
+                "cayley_generator_set: need 1 <= k <= n, n > 1");
+  if (std::gcd<std::uint64_t>(g, n) == 1 && g > 1) {
+    std::vector<index_t> s;
+    s.reserve(k);
+    s.push_back(0);
+    std::uint64_t cur = 1;
+    while (s.size() < k) {
+      if (std::find(s.begin(), s.end(), static_cast<index_t>(cur)) ==
+          s.end()) {
+        s.push_back(static_cast<index_t>(cur));
+      }
+      cur = (cur * g) % n;
+      if (cur == 1 && s.size() < k) {
+        // Generator's orbit exhausted; fill with consecutive offsets.
+        for (index_t v = 1; s.size() < k; ++v) {
+          if (std::find(s.begin(), s.end(), v % n) == s.end()) {
+            s.push_back(v % n);
+          }
+        }
+      }
+    }
+    return s;
+  }
+  std::vector<index_t> s(k);
+  std::iota(s.begin(), s.end(), 0);
+  return s;
+}
+
+Fnnt cayley_xnet(index_t n, index_t k, std::size_t layers) {
+  RADIX_REQUIRE(layers >= 1, "cayley_xnet: need at least one layer");
+  const auto s = cayley_generator_set(n, k);
+  const Csr<pattern_t> layer = cayley_circulant(n, s);
+  std::vector<Csr<pattern_t>> stack(layers, layer);
+  return Fnnt(std::move(stack));
+}
+
+}  // namespace radix

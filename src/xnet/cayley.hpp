@@ -1,0 +1,31 @@
+// Explicit X-Linear layers from Cayley graphs (Prabhu et al. [14]).
+//
+// The deterministic X-Net variant takes a group G of order n and a
+// connection (generator) set S, and connects node g to node g*s for every
+// s in S.  As the paper notes, this forces adjacent layers to have the
+// *same* number of nodes -- the restriction RadiX-Net removes.  We
+// implement the cyclic-group case (circulant layers), which is the
+// standard concrete instantiation: node r connects to (r + s) mod n for
+// s in S.
+#pragma once
+
+#include "graph/fnnt.hpp"
+
+namespace radix {
+
+/// Circulant Cayley layer on Z_n with connection set S (values taken
+/// mod n; duplicates collapse).
+Csr<pattern_t> cayley_circulant(index_t n, const std::vector<index_t>& s);
+
+/// Standard expander-style connection set of size k: powers of a
+/// multiplicative generator g modulo n, {1, g, g^2, ...} union {0}.
+/// Falls back to arithmetic offsets {0, 1, 2, ..., k-1} when n is not
+/// coprime with g.
+std::vector<index_t> cayley_generator_set(index_t n, index_t k,
+                                          index_t g = 3);
+
+/// A deterministic Cayley X-Net on `layers`+1 node layers of equal width
+/// n, in-degree |S| = k.
+Fnnt cayley_xnet(index_t n, index_t k, std::size_t layers);
+
+}  // namespace radix

@@ -1,0 +1,59 @@
+#include "xnet/er_sparse.hpp"
+
+#include "sparse/coo.hpp"
+#include "support/error.hpp"
+
+namespace radix {
+
+Csr<pattern_t> er_layer(index_t m, index_t n, double p, Rng& rng) {
+  RADIX_REQUIRE(m > 0 && n > 0, "er_layer: empty shape");
+  RADIX_REQUIRE(p >= 0.0 && p <= 1.0, "er_layer: p must be in [0, 1]");
+  std::vector<std::vector<index_t>> row_cols(m);
+  std::vector<index_t> col_degree(n, 0);
+  for (index_t r = 0; r < m; ++r) {
+    for (index_t c = 0; c < n; ++c) {
+      if (rng.bernoulli(p)) {
+        row_cols[r].push_back(c);
+        ++col_degree[c];
+      }
+    }
+  }
+  // Repair zero rows with one uniformly random target.
+  for (index_t r = 0; r < m; ++r) {
+    if (row_cols[r].empty()) {
+      const index_t c = static_cast<index_t>(rng.uniform(n));
+      row_cols[r].push_back(c);
+      ++col_degree[c];
+    }
+  }
+  // Repair zero columns with one uniformly random source (duplicates are
+  // collapsed by from_coo, so retry until a fresh edge is added).
+  for (index_t c = 0; c < n; ++c) {
+    while (col_degree[c] == 0) {
+      const index_t r = static_cast<index_t>(rng.uniform(m));
+      bool exists = false;
+      for (index_t cc : row_cols[r]) exists = exists || (cc == c);
+      if (!exists) {
+        row_cols[r].push_back(c);
+        ++col_degree[c];
+      }
+    }
+  }
+  Coo<pattern_t> coo(m, n);
+  for (index_t r = 0; r < m; ++r) {
+    for (index_t c : row_cols[r]) coo.push(r, c, 1);
+  }
+  return Csr<pattern_t>::from_coo(coo);
+}
+
+Fnnt er_fnnt(const std::vector<index_t>& widths, double p, Rng& rng) {
+  RADIX_REQUIRE(widths.size() >= 2, "er_fnnt: need at least two node layers");
+  std::vector<Csr<pattern_t>> layers;
+  layers.reserve(widths.size() - 1);
+  for (std::size_t i = 0; i + 1 < widths.size(); ++i) {
+    layers.push_back(er_layer(widths[i], widths[i + 1], p, rng));
+  }
+  return Fnnt(std::move(layers));
+}
+
+}  // namespace radix

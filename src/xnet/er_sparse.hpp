@@ -1,0 +1,21 @@
+// Erdős–Rényi sparse baseline.
+//
+// The weakest de-novo sparse construction: every edge present i.i.d.
+// with probability p.  Unlike RadiX-Net and X-Net it guarantees neither
+// path-connectedness nor regular degrees, so it serves as the control in
+// the training-parity experiment (E7).  Zero rows/columns are repaired
+// with one random edge each so the result is a valid FNNT layer.
+#pragma once
+
+#include "graph/fnnt.hpp"
+#include "support/random.hpp"
+
+namespace radix {
+
+/// m x n layer with i.i.d. edge probability p; zero rows/cols repaired.
+Csr<pattern_t> er_layer(index_t m, index_t n, double p, Rng& rng);
+
+/// Full ER FNNT over the given widths with uniform edge probability p.
+Fnnt er_fnnt(const std::vector<index_t>& widths, double p, Rng& rng);
+
+}  // namespace radix

@@ -1,0 +1,119 @@
+#include "xnet/random_regular.hpp"
+
+#include <algorithm>
+
+#include "sparse/coo.hpp"
+#include "support/error.hpp"
+
+namespace radix {
+
+Csr<pattern_t> random_regular_square(index_t n, index_t k, Rng& rng) {
+  RADIX_REQUIRE(n > 0 && k > 0 && k <= n,
+                "random_regular_square: need 0 < k <= n");
+  // Union of k pairwise-disjoint random permutations.  Rejection
+  // sampling of whole permutations has acceptance ~e^-j for the j-th
+  // round, so instead each round draws one random permutation and
+  // repairs conflicts (rows whose target is already used) by random
+  // transpositions -- each swap succeeds with probability ~(1 - k/n)^2,
+  // so the repair loop is fast for any k < n.
+  std::vector<std::vector<index_t>> targets(n);
+  auto conflicted = [&](index_t r, index_t c) {
+    return std::find(targets[r].begin(), targets[r].end(), c) !=
+           targets[r].end();
+  };
+  for (index_t j = 0; j < k; ++j) {
+    auto perm = rng.permutation(n);
+    std::uint64_t budget =
+        static_cast<std::uint64_t>(n) * 1000 + 100000;
+    for (index_t r = 0; r < n;) {
+      if (!conflicted(r, perm[r])) {
+        ++r;
+        continue;
+      }
+      RADIX_REQUIRE(budget-- > 0,
+                    "random_regular_square: repair budget exhausted "
+                    "(k too close to n?)");
+      const index_t s = static_cast<index_t>(rng.uniform(n));
+      if (s == r) continue;
+      if (!conflicted(r, perm[s]) && !conflicted(s, perm[r])) {
+        std::swap(perm[r], perm[s]);
+        // A swap can re-conflict an earlier row only at position s;
+        // restart scanning from min(r, s) to stay correct.
+        r = std::min(r, s);
+      }
+    }
+    for (index_t r = 0; r < n; ++r) targets[r].push_back(perm[r]);
+  }
+  Coo<pattern_t> coo(n, n);
+  coo.reserve(static_cast<std::size_t>(n) * k);
+  for (index_t r = 0; r < n; ++r) {
+    for (index_t c : targets[r]) coo.push(r, c, 1);
+  }
+  return Csr<pattern_t>::from_coo(coo);
+}
+
+Csr<pattern_t> random_regular_bipartite(index_t m, index_t n, index_t k,
+                                        Rng& rng) {
+  RADIX_REQUIRE(m > 0 && n > 0 && k > 0 && k <= m,
+                "random_regular_bipartite: need 0 < k <= m");
+  // Each column draws k distinct sources (partial Fisher-Yates).
+  std::vector<std::vector<index_t>> col_sources(n);
+  std::vector<index_t> pool(m);
+  for (index_t i = 0; i < m; ++i) pool[i] = i;
+  std::vector<index_t> out_degree(m, 0);
+  for (index_t c = 0; c < n; ++c) {
+    for (index_t j = 0; j < k; ++j) {
+      const index_t pick =
+          j + static_cast<index_t>(rng.uniform(m - j));
+      std::swap(pool[j], pool[pick]);
+    }
+    col_sources[c].assign(pool.begin(), pool.begin() + k);
+    for (index_t r : col_sources[c]) ++out_degree[r];
+  }
+  // Repair zero-out-degree rows: replace, in some column, a source whose
+  // out-degree exceeds 1 with the orphan row.
+  for (index_t r = 0; r < m; ++r) {
+    if (out_degree[r] != 0) continue;
+    bool repaired = false;
+    for (index_t c = 0; c < n && !repaired; ++c) {
+      for (index_t& s : col_sources[c]) {
+        if (out_degree[s] > 1 &&
+            std::find(col_sources[c].begin(), col_sources[c].end(), r) ==
+                col_sources[c].end()) {
+          --out_degree[s];
+          s = r;
+          ++out_degree[r];
+          repaired = true;
+          break;
+        }
+      }
+    }
+    RADIX_REQUIRE(repaired,
+                  "random_regular_bipartite: cannot repair zero row "
+                  "(n*k < m?)");
+  }
+  Coo<pattern_t> coo(m, n);
+  coo.reserve(static_cast<std::size_t>(n) * k);
+  for (index_t c = 0; c < n; ++c) {
+    for (index_t r : col_sources[c]) coo.push(r, c, 1);
+  }
+  return Csr<pattern_t>::from_coo(coo);
+}
+
+Fnnt random_xnet(const std::vector<index_t>& widths, index_t k, Rng& rng) {
+  RADIX_REQUIRE(widths.size() >= 2,
+                "random_xnet: need at least two node layers");
+  std::vector<Csr<pattern_t>> layers;
+  layers.reserve(widths.size() - 1);
+  for (std::size_t i = 0; i + 1 < widths.size(); ++i) {
+    if (widths[i] == widths[i + 1]) {
+      layers.push_back(random_regular_square(widths[i], k, rng));
+    } else {
+      layers.push_back(random_regular_bipartite(
+          widths[i], widths[i + 1], std::min<index_t>(k, widths[i]), rng));
+    }
+  }
+  return Fnnt(std::move(layers));
+}
+
+}  // namespace radix

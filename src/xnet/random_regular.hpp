@@ -1,0 +1,36 @@
+// Random X-Linear layers (Prabhu et al. [14]).
+//
+// X-Nets build sparse layers from expander graphs.  The *random* variant
+// samples a bipartite graph where every output node has in-degree exactly
+// k; path-connectedness then holds with high probability (but not
+// deterministically -- the property RadiX-Net improves on).
+//
+// Two samplers are provided:
+//   * random_regular_square: union of k distinct random permutation
+//     matrices on n nodes -- in-degree and out-degree are both exactly k
+//     (a random k-regular bipartite multigraph with collisions resampled);
+//   * random_regular_bipartite: m x n layer where each output column
+//     picks k distinct sources uniformly; rows with out-degree 0 are
+//     repaired by stealing from the highest-degree source.
+#pragma once
+
+#include "graph/fnnt.hpp"
+#include "support/random.hpp"
+
+namespace radix {
+
+/// Union of k random permutations on n nodes; exactly k in/out degree.
+/// Distinctness of the k permutations' images per row is enforced by
+/// resampling, so the result has exactly n*k edges.
+Csr<pattern_t> random_regular_square(index_t n, index_t k, Rng& rng);
+
+/// m x n bipartite layer, each column with in-degree exactly k (k <= m);
+/// zero rows repaired so the result is a valid FNNT layer.
+Csr<pattern_t> random_regular_bipartite(index_t m, index_t n, index_t k,
+                                        Rng& rng);
+
+/// A full random X-Net FNNT over the given node widths with per-layer
+/// in-degree k.
+Fnnt random_xnet(const std::vector<index_t>& widths, index_t k, Rng& rng);
+
+}  // namespace radix

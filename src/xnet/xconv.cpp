@@ -1,0 +1,90 @@
+#include "xnet/xconv.hpp"
+
+#include "sparse/coo.hpp"
+#include "support/error.hpp"
+
+namespace radix {
+
+index_t conv_out_dim(index_t in, index_t k, index_t stride, index_t pad) {
+  RADIX_REQUIRE(stride >= 1, "conv: stride must be >= 1");
+  RADIX_REQUIRE(k >= 1, "conv: kernel must be >= 1");
+  const std::int64_t padded =
+      static_cast<std::int64_t>(in) + 2 * static_cast<std::int64_t>(pad);
+  RADIX_REQUIRE(padded >= static_cast<std::int64_t>(k),
+                "conv: kernel larger than padded input");
+  return static_cast<index_t>((padded - k) / stride + 1);
+}
+
+Csr<pattern_t> conv1d_pattern(index_t n, index_t taps, index_t stride,
+                              index_t pad) {
+  RADIX_REQUIRE(n >= 1, "conv1d_pattern: empty input");
+  const index_t out = conv_out_dim(n, taps, stride, pad);
+  Coo<pattern_t> coo(n, out);
+  coo.reserve(static_cast<std::size_t>(out) * taps);
+  for (index_t o = 0; o < out; ++o) {
+    const std::int64_t start =
+        static_cast<std::int64_t>(o) * stride - pad;
+    for (index_t t = 0; t < taps; ++t) {
+      const std::int64_t src = start + t;
+      if (src >= 0 && src < static_cast<std::int64_t>(n)) {
+        coo.push(static_cast<index_t>(src), o, 1);
+      }
+    }
+  }
+  return Csr<pattern_t>::from_coo(coo);
+}
+
+Csr<pattern_t> conv2d_pattern(index_t rows, index_t cols, index_t kh,
+                              index_t kw, index_t stride, index_t pad) {
+  RADIX_REQUIRE(rows >= 1 && cols >= 1, "conv2d_pattern: empty input");
+  const index_t out_r = conv_out_dim(rows, kh, stride, pad);
+  const index_t out_c = conv_out_dim(cols, kw, stride, pad);
+  Coo<pattern_t> coo(rows * cols, out_r * out_c);
+  coo.reserve(static_cast<std::size_t>(out_r) * out_c * kh * kw);
+  for (index_t orow = 0; orow < out_r; ++orow) {
+    for (index_t ocol = 0; ocol < out_c; ++ocol) {
+      const index_t dst = orow * out_c + ocol;
+      const std::int64_t r0 =
+          static_cast<std::int64_t>(orow) * stride - pad;
+      const std::int64_t c0 =
+          static_cast<std::int64_t>(ocol) * stride - pad;
+      for (index_t dr = 0; dr < kh; ++dr) {
+        for (index_t dc = 0; dc < kw; ++dc) {
+          const std::int64_t r = r0 + dr;
+          const std::int64_t c = c0 + dc;
+          if (r >= 0 && r < static_cast<std::int64_t>(rows) && c >= 0 &&
+              c < static_cast<std::int64_t>(cols)) {
+            coo.push(static_cast<index_t>(r * cols + c), dst, 1);
+          }
+        }
+      }
+    }
+  }
+  return Csr<pattern_t>::from_coo(coo);
+}
+
+Fnnt conv_tower(index_t rows, index_t cols, index_t k, index_t stride,
+                index_t pad, std::size_t max_layers) {
+  RADIX_REQUIRE(max_layers >= 1, "conv_tower: need at least one layer");
+  std::vector<Csr<pattern_t>> layers;
+  index_t r = rows, c = cols;
+  for (std::size_t i = 0; i < max_layers; ++i) {
+    const std::int64_t padded_r =
+        static_cast<std::int64_t>(r) + 2 * static_cast<std::int64_t>(pad);
+    const std::int64_t padded_c =
+        static_cast<std::int64_t>(c) + 2 * static_cast<std::int64_t>(pad);
+    if (padded_r < static_cast<std::int64_t>(k) ||
+        padded_c < static_cast<std::int64_t>(k)) {
+      break;
+    }
+    layers.push_back(conv2d_pattern(r, c, k, k, stride, pad));
+    r = conv_out_dim(r, k, stride, pad);
+    c = conv_out_dim(c, k, stride, pad);
+    if (r == 0 || c == 0) break;
+  }
+  RADIX_REQUIRE(!layers.empty(),
+                "conv_tower: geometry admits no layers");
+  return Fnnt(std::move(layers));
+}
+
+}  // namespace radix

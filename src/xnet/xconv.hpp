@@ -1,0 +1,40 @@
+// Structured-sparse convolutional patterns (the X-Conv lineage).
+//
+// X-Nets [14] pair their sparse fully-connected replacement (X-Linear)
+// with a sparse convolution replacement (X-Conv).  A convolution *is* a
+// structured sparse matrix: flattening the input grid row-major, the
+// layer connecting an H x W grid to its stride-s output grid has one
+// edge per (output pixel, kernel tap) pair.  These generators emit that
+// pattern as a Csr<pattern_t>, so nn::SparseLinear can train
+// convolution-shaped layers with no dedicated conv kernel -- exactly the
+// "conv as sparse matrix" view of the paper's GraphBLAS lineage.
+#pragma once
+
+#include "graph/fnnt.hpp"
+
+namespace radix {
+
+/// 1-D convolution pattern: inputs 0..n-1, outputs at stride `stride`,
+/// kernel of `taps` contiguous taps; `pad` zeros implied on each edge
+/// (edges to out-of-range taps are simply absent).  Output size is
+/// (n + 2*pad - taps) / stride + 1; all parameters must make it >= 1.
+Csr<pattern_t> conv1d_pattern(index_t n, index_t taps, index_t stride = 1,
+                              index_t pad = 0);
+
+/// 2-D convolution pattern over a flattened (rows x cols) grid with a
+/// (kh x kw) kernel; row-major flattening, same padding semantics.
+/// Returns the (rows*cols) x (out_rows*out_cols) layer pattern.
+Csr<pattern_t> conv2d_pattern(index_t rows, index_t cols, index_t kh,
+                              index_t kw, index_t stride = 1,
+                              index_t pad = 0);
+
+/// Output grid dimension helper for the 2-D pattern.
+index_t conv_out_dim(index_t in, index_t k, index_t stride, index_t pad);
+
+/// A "conv tower": stacked conv2d patterns (all same kernel/stride) from
+/// a (rows x cols) grid down as far as the geometry allows, at most
+/// `max_layers` layers.  Returns a valid FNNT.
+Fnnt conv_tower(index_t rows, index_t cols, index_t k, index_t stride,
+                index_t pad, std::size_t max_layers);
+
+}  // namespace radix

@@ -1,0 +1,88 @@
+// CLI flag parser.
+#include "support/args.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/error.hpp"
+
+namespace radix {
+namespace {
+
+Args make_args() {
+  Args args;
+  args.add_flag("width", "1024", "layer width");
+  args.add_flag("rate", "0.5", "drop rate");
+  args.add_bool("verbose", "chatty output");
+  return args;
+}
+
+void parse(Args& args, std::vector<const char*> argv) {
+  argv.insert(argv.begin(), "prog");
+  args.parse(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Args, DefaultsApplyWhenUnset) {
+  Args args = make_args();
+  parse(args, {});
+  EXPECT_EQ(args.get("width"), "1024");
+  EXPECT_EQ(args.get_int("width"), 1024);
+  EXPECT_DOUBLE_EQ(args.get_double("rate"), 0.5);
+  EXPECT_FALSE(args.get_bool("verbose"));
+}
+
+TEST(Args, SpaceAndEqualsForms) {
+  Args args = make_args();
+  parse(args, {"--width", "64", "--rate=0.25"});
+  EXPECT_EQ(args.get_int("width"), 64);
+  EXPECT_DOUBLE_EQ(args.get_double("rate"), 0.25);
+}
+
+TEST(Args, BooleanFlags) {
+  Args args = make_args();
+  parse(args, {"--verbose"});
+  EXPECT_TRUE(args.get_bool("verbose"));
+  Args args2 = make_args();
+  EXPECT_THROW(parse(args2, {"--verbose=1"}), SpecError);
+}
+
+TEST(Args, PositionalCollected) {
+  Args args = make_args();
+  parse(args, {"input.tsv", "--width", "8", "output.tsv"});
+  EXPECT_EQ(args.positional(),
+            (std::vector<std::string>{"input.tsv", "output.tsv"}));
+}
+
+TEST(Args, UnknownAndMalformedRejected) {
+  Args args = make_args();
+  EXPECT_THROW(parse(args, {"--nope", "3"}), SpecError);
+  Args args2 = make_args();
+  EXPECT_THROW(parse(args2, {"--width"}), SpecError);  // missing value
+  Args args3 = make_args();
+  parse(args3, {"--width", "abc"});
+  EXPECT_THROW(args3.get_int("width"), SpecError);
+  EXPECT_THROW(args3.get_double("width"), SpecError);
+}
+
+TEST(Args, DuplicateDeclarationRejected) {
+  Args args;
+  args.add_flag("x", "1", "");
+  EXPECT_THROW(args.add_flag("x", "2", ""), SpecError);
+  EXPECT_THROW(args.add_bool("x", ""), SpecError);
+}
+
+TEST(Args, UndeclaredQueryRejected) {
+  Args args = make_args();
+  parse(args, {});
+  EXPECT_THROW(args.get("ghost"), SpecError);
+}
+
+TEST(Args, UsageListsFlags) {
+  Args args = make_args();
+  const std::string u = args.usage("demo");
+  EXPECT_NE(u.find("--width"), std::string::npos);
+  EXPECT_NE(u.find("layer width"), std::string::npos);
+  EXPECT_NE(u.find("demo"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace radix

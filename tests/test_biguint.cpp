@@ -1,0 +1,149 @@
+// Unit tests for the arbitrary-precision integer used in Theorem 1
+// verification.
+#include "support/biguint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace radix {
+namespace {
+
+TEST(BigUInt, DefaultIsZero) {
+  BigUInt z;
+  EXPECT_TRUE(z.is_zero());
+  EXPECT_EQ(z.to_decimal(), "0");
+  EXPECT_EQ(z.bit_length(), 0u);
+  EXPECT_EQ(z.low_u64(), 0u);
+}
+
+TEST(BigUInt, SmallValuesRoundTrip) {
+  for (std::uint64_t v : {0ull, 1ull, 2ull, 9ull, 10ull, 123456789ull,
+                          0xffffffffull, 0x100000000ull,
+                          0xffffffffffffffffull}) {
+    BigUInt b(v);
+    EXPECT_EQ(b.to_decimal(), std::to_string(v)) << v;
+    EXPECT_EQ(b.low_u64(), v);
+    EXPECT_TRUE(b.fits_u64());
+  }
+}
+
+TEST(BigUInt, AdditionMatchesU64) {
+  const std::uint64_t a = 0x123456789abcdefull;
+  const std::uint64_t b = 0xfedcba987654321ull;
+  EXPECT_EQ((BigUInt(a) + BigUInt(b)).low_u64(), a + b);
+}
+
+TEST(BigUInt, AdditionCarriesAcrossLimbs) {
+  BigUInt a(0xffffffffffffffffull);
+  BigUInt one(1);
+  BigUInt sum = a + one;
+  EXPECT_EQ(sum.to_decimal(), "18446744073709551616");  // 2^64
+  EXPECT_FALSE(sum.fits_u64());
+  EXPECT_EQ(sum.bit_length(), 65u);
+}
+
+TEST(BigUInt, MultiplicationMatchesU64) {
+  const std::uint64_t a = 0xabcdef12ull;
+  const std::uint64_t b = 0x12345678ull;
+  EXPECT_EQ((BigUInt(a) * BigUInt(b)).low_u64(), a * b);
+}
+
+TEST(BigUInt, MultiplyByZeroIsZero) {
+  BigUInt big = BigUInt(123456789).pow(5);
+  EXPECT_TRUE((big * BigUInt(0)).is_zero());
+  EXPECT_TRUE((BigUInt(0) * big).is_zero());
+}
+
+TEST(BigUInt, PowKnownValues) {
+  EXPECT_EQ(BigUInt(2).pow(10).to_decimal(), "1024");
+  EXPECT_EQ(BigUInt(2).pow(64).to_decimal(), "18446744073709551616");
+  EXPECT_EQ(BigUInt(10).pow(20).to_decimal(), "100000000000000000000");
+  EXPECT_EQ(BigUInt(7).pow(0).to_decimal(), "1");
+  EXPECT_EQ(BigUInt(0).pow(0).to_decimal(), "1");  // convention: empty product
+  EXPECT_TRUE(BigUInt(0).pow(3).is_zero());
+}
+
+// The exact quantity Theorem 1 needs: (N')^(M-1) * prod(D_i).
+TEST(BigUInt, Theorem1ScaleValue) {
+  BigUInt m = BigUInt(1024).pow(7);  // N'=1024, M=8 systems
+  for (std::uint64_t d : {3ull, 5ull, 4ull, 2ull}) m *= BigUInt(d);
+  // 1024^7 * 120 = 2^70 * 120
+  EXPECT_EQ(m.to_decimal(), "141670994486089356410880");
+}
+
+TEST(BigUInt, ComparisonTotalOrder) {
+  BigUInt a(100), b(200);
+  BigUInt big = BigUInt(2).pow(100);
+  EXPECT_LT(a, b);
+  EXPECT_LE(a, a);
+  EXPECT_GT(big, b);
+  EXPECT_GE(big, big);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(a, BigUInt(100));
+}
+
+TEST(BigUInt, FromDecimalRoundTrip) {
+  const std::string s = "123456789012345678901234567890";
+  EXPECT_EQ(BigUInt::from_decimal(s).to_decimal(), s);
+  EXPECT_EQ(BigUInt::from_decimal("0").to_decimal(), "0");
+  EXPECT_EQ(BigUInt::from_decimal("007").to_decimal(), "7");
+}
+
+TEST(BigUInt, FromDecimalRejectsGarbage) {
+  EXPECT_THROW(BigUInt::from_decimal(""), SpecError);
+  EXPECT_THROW(BigUInt::from_decimal("12a3"), SpecError);
+  EXPECT_THROW(BigUInt::from_decimal("-5"), SpecError);
+}
+
+TEST(BigUInt, ToDoubleApproximation) {
+  EXPECT_DOUBLE_EQ(BigUInt(1000).to_double(), 1000.0);
+  const double big = BigUInt(2).pow(100).to_double();
+  EXPECT_NEAR(big, std::pow(2.0, 100.0), std::pow(2.0, 100.0) * 1e-12);
+}
+
+TEST(BigUInt, StreamOperator) {
+  std::ostringstream os;
+  os << BigUInt(2).pow(70);
+  EXPECT_EQ(os.str(), "1180591620717411303424");
+}
+
+// Property sweep: (a + b) * c == a*c + b*c over a grid of magnitudes.
+class BigUIntDistributivity
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(BigUIntDistributivity, Holds) {
+  const auto [pa, pb, pc] = GetParam();
+  const BigUInt a = BigUInt(3).pow(pa);
+  const BigUInt b = BigUInt(7).pow(pb);
+  const BigUInt c = BigUInt(11).pow(pc);
+  EXPECT_EQ((a + b) * c, a * c + b * c);
+  EXPECT_EQ(a * b, b * a);
+  EXPECT_EQ((a * b) * c, a * (b * c));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, BigUIntDistributivity,
+    ::testing::Combine(::testing::Values(0, 1, 17, 40),
+                       ::testing::Values(0, 2, 23),
+                       ::testing::Values(1, 31)));
+
+// pow must agree with repeated multiplication.
+class BigUIntPow : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BigUIntPow, MatchesRepeatedMultiplication) {
+  const std::uint64_t e = GetParam();
+  BigUInt expected(1);
+  for (std::uint64_t i = 0; i < e; ++i) expected *= BigUInt(13);
+  EXPECT_EQ(BigUInt(13).pow(e), expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, BigUIntPow,
+                         ::testing::Values(0u, 1u, 2u, 5u, 16u, 33u, 64u));
+
+}  // namespace
+}  // namespace radix

@@ -1,0 +1,117 @@
+// Activation census and the dense inference oracle.
+#include "infer/census.hpp"
+
+#include <gtest/gtest.h>
+
+#include "infer/sparse_dnn.hpp"
+#include "radixnet/graph_challenge.hpp"
+#include "support/error.hpp"
+#include "support/random.hpp"
+
+namespace radix {
+namespace {
+
+std::vector<Csr<float>> small_layers(Rng& rng) {
+  auto make = [&](index_t m, index_t n) {
+    Coo<float> coo(m, n);
+    for (index_t r = 0; r < m; ++r) {
+      for (index_t c = 0; c < n; ++c) {
+        if (rng.bernoulli(0.5)) {
+          coo.push(r, c, static_cast<float>(rng.uniform(-0.4, 0.6)));
+        }
+      }
+    }
+    return Csr<float>::from_coo(coo);
+  };
+  return {make(10, 8), make(8, 6)};
+}
+
+TEST(Census, AgreesWithEngineAndOracle) {
+  Rng rng(1);
+  const auto layers = small_layers(rng);
+  const std::vector<float> biases = {-0.02f, 0.01f};
+  const index_t batch = 4;
+  std::vector<float> x(batch * 10);
+  for (auto& v : x) v = static_cast<float>(rng.uniform(0.0, 1.0));
+
+  infer::SparseDnn engine(layers, biases, 2.0f);
+  const auto y_engine = engine.forward(x, batch);
+  const auto y_oracle =
+      infer::dense_reference_forward(layers, biases, 2.0f, x, batch);
+  ASSERT_EQ(y_engine.size(), y_oracle.size());
+  for (std::size_t i = 0; i < y_engine.size(); ++i) {
+    EXPECT_NEAR(y_engine[i], y_oracle[i], 1e-4f);
+  }
+
+  const auto census =
+      infer::activation_census(layers, biases, 2.0f, x, batch);
+  ASSERT_EQ(census.size(), 2u);
+  // Final layer census must describe the engine output.
+  std::uint64_t nnz = 0;
+  float mx = 0.0f;
+  for (float v : y_engine) {
+    if (v != 0.0f) ++nnz;
+    mx = std::max(mx, v);
+  }
+  EXPECT_EQ(census.back().nonzero_activations, nnz);
+  EXPECT_FLOAT_EQ(census.back().max_activation, mx);
+  EXPECT_EQ(census.back().layer, 1u);
+}
+
+TEST(Census, LiveRowCountsMonotoneUnderDeath) {
+  // A strongly negative bias kills everything at the first layer.
+  Rng rng(2);
+  const auto layers = small_layers(rng);
+  const std::vector<float> biases = {-100.0f, 0.0f};
+  std::vector<float> x(2 * 10, 1.0f);
+  const auto census =
+      infer::activation_census(layers, biases, 0.0f, x, 2);
+  EXPECT_EQ(census[0].nonzero_activations, 0u);
+  EXPECT_EQ(census[0].live_rows, 0u);
+  EXPECT_EQ(census[1].nonzero_activations, 0u);
+}
+
+TEST(Census, ClampBoundsMaxActivation) {
+  Coo<float> coo(1, 1);
+  coo.push(0, 0, 100.0f);
+  const std::vector<Csr<float>> layers = {Csr<float>::from_coo(coo)};
+  const std::vector<float> x = {1.0f};
+  const auto census = infer::activation_census(
+      layers, {0.0f}, /*clamp=*/8.0f, x, 1);
+  EXPECT_FLOAT_EQ(census[0].max_activation, 8.0f);
+  EXPECT_FLOAT_EQ(census[0].mean_activation, 8.0f);
+}
+
+TEST(Census, GraphChallengeSurvivalProfile) {
+  // The weight rule holds the mean activation in a stable band; no layer
+  // should lose all rows at input density 0.4.
+  Rng rng(3);
+  const auto net = gc::network(1024, 8, &rng);
+  std::vector<float> biases(net.layers.size(), net.bias);
+  Rng input_rng(4);
+  const auto x = gc::synthetic_input(8, 1024, 0.4, input_rng);
+  const auto census = infer::activation_census(net.layers, biases,
+                                               gc::kClamp, x, 8);
+  ASSERT_EQ(census.size(), 8u);
+  for (const auto& c : census) {
+    EXPECT_EQ(c.live_rows, 8u) << "layer " << c.layer;
+    EXPECT_GT(c.mean_activation, 0.0f);
+    EXPECT_LE(c.max_activation, gc::kClamp);
+  }
+}
+
+TEST(Census, ValidatesInputs) {
+  Rng rng(5);
+  const auto layers = small_layers(rng);
+  std::vector<float> x(10, 1.0f);
+  EXPECT_THROW(
+      infer::activation_census(layers, {0.0f}, 0.0f, x, 1),
+      SpecError);  // bias arity
+  EXPECT_THROW(infer::activation_census(layers, {0.0f, 0.0f}, 0.0f,
+                                        std::vector<float>(3), 1),
+               DimensionError);
+  EXPECT_THROW(infer::activation_census({}, {}, 0.0f, x, 1), SpecError);
+}
+
+}  // namespace
+}  // namespace radix

@@ -1,0 +1,176 @@
+// Synthetic dataset generators.
+#include "nn/data.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "support/error.hpp"
+
+namespace radix::nn {
+namespace {
+
+TEST(Glyphs, ShapeAndLabelRange) {
+  Rng rng(1);
+  const auto d = datasets::glyphs(200, rng);
+  EXPECT_EQ(d.samples(), 200u);
+  EXPECT_EQ(d.features(), 256u);
+  EXPECT_EQ(d.num_classes, 10u);
+  std::set<std::int32_t> seen(d.labels.begin(), d.labels.end());
+  EXPECT_GE(seen.size(), 8u);  // all 10 classes w.h.p., allow slack
+  for (auto l : d.labels) {
+    EXPECT_GE(l, 0);
+    EXPECT_LT(l, 10);
+  }
+  for (std::size_t i = 0; i < d.x.size(); ++i) {
+    EXPECT_GE(d.x.data()[i], 0.0f);
+    EXPECT_LE(d.x.data()[i], 1.0f);
+  }
+}
+
+TEST(Glyphs, Deterministic) {
+  Rng a(5), b(5);
+  const auto da = datasets::glyphs(50, a);
+  const auto db = datasets::glyphs(50, b);
+  EXPECT_EQ(da.labels, db.labels);
+  EXPECT_EQ(Tensor::max_abs_diff(da.x, db.x), 0.0f);
+}
+
+TEST(Glyphs, ClassesAreSeparable) {
+  // Nearest-centroid classification on held-out glyphs should beat chance
+  // by a wide margin -- otherwise the dataset cannot support the parity
+  // experiment.
+  Rng rng(2);
+  const auto train = datasets::glyphs(600, rng);
+  const auto test = datasets::glyphs(200, rng);
+  Tensor centroids(10, 256, 0.0f);
+  std::vector<int> counts(10, 0);
+  for (index_t i = 0; i < train.samples(); ++i) {
+    const auto l = train.labels[i];
+    ++counts[l];
+    for (index_t f = 0; f < 256; ++f) {
+      centroids.at(l, f) += train.x.at(i, f);
+    }
+  }
+  for (int c = 0; c < 10; ++c) {
+    if (counts[c] == 0) continue;
+    for (index_t f = 0; f < 256; ++f) centroids.at(c, f) /= counts[c];
+  }
+  int hits = 0;
+  for (index_t i = 0; i < test.samples(); ++i) {
+    int best = -1;
+    float best_dist = 0.0f;
+    for (int c = 0; c < 10; ++c) {
+      float dist = 0.0f;
+      for (index_t f = 0; f < 256; ++f) {
+        const float d = test.x.at(i, f) - centroids.at(c, f);
+        dist += d * d;
+      }
+      if (best < 0 || dist < best_dist) {
+        best = c;
+        best_dist = dist;
+      }
+    }
+    if (best == test.labels[i]) ++hits;
+  }
+  // Nearest-centroid is translation-sensitive and the glyphs are
+  // jittered, so this is a floor well above chance (0.1), not a ceiling;
+  // the MLP benches reach far higher accuracy.
+  EXPECT_GT(static_cast<double>(hits) / test.samples(), 0.7);
+}
+
+TEST(Blobs, ShapeAndSpread) {
+  Rng rng(3);
+  const auto d = datasets::blobs(300, 8, 4, 0.1, rng);
+  EXPECT_EQ(d.samples(), 300u);
+  EXPECT_EQ(d.features(), 8u);
+  EXPECT_EQ(d.num_classes, 4u);
+}
+
+TEST(Blobs, TightClustersAreTriviallySeparable) {
+  Rng rng(4);
+  const auto d = datasets::blobs(400, 4, 3, 0.05, rng);
+  // Distance to own-class mean must be far below distance to others.
+  Tensor centroids(3, 4, 0.0f);
+  std::vector<int> counts(3, 0);
+  for (index_t i = 0; i < d.samples(); ++i) {
+    ++counts[d.labels[i]];
+    for (index_t f = 0; f < 4; ++f) {
+      centroids.at(d.labels[i], f) += d.x.at(i, f);
+    }
+  }
+  for (int c = 0; c < 3; ++c) {
+    for (index_t f = 0; f < 4; ++f) centroids.at(c, f) /= counts[c];
+  }
+  int hits = 0;
+  for (index_t i = 0; i < d.samples(); ++i) {
+    int best = -1;
+    float best_dist = 0.0f;
+    for (int c = 0; c < 3; ++c) {
+      float dist = 0.0f;
+      for (index_t f = 0; f < 4; ++f) {
+        const float diff = d.x.at(i, f) - centroids.at(c, f);
+        dist += diff * diff;
+      }
+      if (best < 0 || dist < best_dist) {
+        best = c;
+        best_dist = dist;
+      }
+    }
+    hits += (best == d.labels[i]) ? 1 : 0;
+  }
+  EXPECT_GT(static_cast<double>(hits) / d.samples(), 0.95);
+}
+
+TEST(Spirals, ShapeAndRadius) {
+  Rng rng(5);
+  const auto d = datasets::spirals(200, 3, 0.0, rng);
+  EXPECT_EQ(d.num_classes, 3u);
+  for (index_t i = 0; i < d.samples(); ++i) {
+    const float r = std::hypot(d.x.at(i, 0), d.x.at(i, 1));
+    EXPECT_LE(r, 1.05f);
+    EXPECT_GE(r, 0.05f);
+  }
+}
+
+TEST(XorGrid, LabelsFollowCheckerboard) {
+  Rng rng(6);
+  const auto d = datasets::xor_grid(500, 2, 0.0, rng);
+  EXPECT_EQ(d.num_classes, 2u);
+  for (index_t i = 0; i < d.samples(); ++i) {
+    const int cx = static_cast<int>((d.x.at(i, 0) + 1.0f));  // cell of 2
+    const int cy = static_cast<int>((d.x.at(i, 1) + 1.0f));
+    EXPECT_EQ(d.labels[i], (cx + cy) & 1);
+  }
+}
+
+TEST(SplitDataset, ProportionsAndPartition) {
+  Rng rng(7);
+  const auto d = datasets::blobs(100, 3, 2, 0.2, rng);
+  const auto s = split_dataset(d, 0.25, rng);
+  EXPECT_EQ(s.train.samples(), 75u);
+  EXPECT_EQ(s.test.samples(), 25u);
+  EXPECT_EQ(s.train.num_classes, 2u);
+  EXPECT_EQ(s.test.features(), 3u);
+}
+
+TEST(SplitDataset, RejectsDegenerateFraction) {
+  Rng rng(8);
+  const auto d = datasets::blobs(10, 2, 2, 0.2, rng);
+  EXPECT_THROW(split_dataset(d, 0.0, rng), SpecError);
+  EXPECT_THROW(split_dataset(d, 1.0, rng), SpecError);
+}
+
+TEST(Generators, RejectBadArguments) {
+  Rng rng(9);
+  EXPECT_THROW(datasets::glyphs(0, rng), SpecError);
+  EXPECT_THROW(datasets::blobs(10, 0, 2, 0.1, rng), SpecError);
+  EXPECT_THROW(datasets::blobs(10, 2, 1, 0.1, rng), SpecError);
+  EXPECT_THROW(datasets::spirals(10, 1, 0.1, rng), SpecError);
+  EXPECT_THROW(datasets::xor_grid(10, 1, 0.1, rng), SpecError);
+}
+
+}  // namespace
+}  // namespace radix::nn

@@ -1,0 +1,178 @@
+// Elementwise CSR operations vs dense references.
+#include "sparse/elementwise.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sparse/dense.hpp"
+#include "support/error.hpp"
+#include "support/random.hpp"
+
+namespace radix {
+namespace {
+
+Csr<double> random_sparse(index_t rows, index_t cols, double density,
+                          Rng& rng) {
+  Coo<double> coo(rows, cols);
+  for (index_t r = 0; r < rows; ++r) {
+    for (index_t c = 0; c < cols; ++c) {
+      if (rng.bernoulli(density)) coo.push(r, c, rng.uniform(-2.0, 2.0));
+    }
+  }
+  return Csr<double>::from_coo(coo);
+}
+
+TEST(EwiseAdd, MatchesDenseSum) {
+  Rng rng(1);
+  const auto a = random_sparse(10, 8, 0.3, rng);
+  const auto b = random_sparse(10, 8, 0.3, rng);
+  const auto c = ewise_add(a, b, [](double x, double y) { return x + y; });
+  c.check_invariants();
+  Dense expected = to_dense(a);
+  const Dense db = to_dense(b);
+  for (index_t r = 0; r < 10; ++r) {
+    for (index_t col = 0; col < 8; ++col) {
+      expected.at(r, col) += db.at(r, col);
+    }
+  }
+  EXPECT_LT(Dense::max_abs_diff(to_dense(c), expected), 1e-12);
+}
+
+TEST(EwiseAdd, UnionStructure) {
+  Coo<double> ca(1, 4), cb(1, 4);
+  ca.push(0, 0, 1.0);
+  ca.push(0, 2, 2.0);
+  cb.push(0, 2, 3.0);
+  cb.push(0, 3, 4.0);
+  const auto c = ewise_add(Csr<double>::from_coo(ca),
+                           Csr<double>::from_coo(cb),
+                           [](double x, double y) { return x + y; });
+  EXPECT_EQ(c.nnz(), 3u);
+  EXPECT_DOUBLE_EQ(c.at(0, 0), 1.0);  // a only: passed through
+  EXPECT_DOUBLE_EQ(c.at(0, 2), 5.0);  // both: op applied
+  EXPECT_DOUBLE_EQ(c.at(0, 3), 4.0);  // b only
+}
+
+TEST(EwiseMult, IntersectionStructure) {
+  Coo<double> ca(1, 4), cb(1, 4);
+  ca.push(0, 0, 2.0);
+  ca.push(0, 2, 3.0);
+  cb.push(0, 2, 5.0);
+  cb.push(0, 3, 7.0);
+  const auto c = ewise_mult(Csr<double>::from_coo(ca),
+                            Csr<double>::from_coo(cb),
+                            [](double x, double y) { return x * y; });
+  EXPECT_EQ(c.nnz(), 1u);
+  EXPECT_DOUBLE_EQ(c.at(0, 2), 15.0);
+}
+
+TEST(Ewise, ShapeChecked) {
+  const auto a = Csr<double>::ones(2, 3, 1.0);
+  const auto b = Csr<double>::ones(3, 2, 1.0);
+  auto op = [](double x, double y) { return x + y; };
+  EXPECT_THROW(ewise_add(a, b, op), DimensionError);
+  EXPECT_THROW(ewise_mult(a, b, op), DimensionError);
+}
+
+TEST(Reduce, RowsColsAll) {
+  Coo<double> coo(3, 3);
+  coo.push(0, 0, 1.0);
+  coo.push(0, 2, 2.0);
+  coo.push(2, 1, 4.0);
+  const auto m = Csr<double>::from_coo(coo);
+  auto plus = [](double x, double y) { return x + y; };
+  const auto rows = reduce_rows(m, 0.0, plus);
+  EXPECT_EQ(rows, (std::vector<double>{3.0, 0.0, 4.0}));
+  const auto cols = reduce_cols(m, 0.0, plus);
+  EXPECT_EQ(cols, (std::vector<double>{1.0, 4.0, 2.0}));
+  EXPECT_DOUBLE_EQ(reduce_all(m, 0.0, plus), 7.0);
+  // Max-reduction over rows (different monoid).
+  auto mx = [](double x, double y) { return std::max(x, y); };
+  EXPECT_EQ(reduce_rows(m, 0.0, mx),
+            (std::vector<double>{2.0, 0.0, 4.0}));
+}
+
+TEST(PatternOps, UnionIntersectDifference) {
+  Coo<pattern_t> ca(2, 2), cb(2, 2);
+  ca.push(0, 0, 1);
+  ca.push(1, 1, 1);
+  cb.push(0, 0, 1);
+  cb.push(1, 0, 1);
+  const auto a = Csr<pattern_t>::from_coo(ca);
+  const auto b = Csr<pattern_t>::from_coo(cb);
+  EXPECT_EQ(pattern_union(a, b).nnz(), 3u);
+  EXPECT_EQ(pattern_intersect(a, b).nnz(), 1u);
+  EXPECT_EQ(pattern_difference_count(a, b), 1u);
+  EXPECT_EQ(pattern_difference_count(b, a), 1u);
+}
+
+TEST(ScaleAndNorms, FloatHelpers) {
+  Coo<float> coo(2, 2);
+  coo.push(0, 0, 3.0f);
+  coo.push(1, 1, -4.0f);
+  auto m = Csr<float>::from_coo(coo);
+  EXPECT_DOUBLE_EQ(abs_sum(m), 7.0);
+  EXPECT_DOUBLE_EQ(frobenius_norm(m), 5.0);
+  scale_values(m, 2.0f);
+  EXPECT_FLOAT_EQ(m.at(0, 0), 6.0f);
+  EXPECT_DOUBLE_EQ(frobenius_norm(m), 10.0);
+}
+
+TEST(Stack, VstackMatchesDense) {
+  Rng rng(2);
+  const auto a = random_sparse(3, 5, 0.4, rng);
+  const auto b = random_sparse(4, 5, 0.4, rng);
+  const auto v = vstack(a, b);
+  v.check_invariants();
+  EXPECT_EQ(v.rows(), 7u);
+  const Dense dv = to_dense(v);
+  const Dense da = to_dense(a);
+  const Dense db = to_dense(b);
+  for (index_t r = 0; r < 3; ++r) {
+    for (index_t c = 0; c < 5; ++c) {
+      EXPECT_DOUBLE_EQ(dv.at(r, c), da.at(r, c));
+    }
+  }
+  for (index_t r = 0; r < 4; ++r) {
+    for (index_t c = 0; c < 5; ++c) {
+      EXPECT_DOUBLE_EQ(dv.at(r + 3, c), db.at(r, c));
+    }
+  }
+  EXPECT_THROW(vstack(a, random_sparse(2, 4, 0.5, rng)), DimensionError);
+}
+
+TEST(Stack, HstackMatchesDense) {
+  Rng rng(3);
+  const auto a = random_sparse(4, 3, 0.4, rng);
+  const auto b = random_sparse(4, 6, 0.4, rng);
+  const auto h = hstack(a, b);
+  h.check_invariants();
+  EXPECT_EQ(h.cols(), 9u);
+  const Dense dh = to_dense(h);
+  const Dense da = to_dense(a);
+  const Dense db = to_dense(b);
+  for (index_t r = 0; r < 4; ++r) {
+    for (index_t c = 0; c < 3; ++c) {
+      EXPECT_DOUBLE_EQ(dh.at(r, c), da.at(r, c));
+    }
+    for (index_t c = 0; c < 6; ++c) {
+      EXPECT_DOUBLE_EQ(dh.at(r, c + 3), db.at(r, c));
+    }
+  }
+  EXPECT_THROW(hstack(a, random_sparse(3, 2, 0.5, rng)), DimensionError);
+}
+
+// Property sweep: union nnz identity |A| + |B| = |A u B| + |A n B|.
+class EwiseSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(EwiseSweep, InclusionExclusion) {
+  Rng rng(GetParam());
+  const auto a = random_sparse(20, 20, 0.25, rng).pattern();
+  const auto b = random_sparse(20, 20, 0.25, rng).pattern();
+  EXPECT_EQ(a.nnz() + b.nnz(),
+            pattern_union(a, b).nnz() + pattern_intersect(a, b).nnz());
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, EwiseSweep, ::testing::Range(0, 8));
+
+}  // namespace
+}  // namespace radix

@@ -1,0 +1,153 @@
+// FNNT container semantics (Section II definitions).
+#include "graph/fnnt.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/export.hpp"
+#include "support/error.hpp"
+
+namespace radix {
+namespace {
+
+Csr<pattern_t> layer_from_edges(index_t rows, index_t cols,
+                                std::vector<std::pair<index_t, index_t>> e) {
+  Coo<pattern_t> coo(rows, cols);
+  for (auto [r, c] : e) coo.push(r, c, 1);
+  return Csr<pattern_t>::from_coo(coo);
+}
+
+// The worked FNNT of the paper's Fig 4: U0 = {u1,u2,u3}, U1 = {u4,u5,u6},
+// W = [[1,1,1],[1,0,1],[1,1,0]].
+Csr<pattern_t> fig4_w() {
+  return layer_from_edges(3, 3,
+                          {{0, 0}, {0, 1}, {0, 2}, {1, 0}, {1, 2},
+                           {2, 0}, {2, 1}});
+}
+
+TEST(Fnnt, WidthsAndCounts) {
+  Fnnt g({Csr<pattern_t>::ones(3, 4), Csr<pattern_t>::ones(4, 2)});
+  EXPECT_EQ(g.depth(), 2u);
+  EXPECT_EQ(g.widths(), (std::vector<index_t>{3, 4, 2}));
+  EXPECT_EQ(g.input_width(), 3u);
+  EXPECT_EQ(g.output_width(), 2u);
+  EXPECT_EQ(g.num_nodes(), 9u);
+  EXPECT_EQ(g.num_edges(), 12u + 8u);
+}
+
+TEST(Fnnt, RejectsNonChainingShapes) {
+  EXPECT_THROW(
+      Fnnt({Csr<pattern_t>::ones(3, 4), Csr<pattern_t>::ones(5, 2)}),
+      SpecError);
+}
+
+TEST(Fnnt, EmptyTopologyQueriesThrow) {
+  Fnnt g;
+  EXPECT_EQ(g.depth(), 0u);
+  EXPECT_THROW(g.input_width(), SpecError);
+  EXPECT_THROW(g.output_width(), SpecError);
+  EXPECT_THROW(g.full_adjacency(), SpecError);
+}
+
+TEST(Fnnt, ValidateDetectsZeroColumn) {
+  // Node 1 of the second layer has in-degree 0.
+  auto w = layer_from_edges(2, 2, {{0, 0}, {1, 0}});
+  Fnnt g({w});
+  const auto v = g.validate();
+  EXPECT_FALSE(v.ok);
+  EXPECT_NE(v.reason.find("zero column"), std::string::npos);
+  EXPECT_THROW(g.require_valid(), SpecError);
+}
+
+TEST(Fnnt, ValidateDetectsZeroRow) {
+  // Node 1 of the first layer has out-degree 0 (violates FNNT defn).
+  auto w = layer_from_edges(2, 2, {{0, 0}, {0, 1}});
+  Fnnt g({w});
+  const auto v = g.validate();
+  EXPECT_FALSE(v.ok);
+  EXPECT_NE(v.reason.find("zero row"), std::string::npos);
+}
+
+TEST(Fnnt, ValidTopologyPasses) {
+  Fnnt g({fig4_w()});
+  EXPECT_TRUE(g.validate().ok);
+  g.require_valid();
+}
+
+TEST(Fnnt, AppendChecksChaining) {
+  Fnnt g;
+  g.append(Csr<pattern_t>::ones(2, 3));
+  EXPECT_THROW(g.append(Csr<pattern_t>::ones(4, 1)), SpecError);
+  g.append(Csr<pattern_t>::ones(3, 1));
+  EXPECT_EQ(g.depth(), 2u);
+}
+
+TEST(Fnnt, ConcatenateIdentifiesBoundary) {
+  Fnnt a({Csr<pattern_t>::ones(2, 3)});
+  Fnnt b({Csr<pattern_t>::ones(3, 4), Csr<pattern_t>::ones(4, 2)});
+  a.concatenate(b);
+  EXPECT_EQ(a.depth(), 3u);
+  EXPECT_EQ(a.widths(), (std::vector<index_t>{2, 3, 4, 2}));
+}
+
+TEST(Fnnt, FullAdjacencyMatchesFig4) {
+  // Fig 4's A for the one-transition FNNT G1 is the 6x6 block matrix
+  // [[0, W], [0, 0]].
+  Fnnt g({fig4_w()});
+  const auto a = g.full_adjacency();
+  EXPECT_EQ(a.rows(), 6u);
+  EXPECT_EQ(a.nnz(), 7u);
+  // Entry (i, j) nonzero iff W[i][j-3] nonzero.
+  const auto w = fig4_w();
+  for (index_t i = 0; i < 6; ++i) {
+    for (index_t j = 0; j < 6; ++j) {
+      const bool expected =
+          i < 3 && j >= 3 && w.contains(i, j - 3);
+      EXPECT_EQ(a.contains(i, j), expected) << i << "," << j;
+    }
+  }
+}
+
+TEST(Fnnt, FullAdjacencyBlockOffsets) {
+  Fnnt g({Csr<pattern_t>::ones(2, 3), Csr<pattern_t>::ones(3, 2)});
+  const auto a = g.full_adjacency();
+  EXPECT_EQ(a.rows(), 7u);
+  EXPECT_EQ(a.nnz(), g.num_edges());
+  // Edges only go from layer block i to block i+1.
+  for (index_t r = 0; r < 2; ++r) {
+    for (index_t c : a.row_cols(r)) {
+      EXPECT_GE(c, 2u);
+      EXPECT_LT(c, 5u);
+    }
+  }
+  for (index_t r = 2; r < 5; ++r) {
+    for (index_t c : a.row_cols(r)) EXPECT_GE(c, 5u);
+  }
+  for (index_t r = 5; r < 7; ++r) EXPECT_EQ(a.row_nnz(r), 0u);
+}
+
+TEST(Fnnt, EqualityIsStructural) {
+  Fnnt a({Csr<pattern_t>::ones(2, 2)});
+  Fnnt b({Csr<pattern_t>::ones(2, 2)});
+  Fnnt c({Csr<pattern_t>::identity(2)});
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a == c);
+}
+
+TEST(FnntExport, DotContainsAllEdges) {
+  Fnnt g({layer_from_edges(2, 2, {{0, 1}, {1, 0}})});
+  const std::string dot = to_dot(g, "g");
+  EXPECT_NE(dot.find("digraph g"), std::string::npos);
+  EXPECT_NE(dot.find("u0_0 -> u1_1"), std::string::npos);
+  EXPECT_NE(dot.find("u0_1 -> u1_0"), std::string::npos);
+  EXPECT_EQ(dot.find("u0_0 -> u1_0"), std::string::npos);
+}
+
+TEST(FnntExport, SummaryMentionsShape) {
+  Fnnt g({Csr<pattern_t>::ones(2, 3), Csr<pattern_t>::ones(3, 2)});
+  const std::string s = summarize(g);
+  EXPECT_NE(s.find("2 edge layers"), std::string::npos);
+  EXPECT_NE(s.find("12 edges"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace radix

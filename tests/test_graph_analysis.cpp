@@ -1,0 +1,186 @@
+// Structural analysis: reachability sweeps, path statistics, transforms.
+#include "graph/analysis.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/properties.hpp"
+#include "radixnet/analytics.hpp"
+#include "radixnet/builder.hpp"
+#include "support/error.hpp"
+
+namespace radix {
+namespace {
+
+Fnnt small_radix_net() {
+  return build_radix_net({{2, 2, 2}}, std::vector<std::uint32_t>{1, 1, 1, 1});
+}
+
+TEST(Reachability, FullForSymmetricTopology) {
+  const auto g = small_radix_net();
+  for (index_t u = 0; u < g.input_width(); ++u) {
+    EXPECT_EQ(reachable_outputs(g, u), g.output_width());
+  }
+  const auto all = reachable_outputs_all(g);
+  EXPECT_EQ(all.size(), g.input_width());
+  for (index_t v : all) EXPECT_EQ(v, 8u);
+}
+
+TEST(Reachability, PartialForDisconnected) {
+  // Identity chain: each input reaches exactly one output.
+  Fnnt g({Csr<pattern_t>::identity(4), Csr<pattern_t>::identity(4)});
+  for (index_t u = 0; u < 4; ++u) {
+    EXPECT_EQ(reachable_outputs(g, u), 1u);
+  }
+  EXPECT_THROW(reachable_outputs(g, 4), SpecError);
+}
+
+TEST(FrontierProfile, DoublesThroughBinaryRadices) {
+  const auto g = small_radix_net();
+  const auto profile = frontier_profile(g, 3);
+  EXPECT_EQ(profile, (std::vector<index_t>{1, 2, 4, 8}));
+}
+
+TEST(PathCountsFrom, MatchesMatrixRow) {
+  const auto g = build_radix_net({{2, 3}, {6}},
+                                 std::vector<std::uint32_t>{1, 2, 4, 1});
+  const auto matrix = path_count_matrix(g);
+  for (index_t u = 0; u < g.input_width(); ++u) {
+    const auto row = path_counts_from(g, u);
+    for (index_t v = 0; v < g.output_width(); ++v) {
+      EXPECT_EQ(row.at(v), matrix.at(u, v)) << u << "," << v;
+    }
+  }
+}
+
+TEST(PathStats, ConstantForSymmetric) {
+  const auto g = small_radix_net();
+  const auto s = path_stats(g);
+  EXPECT_EQ(s.min, BigUInt(1));
+  EXPECT_EQ(s.max, BigUInt(1));
+  EXPECT_EQ(s.zero_pairs, 0u);
+  EXPECT_NEAR(s.mean, 1.0, 1e-12);
+}
+
+TEST(PathStats, DetectsAsymmetry) {
+  // Hand-built uneven topology (from test_properties).
+  Coo<pattern_t> c1(2, 2), c2(2, 2);
+  c1.push(0, 0, 1);
+  c1.push(0, 1, 1);
+  c1.push(1, 1, 1);
+  c2.push(0, 0, 1);
+  c2.push(1, 0, 1);
+  c2.push(1, 1, 1);
+  Fnnt g({Csr<pattern_t>::from_coo(c1), Csr<pattern_t>::from_coo(c2)});
+  const auto s = path_stats(g);
+  EXPECT_EQ(s.min, BigUInt(1));
+  EXPECT_EQ(s.max, BigUInt(2));
+  EXPECT_EQ(s.zero_pairs, 0u);
+}
+
+TEST(DegreeHistograms, CountNodesPerDegree) {
+  Coo<pattern_t> coo(3, 2);
+  coo.push(0, 0, 1);
+  coo.push(0, 1, 1);
+  coo.push(1, 0, 1);
+  coo.push(2, 0, 1);
+  const auto w = Csr<pattern_t>::from_coo(coo);
+  const auto out_h = out_degree_histogram(w);
+  EXPECT_EQ(out_h.at(1), 2u);
+  EXPECT_EQ(out_h.at(2), 1u);
+  const auto in_h = in_degree_histogram(w);
+  EXPECT_EQ(in_h.at(3), 1u);
+  EXPECT_EQ(in_h.at(1), 1u);
+}
+
+TEST(Reverse, PreservesSymmetryConstant) {
+  const auto g = build_radix_net({{2, 3}, {3, 2}},
+                                 std::vector<std::uint32_t>{1, 1, 2, 1, 1});
+  const auto r = reverse(g);
+  EXPECT_EQ(r.depth(), g.depth());
+  EXPECT_EQ(r.input_width(), g.output_width());
+  EXPECT_EQ(r.output_width(), g.input_width());
+  EXPECT_EQ(r.num_edges(), g.num_edges());
+  EXPECT_EQ(symmetry_constant(r), symmetry_constant(g));
+}
+
+TEST(Reverse, IsInvolution) {
+  const auto g = small_radix_net();
+  EXPECT_EQ(reverse(reverse(g)), g);
+}
+
+TEST(Relabel, IdentityIsNoop) {
+  const auto g = small_radix_net();
+  std::vector<std::vector<index_t>> perms;
+  for (index_t w : g.widths()) {
+    std::vector<index_t> p(w);
+    for (index_t i = 0; i < w; ++i) p[i] = i;
+    perms.push_back(std::move(p));
+  }
+  EXPECT_EQ(relabel(g, perms), g);
+}
+
+TEST(Relabel, PreservesStructuralProperties) {
+  const auto g = build_radix_net({{3, 3}, {9}},
+                                 std::vector<std::uint32_t>{1, 1, 1, 1});
+  const auto shuffled = shuffle_interior(g, 42);
+  EXPECT_EQ(shuffled.num_edges(), g.num_edges());
+  EXPECT_EQ(shuffled.widths(), g.widths());
+  EXPECT_EQ(symmetry_constant(shuffled), symmetry_constant(g));
+  EXPECT_NEAR(density(shuffled), density(g), 1e-15);
+  // But the pattern itself changed (interior relabeling).
+  EXPECT_FALSE(shuffled == g);
+}
+
+TEST(Relabel, ShuffleIsDeterministic) {
+  const auto g = small_radix_net();
+  EXPECT_EQ(shuffle_interior(g, 7), shuffle_interior(g, 7));
+  EXPECT_FALSE(shuffle_interior(g, 7) == shuffle_interior(g, 8));
+}
+
+TEST(Relabel, ValidatesPermutations) {
+  const auto g = small_radix_net();
+  std::vector<std::vector<index_t>> bad(3);  // wrong layer count (need 4)
+  EXPECT_THROW(relabel(g, bad), SpecError);
+}
+
+TEST(DropEdges, ZeroProbabilityIsIdentity) {
+  const auto g = small_radix_net();
+  EXPECT_EQ(drop_edges(g, 0.0, 1), g);
+}
+
+TEST(DropEdges, FullProbabilityEmptiesLayers) {
+  const auto g = small_radix_net();
+  const auto dead = drop_edges(g, 1.0, 1);
+  EXPECT_EQ(dead.num_edges(), 0u);
+  EXPECT_EQ(dead.widths(), g.widths());  // shape survives
+  EXPECT_FALSE(dead.validate().ok);
+}
+
+TEST(DropEdges, ApproximatesRate) {
+  const auto g = build_radix_net(
+      {{8, 8}, {8, 8}}, std::vector<std::uint32_t>{1, 1, 1, 1, 1});
+  const auto damaged = drop_edges(g, 0.3, 7);
+  const double kept = static_cast<double>(damaged.num_edges()) /
+                      static_cast<double>(g.num_edges());
+  EXPECT_NEAR(kept, 0.7, 0.05);
+  EXPECT_THROW(drop_edges(g, 1.5, 1), SpecError);
+}
+
+TEST(DropEdges, Deterministic) {
+  const auto g = small_radix_net();
+  EXPECT_EQ(drop_edges(g, 0.5, 9), drop_edges(g, 0.5, 9));
+}
+
+TEST(ConnectedPairFraction, FullForSymmetricPartialAfterDamage) {
+  const auto g = small_radix_net();
+  EXPECT_DOUBLE_EQ(connected_pair_fraction(g), 1.0);
+  // Identity chain connects exactly the diagonal pairs.
+  Fnnt diag({Csr<pattern_t>::identity(4)});
+  EXPECT_DOUBLE_EQ(connected_pair_fraction(diag), 0.25);
+  // Heavy damage strictly reduces connectivity.
+  const auto damaged = drop_edges(g, 0.7, 3);
+  EXPECT_LT(connected_pair_fraction(damaged), 1.0);
+}
+
+}  // namespace
+}  // namespace radix

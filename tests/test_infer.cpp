@@ -1,0 +1,161 @@
+// Sparse inference engine vs dense reference; challenge rule semantics.
+#include "infer/sparse_dnn.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "radixnet/graph_challenge.hpp"
+#include "sparse/dense.hpp"
+#include "support/error.hpp"
+#include "support/random.hpp"
+
+namespace radix {
+namespace {
+
+Csr<float> random_layer(index_t rows, index_t cols, double density,
+                        Rng& rng) {
+  Coo<float> coo(rows, cols);
+  for (index_t r = 0; r < rows; ++r) {
+    for (index_t c = 0; c < cols; ++c) {
+      if (rng.bernoulli(density)) {
+        coo.push(r, c, static_cast<float>(rng.uniform(-0.5, 0.5)));
+      }
+    }
+  }
+  return Csr<float>::from_coo(coo);
+}
+
+// Dense reference of the inference rule.
+std::vector<float> dense_forward(const std::vector<Csr<float>>& layers,
+                                 const std::vector<float>& biases,
+                                 float clamp, std::vector<float> x,
+                                 index_t batch) {
+  for (std::size_t k = 0; k < layers.size(); ++k) {
+    const Dense w = to_dense(layers[k]);
+    std::vector<float> y(static_cast<std::size_t>(batch) * w.cols(), 0.0f);
+    for (index_t b = 0; b < batch; ++b) {
+      for (index_t c = 0; c < w.cols(); ++c) {
+        double acc = biases[k];
+        for (index_t r = 0; r < w.rows(); ++r) {
+          acc += static_cast<double>(x[b * w.rows() + r]) * w.at(r, c);
+        }
+        float v = static_cast<float>(acc);
+        if (v < 0.0f) v = 0.0f;
+        if (clamp > 0.0f && v > clamp) v = clamp;
+        y[static_cast<std::size_t>(b) * w.cols() + c] = v;
+      }
+    }
+    x = std::move(y);
+  }
+  return x;
+}
+
+TEST(SparseDnn, MatchesDenseReference) {
+  Rng rng(1);
+  std::vector<Csr<float>> layers;
+  layers.push_back(random_layer(12, 10, 0.4, rng));
+  layers.push_back(random_layer(10, 8, 0.4, rng));
+  layers.push_back(random_layer(8, 6, 0.4, rng));
+  std::vector<float> biases = {-0.05f, 0.02f, -0.01f};
+  infer::SparseDnn dnn(layers, biases, /*clamp=*/2.0f);
+
+  const index_t batch = 5;
+  std::vector<float> x(batch * 12);
+  for (auto& v : x) v = static_cast<float>(rng.uniform(0.0, 1.0));
+
+  const auto y = dnn.forward(x, batch);
+  const auto expected = dense_forward(layers, biases, 2.0f, x, batch);
+  ASSERT_EQ(y.size(), expected.size());
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    EXPECT_NEAR(y[i], expected[i], 1e-4f) << i;
+  }
+}
+
+TEST(SparseDnn, ReluZerosNegatives) {
+  // Single layer, weight -1, no bias: positive input -> 0 output.
+  Coo<float> coo(1, 1);
+  coo.push(0, 0, -1.0f);
+  infer::SparseDnn dnn({Csr<float>::from_coo(coo)}, 0.0f);
+  const auto y = dnn.forward({3.0f}, 1);
+  EXPECT_FLOAT_EQ(y[0], 0.0f);
+}
+
+TEST(SparseDnn, BiasAppliedBeforeRelu) {
+  Coo<float> coo(1, 1);
+  coo.push(0, 0, 1.0f);
+  infer::SparseDnn dnn({Csr<float>::from_coo(coo)},
+                       std::vector<float>{-0.5f});
+  EXPECT_FLOAT_EQ(dnn.forward({2.0f}, 1)[0], 1.5f);
+  EXPECT_FLOAT_EQ(dnn.forward({0.25f}, 1)[0], 0.0f);  // 0.25-0.5 < 0
+}
+
+TEST(SparseDnn, ClampCapsActivations) {
+  Coo<float> coo(1, 1);
+  coo.push(0, 0, 10.0f);
+  infer::SparseDnn dnn({Csr<float>::from_coo(coo)}, 0.0f, /*clamp=*/4.0f);
+  EXPECT_FLOAT_EQ(dnn.forward({2.0f}, 1)[0], 4.0f);
+}
+
+TEST(SparseDnn, ValidatesShapes) {
+  Rng rng(2);
+  std::vector<Csr<float>> bad;
+  bad.push_back(random_layer(4, 5, 0.5, rng));
+  bad.push_back(random_layer(6, 4, 0.5, rng));  // 5 != 6
+  EXPECT_THROW(infer::SparseDnn(bad, 0.0f), DimensionError);
+  EXPECT_THROW(infer::SparseDnn({}, 0.0f), SpecError);
+  infer::SparseDnn ok({random_layer(4, 4, 0.5, rng)}, 0.0f);
+  EXPECT_THROW(ok.forward(std::vector<float>(7), 2), DimensionError);
+}
+
+TEST(SparseDnn, StatsAccounting) {
+  Rng rng(3);
+  std::vector<Csr<float>> layers;
+  layers.push_back(random_layer(16, 16, 0.3, rng));
+  layers.push_back(random_layer(16, 16, 0.3, rng));
+  infer::SparseDnn dnn(layers, 0.0f);
+  const index_t batch = 8;
+  std::vector<float> x(batch * 16, 0.5f);
+  infer::InferenceStats stats;
+  (void)dnn.forward(x, batch, &stats);
+  EXPECT_EQ(stats.edges_processed, batch * dnn.total_nnz());
+  EXPECT_GE(stats.wall_seconds, 0.0);
+  EXPECT_GT(stats.edges_per_second, 0.0);
+}
+
+TEST(SparseDnn, GraphChallengeNetworkRuns) {
+  Rng rng(4);
+  const auto net = gc::network(1024, 4, &rng);
+  infer::SparseDnn dnn(net.layers, net.bias, gc::kClamp);
+  EXPECT_EQ(dnn.depth(), 4u);
+  EXPECT_EQ(dnn.input_width(), 1024u);
+  // Keep inputs above the survival threshold of the challenge rule: with
+  // in-degree 32 and weight 1/16 the mean pre-activation is 2a, so the
+  // bias -0.3 kills activations whose mean falls below 0.3.  Density 0.4
+  // starts at mean 0.4 and grows toward the clamp.
+  Rng input_rng(5);
+  const auto x = gc::synthetic_input(16, 1024, 0.4, input_rng);
+  infer::InferenceStats stats;
+  const auto y = dnn.forward(x, 16, &stats);
+  EXPECT_EQ(y.size(), 16u * 1024u);
+  // All activations obey the clamp.
+  for (float v : y) {
+    EXPECT_GE(v, 0.0f);
+    EXPECT_LE(v, gc::kClamp);
+  }
+  // With in-degree 32, weight 1/16 and 20% active inputs, signal
+  // survives the bias on average: some rows stay active.
+  const auto active = infer::SparseDnn::active_rows(y, 16, 1024);
+  EXPECT_GT(active.size(), 0u);
+}
+
+TEST(SparseDnn, ActiveRowsIdentifiesZeros) {
+  std::vector<float> y = {0.0f, 0.0f,   // row 0: inactive
+                          0.0f, 1.0f};  // row 1: active
+  const auto active = infer::SparseDnn::active_rows(y, 2, 2);
+  ASSERT_EQ(active.size(), 1u);
+  EXPECT_EQ(active[0], 1u);
+}
+
+}  // namespace
+}  // namespace radix

@@ -1,0 +1,129 @@
+// Cross-module integration: spec -> build -> verify -> serialize -> train
+// -> infer, exercising the full pipeline a downstream user would run.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <filesystem>
+
+#include "graph/export.hpp"
+#include "graph/properties.hpp"
+#include "infer/sparse_dnn.hpp"
+#include "nn/trainer.hpp"
+#include "radixnet/analytics.hpp"
+#include "radixnet/builder.hpp"
+#include "radixnet/enumerate.hpp"
+#include "sparse/io.hpp"
+#include "xnet/random_regular.hpp"
+
+namespace radix {
+namespace {
+
+TEST(Integration, SpecToVerifiedTopology) {
+  // A user picks a width and density, gets a spec, builds, and all the
+  // paper-promised properties hold.
+  const auto spec = spec_for_density(64, 3, 4.0 / 64.0);
+  ASSERT_TRUE(spec.has_value());
+  const auto g = build_radix_net(*spec);
+  g.require_valid();
+  EXPECT_TRUE(is_path_connected(g));
+  const auto m = symmetry_constant(g);
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(*m, predicted_path_count(*spec));
+  EXPECT_NEAR(density(g), exact_density(*spec), 1e-12);
+}
+
+TEST(Integration, SerializeRebuildRoundTrip) {
+  const auto dir = std::filesystem::temp_directory_path() /
+                   ("radixnet_integ_" + std::to_string(::getpid()));
+  std::filesystem::create_directories(dir);
+  const auto g = build_radix_net({{3, 3}, {9}},
+                                 std::vector<std::uint32_t>{1, 2, 1, 1});
+  write_layer_stack((dir / "net").string(), g.layers());
+  const auto layers = read_layer_stack((dir / "net").string());
+  const Fnnt back(layers);
+  EXPECT_EQ(back, g);
+  // Properties survive the round trip.
+  EXPECT_EQ(symmetry_constant(back), symmetry_constant(g));
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Integration, TrainOnRadixThenInferWithEngine) {
+  // Train a sparse classifier, then run its learned weights through the
+  // inference engine and confirm identical logits (ReLU-free last layer
+  // aside, we compare the hidden activations).
+  Rng rng(1);
+  const auto topo = build_radix_net({{4, 4}},
+                                    std::vector<std::uint32_t>{1, 1, 1});
+  nn::Network net;
+  auto l0 = std::make_unique<nn::SparseLinear>(topo.layer(0), rng,
+                                               /*use_bias=*/false);
+  auto* l0_raw = l0.get();
+  net.add(std::move(l0));
+  net.add(std::make_unique<nn::ActivationLayer>(nn::Activation::kRelu, 16));
+  net.add(std::make_unique<nn::DenseLinear>(16, 3, rng));
+
+  const auto data = nn::datasets::blobs(300, 16, 3, 0.3, rng);
+  auto split = nn::split_dataset(data, 0.25, rng);
+  nn::Adam opt(0.01f);
+  nn::TrainConfig cfg;
+  cfg.epochs = 10;
+  const auto result = nn::train_classifier(net, opt, split, cfg);
+  EXPECT_GT(result.final_test_accuracy, 0.6);
+
+  // Hidden activations via the engine equal the layer's own forward.
+  infer::SparseDnn engine({l0_raw->weights()}, 0.0f);
+  nn::Tensor x = split.test.x.slice_rows(0, 4);
+  std::vector<float> xin(x.data(), x.data() + x.size());
+  const auto hidden_engine = engine.forward(xin, 4);
+  nn::Tensor hidden_net = l0_raw->forward(x);
+  for (std::size_t i = 0; i < hidden_engine.size(); ++i) {
+    const float expect = std::max(0.0f, hidden_net.data()[i]);
+    EXPECT_NEAR(hidden_engine[i], expect, 1e-5f);
+  }
+}
+
+TEST(Integration, RadixVsXnetDensityMatched) {
+  // The parity experiment's setup: a RadiX-Net and a random X-Net with
+  // the same widths and comparable edge budget.
+  Rng rng(2);
+  const auto radix_topo = build_radix_net(
+      {{4, 4}, {4, 4}}, std::vector<std::uint32_t>{1, 1, 1, 1, 1});
+  const auto widths = radix_topo.widths();
+  const auto xnet = random_xnet(widths, 4, rng);
+  EXPECT_EQ(xnet.widths(), widths);
+  EXPECT_EQ(xnet.num_edges(), radix_topo.num_edges());
+  EXPECT_TRUE(is_symmetric(radix_topo));
+  // X-Net gives no such guarantee -- both outcomes acceptable, but the
+  // topology must at least be valid.
+  EXPECT_TRUE(xnet.validate().ok);
+}
+
+TEST(Integration, DotExportOfBuiltTopology) {
+  const auto g = build_radix_net({{2, 2}},
+                                 std::vector<std::uint32_t>{1, 1, 1});
+  const std::string dot = to_dot(g, "radix");
+  // 4 nodes/layer wide, 3 node layers, out-degree 2: 16 edges.
+  std::size_t arrows = 0;
+  for (std::size_t pos = dot.find("->"); pos != std::string::npos;
+       pos = dot.find("->", pos + 1)) {
+    ++arrows;
+  }
+  EXPECT_EQ(arrows, g.num_edges());
+}
+
+TEST(Integration, AnalyticsDriveCapacityPlanning) {
+  // A user sizing a brain-scale run consults predicted storage without
+  // building: predictions must be self-consistent across widths.
+  const auto small = RadixNetSpec::extended(
+      {MixedRadix::uniform(2, 10), MixedRadix::uniform(2, 10)});
+  EXPECT_EQ(small.n_prime(), 1024u);
+  const std::uint64_t edges = predicted_edge_count(small);
+  // 20 transitions x 1024 nodes x degree 2.
+  EXPECT_EQ(edges, 20u * 1024u * 2u);
+  EXPECT_GT(predicted_storage_bytes(small), edges * 4);
+}
+
+}  // namespace
+}  // namespace radix

@@ -1,0 +1,118 @@
+// Kronecker product tests, including the mixed-product property the
+// paper's Theorem 1 proof rests on.
+#include "sparse/kron.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sparse/dense.hpp"
+#include "sparse/spgemm.hpp"
+#include "support/random.hpp"
+
+namespace radix {
+namespace {
+
+Csr<double> random_sparse(index_t rows, index_t cols, double density,
+                          Rng& rng) {
+  Coo<double> coo(rows, cols);
+  for (index_t r = 0; r < rows; ++r) {
+    for (index_t c = 0; c < cols; ++c) {
+      if (rng.bernoulli(density)) coo.push(r, c, rng.uniform(-2.0, 2.0));
+    }
+  }
+  return Csr<double>::from_coo(coo);
+}
+
+TEST(Kron, MatchesDenseReference) {
+  Rng rng(1);
+  const auto a = random_sparse(3, 4, 0.5, rng);
+  const auto b = random_sparse(5, 2, 0.5, rng);
+  const auto k = kron(a, b);
+  k.check_invariants();
+  EXPECT_EQ(k.rows(), 15u);
+  EXPECT_EQ(k.cols(), 8u);
+  const Dense expected = to_dense(a).kron(to_dense(b));
+  EXPECT_LT(Dense::max_abs_diff(to_dense(k), expected), 1e-12);
+}
+
+TEST(Kron, NnzIsProduct) {
+  Rng rng(2);
+  const auto a = random_sparse(4, 4, 0.4, rng);
+  const auto b = random_sparse(6, 3, 0.4, rng);
+  EXPECT_EQ(kron(a, b).nnz(), a.nnz() * b.nnz());
+}
+
+TEST(Kron, IdentityKronIdentity) {
+  const auto i2 = Csr<double>::identity(2, 1.0);
+  const auto i3 = Csr<double>::identity(3, 1.0);
+  const auto k = kron(i2, i3);
+  EXPECT_EQ(to_dense(k).data(), Dense::identity(6).data());
+}
+
+TEST(Kron, OnesFastPathMatchesGeneralKernel) {
+  Rng rng(3);
+  const auto b64 = random_sparse(6, 4, 0.5, rng);
+  const auto b = b64.map<float>([](double v) { return static_cast<float>(v); });
+  const auto general = kron(Csr<float>::ones(3, 2), b);
+  const auto fast = kron_ones(3, 2, b);
+  EXPECT_EQ(general, fast);
+}
+
+TEST(Kron, OnesDegenerate1x1IsIdentityOp) {
+  Rng rng(4);
+  const auto b = random_sparse(5, 5, 0.5, rng);
+  EXPECT_EQ(kron_ones(1, 1, b), b);
+}
+
+TEST(Kron, IdentityReplicationIsBlockDiagonal) {
+  Rng rng(5);
+  const auto b = random_sparse(3, 3, 0.6, rng);
+  const auto k = kron_identity(2, b);
+  EXPECT_EQ(k.rows(), 6u);
+  const Dense d = to_dense(k);
+  // Off-diagonal blocks are zero.
+  for (index_t r = 0; r < 3; ++r) {
+    for (index_t c = 3; c < 6; ++c) {
+      EXPECT_DOUBLE_EQ(d.at(r, c), 0.0);
+      EXPECT_DOUBLE_EQ(d.at(c, r), 0.0);
+    }
+  }
+}
+
+// Mixed-product property: (A (x) B)(C (x) D) == (AC) (x) (BD).
+// This is the identity the paper invokes to prove Theorem 1.
+TEST(Kron, MixedProductProperty) {
+  Rng rng(6);
+  const auto a = random_sparse(3, 4, 0.5, rng);
+  const auto c = random_sparse(4, 2, 0.5, rng);
+  const auto b = random_sparse(2, 3, 0.5, rng);
+  const auto d = random_sparse(3, 5, 0.5, rng);
+  const auto lhs = spgemm<PlusTimes<double>>(kron(a, b), kron(c, d));
+  const auto rhs = kron(spgemm<PlusTimes<double>>(a, c),
+                        spgemm<PlusTimes<double>>(b, d));
+  EXPECT_LT(Dense::max_abs_diff(to_dense(lhs), to_dense(rhs)), 1e-10);
+}
+
+// Parameterized shape sweep for the ones fast path.
+class KronOnesSweep
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(KronOnesSweep, EquivalentToGeneral) {
+  const auto [dr, dc] = GetParam();
+  Rng rng(100 + dr * 10 + dc);
+  const auto b64 = random_sparse(7, 5, 0.4, rng);
+  const auto b =
+      b64.map<float>([](double v) { return static_cast<float>(v); });
+  const auto general =
+      kron(Csr<float>::ones(static_cast<index_t>(dr),
+                            static_cast<index_t>(dc)),
+           b);
+  EXPECT_EQ(general, kron_ones(static_cast<index_t>(dr),
+                               static_cast<index_t>(dc), b));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, KronOnesSweep,
+                         ::testing::Combine(::testing::Values(1, 2, 5),
+                                            ::testing::Values(1, 3, 4)));
+
+}  // namespace
+}  // namespace radix

@@ -1,0 +1,229 @@
+// Finite-difference gradient checks for every layer and loss -- the
+// correctness backbone of the training substrate.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+
+#include "nn/layers.hpp"
+#include "nn/loss.hpp"
+#include "radixnet/builder.hpp"
+#include "support/random.hpp"
+
+namespace radix::nn {
+namespace {
+
+Tensor random_tensor(index_t r, index_t c, Rng& rng) {
+  Tensor t(r, c);
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    t.data()[i] = static_cast<float>(rng.uniform(-1.0, 1.0));
+  }
+  return t;
+}
+
+// Scalar objective: sum of layer outputs weighted by a fixed random
+// tensor (so dLoss/dY is that tensor).
+struct Probe {
+  Tensor coeff;
+  float loss(const Tensor& y) const {
+    float acc = 0.0f;
+    for (std::size_t i = 0; i < y.size(); ++i) {
+      acc += y.data()[i] * coeff.data()[i];
+    }
+    return acc;
+  }
+};
+
+// Central finite difference of the probe loss wrt one scalar location.
+float numeric_grad(const std::function<float()>& eval, float* location,
+                   float eps = 1e-3f) {
+  const float saved = *location;
+  *location = saved + eps;
+  const float up = eval();
+  *location = saved - eps;
+  const float down = eval();
+  *location = saved;
+  return (up - down) / (2.0f * eps);
+}
+
+void check_layer_gradients(Layer& layer, index_t batch, Rng& rng,
+                           float tol = 5e-2f) {
+  Tensor x = random_tensor(batch, layer.in_features(), rng);
+  Probe probe{random_tensor(batch, layer.out_features(), rng)};
+
+  auto eval = [&]() { return probe.loss(layer.forward(x)); };
+
+  // Analytic gradients.
+  layer.zero_grad();
+  (void)layer.forward(x);
+  Tensor dx = layer.backward(probe.coeff);
+
+  // Input gradient at a handful of positions.
+  for (std::size_t trial = 0; trial < 8; ++trial) {
+    const std::size_t pos = rng.uniform(x.size());
+    const float num = numeric_grad(eval, x.data() + pos);
+    EXPECT_NEAR(dx.data()[pos], num, tol * std::max(1.0f, std::fabs(num)))
+        << layer.name() << " dX at " << pos;
+  }
+
+  // Parameter gradients (recompute analytic grads after the probing
+  // above restored x).
+  layer.zero_grad();
+  (void)layer.forward(x);
+  (void)layer.backward(probe.coeff);
+  for (Param p : layer.params()) {
+    for (std::size_t trial = 0; trial < 8; ++trial) {
+      const std::size_t pos = rng.uniform(p.size);
+      const float num = numeric_grad(eval, p.value + pos);
+      EXPECT_NEAR(p.grad[pos], num, tol * std::max(1.0f, std::fabs(num)))
+          << layer.name() << " dParam at " << pos;
+    }
+  }
+}
+
+TEST(GradCheck, DenseLinear) {
+  Rng rng(1);
+  DenseLinear layer(7, 5, rng);
+  check_layer_gradients(layer, 4, rng);
+}
+
+TEST(GradCheck, DenseLinearNoBias) {
+  Rng rng(2);
+  DenseLinear layer(3, 6, rng, /*use_bias=*/false);
+  EXPECT_EQ(layer.params().size(), 1u);
+  check_layer_gradients(layer, 5, rng);
+}
+
+TEST(GradCheck, SparseLinearRandomPattern) {
+  Rng rng(3);
+  Coo<pattern_t> coo(8, 6);
+  for (index_t r = 0; r < 8; ++r) {
+    for (index_t c = 0; c < 6; ++c) {
+      if (rng.bernoulli(0.4)) coo.push(r, c, 1);
+    }
+  }
+  // Guarantee no empty row/col so the layer is a valid FNNT layer.
+  for (index_t i = 0; i < 6; ++i) coo.push(i, i % 6, 1);
+  for (index_t r = 6; r < 8; ++r) coo.push(r, 0, 1);
+  SparseLinear layer(Csr<pattern_t>::from_coo(coo).pattern(), rng);
+  check_layer_gradients(layer, 4, rng);
+}
+
+TEST(GradCheck, SparseLinearRadixPattern) {
+  Rng rng(4);
+  const auto topo = build_radix_net({{2, 2, 2}},
+                                    std::vector<std::uint32_t>{1, 1, 1, 1});
+  SparseLinear layer(topo.layer(0), rng);
+  EXPECT_EQ(layer.num_weights(), 16u);  // 8 nodes x degree 2
+  check_layer_gradients(layer, 3, rng);
+}
+
+TEST(GradCheck, SparseGradientStaysOnPattern) {
+  // The gradient buffer has exactly nnz entries -- structural sparsity is
+  // preserved by construction; check the forward ignores off-pattern
+  // inputs appropriately by comparing against an equivalent dense layer.
+  Rng rng(5);
+  Coo<pattern_t> coo(4, 4);
+  coo.push(0, 1, 1);
+  coo.push(1, 0, 1);
+  coo.push(2, 3, 1);
+  coo.push(3, 2, 1);
+  SparseLinear sparse(Csr<pattern_t>::from_coo(coo), rng);
+  EXPECT_EQ(sparse.num_weights(), 4u);
+  Tensor x = random_tensor(2, 4, rng);
+  Tensor y = sparse.forward(x);
+  // Each output c receives only from its single source.
+  const auto& w = sparse.weights();
+  for (index_t b = 0; b < 2; ++b) {
+    EXPECT_NEAR(y.at(b, 1),
+                x.at(b, 0) * w.at(0, 1) + sparse.bias()[1], 1e-5f);
+    EXPECT_NEAR(y.at(b, 2),
+                x.at(b, 3) * w.at(3, 2) + sparse.bias()[2], 1e-5f);
+  }
+}
+
+TEST(GradCheck, ActivationLayers) {
+  Rng rng(6);
+  for (Activation act : {Activation::kIdentity, Activation::kRelu,
+                         Activation::kSigmoid, Activation::kTanh}) {
+    ActivationLayer layer(act, 9);
+    check_layer_gradients(layer, 4, rng);
+  }
+}
+
+TEST(GradCheck, MseLoss) {
+  Rng rng(7);
+  Tensor pred = random_tensor(3, 4, rng);
+  const Tensor target = random_tensor(3, 4, rng);
+  Tensor dpred(3, 4);
+  (void)mse_loss(pred, target, dpred);
+  for (std::size_t pos = 0; pos < pred.size(); pos += 3) {
+    auto eval = [&]() {
+      Tensor scratch(3, 4);
+      return mse_loss(pred, target, scratch);
+    };
+    const float num = numeric_grad(eval, pred.data() + pos);
+    EXPECT_NEAR(dpred.data()[pos], num, 1e-2f);
+  }
+}
+
+TEST(GradCheck, SoftmaxCrossEntropy) {
+  Rng rng(8);
+  Tensor logits = random_tensor(5, 7, rng);
+  std::vector<std::int32_t> labels(5);
+  for (auto& l : labels) l = static_cast<std::int32_t>(rng.uniform(7));
+  Tensor dlogits(5, 7);
+  (void)softmax_cross_entropy(logits, labels, dlogits);
+  for (std::size_t pos = 0; pos < logits.size(); pos += 4) {
+    auto eval = [&]() {
+      Tensor scratch(5, 7);
+      return softmax_cross_entropy(logits, labels, scratch);
+    };
+    const float num = numeric_grad(eval, logits.data() + pos);
+    EXPECT_NEAR(dlogits.data()[pos], num, 2e-2f);
+  }
+}
+
+TEST(SoftmaxCrossEntropy, GradientRowsSumToZero) {
+  Rng rng(9);
+  Tensor logits = random_tensor(4, 5, rng);
+  std::vector<std::int32_t> labels = {0, 2, 4, 1};
+  Tensor dlogits(4, 5);
+  (void)softmax_cross_entropy(logits, labels, dlogits);
+  for (index_t r = 0; r < 4; ++r) {
+    float sum = 0.0f;
+    for (index_t c = 0; c < 5; ++c) sum += dlogits.at(r, c);
+    EXPECT_NEAR(sum, 0.0f, 1e-5f);
+  }
+}
+
+TEST(SoftmaxCrossEntropy, RejectsBadLabels) {
+  Tensor logits(2, 3);
+  Tensor dlogits(2, 3);
+  std::vector<std::int32_t> bad = {0, 5};
+  EXPECT_THROW(softmax_cross_entropy(logits, bad, dlogits), SpecError);
+}
+
+TEST(ZeroGrad, ClearsAccumulation) {
+  Rng rng(10);
+  DenseLinear layer(3, 3, rng);
+  Tensor x = random_tensor(2, 3, rng);
+  (void)layer.forward(x);
+  (void)layer.backward(random_tensor(2, 3, rng));
+  bool any_nonzero = false;
+  for (Param p : layer.params()) {
+    for (std::size_t i = 0; i < p.size; ++i) {
+      any_nonzero = any_nonzero || p.grad[i] != 0.0f;
+    }
+  }
+  EXPECT_TRUE(any_nonzero);
+  layer.zero_grad();
+  for (Param p : layer.params()) {
+    for (std::size_t i = 0; i < p.size; ++i) {
+      EXPECT_FLOAT_EQ(p.grad[i], 0.0f);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace radix::nn

@@ -1,0 +1,120 @@
+// Mixed-radix numeral systems: the bijection of Section II.
+#include "radixnet/mixed_radix.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "support/error.hpp"
+
+namespace radix {
+namespace {
+
+TEST(MixedRadix, ProductAndDigits) {
+  MixedRadix m({3, 3, 4});
+  EXPECT_EQ(m.digits(), 3u);
+  EXPECT_EQ(m.product(), 36u);
+  EXPECT_EQ(m.radices(), (std::vector<std::uint32_t>{3, 3, 4}));
+}
+
+TEST(MixedRadix, PlaceValues) {
+  // The paper's Fig 2 example: N = (3, 3, 4) has place values 1, 3, 9.
+  MixedRadix m({3, 3, 4});
+  EXPECT_EQ(m.place_value(0), 1u);
+  EXPECT_EQ(m.place_value(1), 3u);
+  EXPECT_EQ(m.place_value(2), 9u);
+  EXPECT_THROW(m.place_value(3), SpecError);
+}
+
+TEST(MixedRadix, RejectsBadRadices) {
+  EXPECT_THROW(MixedRadix({}), SpecError);
+  EXPECT_THROW(MixedRadix({1}), SpecError);
+  EXPECT_THROW(MixedRadix({2, 0}), SpecError);
+}
+
+TEST(MixedRadix, RejectsOverflowingProduct) {
+  // 2^64 overflows.
+  EXPECT_THROW(MixedRadix(std::vector<std::uint32_t>(64, 2)).product(),
+               SpecError);
+}
+
+TEST(MixedRadix, UniformFactory) {
+  const auto m = MixedRadix::uniform(2, 3);
+  EXPECT_EQ(m.product(), 8u);
+  EXPECT_EQ(m.radices(), (std::vector<std::uint32_t>{2, 2, 2}));
+  EXPECT_THROW(MixedRadix::uniform(2, 0), SpecError);
+}
+
+TEST(MixedRadix, EncodeKnownValues) {
+  MixedRadix m({2, 3});  // place values 1, 2; range 0..5
+  EXPECT_EQ(m.encode(0), (std::vector<std::uint32_t>{0, 0}));
+  EXPECT_EQ(m.encode(1), (std::vector<std::uint32_t>{1, 0}));
+  EXPECT_EQ(m.encode(2), (std::vector<std::uint32_t>{0, 1}));
+  EXPECT_EQ(m.encode(5), (std::vector<std::uint32_t>{1, 2}));
+  EXPECT_THROW(m.encode(6), SpecError);
+}
+
+TEST(MixedRadix, DecodeValidatesDigits) {
+  MixedRadix m({2, 3});
+  EXPECT_EQ(m.decode({1, 2}), 5u);
+  EXPECT_THROW(m.decode({2, 0}), SpecError);   // digit >= radix
+  EXPECT_THROW(m.decode({0}), SpecError);      // wrong arity
+}
+
+TEST(MixedRadix, MeanAndVariance) {
+  MixedRadix m({2, 4});
+  EXPECT_DOUBLE_EQ(m.mean_radix(), 3.0);
+  EXPECT_DOUBLE_EQ(m.radix_variance(), 1.0);
+  MixedRadix u = MixedRadix::uniform(7, 5);
+  EXPECT_DOUBLE_EQ(u.mean_radix(), 7.0);
+  EXPECT_DOUBLE_EQ(u.radix_variance(), 0.0);
+}
+
+TEST(MixedRadix, ToStringFormat) {
+  EXPECT_EQ(MixedRadix({3, 3, 4}).to_string(), "(3,3,4)");
+}
+
+// The defining property: encode is a bijection {0..N'-1} <-> digit tuples
+// and decode inverts it.
+class MixedRadixBijection
+    : public ::testing::TestWithParam<std::vector<std::uint32_t>> {};
+
+TEST_P(MixedRadixBijection, EncodeDecodeRoundTrip) {
+  const MixedRadix m(GetParam());
+  std::set<std::vector<std::uint32_t>> seen;
+  for (std::uint64_t v = 0; v < m.product(); ++v) {
+    const auto digits = m.encode(v);
+    ASSERT_EQ(digits.size(), m.digits());
+    for (std::size_t i = 0; i < digits.size(); ++i) {
+      ASSERT_LT(digits[i], m.radices()[i]);
+    }
+    EXPECT_EQ(m.decode(digits), v);
+    seen.insert(digits);
+  }
+  // Injective over the full range -> bijection onto the digit space.
+  EXPECT_EQ(seen.size(), m.product());
+}
+
+TEST_P(MixedRadixBijection, ValueEqualsWeightedDigitSum) {
+  const MixedRadix m(GetParam());
+  for (std::uint64_t v = 0; v < m.product(); ++v) {
+    const auto digits = m.encode(v);
+    std::uint64_t sum = 0;
+    for (std::size_t i = 0; i < digits.size(); ++i) {
+      sum += digits[i] * m.place_value(i);
+    }
+    EXPECT_EQ(sum, v);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, MixedRadixBijection,
+    ::testing::Values(std::vector<std::uint32_t>{2},
+                      std::vector<std::uint32_t>{2, 2, 2},
+                      std::vector<std::uint32_t>{3, 3, 4},
+                      std::vector<std::uint32_t>{5, 2, 3},
+                      std::vector<std::uint32_t>{7, 11},
+                      std::vector<std::uint32_t>{2, 3, 4, 5}));
+
+}  // namespace
+}  // namespace radix

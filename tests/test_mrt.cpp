@@ -1,0 +1,155 @@
+// Mixed-radix topologies: eq. (1)-(2), Fig 1, Lemma 1.
+#include "radixnet/mrt.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/properties.hpp"
+#include "sparse/permutation.hpp"
+#include "sparse/spgemm.hpp"
+#include "support/error.hpp"
+
+namespace radix {
+namespace {
+
+// Reference construction of W_i directly from eq. (1):
+// W = sum of P^(n*stride) for n < radix, over the boolean semiring.
+Csr<pattern_t> eq1_reference(index_t nodes, std::uint32_t radix,
+                             std::uint64_t stride) {
+  Coo<pattern_t> acc(nodes, nodes);
+  for (std::uint32_t n = 0; n < radix; ++n) {
+    const auto p = cyclic_shift_pow(nodes, n * stride);
+    for (index_t r = 0; r < nodes; ++r) {
+      for (index_t c : p.row_cols(r)) acc.push(r, c, 1);
+    }
+  }
+  // from_coo adds duplicate values; normalize back to a 0/1 pattern.
+  return Csr<pattern_t>::from_coo(acc).pattern();
+}
+
+TEST(MrtSubmatrix, MatchesEq1Reference) {
+  for (auto [nodes, radix, stride] :
+       {std::tuple<index_t, std::uint32_t, std::uint64_t>{8, 2, 1},
+        {8, 2, 2},
+        {8, 2, 4},
+        {36, 3, 1},
+        {36, 3, 3},
+        {36, 4, 9},
+        {12, 6, 2}}) {
+    EXPECT_EQ(mrt_submatrix(nodes, radix, stride),
+              eq1_reference(nodes, radix, stride))
+        << nodes << "/" << radix << "/" << stride;
+  }
+}
+
+TEST(MrtSubmatrix, EdgeRuleExplicit) {
+  // Node j connects to (j + n*stride) mod nodes for n < radix.
+  const auto w = mrt_submatrix(10, 3, 2);
+  for (index_t j = 0; j < 10; ++j) {
+    for (std::uint32_t n = 0; n < 3; ++n) {
+      EXPECT_TRUE(w.contains(j, (j + n * 2) % 10));
+    }
+    EXPECT_EQ(w.row_nnz(j), 3u);
+  }
+}
+
+TEST(MrtSubmatrix, RadixOneIsIdentity) {
+  EXPECT_EQ(mrt_submatrix(5, 1, 3), Csr<pattern_t>::identity(5));
+}
+
+TEST(MrtSubmatrix, DuplicateOffsetsCollapse) {
+  // stride*radix wraps fully: offsets {0, 5, 10 mod 10 = 0,...}.
+  const auto w = mrt_submatrix(10, 4, 5);  // offsets 0,5,10->0,15->5
+  EXPECT_EQ(w.row_nnz(0), 2u);
+}
+
+TEST(MixedRadixTopology, Fig1BinaryExample) {
+  // Fig 1: N = (2, 2, 2) -- four node layers of 8 nodes, out-degree 2,
+  // strides 1, 2, 4.
+  const auto g = mixed_radix_topology(MixedRadix({2, 2, 2}));
+  EXPECT_EQ(g.depth(), 3u);
+  EXPECT_EQ(g.widths(), (std::vector<index_t>{8, 8, 8, 8}));
+  // Layer 0: j -> j, j+1 (mod 8); layer 1: j -> j, j+2; layer 2: j, j+4.
+  for (index_t j = 0; j < 8; ++j) {
+    EXPECT_TRUE(g.layer(0).contains(j, j));
+    EXPECT_TRUE(g.layer(0).contains(j, (j + 1) % 8));
+    EXPECT_TRUE(g.layer(1).contains(j, (j + 2) % 8));
+    EXPECT_TRUE(g.layer(2).contains(j, (j + 4) % 8));
+  }
+  EXPECT_EQ(g.num_edges(), 3u * 8u * 2u);
+  EXPECT_TRUE(g.validate().ok);
+}
+
+TEST(MixedRadixTopology, Fig1DecisionTreeOverlap) {
+  // Fig 1's claim: the topology is 8 overlapping depth-3 binary decision
+  // trees; the tree rooted at any node reaches all 8 leaves.
+  const MixedRadix sys({2, 2, 2});
+  for (index_t root : {0u, 3u, 7u}) {
+    const auto leaves = decision_tree_level(sys, root, 3);
+    EXPECT_EQ(leaves.size(), 8u);
+    for (index_t i = 0; i < 8; ++i) EXPECT_EQ(leaves[i], i);
+    // Depth 2 reaches exactly 4 consecutive labels mod 8.
+    const auto mid = decision_tree_level(sys, root, 2);
+    EXPECT_EQ(mid.size(), 4u);
+  }
+}
+
+// Lemma 1: mixed-radix topologies are symmetric with exactly one path
+// between every input/output pair.
+class MrtLemma1 : public ::testing::TestWithParam<std::vector<std::uint32_t>> {
+};
+
+TEST_P(MrtLemma1, SymmetricWithOnePath) {
+  const auto g = mixed_radix_topology(MixedRadix(GetParam()));
+  const auto m = symmetry_constant(g);
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(*m, BigUInt(1));
+  EXPECT_TRUE(is_path_connected(g));
+  EXPECT_TRUE(g.validate().ok);
+}
+
+TEST_P(MrtLemma1, DensityIsSumOverDenseSum) {
+  // For an MRT on N' nodes: density = sum(N_i) / (L * N').
+  const MixedRadix sys(GetParam());
+  const auto g = mixed_radix_topology(sys);
+  double sum = 0.0;
+  for (auto r : sys.radices()) sum += r;
+  EXPECT_NEAR(density(g),
+              sum / (static_cast<double>(sys.digits()) * sys.product()),
+              1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, MrtLemma1,
+    ::testing::Values(std::vector<std::uint32_t>{2},
+                      std::vector<std::uint32_t>{2, 2, 2},
+                      std::vector<std::uint32_t>{3, 3, 4},
+                      std::vector<std::uint32_t>{4, 4},
+                      std::vector<std::uint32_t>{2, 3, 5},
+                      std::vector<std::uint32_t>{6, 6}));
+
+TEST(MixedRadixTopology, LaidOutOnMultipleOfProduct) {
+  // Last-system divisor case: system (2,2) on 8 nodes (product 4 | 8).
+  const auto g = mixed_radix_topology(MixedRadix({2, 2}), 8);
+  EXPECT_EQ(g.widths(), (std::vector<index_t>{8, 8, 8}));
+  EXPECT_TRUE(g.validate().ok);
+  // Out-degrees still equal the radices.
+  EXPECT_EQ(g.layer(0).row_nnz(0), 2u);
+  EXPECT_EQ(g.layer(1).row_nnz(0), 2u);
+  // Not path-connected on 8 nodes (only 4 reachable), but still regular.
+  EXPECT_FALSE(is_path_connected(g));
+}
+
+TEST(MixedRadixTopology, RejectsNonDivisorLayout) {
+  EXPECT_THROW(mixed_radix_topology(MixedRadix({2, 2}), 6), SpecError);
+}
+
+TEST(DecisionTree, DepthValidation) {
+  const MixedRadix sys({2, 2});
+  EXPECT_THROW(decision_tree_level(sys, 0, 3), SpecError);
+  EXPECT_THROW(decision_tree_level(sys, 4, 1), SpecError);
+  EXPECT_EQ(decision_tree_level(sys, 1, 0),
+            (std::vector<index_t>{1}));
+}
+
+}  // namespace
+}  // namespace radix

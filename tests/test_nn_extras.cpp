@@ -1,0 +1,196 @@
+// Dropout, LR schedules, gradient clipping, early stopping, extra
+// datasets.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <set>
+
+#include "nn/trainer.hpp"
+#include "support/error.hpp"
+
+namespace radix::nn {
+namespace {
+
+TEST(Dropout, EvalModeIsIdentity) {
+  DropoutLayer layer(0.5f, 4);
+  layer.set_training(false);
+  Tensor x(2, 4, 3.0f);
+  const Tensor y = layer.forward(x);
+  EXPECT_EQ(Tensor::max_abs_diff(x, y), 0.0f);
+  const Tensor dx = layer.backward(y);
+  EXPECT_EQ(Tensor::max_abs_diff(dx, y), 0.0f);
+}
+
+TEST(Dropout, TrainModeZeroesAndRescales) {
+  DropoutLayer layer(0.5f, 64, /*seed=*/3);
+  Tensor x(8, 64, 1.0f);
+  const Tensor y = layer.forward(x);
+  std::size_t zeros = 0;
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    const float v = y.data()[i];
+    EXPECT_TRUE(v == 0.0f || std::fabs(v - 2.0f) < 1e-6f) << v;
+    if (v == 0.0f) ++zeros;
+  }
+  // Roughly half dropped.
+  EXPECT_NEAR(static_cast<double>(zeros) / y.size(), 0.5, 0.1);
+}
+
+TEST(Dropout, BackwardUsesSameMask) {
+  DropoutLayer layer(0.3f, 16, 5);
+  Tensor x(4, 16, 1.0f);
+  const Tensor y = layer.forward(x);
+  Tensor dy(4, 16, 1.0f);
+  const Tensor dx = layer.backward(dy);
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    // Gradient flows exactly where the forward pass let values through.
+    EXPECT_FLOAT_EQ(dx.data()[i], y.data()[i]);
+  }
+}
+
+TEST(Dropout, ZeroProbabilityIsIdentityEvenInTraining) {
+  DropoutLayer layer(0.0f, 4);
+  Tensor x(1, 4, 2.0f);
+  EXPECT_EQ(Tensor::max_abs_diff(layer.forward(x), x), 0.0f);
+}
+
+TEST(Dropout, RejectsBadP) {
+  EXPECT_THROW(DropoutLayer(1.0f, 4), SpecError);
+  EXPECT_THROW(DropoutLayer(-0.1f, 4), SpecError);
+}
+
+TEST(Dropout, PreservesExpectedValueApproximately) {
+  DropoutLayer layer(0.25f, 256, 9);
+  Tensor x(16, 256, 1.0f);
+  const Tensor y = layer.forward(x);
+  double sum = 0.0;
+  for (std::size_t i = 0; i < y.size(); ++i) sum += y.data()[i];
+  EXPECT_NEAR(sum / y.size(), 1.0, 0.05);  // inverted dropout is unbiased
+}
+
+TEST(StepDecay, MultiplierSchedule) {
+  StepDecay s(10, 0.5f);
+  EXPECT_FLOAT_EQ(s.multiplier(0), 1.0f);
+  EXPECT_FLOAT_EQ(s.multiplier(9), 1.0f);
+  EXPECT_FLOAT_EQ(s.multiplier(10), 0.5f);
+  EXPECT_FLOAT_EQ(s.multiplier(25), 0.25f);
+}
+
+TEST(CosineAnneal, EndpointsAndMidpoint) {
+  CosineAnneal s(100, 0.1f);
+  EXPECT_FLOAT_EQ(s.multiplier(0), 1.0f);
+  EXPECT_NEAR(s.multiplier(50), 0.1f + 0.9f * 0.5f, 1e-5f);
+  EXPECT_NEAR(s.multiplier(100), 0.1f, 1e-5f);
+  EXPECT_NEAR(s.multiplier(150), 0.1f, 1e-5f);  // clamped past the end
+}
+
+TEST(Optimizers, LearningRateAccessors) {
+  Sgd sgd(0.1f);
+  EXPECT_FLOAT_EQ(sgd.learning_rate(), 0.1f);
+  sgd.set_learning_rate(0.05f);
+  EXPECT_FLOAT_EQ(sgd.learning_rate(), 0.05f);
+  Adam adam(0.01f);
+  adam.set_learning_rate(0.02f);
+  EXPECT_FLOAT_EQ(adam.learning_rate(), 0.02f);
+}
+
+TEST(ClipGradients, ScalesDownLargeNorms) {
+  std::vector<float> v = {0.0f, 0.0f};
+  std::vector<float> g = {3.0f, 4.0f};  // norm 5
+  std::vector<Param> params = {{v.data(), g.data(), 2}};
+  const float norm = clip_gradients(params, 1.0f);
+  EXPECT_FLOAT_EQ(norm, 5.0f);
+  EXPECT_NEAR(g[0], 0.6f, 1e-6f);
+  EXPECT_NEAR(g[1], 0.8f, 1e-6f);
+}
+
+TEST(ClipGradients, LeavesSmallNormsAlone) {
+  std::vector<float> v = {0.0f};
+  std::vector<float> g = {0.5f};
+  std::vector<Param> params = {{v.data(), g.data(), 1}};
+  (void)clip_gradients(params, 1.0f);
+  EXPECT_FLOAT_EQ(g[0], 0.5f);
+  EXPECT_THROW(clip_gradients(params, 0.0f), SpecError);
+}
+
+TEST(Trainer, EarlyStoppingTriggers) {
+  Rng rng(1);
+  const auto data = datasets::blobs(200, 4, 2, 0.05, rng);
+  auto split = split_dataset(data, 0.25, rng);
+  Network net = dense_mlp({4, 8, 2}, Activation::kRelu, rng);
+  Adam opt(0.02f);
+  TrainConfig cfg;
+  cfg.epochs = 50;
+  cfg.early_stop_patience = 3;
+  const auto result = train_classifier(net, opt, split, cfg);
+  // Trivially separable blobs hit 100% fast, then patience kicks in.
+  EXPECT_TRUE(result.stopped_early);
+  EXPECT_LT(result.epochs.size(), 50u);
+  EXPECT_GE(result.best_test_accuracy, result.final_test_accuracy);
+}
+
+TEST(Trainer, ScheduleRestoresBaseLr) {
+  Rng rng(2);
+  const auto data = datasets::blobs(100, 3, 2, 0.2, rng);
+  auto split = split_dataset(data, 0.25, rng);
+  Network net = dense_mlp({3, 4, 2}, Activation::kRelu, rng);
+  Adam opt(0.01f);
+  CosineAnneal schedule(4);
+  TrainConfig cfg;
+  cfg.epochs = 4;
+  cfg.lr_schedule = &schedule;
+  (void)train_classifier(net, opt, split, cfg);
+  EXPECT_FLOAT_EQ(opt.learning_rate(), 0.01f);
+}
+
+TEST(Trainer, TrainingWithDropoutAndClippingLearns) {
+  Rng rng(3);
+  const auto data = datasets::two_moons(600, 0.05, rng);
+  auto split = split_dataset(data, 0.25, rng);
+  Network net;
+  net.add(std::make_unique<DenseLinear>(2, 32, rng));
+  net.add(std::make_unique<ActivationLayer>(Activation::kRelu, 32));
+  net.add(std::make_unique<DropoutLayer>(0.1f, 32));
+  net.add(std::make_unique<DenseLinear>(32, 2, rng));
+  Adam opt(0.01f);
+  TrainConfig cfg;
+  cfg.epochs = 25;
+  cfg.clip_grad_norm = 5.0f;
+  const auto result = train_classifier(net, opt, split, cfg);
+  EXPECT_GT(result.final_test_accuracy, 0.9);
+}
+
+TEST(TwoMoons, ShapeAndBalance) {
+  Rng rng(4);
+  const auto d = datasets::two_moons(400, 0.0, rng);
+  EXPECT_EQ(d.num_classes, 2u);
+  EXPECT_EQ(d.features(), 2u);
+  int ones = 0;
+  for (auto l : d.labels) ones += l;
+  EXPECT_NEAR(ones / 400.0, 0.5, 0.1);
+  // Noise-free moons lie on unit circles.
+  for (index_t i = 0; i < d.samples(); ++i) {
+    const double x = d.x.at(i, 0);
+    const double y = d.x.at(i, 1);
+    if (d.labels[i] == 0) {
+      EXPECT_NEAR(x * x + y * y, 1.0, 1e-5);
+    } else {
+      const double dx = x - 1.0, dy = y - 0.5;
+      EXPECT_NEAR(dx * dx + dy * dy, 1.0, 1e-5);
+    }
+  }
+}
+
+TEST(Rings, RadiiMatchClasses) {
+  Rng rng(5);
+  const auto d = datasets::rings(300, 3, 0.0, rng);
+  EXPECT_EQ(d.num_classes, 3u);
+  for (index_t i = 0; i < d.samples(); ++i) {
+    const double r = std::hypot(d.x.at(i, 0), d.x.at(i, 1));
+    EXPECT_NEAR(r, (d.labels[i] + 1.0) / 3.0, 1e-5);
+  }
+  EXPECT_THROW(datasets::rings(10, 1, 0.1, rng), SpecError);
+}
+
+}  // namespace
+}  // namespace radix::nn

@@ -1,0 +1,121 @@
+// Trained-parameter save/load round trips.
+#include "nn/serialize.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+#include <memory>
+
+#include "nn/trainer.hpp"
+#include "radixnet/builder.hpp"
+#include "support/error.hpp"
+
+namespace radix::nn {
+namespace {
+
+class NnSerializeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("radixnet_nn_ser_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+  std::string path(const std::string& name) const {
+    return (dir_ / name).string();
+  }
+  std::filesystem::path dir_;
+};
+
+Network make_mixed_net(Rng rng) {
+  const auto topo = build_radix_net({{4, 4}},
+                                    std::vector<std::uint32_t>{1, 1, 1});
+  Network net;
+  net.add(std::make_unique<DenseLinear>(8, 16, rng));
+  net.add(std::make_unique<ActivationLayer>(Activation::kRelu, 16));
+  net.add(std::make_unique<SparseLinear>(topo.layer(0), rng));
+  net.add(std::make_unique<ActivationLayer>(Activation::kRelu, 16));
+  net.add(std::make_unique<DenseLinear>(16, 3, rng));
+  return net;
+}
+
+TEST_F(NnSerializeTest, RoundTripIsExact) {
+  Network a = make_mixed_net(Rng(1));
+  // Perturb from init so values are "trained-like".
+  for (Param p : a.params()) {
+    for (std::size_t i = 0; i < p.size; ++i) {
+      p.value[i] += 0.125f * static_cast<float>(i % 7);
+    }
+  }
+  save_params(path("w.txt"), a);
+
+  Network b = make_mixed_net(Rng(99));  // different init
+  load_params(path("w.txt"), b);
+
+  // Bit-exact parameter recovery.
+  const auto pa = a.params();
+  const auto pb = b.params();
+  ASSERT_EQ(pa.size(), pb.size());
+  for (std::size_t k = 0; k < pa.size(); ++k) {
+    ASSERT_EQ(pa[k].size, pb[k].size);
+    for (std::size_t i = 0; i < pa[k].size; ++i) {
+      EXPECT_EQ(pa[k].value[i], pb[k].value[i]);
+    }
+  }
+
+  // Identical predictions.
+  Tensor x(5, 8, 0.3f);
+  EXPECT_EQ(Tensor::max_abs_diff(a.forward(x), b.forward(x)), 0.0f);
+}
+
+TEST_F(NnSerializeTest, TrainedModelSurvivesReload) {
+  Rng rng(2);
+  const auto data = datasets::blobs(300, 8, 3, 0.2, rng);
+  auto split = split_dataset(data, 0.25, rng);
+  Network net = make_mixed_net(Rng(3));
+  Adam opt(0.01f);
+  TrainConfig cfg;
+  cfg.epochs = 8;
+  const auto result = train_classifier(net, opt, split, cfg);
+  save_params(path("trained.txt"), net);
+
+  Network fresh = make_mixed_net(Rng(77));
+  const double before = evaluate(fresh, split.test);
+  load_params(path("trained.txt"), fresh);
+  const double after = evaluate(fresh, split.test);
+  EXPECT_DOUBLE_EQ(after, result.final_test_accuracy);
+  EXPECT_GE(after, before - 1e-12);  // trained >= random init
+}
+
+TEST_F(NnSerializeTest, MismatchedArchitectureRejected) {
+  Network a = make_mixed_net(Rng(1));
+  save_params(path("w.txt"), a);
+  Rng rng(5);
+  Network small = dense_mlp({8, 4, 3}, Activation::kRelu, rng);
+  EXPECT_THROW(load_params(path("w.txt"), small), SpecError);
+}
+
+TEST_F(NnSerializeTest, CorruptFilesRejected) {
+  EXPECT_THROW(
+      {
+        Network a = make_mixed_net(Rng(1));
+        load_params(path("missing.txt"), a);
+      },
+      IoError);
+  std::ofstream bad(path("bad.txt"));
+  bad << "not-a-params-file\n";
+  bad.close();
+  Network a = make_mixed_net(Rng(1));
+  EXPECT_THROW(load_params(path("bad.txt"), a), IoError);
+  // Truncated: header promises more arrays than present.
+  std::ofstream trunc(path("trunc.txt"));
+  trunc << "radixnet-params v1 99\n3 0 0 0\n";
+  trunc.close();
+  EXPECT_THROW(load_params(path("trunc.txt"), a), SpecError);
+}
+
+}  // namespace
+}  // namespace radix::nn

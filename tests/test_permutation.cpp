@@ -1,0 +1,100 @@
+// Cyclic permutation matrices (eq. (2)) and their algebra.
+#include "sparse/permutation.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sparse/spgemm.hpp"
+#include "support/error.hpp"
+
+namespace radix {
+namespace {
+
+TEST(CyclicShift, PowerZeroIsIdentity) {
+  const auto p0 = cyclic_shift_pow(5, 0);
+  EXPECT_EQ(p0, Csr<pattern_t>::identity(5));
+}
+
+TEST(CyclicShift, ShiftByOneMapsToSuccessor) {
+  const auto p = cyclic_shift_pow(4, 1);
+  for (index_t r = 0; r < 4; ++r) {
+    ASSERT_EQ(p.row_nnz(r), 1u);
+    EXPECT_EQ(p.row_cols(r)[0], (r + 1) % 4);
+  }
+}
+
+TEST(CyclicShift, ExponentReducedModN) {
+  EXPECT_EQ(cyclic_shift_pow(6, 6), Csr<pattern_t>::identity(6));
+  EXPECT_EQ(cyclic_shift_pow(6, 8), cyclic_shift_pow(6, 2));
+  EXPECT_EQ(cyclic_shift_pow(6, 6004), cyclic_shift_pow(6, 4));
+}
+
+TEST(CyclicShift, PowersComposeAdditively) {
+  // P^a * P^b == P^(a+b) structurally.
+  const auto pa = cyclic_shift_pow(7, 3);
+  const auto pb = cyclic_shift_pow(7, 5);
+  const auto prod = spgemm_bool(pa, pb);
+  EXPECT_EQ(prod, cyclic_shift_pow(7, 8 % 7));
+}
+
+TEST(CyclicShift, MatrixIsPermutation) {
+  EXPECT_TRUE(is_permutation_matrix(cyclic_shift_pow(9, 4)));
+}
+
+TEST(CyclicShift, RejectsZeroSize) {
+  EXPECT_THROW(cyclic_shift_pow(0, 1), SpecError);
+}
+
+TEST(PermutationMatrix, BuildsFromVector) {
+  const auto p = permutation_matrix({2, 0, 1});
+  EXPECT_TRUE(is_permutation_matrix(p));
+  EXPECT_EQ(p.row_cols(0)[0], 2u);
+  EXPECT_EQ(p.row_cols(1)[0], 0u);
+  EXPECT_EQ(p.row_cols(2)[0], 1u);
+}
+
+TEST(PermutationMatrix, RejectsInvalidTargets) {
+  EXPECT_THROW(permutation_matrix({0, 0, 1}), SpecError);   // duplicate
+  EXPECT_THROW(permutation_matrix({0, 3, 1}), SpecError);   // out of range
+}
+
+TEST(PermutationMatrix, DetectsNonPermutations) {
+  EXPECT_FALSE(is_permutation_matrix(Csr<pattern_t>::ones(3, 3)));
+  EXPECT_FALSE(is_permutation_matrix(Csr<pattern_t>::ones(2, 3)));
+  EXPECT_FALSE(is_permutation_matrix(Csr<pattern_t>(3, 3)));  // all zero
+  // One column hit twice.
+  Coo<pattern_t> coo(2, 2);
+  coo.push(0, 0, 1);
+  coo.push(1, 0, 1);
+  EXPECT_FALSE(is_permutation_matrix(Csr<pattern_t>::from_coo(coo)));
+}
+
+TEST(PermutationMatrix, ComposeMatchesSpgemm) {
+  const auto a = permutation_matrix({1, 2, 0});
+  const auto b = permutation_matrix({2, 1, 0});
+  EXPECT_EQ(compose_permutations(a, b), spgemm_bool(a, b));
+}
+
+TEST(PermutationMatrix, ComposeRejectsNonPermutation) {
+  EXPECT_THROW(
+      compose_permutations(Csr<pattern_t>::ones(3, 3),
+                           permutation_matrix({0, 1, 2})),
+      SpecError);
+}
+
+// Full orbit sweep: P^k for k = 0..n-1 are pairwise distinct and P^n = I.
+class CyclicOrbit : public ::testing::TestWithParam<index_t> {};
+
+TEST_P(CyclicOrbit, OrbitHasFullPeriod) {
+  const index_t n = GetParam();
+  const auto identity = Csr<pattern_t>::identity(n);
+  for (index_t k = 1; k < n; ++k) {
+    EXPECT_NE(cyclic_shift_pow(n, k), identity) << "k=" << k;
+  }
+  EXPECT_EQ(cyclic_shift_pow(n, n), identity);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, CyclicOrbit,
+                         ::testing::Values(1u, 2u, 3u, 8u, 12u, 64u));
+
+}  // namespace
+}  // namespace radix

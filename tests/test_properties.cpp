@@ -1,0 +1,175 @@
+// Path counts, symmetry, connectedness, density (Section II).
+#include "graph/properties.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sparse/spgemm.hpp"
+#include "support/error.hpp"
+
+namespace radix {
+namespace {
+
+Csr<pattern_t> layer_from_edges(index_t rows, index_t cols,
+                                std::vector<std::pair<index_t, index_t>> e) {
+  Coo<pattern_t> coo(rows, cols);
+  for (auto [r, c] : e) coo.push(r, c, 1);
+  return Csr<pattern_t>::from_coo(coo);
+}
+
+TEST(PathCount, SingleLayerIsAdjacency) {
+  Fnnt g({layer_from_edges(2, 2, {{0, 0}, {0, 1}, {1, 1}})});
+  const auto p = path_count_matrix(g);
+  EXPECT_EQ(p.at(0, 0), BigUInt(1));
+  EXPECT_EQ(p.at(0, 1), BigUInt(1));
+  EXPECT_TRUE(p.at(1, 0).is_zero());
+  EXPECT_EQ(p.at(1, 1), BigUInt(1));
+}
+
+TEST(PathCount, TwoLayerDiamond) {
+  // 1 input fans out to 2 middles, both converge on 1 output: 2 paths.
+  Fnnt g({layer_from_edges(1, 2, {{0, 0}, {0, 1}}),
+          layer_from_edges(2, 1, {{0, 0}, {1, 0}})});
+  const auto p = path_count_matrix(g);
+  EXPECT_EQ(p.at(0, 0), BigUInt(2));
+}
+
+TEST(PathCount, FullyConnectedCounts) {
+  // Dense n0-n1-n2: paths from any input to any output = n1.
+  Fnnt g({Csr<pattern_t>::ones(3, 5), Csr<pattern_t>::ones(5, 2)});
+  const auto p = path_count_matrix(g);
+  for (index_t u = 0; u < 3; ++u) {
+    for (index_t v = 0; v < 2; ++v) {
+      EXPECT_EQ(p.at(u, v), BigUInt(5));
+    }
+  }
+}
+
+TEST(Symmetry, DenseIsSymmetric) {
+  Fnnt g({Csr<pattern_t>::ones(3, 4), Csr<pattern_t>::ones(4, 3)});
+  const auto m = symmetry_constant(g);
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(*m, BigUInt(4));
+  EXPECT_TRUE(is_symmetric(g));
+  EXPECT_TRUE(is_path_connected(g));
+}
+
+TEST(Symmetry, UnevenPathCountsDetected) {
+  // Both pairs connected but with different path counts (2 vs 1).
+  Fnnt g({layer_from_edges(2, 2, {{0, 0}, {0, 1}, {1, 0}, {1, 1}}),
+          layer_from_edges(2, 2, {{0, 0}, {0, 1}, {1, 0}, {1, 1}})});
+  // Fully connected 2-2-2: symmetric with m = 2.
+  ASSERT_TRUE(is_symmetric(g));
+
+  Fnnt h({layer_from_edges(2, 2, {{0, 0}, {0, 1}, {1, 1}}),
+          layer_from_edges(2, 2, {{0, 0}, {1, 0}, {1, 1}})});
+  // h: paths(0,0)=1 via m0... path-connected? u0: reaches m0,m1; v0 from
+  // m0 and m1; u1 reaches m1 only; v1 from m1.  counts: (0,0)=2, others 1.
+  EXPECT_TRUE(is_path_connected(h));
+  EXPECT_FALSE(is_symmetric(h));
+  EXPECT_FALSE(symmetry_constant(h).has_value());
+}
+
+TEST(Symmetry, DisconnectedPairDetected) {
+  // Parallel wires: 0->0, 1->1; no path 0->1.
+  Fnnt g({Csr<pattern_t>::identity(2)});
+  EXPECT_FALSE(is_path_connected(g));
+  EXPECT_FALSE(is_symmetric(g));
+}
+
+TEST(Symmetry, SymmetryImpliesPathConnected) {
+  // Theorem in Section II: symmetric => path-connected.  Spot-check on a
+  // symmetric non-dense topology (cycle shift union).
+  Fnnt g({layer_from_edges(3, 3,
+                           {{0, 0}, {0, 1}, {1, 1}, {1, 2}, {2, 2}, {2, 0}}),
+          layer_from_edges(3, 3,
+                           {{0, 0}, {0, 1}, {1, 1}, {1, 2}, {2, 2}, {2, 0}}),
+          layer_from_edges(3, 3,
+                           {{0, 0}, {0, 1}, {1, 1}, {1, 2}, {2, 2}, {2, 0}})});
+  if (is_symmetric(g)) {
+    EXPECT_TRUE(is_path_connected(g));
+  }
+}
+
+TEST(Reachability, MatchesPathCountSupport) {
+  Fnnt g({layer_from_edges(2, 3, {{0, 0}, {1, 1}, {1, 2}}),
+          layer_from_edges(3, 2, {{0, 0}, {1, 0}, {2, 1}})});
+  const auto r = reachability_matrix(g);
+  const auto p = path_count_matrix(g);
+  EXPECT_EQ(r.nnz(), p.nnz());
+  for (index_t u = 0; u < 2; ++u) {
+    for (index_t v = 0; v < 2; ++v) {
+      EXPECT_EQ(r.contains(u, v), !p.at(u, v).is_zero());
+    }
+  }
+}
+
+TEST(Density, DenseIsOne) {
+  Fnnt g({Csr<pattern_t>::ones(3, 4), Csr<pattern_t>::ones(4, 2)});
+  EXPECT_DOUBLE_EQ(density(g), 1.0);
+}
+
+TEST(Density, IdentityChainIsMinimal) {
+  Fnnt g({Csr<pattern_t>::identity(5), Csr<pattern_t>::identity(5)});
+  EXPECT_DOUBLE_EQ(density(g), 10.0 / 50.0);
+  EXPECT_DOUBLE_EQ(min_density(g), 10.0 / 50.0);
+}
+
+TEST(Density, DenseEdgeCount) {
+  Fnnt g({Csr<pattern_t>::ones(3, 4), Csr<pattern_t>::ones(4, 2)});
+  EXPECT_EQ(dense_edge_count(g), 12u + 8u);
+}
+
+TEST(DegreeStats, ComputesRangesAndMeans) {
+  const auto w = layer_from_edges(3, 2, {{0, 0}, {0, 1}, {1, 0}, {2, 0}});
+  const auto s = layer_degree_stats(w);
+  EXPECT_EQ(s.min_out, 1u);
+  EXPECT_EQ(s.max_out, 2u);
+  EXPECT_FALSE(s.out_regular());
+  EXPECT_EQ(s.min_in, 1u);
+  EXPECT_EQ(s.max_in, 3u);
+  EXPECT_DOUBLE_EQ(s.mean_out, 4.0 / 3.0);
+  EXPECT_DOUBLE_EQ(s.mean_in, 2.0);
+}
+
+TEST(DegreeStats, RegularLayerFlagged) {
+  const auto s = layer_degree_stats(Csr<pattern_t>::ones(4, 4));
+  EXPECT_TRUE(s.out_regular());
+  EXPECT_TRUE(s.in_regular());
+  EXPECT_EQ(s.max_in, 4u);
+}
+
+TEST(PowerBlockStructure, HoldsForValidFnnt) {
+  Fnnt g({Csr<pattern_t>::ones(2, 3), Csr<pattern_t>::ones(3, 2)});
+  EXPECT_TRUE(verify_power_block_structure(g));
+}
+
+TEST(PowerBlockStructure, ExactAMMatchesEq11to13) {
+  // The Theorem 1 derivation: A^n over the counting semiring has its
+  // only nonzero block equal to m * ones at (inputs x outputs).  Verify
+  // A^n entry-by-entry on a small symmetric topology.
+  Fnnt g({Csr<pattern_t>::ones(2, 3), Csr<pattern_t>::ones(3, 2)});
+  const auto a = g.full_adjacency().map<BigUInt>(
+      [](pattern_t) { return BigUInt(1); });
+  Csr<BigUInt> power = a;
+  for (std::size_t i = 1; i < g.depth(); ++i) {
+    power = spgemm_count(power, a);
+  }
+  // 7 nodes total: inputs 0-1, outputs 5-6; m = 3 (middle width).
+  for (index_t r = 0; r < 7; ++r) {
+    for (index_t c = 0; c < 7; ++c) {
+      const BigUInt expected =
+          (r < 2 && c >= 5) ? BigUInt(3) : BigUInt(0);
+      EXPECT_EQ(power.at(r, c), expected) << r << "," << c;
+    }
+  }
+}
+
+TEST(EmptyTopology, PropertiesThrow) {
+  Fnnt g;
+  EXPECT_THROW(path_count_matrix(g), SpecError);
+  EXPECT_THROW(reachability_matrix(g), SpecError);
+  EXPECT_THROW(density(g), SpecError);
+}
+
+}  // namespace
+}  // namespace radix

@@ -1,0 +1,147 @@
+// Tests for the deterministic PRNG.
+#include "support/random.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace radix {
+namespace {
+
+TEST(Rng, DeterministicForEqualSeeds) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, UniformRespectsBound) {
+  Rng rng(7);
+  for (std::uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull, 1ull << 40}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.uniform(bound), bound);
+    }
+  }
+}
+
+TEST(Rng, UniformBound1AlwaysZero) {
+  Rng rng(7);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(rng.uniform(1), 0u);
+}
+
+TEST(Rng, Uniform01InRange) {
+  Rng rng(3);
+  double mn = 1.0, mx = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.uniform01();
+    ASSERT_GE(v, 0.0);
+    ASSERT_LT(v, 1.0);
+    mn = std::min(mn, v);
+    mx = std::max(mx, v);
+  }
+  EXPECT_LT(mn, 0.01);  // saturates the range
+  EXPECT_GT(mx, 0.99);
+}
+
+TEST(Rng, UniformCoversSmallRangeUniformly) {
+  Rng rng(11);
+  std::vector<int> counts(6, 0);
+  const int n = 60000;
+  for (int i = 0; i < n; ++i) ++counts[rng.uniform(6)];
+  for (int c : counts) {
+    EXPECT_NEAR(c, n / 6, n / 60);  // within 10% of expectation
+  }
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(5);
+  const int n = 50000;
+  double sum = 0.0, sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.normal();
+    sum += v;
+    sq += v * v;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.03);
+  EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+TEST(Rng, NormalShiftScale) {
+  Rng rng(5);
+  const int n = 50000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += rng.normal(10.0, 0.5);
+  EXPECT_NEAR(sum / n, 10.0, 0.05);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(9);
+  int hits = 0;
+  const int n = 40000;
+  for (int i = 0; i < n; ++i) hits += rng.bernoulli(0.25) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.25, 0.02);
+}
+
+TEST(Rng, PermutationIsValid) {
+  Rng rng(13);
+  for (std::uint32_t n : {1u, 2u, 10u, 1000u}) {
+    const auto p = rng.permutation(n);
+    ASSERT_EQ(p.size(), n);
+    std::set<std::uint32_t> seen(p.begin(), p.end());
+    EXPECT_EQ(seen.size(), n);
+    EXPECT_EQ(*seen.begin(), 0u);
+    EXPECT_EQ(*seen.rbegin(), n - 1);
+  }
+}
+
+TEST(Rng, PermutationIsShuffled) {
+  Rng rng(13);
+  const auto p = rng.permutation(1000);
+  std::size_t fixed = 0;
+  for (std::uint32_t i = 0; i < 1000; ++i) {
+    if (p[i] == i) ++fixed;
+  }
+  EXPECT_LT(fixed, 20u);  // expected ~1 fixed point
+}
+
+TEST(Rng, ShuffleKeepsMultiset) {
+  Rng rng(17);
+  std::vector<int> v = {1, 1, 2, 3, 5, 8, 13};
+  auto sorted = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(Rng, SplitStreamsAreIndependentAndDeterministic) {
+  Rng a(99);
+  Rng b(99);
+  Rng a1 = a.split();
+  Rng b1 = b.split();
+  // Same parent state -> same child stream.
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(a1.next_u64(), b1.next_u64());
+  // Child differs from the parent's continued stream.
+  Rng c(99);
+  Rng c1 = c.split();
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (c.next_u64() == c1.next_u64()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+}  // namespace
+}  // namespace radix

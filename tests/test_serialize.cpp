@@ -1,0 +1,90 @@
+// Spec text serialization round trips and failure injection.
+#include "radixnet/serialize.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <filesystem>
+
+#include "radixnet/analytics.hpp"
+#include "support/error.hpp"
+
+namespace radix {
+namespace {
+
+TEST(SpecText, RenderFormat) {
+  const RadixNetSpec spec({MixedRadix({3, 3, 4}), MixedRadix({4, 3, 3})},
+                          {1, 2, 1, 1, 1, 1, 2});
+  const std::string text = spec_to_text(spec);
+  EXPECT_EQ(text,
+            "radixnet-spec v1\n"
+            "systems: 3,3,4 | 4,3,3\n"
+            "D: 1,2,1,1,1,1,2\n");
+}
+
+TEST(SpecText, RoundTrip) {
+  const RadixNetSpec spec({MixedRadix({2, 2, 2}), MixedRadix({4, 2})},
+                          {1, 1, 3, 1, 1, 2});
+  const auto back = spec_from_text(spec_to_text(spec));
+  EXPECT_EQ(back.systems().size(), 2u);
+  EXPECT_EQ(back.systems()[0].radices(),
+            (std::vector<std::uint32_t>{2, 2, 2}));
+  EXPECT_EQ(back.systems()[1].radices(),
+            (std::vector<std::uint32_t>{4, 2}));
+  EXPECT_EQ(back.dense_widths(), spec.dense_widths());
+  EXPECT_EQ(predicted_path_count(back), predicted_path_count(spec));
+}
+
+TEST(SpecText, ToleratesCommentsAndWhitespace) {
+  const auto spec = spec_from_text(
+      "# an experiment config\n"
+      "  radixnet-spec v1  \n"
+      "\n"
+      "systems: 2, 2  # inline comment\n"
+      "D: 1,1,1\n");
+  EXPECT_EQ(spec.n_prime(), 4u);
+}
+
+TEST(SpecText, RejectsMalformedInput) {
+  EXPECT_THROW(spec_from_text(""), IoError);
+  EXPECT_THROW(spec_from_text("systems: 2,2\nD: 1,1,1\n"), IoError);
+  EXPECT_THROW(
+      spec_from_text("radixnet-spec v1\nD: 1,1,1\n"), IoError);
+  EXPECT_THROW(
+      spec_from_text("radixnet-spec v1\nsystems: 2,2\n"), IoError);
+  EXPECT_THROW(spec_from_text("radixnet-spec v1\nsystems: 2,x\nD: 1,1,1\n"),
+               IoError);
+  EXPECT_THROW(spec_from_text("radixnet-spec v1\nwhat: 3\n"), IoError);
+  EXPECT_THROW(
+      spec_from_text("radixnet-spec v1\nsystems: 2,,2\nD: 1,1,1\n"),
+      IoError);
+}
+
+TEST(SpecText, InvalidSpecStillThrowsSpecError) {
+  // Parses fine but violates the shared-product constraint.
+  EXPECT_THROW(spec_from_text("radixnet-spec v1\n"
+                              "systems: 2,2 | 3,3 | 2,2\n"
+                              "D: 1,1,1,1,1,1,1\n"),
+               SpecError);
+  // Radix 1 is invalid.
+  EXPECT_THROW(
+      spec_from_text("radixnet-spec v1\nsystems: 1,4\nD: 1,1,1\n"),
+      SpecError);
+}
+
+TEST(SpecText, FileRoundTrip) {
+  const auto dir = std::filesystem::temp_directory_path() /
+                   ("radixnet_spec_" + std::to_string(::getpid()));
+  std::filesystem::create_directories(dir);
+  const std::string path = (dir / "spec.txt").string();
+  const RadixNetSpec spec({MixedRadix({16, 16})}, {1, 4, 1});
+  save_spec(path, spec);
+  const auto back = load_spec(path);
+  EXPECT_EQ(spec_to_text(back), spec_to_text(spec));
+  EXPECT_THROW(load_spec((dir / "missing.txt").string()), IoError);
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace radix

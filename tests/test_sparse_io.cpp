@@ -1,0 +1,144 @@
+// TSV serialization round-trips and failure injection.
+#include "sparse/io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "support/error.hpp"
+#include "support/random.hpp"
+
+namespace radix {
+namespace {
+
+class SparseIoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("radixnet_io_test_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string path(const std::string& name) const {
+    return (dir_ / name).string();
+  }
+
+  std::filesystem::path dir_;
+};
+
+Csr<float> random_f32(index_t rows, index_t cols, double density, Rng& rng) {
+  Coo<float> coo(rows, cols);
+  for (index_t r = 0; r < rows; ++r) {
+    for (index_t c = 0; c < cols; ++c) {
+      if (rng.bernoulli(density)) {
+        coo.push(r, c, static_cast<float>(rng.uniform(-4.0, 4.0)));
+      }
+    }
+  }
+  return Csr<float>::from_coo(coo);
+}
+
+TEST_F(SparseIoTest, FloatRoundTrip) {
+  Rng rng(1);
+  const auto m = random_f32(12, 9, 0.3, rng);
+  write_tsv(path("m.tsv"), m);
+  const auto back = read_tsv_f32(path("m.tsv"));
+  ASSERT_EQ(back.rows(), m.rows());
+  ASSERT_EQ(back.cols(), m.cols());
+  ASSERT_EQ(back.nnz(), m.nnz());
+  for (index_t r = 0; r < m.rows(); ++r) {
+    auto c0 = m.row_cols(r);
+    auto c1 = back.row_cols(r);
+    ASSERT_EQ(std::vector<index_t>(c0.begin(), c0.end()),
+              std::vector<index_t>(c1.begin(), c1.end()));
+    for (std::size_t k = 0; k < c0.size(); ++k) {
+      EXPECT_NEAR(m.row_vals(r)[k], back.row_vals(r)[k], 1e-5f);
+    }
+  }
+}
+
+TEST_F(SparseIoTest, PatternRoundTrip) {
+  Rng rng(2);
+  const auto m = random_f32(7, 7, 0.4, rng).pattern();
+  write_tsv(path("p.tsv"), m);
+  EXPECT_EQ(read_tsv_pattern(path("p.tsv")), m);
+}
+
+TEST_F(SparseIoTest, ShapeHeaderPreservesEmptyTrailingRows) {
+  Coo<float> coo(5, 6);
+  coo.push(0, 0, 1.0f);  // rows 1..4 and cols 1..5 are empty
+  const auto m = Csr<float>::from_coo(coo);
+  write_tsv(path("s.tsv"), m);
+  const auto back = read_tsv_f32(path("s.tsv"));
+  EXPECT_EQ(back.rows(), 5u);
+  EXPECT_EQ(back.cols(), 6u);
+}
+
+TEST_F(SparseIoTest, MissingFileThrows) {
+  EXPECT_THROW(read_tsv_f32(path("nope.tsv")), IoError);
+}
+
+TEST_F(SparseIoTest, GarbageLineThrows) {
+  std::ofstream out(path("bad.tsv"));
+  out << "1\t2\tnot_a_number\n";
+  out.close();
+  EXPECT_THROW(read_tsv_f32(path("bad.tsv")), IoError);
+}
+
+TEST_F(SparseIoTest, ZeroBasedIndexRejected) {
+  std::ofstream out(path("zero.tsv"));
+  out << "0\t1\t3.5\n";
+  out.close();
+  EXPECT_THROW(read_tsv_f32(path("zero.tsv")), IoError);
+}
+
+TEST_F(SparseIoTest, EntryOutsideDeclaredShapeRejected) {
+  std::ofstream out(path("oob.tsv"));
+  out << "%%shape 2 2\n3\t1\t1.0\n";
+  out.close();
+  EXPECT_THROW(read_tsv_f32(path("oob.tsv")), IoError);
+}
+
+TEST_F(SparseIoTest, CommentsAndBlankLinesIgnored) {
+  std::ofstream out(path("c.tsv"));
+  out << "%%shape 2 2\n% a comment\n\n# another\n1\t2\t1.5\n";
+  out.close();
+  const auto m = read_tsv_f32(path("c.tsv"));
+  EXPECT_EQ(m.nnz(), 1u);
+  EXPECT_FLOAT_EQ(m.at(0, 1), 1.5f);
+}
+
+TEST_F(SparseIoTest, DuplicateEntriesCombineAdditively) {
+  std::ofstream out(path("dup.tsv"));
+  out << "1\t1\t2.0\n1\t1\t3.0\n";
+  out.close();
+  const auto m = read_tsv_f32(path("dup.tsv"));
+  EXPECT_EQ(m.nnz(), 1u);
+  EXPECT_FLOAT_EQ(m.at(0, 0), 5.0f);
+}
+
+TEST_F(SparseIoTest, LayerStackRoundTrip) {
+  Rng rng(3);
+  std::vector<Csr<pattern_t>> layers;
+  layers.push_back(random_f32(4, 6, 0.5, rng).pattern());
+  layers.push_back(random_f32(6, 5, 0.5, rng).pattern());
+  layers.push_back(random_f32(5, 4, 0.5, rng).pattern());
+  write_layer_stack(path("stack"), layers);
+  const auto back = read_layer_stack(path("stack"));
+  ASSERT_EQ(back.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(back[i], layers[i]) << "layer " << i;
+  }
+}
+
+TEST_F(SparseIoTest, LayerStackMissingMetaThrows) {
+  EXPECT_THROW(read_layer_stack(path("ghost")), IoError);
+}
+
+}  // namespace
+}  // namespace radix

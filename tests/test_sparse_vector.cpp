@@ -1,0 +1,104 @@
+// Sparse vectors and semiring vxm (GraphBLAS-lite).
+#include "sparse/vector.hpp"
+
+#include <gtest/gtest.h>
+
+#include "radixnet/mrt.hpp"
+#include "support/error.hpp"
+
+namespace radix {
+namespace {
+
+TEST(SparseVec, ConstructionAndAccess) {
+  SparseVec<float> v(5, {3, 1}, {3.0f, 1.0f});
+  EXPECT_EQ(v.dim(), 5u);
+  EXPECT_EQ(v.nnz(), 2u);
+  // Canonicalized to sorted order.
+  EXPECT_EQ(v.indices(), (std::vector<index_t>{1, 3}));
+  EXPECT_FLOAT_EQ(v.at(1), 1.0f);
+  EXPECT_FLOAT_EQ(v.at(3), 3.0f);
+  EXPECT_FLOAT_EQ(v.at(0), 0.0f);
+  EXPECT_TRUE(v.contains(3));
+  EXPECT_FALSE(v.contains(2));
+}
+
+TEST(SparseVec, RejectsBadInput) {
+  EXPECT_THROW(SparseVec<float>(3, {0, 0}, {1.0f, 2.0f}), SpecError);
+  EXPECT_THROW(SparseVec<float>(3, {5}, {1.0f}), DimensionError);
+  EXPECT_THROW(SparseVec<float>(3, {0}, {1.0f, 2.0f}), DimensionError);
+}
+
+TEST(SparseVec, UnitAndDense) {
+  const auto e = SparseVec<float>::unit(4, 2, 7.0f);
+  EXPECT_EQ(e.to_dense(), (std::vector<float>{0, 0, 7.0f, 0}));
+  EXPECT_THROW(SparseVec<float>::unit(4, 4), DimensionError);
+}
+
+TEST(Vxm, PlusTimesMatchesManual) {
+  // v = [1, 2] over rows of a 2x3 matrix.
+  Coo<float> coo(2, 3);
+  coo.push(0, 0, 1.0f);
+  coo.push(0, 2, 2.0f);
+  coo.push(1, 1, 3.0f);
+  coo.push(1, 2, 4.0f);
+  const auto a = Csr<float>::from_coo(coo);
+  SparseVec<float> v(2, {0, 1}, {1.0f, 2.0f});
+  const auto w = vxm<PlusTimes<float>>(v, a);
+  EXPECT_EQ(w.dim(), 3u);
+  EXPECT_FLOAT_EQ(w.at(0), 1.0f);   // 1*1
+  EXPECT_FLOAT_EQ(w.at(1), 6.0f);   // 2*3
+  EXPECT_FLOAT_EQ(w.at(2), 10.0f);  // 1*2 + 2*4
+}
+
+TEST(Vxm, DimensionChecked) {
+  const auto a = Csr<float>::ones(3, 2);
+  SparseVec<float> v(2, {0}, {1.0f});
+  EXPECT_THROW((vxm<PlusTimes<float>>(v, a)), DimensionError);
+}
+
+TEST(Vxm, EmptyVectorGivesEmptyResult) {
+  const auto a = Csr<float>::ones(3, 4);
+  SparseVec<float> v(3);
+  const auto w = vxm<PlusTimes<float>>(v, a);
+  EXPECT_EQ(w.nnz(), 0u);
+  EXPECT_EQ(w.dim(), 4u);
+}
+
+TEST(FrontierStep, WalksMixedRadixTopology) {
+  // Fig 1 dynamics: from node 0 of (2,2,2), frontiers double each layer.
+  const auto g = mixed_radix_topology(MixedRadix({2, 2, 2}));
+  SparseVec<pattern_t> f = SparseVec<pattern_t>::unit(8, 0);
+  f = frontier_step(f, g.layer(0));
+  EXPECT_EQ(f.nnz(), 2u);
+  f = frontier_step(f, g.layer(1));
+  EXPECT_EQ(f.nnz(), 4u);
+  f = frontier_step(f, g.layer(2));
+  EXPECT_EQ(f.nnz(), 8u);
+  // Boolean values stay 0/1 even when paths merge.
+  for (pattern_t v : f.values()) EXPECT_EQ(v, 1);
+}
+
+TEST(Vxm, CountSemiringAccumulatesPaths) {
+  // Diamond: counts add where paths merge.
+  Coo<BigUInt> c1(1, 2), c2(2, 1);
+  c1.push(0, 0, BigUInt(1));
+  c1.push(0, 1, BigUInt(1));
+  c2.push(0, 0, BigUInt(1));
+  c2.push(1, 0, BigUInt(1));
+  SparseVec<BigUInt> v = SparseVec<BigUInt>::unit(1, 0, BigUInt(1));
+  v = vxm<CountSemiring>(v, Csr<BigUInt>::from_coo(c1));
+  v = vxm<CountSemiring>(v, Csr<BigUInt>::from_coo(c2));
+  EXPECT_EQ(v.at(0), BigUInt(2));
+}
+
+TEST(Vxm, ResultIndicesSorted) {
+  const auto w = mrt_submatrix(16, 4, 1);
+  SparseVec<pattern_t> v(16, {14, 3, 9}, {1, 1, 1});
+  const auto out = frontier_step(v, w);
+  for (std::size_t i = 1; i < out.indices().size(); ++i) {
+    EXPECT_LT(out.indices()[i - 1], out.indices()[i]);
+  }
+}
+
+}  // namespace
+}  // namespace radix

@@ -1,0 +1,93 @@
+// Randomized property tests over the full pipeline: random valid specs
+// -> build -> every paper invariant -> serialize round trip.
+//
+// Each seed draws N' from a factorization-rich set, picks random
+// factorizations for each system (including a random divisor-product
+// last system about half the time), a random small D vector, then checks
+// the complete invariant suite.  This is the "no configuration we can
+// generate violates the theorems" guarantee.
+#include <gtest/gtest.h>
+
+#include "graph/properties.hpp"
+#include "radixnet/analytics.hpp"
+#include "radixnet/builder.hpp"
+#include "radixnet/enumerate.hpp"
+#include "radixnet/serialize.hpp"
+#include "support/random.hpp"
+
+namespace radix {
+namespace {
+
+RadixNetSpec random_spec(Rng& rng) {
+  static const std::uint64_t kProducts[] = {8, 12, 16, 24, 36, 48, 64};
+  const std::uint64_t n_prime =
+      kProducts[rng.uniform(std::size(kProducts))];
+  const std::size_t num_systems = 1 + rng.uniform(3);
+
+  const auto full_options = factorizations(n_prime);
+  std::vector<MixedRadix> systems;
+  for (std::size_t i = 0; i + 1 < num_systems; ++i) {
+    systems.emplace_back(full_options[rng.uniform(full_options.size())]);
+  }
+  // Last system: half the time a proper divisor's factorization.
+  std::uint64_t last_product = n_prime;
+  if (num_systems > 1 && rng.bernoulli(0.5)) {
+    std::vector<std::uint64_t> divisors;
+    for (std::uint64_t q = 2; q <= n_prime; ++q) {
+      if (n_prime % q == 0) divisors.push_back(q);
+    }
+    last_product = divisors[rng.uniform(divisors.size())];
+  }
+  const auto last_options = factorizations(last_product);
+  systems.emplace_back(last_options[rng.uniform(last_options.size())]);
+
+  std::size_t mbar = 0;
+  for (const auto& s : systems) mbar += s.digits();
+  std::vector<std::uint32_t> d(mbar + 1);
+  for (auto& di : d) di = 1 + static_cast<std::uint32_t>(rng.uniform(3));
+  return RadixNetSpec(std::move(systems), std::move(d));
+}
+
+class SpecFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(SpecFuzz, AllInvariantsHold) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 7919 + 13);
+  for (int round = 0; round < 4; ++round) {
+    const RadixNetSpec spec = random_spec(rng);
+    SCOPED_TRACE(spec.to_string());
+
+    const Fnnt g = build_radix_net(spec);
+
+    // Structure.
+    EXPECT_TRUE(g.validate().ok);
+    EXPECT_EQ(g.depth(), spec.total_radices());
+    const auto widths = g.widths();
+    const auto predicted_widths = spec.layer_widths();
+    ASSERT_EQ(widths.size(), predicted_widths.size());
+    for (std::size_t i = 0; i < widths.size(); ++i) {
+      EXPECT_EQ(widths[i], predicted_widths[i]);
+    }
+
+    // Counting predictions.
+    EXPECT_EQ(g.num_edges(), predicted_edge_count(spec));
+    EXPECT_EQ(g.num_nodes(), predicted_node_count(spec));
+    EXPECT_NEAR(density(g), exact_density(spec), 1e-12);
+
+    // Theorem 1 (generalized).
+    const auto sym = symmetry_constant(g);
+    ASSERT_TRUE(sym.has_value());
+    EXPECT_EQ(*sym, predicted_path_count(spec));
+    EXPECT_TRUE(is_path_connected(g));
+
+    // Serialization round trip preserves everything.
+    const auto back = spec_from_text(spec_to_text(spec));
+    EXPECT_EQ(spec_to_text(back), spec_to_text(spec));
+    EXPECT_EQ(predicted_path_count(back), predicted_path_count(spec));
+    EXPECT_EQ(build_radix_net(back), g);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, SpecFuzz, ::testing::Range(0, 10));
+
+}  // namespace
+}  // namespace radix

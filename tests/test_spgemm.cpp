@@ -1,0 +1,176 @@
+// SpGEMM correctness against the dense reference, over several semirings.
+#include "sparse/spgemm.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sparse/dense.hpp"
+#include "support/error.hpp"
+#include "support/random.hpp"
+
+namespace radix {
+namespace {
+
+Csr<double> random_sparse(index_t rows, index_t cols, double density,
+                          Rng& rng) {
+  Coo<double> coo(rows, cols);
+  for (index_t r = 0; r < rows; ++r) {
+    for (index_t c = 0; c < cols; ++c) {
+      if (rng.bernoulli(density)) coo.push(r, c, rng.uniform(-2.0, 2.0));
+    }
+  }
+  return Csr<double>::from_coo(coo);
+}
+
+TEST(Spgemm, RejectsNonconformingShapes) {
+  Csr<float> a = Csr<float>::ones(2, 3);
+  Csr<float> b = Csr<float>::ones(4, 2);
+  EXPECT_THROW((spgemm<PlusTimes<float>>(a, b)), DimensionError);
+}
+
+TEST(Spgemm, IdentityIsNeutral) {
+  Rng rng(1);
+  const auto a = random_sparse(6, 6, 0.4, rng);
+  const auto eye = Csr<double>::identity(6, 1.0);
+  const auto left = spgemm<PlusTimes<double>>(eye, a);
+  const auto right = spgemm<PlusTimes<double>>(a, eye);
+  EXPECT_LT(Dense::max_abs_diff(to_dense(left), to_dense(a)), 1e-12);
+  EXPECT_LT(Dense::max_abs_diff(to_dense(right), to_dense(a)), 1e-12);
+}
+
+TEST(Spgemm, MatchesDenseReference) {
+  Rng rng(2);
+  for (int trial = 0; trial < 6; ++trial) {
+    const index_t m = 1 + static_cast<index_t>(rng.uniform(20));
+    const index_t k = 1 + static_cast<index_t>(rng.uniform(20));
+    const index_t n = 1 + static_cast<index_t>(rng.uniform(20));
+    const auto a = random_sparse(m, k, 0.3, rng);
+    const auto b = random_sparse(k, n, 0.3, rng);
+    const auto c = spgemm<PlusTimes<double>>(a, b);
+    c.check_invariants();
+    const Dense expected = to_dense(a).matmul(to_dense(b));
+    EXPECT_LT(Dense::max_abs_diff(to_dense(c), expected), 1e-10)
+        << "trial " << trial;
+  }
+}
+
+TEST(Spgemm, ZeroMatrixPropagates) {
+  Rng rng(3);
+  const auto a = random_sparse(5, 4, 0.5, rng);
+  const Csr<double> zero(4, 3);
+  const auto c = spgemm<PlusTimes<double>>(a, zero);
+  EXPECT_EQ(c.nnz(), 0u);
+  EXPECT_EQ(c.rows(), 5u);
+  EXPECT_EQ(c.cols(), 3u);
+}
+
+TEST(Spgemm, BooleanSemiring) {
+  // Two-path composition must give 1 (not 2) in the boolean semiring.
+  Coo<pattern_t> ca(1, 2), cb(2, 1);
+  ca.push(0, 0, 1);
+  ca.push(0, 1, 1);
+  cb.push(0, 0, 1);
+  cb.push(1, 0, 1);
+  const auto c = spgemm_bool(Csr<pattern_t>::from_coo(ca),
+                             Csr<pattern_t>::from_coo(cb));
+  ASSERT_EQ(c.nnz(), 1u);
+  EXPECT_EQ(c.at(0, 0), 1);
+}
+
+TEST(Spgemm, CountSemiringCountsPaths) {
+  // Same two-path graph: count semiring must say 2.
+  Coo<BigUInt> ca(1, 2), cb(2, 1);
+  ca.push(0, 0, BigUInt(1));
+  ca.push(0, 1, BigUInt(1));
+  cb.push(0, 0, BigUInt(1));
+  cb.push(1, 0, BigUInt(1));
+  const auto c = spgemm_count(Csr<BigUInt>::from_coo(ca),
+                              Csr<BigUInt>::from_coo(cb));
+  ASSERT_EQ(c.nnz(), 1u);
+  EXPECT_EQ(c.at(0, 0), BigUInt(2));
+}
+
+TEST(Spgemm, MinPlusShortestHops) {
+  // Path graph 0 -> 1 -> 2 with weights 1: min-plus square gives dist 2.
+  Coo<double> coo(3, 3);
+  coo.push(0, 1, 1.0);
+  coo.push(1, 2, 1.0);
+  const auto a = Csr<double>::from_coo(coo);
+  const auto d2 = spgemm<MinPlus<double>>(a, a);
+  EXPECT_DOUBLE_EQ(d2.at(0, 2), 2.0);
+}
+
+TEST(Spgemm, AssociativityOverChain) {
+  Rng rng(4);
+  const auto a = random_sparse(7, 5, 0.4, rng);
+  const auto b = random_sparse(5, 9, 0.4, rng);
+  const auto c = random_sparse(9, 4, 0.4, rng);
+  const auto ab_c = spgemm<PlusTimes<double>>(
+      spgemm<PlusTimes<double>>(a, b), c);
+  const auto a_bc = spgemm<PlusTimes<double>>(
+      a, spgemm<PlusTimes<double>>(b, c));
+  EXPECT_LT(Dense::max_abs_diff(to_dense(ab_c), to_dense(a_bc)), 1e-10);
+}
+
+TEST(Spgemm, OutputColumnsSorted) {
+  Rng rng(5);
+  const auto a = random_sparse(15, 15, 0.3, rng);
+  const auto b = random_sparse(15, 15, 0.3, rng);
+  spgemm<PlusTimes<double>>(a, b).check_invariants();
+}
+
+// Parameterized density sweep: structural nnz must match dense reference.
+class SpgemmDensitySweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(SpgemmDensitySweep, StructureMatchesDense) {
+  Rng rng(77);
+  const auto a = random_sparse(24, 18, GetParam(), rng);
+  const auto b = random_sparse(18, 21, GetParam(), rng);
+  const auto c = spgemm<PlusTimes<double>>(a, b);
+  const Dense expected = to_dense(a).matmul(to_dense(b));
+  EXPECT_LT(Dense::max_abs_diff(to_dense(c), expected), 1e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, SpgemmDensitySweep,
+                         ::testing::Values(0.0, 0.05, 0.2, 0.5, 1.0));
+
+// Semiring axiom spot-checks (zero annihilates, one neutral).
+template <typename SR>
+void check_semiring_axioms(typename SR::value_type a,
+                           typename SR::value_type b,
+                           typename SR::value_type c) {
+  using T = typename SR::value_type;
+  const T zero = SR::zero();
+  const T one = SR::one();
+  EXPECT_EQ(SR::add(a, zero), a);
+  EXPECT_EQ(SR::mul(a, one), a);
+  EXPECT_EQ(SR::mul(one, a), a);
+  EXPECT_EQ(SR::mul(a, zero), zero);
+  EXPECT_EQ(SR::add(a, b), SR::add(b, a));
+  EXPECT_EQ(SR::add(SR::add(a, b), c), SR::add(a, SR::add(b, c)));
+  EXPECT_EQ(SR::mul(SR::mul(a, b), c), SR::mul(a, SR::mul(b, c)));
+  EXPECT_EQ(SR::mul(a, SR::add(b, c)),
+            SR::add(SR::mul(a, b), SR::mul(a, c)));
+}
+
+TEST(Semiring, PlusTimesAxioms) {
+  check_semiring_axioms<PlusTimes<double>>(2.0, 3.0, 5.0);
+  check_semiring_axioms<PlusTimes<BigUInt>>(BigUInt(2), BigUInt(3),
+                                            BigUInt(5));
+}
+
+TEST(Semiring, OrAndAxioms) {
+  for (pattern_t a : {0, 1}) {
+    for (pattern_t b : {0, 1}) {
+      for (pattern_t c : {0, 1}) {
+        check_semiring_axioms<OrAnd<pattern_t>>(a, b, c);
+      }
+    }
+  }
+}
+
+TEST(Semiring, MinPlusAxioms) {
+  check_semiring_axioms<MinPlus<double>>(2.0, 3.0, 5.0);
+}
+
+}  // namespace
+}  // namespace radix

@@ -1,0 +1,62 @@
+// Tests for the ASCII table writer.
+#include "support/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace radix {
+namespace {
+
+TEST(Table, RendersAlignedColumns) {
+  Table t({"mu", "density"});
+  t.add_row({"2", "0.25"});
+  t.add_row({"16", "0.0625"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("mu"), std::string::npos);
+  EXPECT_NE(out.find("density"), std::string::npos);
+  EXPECT_NE(out.find("--"), std::string::npos);
+  EXPECT_NE(out.find("0.0625"), std::string::npos);
+  // Four lines: header, rule, two rows.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+}
+
+TEST(Table, TsvOutput) {
+  Table t({"a", "b"});
+  t.add_row({"1", "2"});
+  std::ostringstream os;
+  t.print_tsv(os);
+  EXPECT_EQ(os.str(), "a\tb\n1\t2\n");
+}
+
+TEST(Table, RowArityEnforced) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), DimensionError);
+  EXPECT_THROW(t.add_row({"1", "2", "3"}), DimensionError);
+}
+
+TEST(Table, EmptyHeaderRejected) {
+  EXPECT_THROW(Table({}), SpecError);
+}
+
+TEST(Table, Formatters) {
+  EXPECT_EQ(Table::fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::fmt_pct(0.5, 1), "50.0%");
+  EXPECT_EQ(Table::fmt_sci(12345.0, 2), "1.23e+04");
+}
+
+TEST(Table, RowsCount) {
+  Table t({"x"});
+  EXPECT_EQ(t.rows(), 0u);
+  t.add_row({"1"});
+  t.add_row({"2"});
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+}  // namespace
+}  // namespace radix

@@ -1,0 +1,119 @@
+// Dense tensor kernels vs naive references.
+#include "nn/tensor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/error.hpp"
+#include "support/random.hpp"
+
+namespace radix::nn {
+namespace {
+
+Tensor random_tensor(index_t r, index_t c, Rng& rng) {
+  Tensor t(r, c);
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    t.data()[i] = static_cast<float>(rng.uniform(-1.0, 1.0));
+  }
+  return t;
+}
+
+Tensor naive_matmul(const Tensor& a, const Tensor& b) {
+  Tensor out(a.rows(), b.cols());
+  for (index_t i = 0; i < a.rows(); ++i) {
+    for (index_t j = 0; j < b.cols(); ++j) {
+      float acc = 0.0f;
+      for (index_t k = 0; k < a.cols(); ++k) acc += a.at(i, k) * b.at(k, j);
+      out.at(i, j) = acc;
+    }
+  }
+  return out;
+}
+
+TEST(Tensor, ShapeAndFill) {
+  Tensor t(3, 4, 2.5f);
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 4u);
+  EXPECT_EQ(t.size(), 12u);
+  EXPECT_FLOAT_EQ(t.at(2, 3), 2.5f);
+  t.fill(0.0f);
+  EXPECT_FLOAT_EQ(t.at(0, 0), 0.0f);
+}
+
+TEST(Tensor, MatmulMatchesNaive) {
+  Rng rng(1);
+  const auto a = random_tensor(7, 5, rng);
+  const auto b = random_tensor(5, 9, rng);
+  EXPECT_LT(Tensor::max_abs_diff(a.matmul(b), naive_matmul(a, b)), 1e-5f);
+}
+
+TEST(Tensor, MatmulShapeChecked) {
+  Tensor a(2, 3), b(4, 2);
+  EXPECT_THROW(a.matmul(b), DimensionError);
+}
+
+TEST(Tensor, MatmulTransposed) {
+  Rng rng(2);
+  const auto a = random_tensor(6, 4, rng);
+  const auto b = random_tensor(8, 4, rng);  // b^T is 4x8
+  const auto out = a.matmul_transposed(b);
+  ASSERT_EQ(out.rows(), 6u);
+  ASSERT_EQ(out.cols(), 8u);
+  for (index_t i = 0; i < 6; ++i) {
+    for (index_t j = 0; j < 8; ++j) {
+      float acc = 0.0f;
+      for (index_t k = 0; k < 4; ++k) acc += a.at(i, k) * b.at(j, k);
+      EXPECT_NEAR(out.at(i, j), acc, 1e-5f);
+    }
+  }
+}
+
+TEST(Tensor, TransposedMatmul) {
+  Rng rng(3);
+  const auto a = random_tensor(5, 6, rng);  // a^T is 6x5
+  const auto b = random_tensor(5, 3, rng);
+  const auto out = a.transposed_matmul(b);
+  ASSERT_EQ(out.rows(), 6u);
+  ASSERT_EQ(out.cols(), 3u);
+  for (index_t m = 0; m < 6; ++m) {
+    for (index_t n = 0; n < 3; ++n) {
+      float acc = 0.0f;
+      for (index_t k = 0; k < 5; ++k) acc += a.at(k, m) * b.at(k, n);
+      EXPECT_NEAR(out.at(m, n), acc, 1e-5f);
+    }
+  }
+}
+
+TEST(Tensor, AddRowVector) {
+  Tensor t(2, 3, 1.0f);
+  t.add_row_vector({1.0f, 2.0f, 3.0f});
+  EXPECT_FLOAT_EQ(t.at(0, 0), 2.0f);
+  EXPECT_FLOAT_EQ(t.at(1, 2), 4.0f);
+  EXPECT_THROW(t.add_row_vector({1.0f}), DimensionError);
+}
+
+TEST(Tensor, ColumnSums) {
+  Tensor t(2, 2);
+  t.at(0, 0) = 1.0f;
+  t.at(1, 0) = 2.0f;
+  t.at(0, 1) = -1.0f;
+  const auto sums = t.column_sums();
+  EXPECT_FLOAT_EQ(sums[0], 3.0f);
+  EXPECT_FLOAT_EQ(sums[1], -1.0f);
+}
+
+TEST(Tensor, SliceRows) {
+  Rng rng(4);
+  const auto t = random_tensor(6, 3, rng);
+  const auto s = t.slice_rows(2, 5);
+  ASSERT_EQ(s.rows(), 3u);
+  for (index_t r = 0; r < 3; ++r) {
+    for (index_t c = 0; c < 3; ++c) {
+      EXPECT_FLOAT_EQ(s.at(r, c), t.at(r + 2, c));
+    }
+  }
+  EXPECT_THROW(t.slice_rows(4, 2), DimensionError);
+  EXPECT_THROW(t.slice_rows(0, 7), DimensionError);
+}
+
+}  // namespace
+}  // namespace radix::nn

@@ -1,0 +1,125 @@
+// Structured-sparse convolution patterns.
+#include "xnet/xconv.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/properties.hpp"
+#include "support/error.hpp"
+
+namespace radix {
+namespace {
+
+TEST(ConvOutDim, KnownValues) {
+  EXPECT_EQ(conv_out_dim(5, 3, 1, 0), 3u);
+  EXPECT_EQ(conv_out_dim(5, 3, 1, 1), 5u);  // "same" padding
+  EXPECT_EQ(conv_out_dim(8, 2, 2, 0), 4u);
+  EXPECT_EQ(conv_out_dim(3, 3, 1, 0), 1u);
+  EXPECT_THROW(conv_out_dim(2, 5, 1, 0), SpecError);
+  EXPECT_THROW(conv_out_dim(4, 2, 0, 0), SpecError);
+}
+
+TEST(Conv1d, ValidNoPadding) {
+  // n = 5, taps = 3: outputs 0..2, output o reads inputs o..o+2.
+  const auto w = conv1d_pattern(5, 3);
+  EXPECT_EQ(w.rows(), 5u);
+  EXPECT_EQ(w.cols(), 3u);
+  EXPECT_EQ(w.nnz(), 9u);
+  for (index_t o = 0; o < 3; ++o) {
+    for (index_t t = 0; t < 3; ++t) {
+      EXPECT_TRUE(w.contains(o + t, o));
+    }
+  }
+}
+
+TEST(Conv1d, PaddingDropsOutOfRangeTaps) {
+  // Same padding: edge outputs lose the taps that fall outside.
+  const auto w = conv1d_pattern(5, 3, 1, 1);
+  EXPECT_EQ(w.cols(), 5u);
+  index_t indeg0 = 0, indeg2 = 0;
+  for (index_t r = 0; r < 5; ++r) {
+    indeg0 += w.contains(r, 0) ? 1 : 0;
+    indeg2 += w.contains(r, 2) ? 1 : 0;
+  }
+  EXPECT_EQ(indeg0, 2u);  // first output: taps -1 dropped
+  EXPECT_EQ(indeg2, 3u);  // interior output: full kernel
+}
+
+TEST(Conv1d, StrideSkipsInputs) {
+  const auto w = conv1d_pattern(8, 2, 2);
+  EXPECT_EQ(w.cols(), 4u);
+  for (index_t o = 0; o < 4; ++o) {
+    EXPECT_TRUE(w.contains(2 * o, o));
+    EXPECT_TRUE(w.contains(2 * o + 1, o));
+  }
+  EXPECT_EQ(w.nnz(), 8u);
+}
+
+TEST(Conv2d, ShapeAndInteriorDegree) {
+  const auto w = conv2d_pattern(6, 6, 3, 3);
+  EXPECT_EQ(w.rows(), 36u);
+  EXPECT_EQ(w.cols(), 16u);
+  // Every output (no padding) reads exactly 9 inputs.
+  const auto stats = layer_degree_stats(w);
+  EXPECT_TRUE(stats.in_regular());
+  EXPECT_EQ(stats.max_in, 9u);
+}
+
+TEST(Conv2d, TapGeometryExact) {
+  // 4x4 grid, 2x2 kernel: output (0,0) reads inputs (0,0),(0,1),(1,0),(1,1).
+  const auto w = conv2d_pattern(4, 4, 2, 2);
+  EXPECT_EQ(w.cols(), 9u);
+  EXPECT_TRUE(w.contains(0, 0));
+  EXPECT_TRUE(w.contains(1, 0));
+  EXPECT_TRUE(w.contains(4, 0));
+  EXPECT_TRUE(w.contains(5, 0));
+  EXPECT_FALSE(w.contains(2, 0));
+  // Output (1,2) (dst = 1*3+2 = 5) reads rows 1-2, cols 2-3.
+  for (index_t r : {1u, 2u}) {
+    for (index_t c : {2u, 3u}) {
+      EXPECT_TRUE(w.contains(r * 4 + c, 5));
+    }
+  }
+}
+
+TEST(Conv2d, SamePaddingKeepsValidity) {
+  const auto w = conv2d_pattern(5, 5, 3, 3, 1, 1);
+  EXPECT_EQ(w.cols(), 25u);
+  // As an FNNT layer: no zero rows or columns with same padding.
+  EXPECT_EQ(w.count_empty_rows(), 0u);
+  EXPECT_EQ(w.count_empty_cols(), 0u);
+}
+
+TEST(Conv2d, SparsityVsDense) {
+  // The point of conv-as-sparse-matrix: a 16x16 -> 14x14 3x3 conv layer
+  // has 9/256 ~ 3.5% of the dense edge count.
+  const auto w = conv2d_pattern(16, 16, 3, 3);
+  const double dense = 256.0 * 196.0;
+  EXPECT_LT(static_cast<double>(w.nnz()) / dense, 0.04);
+}
+
+TEST(ConvTower, StacksUntilGeometryRunsOut) {
+  const auto g = conv_tower(16, 16, 3, 1, 0, 100);
+  EXPECT_GE(g.depth(), 6u);  // 16 -> 14 -> 12 -> ... -> 2 (7 layers)
+  EXPECT_EQ(g.input_width(), 256u);
+  // Widths strictly decrease.
+  const auto widths = g.widths();
+  for (std::size_t i = 1; i < widths.size(); ++i) {
+    EXPECT_LT(widths[i], widths[i - 1]);
+  }
+}
+
+TEST(ConvTower, StridedTowerIsValidFnnt) {
+  const auto g = conv_tower(16, 16, 2, 2, 0, 4);
+  EXPECT_EQ(g.depth(), 4u);  // 16 -> 8 -> 4 -> 2 -> 1
+  EXPECT_TRUE(g.validate().ok);
+  EXPECT_TRUE(is_path_connected(g));
+  EXPECT_EQ(g.output_width(), 1u);
+}
+
+TEST(ConvTower, RejectsImpossibleGeometry) {
+  EXPECT_THROW(conv_tower(2, 2, 5, 1, 0, 3), SpecError);
+  EXPECT_THROW(conv_tower(8, 8, 3, 1, 0, 0), SpecError);
+}
+
+}  // namespace
+}  // namespace radix

@@ -1,0 +1,163 @@
+// X-Net baselines: random regular, Cayley, ER.
+#include "xnet/cayley.hpp"
+#include "xnet/er_sparse.hpp"
+#include "xnet/random_regular.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/properties.hpp"
+#include "support/error.hpp"
+
+namespace radix {
+namespace {
+
+TEST(RandomRegularSquare, ExactDegrees) {
+  Rng rng(1);
+  const auto w = random_regular_square(32, 4, rng);
+  w.check_invariants();
+  const auto s = layer_degree_stats(w);
+  EXPECT_TRUE(s.out_regular());
+  EXPECT_TRUE(s.in_regular());
+  EXPECT_EQ(s.max_out, 4u);
+  EXPECT_EQ(s.max_in, 4u);
+  EXPECT_EQ(w.nnz(), 32u * 4u);
+}
+
+TEST(RandomRegularSquare, Deterministic) {
+  Rng a(3), b(3);
+  EXPECT_EQ(random_regular_square(16, 3, a), random_regular_square(16, 3, b));
+}
+
+TEST(RandomRegularSquare, RejectsBadK) {
+  Rng rng(1);
+  EXPECT_THROW(random_regular_square(4, 0, rng), SpecError);
+  EXPECT_THROW(random_regular_square(4, 5, rng), SpecError);
+}
+
+TEST(RandomRegularSquare, FullKIsDense) {
+  Rng rng(2);
+  // k = n forces the complete bipartite graph (the last permutation is
+  // fully determined; small n keeps the rejection sampler fast).
+  const auto w = random_regular_square(3, 3, rng);
+  EXPECT_EQ(w.nnz(), 9u);
+}
+
+TEST(RandomRegularBipartite, ColumnDegreesExact) {
+  Rng rng(4);
+  const auto w = random_regular_bipartite(20, 12, 3, rng);
+  w.check_invariants();
+  const auto s = layer_degree_stats(w);
+  EXPECT_TRUE(s.in_regular());
+  EXPECT_EQ(s.max_in, 3u);
+  EXPECT_EQ(w.count_empty_rows(), 0u);  // repair guarantees validity
+  EXPECT_EQ(w.count_empty_cols(), 0u);
+}
+
+TEST(RandomRegularBipartite, RepairCoversWideLayers) {
+  // m much larger than n*k forces repairs; must still be a valid layer...
+  // but m > n*k is impossible to repair (not enough edges), so the
+  // sampler must reject it.
+  Rng rng(5);
+  EXPECT_THROW(random_regular_bipartite(100, 3, 2, rng), SpecError);
+  // Feasible: m = n*k exactly.
+  const auto w = random_regular_bipartite(6, 3, 2, rng);
+  EXPECT_EQ(w.count_empty_rows(), 0u);
+}
+
+TEST(RandomXnet, BuildsValidFnnt) {
+  Rng rng(6);
+  const auto g = random_xnet({16, 16, 16, 16}, 3, rng);
+  EXPECT_EQ(g.depth(), 3u);
+  EXPECT_TRUE(g.validate().ok);
+}
+
+TEST(RandomXnet, UsuallyPathConnected) {
+  // Expanders give path-connectedness w.h.p. once k^depth comfortably
+  // exceeds the width (here 6^3 >> 32) -- but only probabilistically,
+  // which is the property the paper contrasts with RadiX-Net's
+  // determinism.
+  int connected = 0;
+  for (int seed = 0; seed < 10; ++seed) {
+    Rng rng(seed);
+    const auto g = random_xnet({32, 32, 32, 32}, 6, rng);
+    if (is_path_connected(g)) ++connected;
+  }
+  EXPECT_GE(connected, 8);
+}
+
+TEST(Cayley, CirculantStructure) {
+  const auto w = cayley_circulant(8, {0, 1, 3});
+  for (index_t r = 0; r < 8; ++r) {
+    EXPECT_EQ(w.row_nnz(r), 3u);
+    EXPECT_TRUE(w.contains(r, r));
+    EXPECT_TRUE(w.contains(r, (r + 1) % 8));
+    EXPECT_TRUE(w.contains(r, (r + 3) % 8));
+  }
+}
+
+TEST(Cayley, DuplicateOffsetsCollapse) {
+  const auto w = cayley_circulant(4, {1, 5});  // 5 mod 4 == 1
+  EXPECT_EQ(w.row_nnz(0), 1u);
+}
+
+TEST(Cayley, GeneratorSetProperties) {
+  const auto s = cayley_generator_set(16, 5);
+  EXPECT_EQ(s.size(), 5u);
+  EXPECT_EQ(s[0], 0u);  // self-loop offset keeps residual-style paths
+  for (index_t v : s) EXPECT_LT(v, 16u);
+}
+
+TEST(Cayley, XnetIsRegularAndDeterministic) {
+  const auto g = cayley_xnet(27, 4, 3);
+  EXPECT_EQ(g.depth(), 3u);
+  for (std::size_t l = 0; l < 3; ++l) {
+    const auto s = layer_degree_stats(g.layer(l));
+    EXPECT_TRUE(s.out_regular());
+    EXPECT_EQ(s.max_out, 4u);
+  }
+  EXPECT_EQ(g, cayley_xnet(27, 4, 3));  // no randomness
+}
+
+TEST(Cayley, SameWidthConstraintIsStructural) {
+  // The restriction the paper calls out: Cayley layers are square.  Our
+  // API makes that explicit -- widths come from a single n.
+  const auto g = cayley_xnet(9, 3, 2);
+  for (index_t w : g.widths()) EXPECT_EQ(w, 9u);
+}
+
+TEST(ErLayer, RepairsZeroRowsAndCols) {
+  Rng rng(7);
+  // p = 0 forces total repair: every row and column must end up hit.
+  const auto w = er_layer(10, 10, 0.0, rng);
+  EXPECT_EQ(w.count_empty_rows(), 0u);
+  EXPECT_EQ(w.count_empty_cols(), 0u);
+}
+
+TEST(ErLayer, FullProbabilityIsDense) {
+  Rng rng(8);
+  const auto w = er_layer(5, 7, 1.0, rng);
+  EXPECT_EQ(w.nnz(), 35u);
+}
+
+TEST(ErLayer, DensityApproximatesP) {
+  Rng rng(9);
+  const auto w = er_layer(100, 100, 0.1, rng);
+  const double measured = static_cast<double>(w.nnz()) / (100.0 * 100.0);
+  EXPECT_NEAR(measured, 0.1, 0.02);
+}
+
+TEST(ErLayer, RejectsBadP) {
+  Rng rng(10);
+  EXPECT_THROW(er_layer(4, 4, -0.1, rng), SpecError);
+  EXPECT_THROW(er_layer(4, 4, 1.1, rng), SpecError);
+}
+
+TEST(ErFnnt, BuildsValidTopology) {
+  Rng rng(11);
+  const auto g = er_fnnt({12, 20, 8}, 0.2, rng);
+  EXPECT_EQ(g.depth(), 2u);
+  EXPECT_TRUE(g.validate().ok);
+}
+
+}  // namespace
+}  // namespace radix
