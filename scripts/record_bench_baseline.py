@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""Regenerate BENCH_baseline.json from a Release build.
+
+Usage:
+    cmake -B build -S . -DCMAKE_BUILD_TYPE=Release && cmake --build build -j
+    python3 scripts/record_bench_baseline.py [--build-dir build]
+
+Runs bench_sparse_kernels (Google Benchmark, JSON output) and
+bench_fig6_algorithm (paper-figure reproduction) and writes a compact
+snapshot to BENCH_baseline.json at the repo root.  Numbers are
+machine-specific; the file anchors trends on one host, it is not a
+portable performance truth.
+"""
+
+import argparse
+import datetime
+import json
+import os
+import platform
+import subprocess
+import sys
+import time
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def find_bench(build_dir: str, name: str) -> str:
+    for candidate in (os.path.join(build_dir, "bench", name),
+                      os.path.join(build_dir, name)):
+        if os.path.isfile(candidate):
+            return candidate
+    raise SystemExit(f"{name} not found under {build_dir}; "
+                     "build in Release first")
+
+
+def run_sparse_kernels(build_dir: str) -> dict:
+    exe = find_bench(build_dir, "bench_sparse_kernels")
+    out = subprocess.run(
+        [exe, "--benchmark_format=json", "--benchmark_min_time=0.05"],
+        capture_output=True, text=True, check=True)
+    data = json.loads(out.stdout)
+    return {
+        "context": {k: data["context"].get(k)
+                    for k in ("num_cpus", "mhz_per_cpu", "library_version")},
+        "benchmarks": [
+            {
+                "name": b["name"],
+                "real_time_ns": round(b["real_time"], 1),
+                "cpu_time_ns": round(b["cpu_time"], 1),
+                "iterations": b["iterations"],
+                **({"items_per_second": round(b["items_per_second"], 1)}
+                   if "items_per_second" in b else {}),
+            }
+            for b in data["benchmarks"]
+        ],
+    }
+
+
+def run_fig6(build_dir: str) -> dict:
+    exe = find_bench(build_dir, "bench_fig6_algorithm")
+    t0 = time.perf_counter()
+    out = subprocess.run([exe], capture_output=True, text=True, check=True)
+    wall = time.perf_counter() - t0
+    return {
+        "wall_seconds": round(wall, 4),
+        "reproduced": "REPRODUCED" in out.stdout,
+    }
+
+
+def compiler_id(build_dir: str) -> str:
+    cache = os.path.join(build_dir, "CMakeCache.txt")
+    try:
+        with open(cache) as f:
+            for line in f:
+                if line.startswith("CMAKE_CXX_COMPILER:"):
+                    return os.path.basename(line.strip().split("=", 1)[1])
+    except OSError:
+        pass
+    return "unknown"
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--build-dir", default=os.path.join(REPO_ROOT, "build"))
+    ap.add_argument("--output",
+                    default=os.path.join(REPO_ROOT, "BENCH_baseline.json"))
+    args = ap.parse_args()
+
+    baseline = {
+        "schema": "radix-bench-baseline/v1",
+        "recorded": datetime.date.today().isoformat(),
+        "build_type": "Release",
+        "compiler": compiler_id(args.build_dir),
+        "cpu_count": os.cpu_count(),
+        "machine": platform.machine(),
+        "note": ("Benchmark snapshot; machine-specific. Treat as a trend "
+                 "anchor on one host, not a portable truth."),
+        "bench_fig6_algorithm": run_fig6(args.build_dir),
+        "bench_sparse_kernels": run_sparse_kernels(args.build_dir),
+    }
+    with open(args.output, "w") as f:
+        json.dump(baseline, f, indent=2)
+        f.write("\n")
+    print(f"wrote {args.output} "
+          f"({len(baseline['bench_sparse_kernels']['benchmarks'])} kernel "
+          f"benchmarks, fig6 reproduced="
+          f"{baseline['bench_fig6_algorithm']['reproduced']})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

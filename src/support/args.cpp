@@ -39,7 +39,9 @@ void Args::parse(int argc, const char* const* argv) {
     if (flag.is_bool) {
       RADIX_REQUIRE(!has_value, "Args: boolean flag --" + name +
                                     " does not take a value");
-      flag.value = "1";
+      // Assign via a temporary: GCC 12's -Wrestrict false-positives on
+      // operator=(const char*) after inlining (GCC PR105329).
+      flag.value = std::string("1");
     } else {
       if (!has_value) {
         RADIX_REQUIRE(i + 1 < argc,

@@ -45,13 +45,14 @@ std::uint64_t Rng::uniform(std::uint64_t bound) noexcept {
   // Lemire's nearly-divisionless method with rejection for exact
   // uniformity.
   if (bound == 0) return 0;
-  unsigned __int128 m =
-      static_cast<unsigned __int128>(next_u64()) * bound;
+  // __int128 is a GCC/Clang extension; __extension__ keeps -Wpedantic quiet.
+  __extension__ using u128 = unsigned __int128;
+  u128 m = static_cast<u128>(next_u64()) * bound;
   auto lo = static_cast<std::uint64_t>(m);
   if (lo < bound) {
     const std::uint64_t threshold = (0 - bound) % bound;
     while (lo < threshold) {
-      m = static_cast<unsigned __int128>(next_u64()) * bound;
+      m = static_cast<u128>(next_u64()) * bound;
       lo = static_cast<std::uint64_t>(m);
     }
   }

@@ -1,0 +1,88 @@
+// Edge cases of the sparse DNN inference engine: empty batches,
+// single-layer stacks, clamp saturation, and malformed layer chains.
+#include "infer/sparse_dnn.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sparse/coo.hpp"
+#include "sparse/csr.hpp"
+#include "support/error.hpp"
+
+namespace radix {
+namespace {
+
+Csr<float> single_entry(index_t rows, index_t cols, index_t r, index_t c,
+                        float v) {
+  Coo<float> coo(rows, cols);
+  coo.push(r, c, v);
+  return Csr<float>::from_coo(coo);
+}
+
+TEST(SparseDnnEdge, EmptyBatchYieldsEmptyOutput) {
+  infer::SparseDnn dnn({single_entry(3, 2, 0, 0, 1.0f)}, 0.0f);
+  infer::InferenceStats stats;
+  const auto y = dnn.forward({}, /*batch=*/0, &stats);
+  EXPECT_TRUE(y.empty());
+  EXPECT_EQ(stats.edges_processed, 0u);
+  EXPECT_EQ(stats.nonzero_outputs, 0u);
+  EXPECT_TRUE(infer::SparseDnn::active_rows(y, 0, 2).empty());
+}
+
+TEST(SparseDnnEdge, SingleLayerNetwork) {
+  // One 2x2 layer acting as a plain (ReLU-ed) matvec per batch row.
+  Coo<float> coo(2, 2);
+  coo.push(0, 0, 2.0f);
+  coo.push(1, 1, -1.0f);
+  infer::SparseDnn dnn({Csr<float>::from_coo(coo)}, 0.0f);
+  EXPECT_EQ(dnn.depth(), 1u);
+  EXPECT_EQ(dnn.input_width(), 2u);
+  EXPECT_EQ(dnn.output_width(), 2u);
+  const auto y = dnn.forward({1.0f, 3.0f}, 1);
+  ASSERT_EQ(y.size(), 2u);
+  EXPECT_FLOAT_EQ(y[0], 2.0f);   // 1 * 2
+  EXPECT_FLOAT_EQ(y[1], 0.0f);   // ReLU(3 * -1)
+}
+
+TEST(SparseDnnEdge, ClampSaturatesEveryLayer) {
+  // Two amplifying layers; the clamp must bind between layers, not just
+  // at the output: 10 -> clamp(20)=4 -> clamp(8)=4, whereas an
+  // output-only clamp would see 10*2*2=40 -> 4 but via intermediate 20.
+  std::vector<Csr<float>> layers = {single_entry(1, 1, 0, 0, 2.0f),
+                                    single_entry(1, 1, 0, 0, 2.0f)};
+  infer::SparseDnn dnn(layers, 0.0f, /*clamp=*/4.0f);
+  EXPECT_FLOAT_EQ(dnn.forward({10.0f}, 1)[0], 4.0f);
+  // Below saturation the clamp is inert.
+  EXPECT_FLOAT_EQ(dnn.forward({0.5f}, 1)[0], 2.0f);
+}
+
+TEST(SparseDnnEdge, ClampDisabledWhenZero) {
+  infer::SparseDnn dnn({single_entry(1, 1, 0, 0, 100.0f)}, 0.0f,
+                       /*clamp=*/0.0f);
+  EXPECT_FLOAT_EQ(dnn.forward({5.0f}, 1)[0], 500.0f);
+}
+
+TEST(SparseDnnEdge, MismatchedChainThrowsDimensionError) {
+  std::vector<Csr<float>> bad = {single_entry(4, 5, 0, 0, 1.0f),
+                                 single_entry(6, 4, 0, 0, 1.0f)};
+  EXPECT_THROW(infer::SparseDnn(bad, 0.0f), DimensionError);
+  // Mismatch deep in a longer chain is caught too.
+  std::vector<Csr<float>> deep = {single_entry(4, 4, 0, 0, 1.0f),
+                                  single_entry(4, 3, 0, 0, 1.0f),
+                                  single_entry(4, 2, 0, 0, 1.0f)};
+  EXPECT_THROW(infer::SparseDnn(deep, 0.0f), DimensionError);
+}
+
+TEST(SparseDnnEdge, BiasCountMismatchThrows) {
+  std::vector<Csr<float>> layers = {single_entry(2, 2, 0, 0, 1.0f)};
+  EXPECT_THROW(infer::SparseDnn(layers, std::vector<float>{0.1f, 0.2f}),
+               Error);
+}
+
+TEST(SparseDnnEdge, ForwardInputSizeMismatchThrows) {
+  infer::SparseDnn dnn({single_entry(3, 3, 0, 0, 1.0f)}, 0.0f);
+  EXPECT_THROW(dnn.forward(std::vector<float>(4), 2), DimensionError);
+  EXPECT_THROW(dnn.forward(std::vector<float>(3), 0), DimensionError);
+}
+
+}  // namespace
+}  // namespace radix

@@ -1,0 +1,66 @@
+// The OpenMP-backed parallel loop helpers: correctness for serial and
+// parallel trip counts, and the reduction helper.
+#include "support/parallel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+namespace radix {
+namespace {
+
+TEST(Parallel, HardwareThreadsIsPositive) {
+  EXPECT_GE(hardware_threads(), 1);
+}
+
+TEST(Parallel, ForVisitsEveryIndexOnce) {
+  // Both below the grain (serial path) and far above it (parallel path).
+  for (const std::int64_t n : {0LL, 1LL, 7LL, 100000LL}) {
+    std::vector<std::atomic<int>> hits(static_cast<std::size_t>(n));
+    parallel_for(0, n, [&](std::int64_t i) {
+      hits[static_cast<std::size_t>(i)].fetch_add(1,
+                                                  std::memory_order_relaxed);
+    });
+    for (std::int64_t i = 0; i < n; ++i) {
+      EXPECT_EQ(hits[static_cast<std::size_t>(i)].load(), 1) << "i=" << i;
+    }
+  }
+}
+
+TEST(Parallel, ForHonorsNonZeroBegin) {
+  std::atomic<std::int64_t> sum{0};
+  parallel_for(10, 20, [&](std::int64_t i) {
+    sum.fetch_add(i, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(sum.load(), 145);  // 10 + 11 + ... + 19
+}
+
+TEST(Parallel, ForEmptyAndReversedRangesAreNoOps) {
+  bool touched = false;
+  parallel_for(5, 5, [&](std::int64_t) { touched = true; });
+  parallel_for(5, 3, [&](std::int64_t) { touched = true; });
+  EXPECT_FALSE(touched);
+}
+
+TEST(Parallel, ReduceSumMatchesSerialSum) {
+  // Large enough to take the parallel branch under OpenMP.
+  const std::int64_t n = 100000;
+  const std::int64_t got =
+      parallel_reduce_sum<std::int64_t>(0, n, [](std::int64_t i) { return i; });
+  EXPECT_EQ(got, n * (n - 1) / 2);
+
+  const double got_d =
+      parallel_reduce_sum<double>(0, 1000, [](std::int64_t) { return 0.5; });
+  EXPECT_DOUBLE_EQ(got_d, 500.0);
+}
+
+TEST(Parallel, ReduceSumEmptyRangeIsZero) {
+  EXPECT_EQ(parallel_reduce_sum<int>(3, 3, [](std::int64_t) { return 1; }), 0);
+  EXPECT_EQ(parallel_reduce_sum<int>(9, 2, [](std::int64_t) { return 1; }), 0);
+}
+
+}  // namespace
+}  // namespace radix

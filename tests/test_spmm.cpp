@@ -1,0 +1,132 @@
+// Dense x sparse multiply kernels against brute-force dense references.
+#include "sparse/spmm.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sparse/coo.hpp"
+#include "sparse/csr.hpp"
+#include "sparse/dense.hpp"
+#include "support/random.hpp"
+
+namespace radix {
+namespace {
+
+Csr<float> random_csr(index_t rows, index_t cols, double density, Rng& rng) {
+  Coo<float> coo(rows, cols);
+  for (index_t r = 0; r < rows; ++r) {
+    for (index_t c = 0; c < cols; ++c) {
+      if (rng.bernoulli(density)) {
+        coo.push(r, c, static_cast<float>(rng.uniform(-1.0, 1.0)));
+      }
+    }
+  }
+  return Csr<float>::from_coo(coo);
+}
+
+std::vector<float> random_dense(std::size_t n, Rng& rng) {
+  std::vector<float> v(n);
+  for (auto& x : v) x = static_cast<float>(rng.uniform(-1.0, 1.0));
+  return v;
+}
+
+TEST(Spmm, DenseCsrMatchesReference) {
+  Rng rng(11);
+  const index_t batch = 4, m = 7, n = 9;
+  const auto w = random_csr(m, n, 0.5, rng);
+  const auto wd = to_dense(w);
+  const auto x = random_dense(static_cast<std::size_t>(batch) * m, rng);
+
+  std::vector<float> y(static_cast<std::size_t>(batch) * n, 0.0f);
+  spmm_dense_csr(x.data(), batch, m, w, y.data());
+
+  for (index_t b = 0; b < batch; ++b) {
+    for (index_t c = 0; c < n; ++c) {
+      double acc = 0.0;
+      for (index_t r = 0; r < m; ++r) acc += x[b * m + r] * wd.at(r, c);
+      EXPECT_NEAR(y[b * n + c], acc, 1e-4) << "b=" << b << " c=" << c;
+    }
+  }
+}
+
+TEST(Spmm, DenseCsrAccumulates) {
+  // y is an accumuland: pre-filled entries must be added to, not replaced.
+  Coo<float> coo(1, 1);
+  coo.push(0, 0, 2.0f);
+  const auto w = Csr<float>::from_coo(coo);
+  std::vector<float> y = {10.0f};
+  const float x = 3.0f;
+  spmm_dense_csr(&x, 1, 1, w, y.data());
+  EXPECT_FLOAT_EQ(y[0], 16.0f);  // 10 + 3*2
+}
+
+TEST(Spmm, DenseCsrTMatchesReference) {
+  Rng rng(12);
+  const index_t batch = 3, m = 6, n = 8;
+  const auto w = random_csr(m, n, 0.5, rng);
+  const auto wd = to_dense(w);
+  const auto x = random_dense(static_cast<std::size_t>(batch) * n, rng);
+
+  std::vector<float> y(static_cast<std::size_t>(batch) * m, 0.0f);
+  spmm_dense_csrT(x.data(), batch, n, w, y.data());
+
+  for (index_t b = 0; b < batch; ++b) {
+    for (index_t r = 0; r < m; ++r) {
+      double acc = 0.0;
+      for (index_t c = 0; c < n; ++c) acc += x[b * n + c] * wd.at(r, c);
+      EXPECT_NEAR(y[b * m + r], acc, 1e-4) << "b=" << b << " r=" << r;
+    }
+  }
+}
+
+TEST(Spmm, SpmvMatchesReference) {
+  Rng rng(13);
+  const index_t m = 10, n = 12;
+  const auto w = random_csr(m, n, 0.4, rng);
+  const auto wd = to_dense(w);
+  const auto x = random_dense(n, rng);
+
+  std::vector<float> y(m, 0.0f);
+  spmv(w, x.data(), y.data());
+
+  for (index_t r = 0; r < m; ++r) {
+    double acc = 0.0;
+    for (index_t c = 0; c < n; ++c) acc += wd.at(r, c) * x[c];
+    EXPECT_NEAR(y[r], acc, 1e-4) << "r=" << r;
+  }
+}
+
+TEST(Spmm, SddmmPatternMatchesReference) {
+  Rng rng(14);
+  const index_t batch = 5, m = 6, n = 7;
+  const auto w = random_csr(m, n, 0.5, rng);
+  const auto x = random_dense(static_cast<std::size_t>(batch) * m, rng);
+  const auto dy = random_dense(static_cast<std::size_t>(batch) * n, rng);
+
+  std::vector<float> grad(w.nnz(), 0.0f);
+  sddmm_pattern(x.data(), dy.data(), batch, m, n, w, grad.data());
+
+  // Reference: for every stored (r, c), grad = sum_b x[b,r] * dy[b,c].
+  std::size_t k = 0;
+  for (index_t r = 0; r < m; ++r) {
+    for (offset_t p = w.rowptr()[r]; p < w.rowptr()[r + 1]; ++p, ++k) {
+      const index_t c = w.colind()[p];
+      double acc = 0.0;
+      for (index_t b = 0; b < batch; ++b) {
+        acc += x[b * m + r] * dy[b * n + c];
+      }
+      EXPECT_NEAR(grad[k], acc, 1e-4) << "r=" << r << " c=" << c;
+    }
+  }
+}
+
+TEST(Spmm, ZeroBatchIsANoOp) {
+  Rng rng(15);
+  const auto w = random_csr(4, 4, 0.5, rng);
+  spmm_dense_csr(nullptr, 0, 4, w, nullptr);
+  spmm_dense_csrT(nullptr, 0, 4, w, nullptr);
+}
+
+}  // namespace
+}  // namespace radix

@@ -1,0 +1,51 @@
+// The wall-clock timer used for throughput metrics.
+#include "support/timer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+namespace radix {
+namespace {
+
+TEST(Timer, ElapsedIsNonNegativeAndMonotonic) {
+  Timer t;
+  const double a = t.seconds();
+  const double b = t.seconds();
+  EXPECT_GE(a, 0.0);
+  EXPECT_GE(b, a);
+}
+
+TEST(Timer, MeasuresASleep) {
+  Timer t;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  // Generous lower bound: clocks can only over-report a sleep.
+  EXPECT_GE(t.millis(), 15.0);
+}
+
+TEST(Timer, ResetRestartsTheClock) {
+  // No absolute upper bounds: a loaded CI runner can preempt the test
+  // for tens of milliseconds.  Only assert that reset moved the origin
+  // forward: elapsed-after-reset < elapsed-if-never-reset.
+  Timer t;
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  const double before = t.millis();
+  t.reset();
+  EXPECT_LT(t.millis(), before);
+}
+
+TEST(Timer, MillisIsSecondsTimesThousand) {
+  Timer t;
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  // Successive reads: seconds, then millis, then seconds again.  The
+  // middle read must sit between the outer two scaled by 1e3.
+  const double s0 = t.seconds();
+  const double ms = t.millis();
+  const double s1 = t.seconds();
+  EXPECT_GE(ms, s0 * 1e3);
+  EXPECT_LE(ms, s1 * 1e3);
+}
+
+}  // namespace
+}  // namespace radix
