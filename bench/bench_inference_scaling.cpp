@@ -1,62 +1,156 @@
-// E8 -- Graph-Challenge-style sparse inference scaling ([2], [11]).
+// E8 -- Graph-Challenge-style sparse inference throughput ([2], [11]).
 //
-// Runs the challenge forward rule over RadiX-Net preset networks across
-// widths and depths and reports the standard metric: edges processed per
-// second (batch x nnz / wall).  Expected shape: per-edge cost roughly
-// constant, so edges/s flat across widths and depths, and total runtime
-// linear in batch * edges.  Set RADIX_INFER_BATCH to change the batch.
-#include <cstdio>
-#include <cstdlib>
-#include <iostream>
+// Google Benchmark harness sweeping batch size and depth over real
+// RadiX-Net preset topologies (radix::gc::network).  Two paths run on
+// identical networks and inputs:
+//
+//   BM_InferReference  -- the historical engine: copies the input batch,
+//       reallocates + zero-fills the output panel every layer, runs the
+//       unfused scatter SpMM, then a second full read-modify-write sweep
+//       for bias/ReLU/clamp, and a final count_if for the stats.
+//   BM_InferFused      -- SparseDnn::forward with a reused
+//       InferenceWorkspace: zero steady-state allocations, fused
+//       epilogue, batch tiling, adaptive scatter/gather dispatch.
+//
+// items_per_second is the challenge metric: edges processed per second
+// = batch * sum_k nnz(W_k) / wall.  scripts/record_bench_baseline.py
+// snapshots both paths into BENCH_*.json; scripts/check_perf_smoke.py
+// gates CI on fused >= reference.
+//
+// Args: {neurons, layers, batch}.  Depths obey each width's preset
+// period (2 for 1024, 3 for 4096).
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <map>
+#include <tuple>
+#include <vector>
 
 #include "infer/sparse_dnn.hpp"
 #include "radixnet/graph_challenge.hpp"
-#include "support/table.hpp"
+#include "sparse/spmm.hpp"
+#include "support/parallel.hpp"
+#include "support/random.hpp"
 
-using namespace radix;
+namespace radix {
+namespace {
 
-int main() {
-  std::printf("== E8: sparse DNN inference scaling (Graph-Challenge rule) "
-              "==\n\n");
-  const char* env = std::getenv("RADIX_INFER_BATCH");
-  const index_t batch =
-      env != nullptr ? static_cast<index_t>(std::atoi(env)) : 32;
+constexpr double kInputDensity = 0.4;
 
-  Table t({"neurons", "layers", "nnz total", "batch", "wall s",
-           "edges/s", "active rows"});
-  double min_rate = 0.0, max_rate = 0.0;
-  for (index_t neurons : {1024u, 4096u}) {
-    const std::size_t period = neurons == 1024 ? 2 : 3;
-    for (std::size_t layers : {6u, 12u, 24u}) {
-      if (layers % period != 0) continue;
-      Rng rng(99);
-      const auto net = gc::network(neurons, layers, &rng);
-      infer::SparseDnn dnn(net.layers, net.bias, gc::kClamp);
-      Rng input_rng(7);
-      const auto x = gc::synthetic_input(batch, neurons, 0.4, input_rng);
-      infer::InferenceStats stats;
-      (void)dnn.forward(x, batch, nullptr);  // warm-up (page-in, caches)
-      const auto y = dnn.forward(x, batch, &stats);
-      const auto active =
-          infer::SparseDnn::active_rows(y, batch, neurons);
-      if (min_rate == 0.0 || stats.edges_per_second < min_rate) {
-        min_rate = stats.edges_per_second;
-      }
-      max_rate = std::max(max_rate, stats.edges_per_second);
-      t.add_row({std::to_string(neurons), std::to_string(layers),
-                 std::to_string(dnn.total_nnz()), std::to_string(batch),
-                 Table::fmt(stats.wall_seconds, 4),
-                 Table::fmt_sci(stats.edges_per_second, 3),
-                 std::to_string(active.size()) + "/" +
-                     std::to_string(batch)});
-    }
+// Networks are expensive to synthesize (per-layer shuffle SpGEMM);
+// build each (neurons, layers) configuration once per process.
+const gc::Network& cached_network(index_t neurons, std::size_t layers) {
+  static std::map<std::pair<index_t, std::size_t>, gc::Network> cache;
+  const auto key = std::make_pair(neurons, layers);
+  auto it = cache.find(key);
+  if (it == cache.end()) {
+    Rng rng(99);
+    it = cache.emplace(key, gc::network(neurons, layers, &rng)).first;
   }
-  t.print(std::cout);
-
-  std::printf("\nedges/s spread (max/min): %.2fx\n",
-              min_rate > 0.0 ? max_rate / min_rate : 0.0);
-  std::printf("\npaper-lineage expectation: throughput roughly constant "
-              "per edge across widths and depths (work scales with nnz, "
-              "not with width^2).\n");
-  return 0;
+  return it->second;
 }
+
+const std::vector<float>& cached_input(index_t batch, index_t neurons) {
+  static std::map<std::pair<index_t, index_t>, std::vector<float>> cache;
+  const auto key = std::make_pair(batch, neurons);
+  auto it = cache.find(key);
+  if (it == cache.end()) {
+    Rng rng(7);
+    it = cache
+             .emplace(key, gc::synthetic_input(batch, neurons,
+                                               kInputDensity, rng))
+             .first;
+  }
+  return it->second;
+}
+
+// The seed engine's forward pass, kept verbatim as the in-harness
+// reference: per-layer allocation + zero-fill, unfused scatter SpMM, a
+// second full sweep for the epilogue, and a trailing nonzero count.
+std::vector<float> reference_forward(const std::vector<Csr<float>>& layers,
+                                     float bias, float clamp,
+                                     const std::vector<float>& input,
+                                     index_t batch,
+                                     std::uint64_t* nonzero_outputs) {
+  std::vector<float> cur = input;
+  std::vector<float> next;
+  for (const auto& w : layers) {
+    next.assign(static_cast<std::size_t>(batch) * w.cols(), 0.0f);
+    spmm_dense_csr(cur.data(), batch, w.rows(), w, next.data());
+    parallel_for(
+        0, static_cast<std::int64_t>(next.size()),
+        [&](std::int64_t i) {
+          float v = next[i] + bias;
+          if (v < 0.0f) v = 0.0f;
+          if (clamp > 0.0f && v > clamp) v = clamp;
+          next[i] = v;
+        });
+    cur.swap(next);
+  }
+  *nonzero_outputs = static_cast<std::uint64_t>(
+      std::count_if(cur.begin(), cur.end(),
+                    [](float v) { return v != 0.0f; }));
+  return cur;
+}
+
+void BM_InferReference(benchmark::State& state) {
+  const index_t neurons = static_cast<index_t>(state.range(0));
+  const std::size_t layers = static_cast<std::size_t>(state.range(1));
+  const index_t batch = static_cast<index_t>(state.range(2));
+  const auto& net = cached_network(neurons, layers);
+  const auto& x = cached_input(batch, neurons);
+  std::uint64_t total_nnz = 0;
+  for (const auto& w : net.layers) total_nnz += w.nnz();
+
+  std::uint64_t nz = 0;
+  for (auto _ : state) {
+    auto y = reference_forward(net.layers, net.bias, gc::kClamp, x, batch,
+                               &nz);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations()) * batch * total_nnz);
+  state.counters["nonzero_outputs"] = static_cast<double>(nz);
+}
+
+void BM_InferFused(benchmark::State& state) {
+  const index_t neurons = static_cast<index_t>(state.range(0));
+  const std::size_t layers = static_cast<std::size_t>(state.range(1));
+  const index_t batch = static_cast<index_t>(state.range(2));
+  const auto& net = cached_network(neurons, layers);
+  const auto& x = cached_input(batch, neurons);
+
+  infer::SparseDnn dnn(net.layers, net.bias, gc::kClamp);
+  infer::InferenceWorkspace ws;
+  infer::InferenceStats stats;
+  // Warm-up: sizes the workspace and builds any lazily transposed
+  // layers, so the loop measures the steady (zero-allocation) state.
+  (void)dnn.forward(x.data(), batch, ws, nullptr);
+
+  for (auto _ : state) {
+    auto y = dnn.forward(x.data(), batch, ws, &stats);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations()) * batch *
+      dnn.total_nnz());
+  state.counters["nonzero_outputs"] =
+      static_cast<double>(stats.nonzero_outputs);
+  std::size_t gather_layers = 0;
+  for (const auto& d : ws.last_dispatch()) {
+    if (d.chosen == infer::Kernel::kGather) ++gather_layers;
+  }
+  state.counters["gather_layers"] = static_cast<double>(gather_layers);
+}
+
+// Sweep batch at fixed shape, depth at fixed batch, and one wider net.
+#define INFER_ARGS                                          \
+  Args({1024, 12, 4})->Args({1024, 12, 32})                 \
+      ->Args({1024, 6, 32})->Args({1024, 24, 32})           \
+      ->Args({4096, 12, 32})
+
+BENCHMARK(BM_InferReference)->INFER_ARGS->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_InferFused)->INFER_ARGS->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace radix

@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Release-mode perf smoke gate for the fused inference path.
+
+Runs bench_inference_scaling (Google Benchmark, short --benchmark_min_time)
+and fails if a kernel regression made the fused path slower than the
+in-harness reference path.  No absolute thresholds -- CI hardware varies --
+only two invariants that must hold on any host:
+
+  * every configuration reports edges/sec (items_per_second) > 0;
+  * the geometric-mean edges/sec ratio fused/reference >= 0.9 (the gate
+    sits below 1.0 so shared-runner noise on short samples cannot flake
+    the job; the fused path measures 2-4x on a quiet host, so a geomean
+    under 0.9 is a genuine regression, not noise).
+
+Usage: python3 scripts/check_perf_smoke.py [--build-dir build]
+"""
+
+import argparse
+import json
+import math
+import os
+import subprocess
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+MIN_GEOMEAN_RATIO = 0.9
+
+
+def fused_reference_ratios(rates):
+    """Pair BM_InferFused/<config> with BM_InferReference/<config> and
+    return {config: fused/reference}; a fused entry whose reference
+    counterpart is missing or zero maps to None.  Shared with
+    record_bench_baseline.py so the pairing cannot drift.
+    """
+    ratios = {}
+    for name, fused in rates.items():
+        if not name.startswith("BM_InferFused/"):
+            continue
+        config = name.split("/", 1)[1]
+        ref = rates.get(f"BM_InferReference/{config}")
+        ratios[config] = fused / ref if ref else None
+    return ratios
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--build-dir", default=os.path.join(REPO_ROOT, "build"))
+    ap.add_argument("--min-time", default="0.05")
+    args = ap.parse_args()
+
+    exe = os.path.join(args.build_dir, "bench", "bench_inference_scaling")
+    if not os.path.isfile(exe):
+        print(f"error: {exe} not found; build Release with benchmarks first",
+              file=sys.stderr)
+        return 2
+    out = subprocess.run(
+        [exe, "--benchmark_format=json",
+         f"--benchmark_min_time={args.min_time}"],
+        capture_output=True, text=True, check=True)
+    data = json.loads(out.stdout)
+
+    rates = {}
+    for b in data["benchmarks"]:
+        rate = b.get("items_per_second", 0.0)
+        if rate <= 0.0:
+            print(f"FAIL: {b['name']} reports edges/sec {rate} (must be > 0)")
+            return 1
+        rates[b["name"]] = rate
+
+    ratios = fused_reference_ratios(rates)
+    for config, ratio in ratios.items():
+        if ratio is None:
+            print(f"FAIL: no reference benchmark for config {config}")
+            return 1
+    if not ratios:
+        print("FAIL: no fused/reference benchmark pairs found")
+        return 1
+
+    geomean = math.exp(sum(math.log(r) for r in ratios.values())
+                       / len(ratios))
+    for config, ratio in sorted(ratios.items()):
+        print(f"  {config:>16}: fused/reference = {ratio:.2f}x")
+    print(f"geomean fused/reference = {geomean:.2f}x "
+          f"(gate: >= {MIN_GEOMEAN_RATIO})")
+    if geomean < MIN_GEOMEAN_RATIO:
+        print("FAIL: fused inference path is slower than the reference path")
+        return 1
+    print("perf smoke OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

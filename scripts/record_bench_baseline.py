@@ -1,15 +1,17 @@
 #!/usr/bin/env python3
-"""Regenerate BENCH_baseline.json from a Release build.
+"""Regenerate a benchmark snapshot (BENCH_*.json) from a Release build.
 
 Usage:
     cmake -B build -S . -DCMAKE_BUILD_TYPE=Release && cmake --build build -j
     python3 scripts/record_bench_baseline.py [--build-dir build]
+        [--output BENCH_pr2.json]
 
-Runs bench_sparse_kernels (Google Benchmark, JSON output) and
-bench_fig6_algorithm (paper-figure reproduction) and writes a compact
-snapshot to BENCH_baseline.json at the repo root.  Numbers are
-machine-specific; the file anchors trends on one host, it is not a
-portable performance truth.
+Runs bench_sparse_kernels and bench_inference_scaling (Google Benchmark,
+JSON output; the latter pairs the fused inference path against the
+historical reference path, items_per_second == challenge edges/sec) and
+bench_fig6_algorithm (paper-figure reproduction), then writes a compact
+snapshot to the repo root.  Numbers are machine-specific; the file
+anchors trends on one host, it is not a portable performance truth.
 """
 
 import argparse
@@ -33,8 +35,8 @@ def find_bench(build_dir: str, name: str) -> str:
                      "build in Release first")
 
 
-def run_sparse_kernels(build_dir: str) -> dict:
-    exe = find_bench(build_dir, "bench_sparse_kernels")
+def run_gbench(build_dir: str, name: str) -> dict:
+    exe = find_bench(build_dir, name)
     out = subprocess.run(
         [exe, "--benchmark_format=json", "--benchmark_min_time=0.05"],
         capture_output=True, text=True, check=True)
@@ -54,6 +56,18 @@ def run_sparse_kernels(build_dir: str) -> dict:
             for b in data["benchmarks"]
         ],
     }
+
+
+def fused_vs_reference(inference: dict) -> dict:
+    """Per-config edges/sec ratio of the fused path over the reference
+    (pairing logic shared with the CI gate in check_perf_smoke.py)."""
+    sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+    from check_perf_smoke import fused_reference_ratios
+    rates = {b["name"]: b.get("items_per_second", 0.0)
+             for b in inference["benchmarks"]}
+    return {config: round(ratio, 3)
+            for config, ratio in fused_reference_ratios(rates).items()
+            if ratio is not None}
 
 
 def run_fig6(build_dir: str) -> dict:
@@ -84,10 +98,19 @@ def main() -> int:
     ap.add_argument("--build-dir", default=os.path.join(REPO_ROOT, "build"))
     ap.add_argument("--output",
                     default=os.path.join(REPO_ROOT, "BENCH_baseline.json"))
+    ap.add_argument("--force", action="store_true",
+                    help="overwrite an existing snapshot file")
     args = ap.parse_args()
 
+    if os.path.exists(args.output) and not args.force:
+        raise SystemExit(
+            f"{args.output} already exists; existing snapshots are trend "
+            "anchors -- pass --output BENCH_<tag>.json for a new one or "
+            "--force to overwrite")
+
+    inference = run_gbench(args.build_dir, "bench_inference_scaling")
     baseline = {
-        "schema": "radix-bench-baseline/v1",
+        "schema": "radix-bench-baseline/v2",
         "recorded": datetime.date.today().isoformat(),
         "build_type": "Release",
         "compiler": compiler_id(args.build_dir),
@@ -96,15 +119,20 @@ def main() -> int:
         "note": ("Benchmark snapshot; machine-specific. Treat as a trend "
                  "anchor on one host, not a portable truth."),
         "bench_fig6_algorithm": run_fig6(args.build_dir),
-        "bench_sparse_kernels": run_sparse_kernels(args.build_dir),
+        "bench_sparse_kernels": run_gbench(args.build_dir,
+                                           "bench_sparse_kernels"),
+        "bench_inference_scaling": inference,
+        "inference_fused_over_reference": fused_vs_reference(inference),
     }
     with open(args.output, "w") as f:
         json.dump(baseline, f, indent=2)
         f.write("\n")
+    ratios = baseline["inference_fused_over_reference"]
     print(f"wrote {args.output} "
           f"({len(baseline['bench_sparse_kernels']['benchmarks'])} kernel "
           f"benchmarks, fig6 reproduced="
-          f"{baseline['bench_fig6_algorithm']['reproduced']})")
+          f"{baseline['bench_fig6_algorithm']['reproduced']}, "
+          f"fused/reference edges/s ratios: {ratios})")
     return 0
 
 

@@ -4,7 +4,6 @@
 
 #include "sparse/spmm.hpp"
 #include "support/error.hpp"
-#include "support/parallel.hpp"
 #include "support/timer.hpp"
 
 namespace radix::infer {
@@ -13,6 +12,18 @@ SparseDnn::SparseDnn(std::vector<Csr<float>> layers,
                      std::vector<float> biases, float clamp)
     : layers_(std::move(layers)), biases_(std::move(biases)),
       clamp_(clamp) {
+  validate_and_index();
+}
+
+SparseDnn::SparseDnn(std::vector<Csr<float>> layers, float bias, float clamp)
+    : layers_(std::move(layers)), clamp_(clamp) {
+  // Not a delegating constructor: evaluating layers.size() in the same
+  // argument list that moves `layers` is indeterminately sequenced.
+  biases_.assign(layers_.size(), bias);
+  validate_and_index();
+}
+
+void SparseDnn::validate_and_index() {
   RADIX_REQUIRE(!layers_.empty(), "SparseDnn: need at least one layer");
   RADIX_REQUIRE(biases_.size() == layers_.size(),
                 "SparseDnn: one bias per layer required");
@@ -20,11 +31,19 @@ SparseDnn::SparseDnn(std::vector<Csr<float>> layers,
     RADIX_REQUIRE_DIM(layers_[i].cols() == layers_[i + 1].rows(),
                       "SparseDnn: layer shapes do not chain");
   }
+  transposed_.resize(layers_.size());
+  layer_uniform_.reserve(layers_.size());
+  uniform_weight_.reserve(layers_.size());
+  for (const auto& l : layers_) {
+    const auto& vals = l.values();
+    const bool uniform =
+        std::all_of(vals.begin(), vals.end(),
+                    [&](float v) { return v == vals.front(); });
+    layer_uniform_.push_back(uniform ? 1 : 0);
+    uniform_weight_.push_back(uniform && !vals.empty() ? vals.front()
+                                                       : 0.0f);
+  }
 }
-
-SparseDnn::SparseDnn(std::vector<Csr<float>> layers, float bias, float clamp)
-    : SparseDnn(std::move(layers),
-                std::vector<float>(layers.size(), bias), clamp) {}
 
 index_t SparseDnn::input_width() const { return layers_.front().rows(); }
 index_t SparseDnn::output_width() const { return layers_.back().cols(); }
@@ -35,35 +54,82 @@ std::uint64_t SparseDnn::total_nnz() const noexcept {
   return n;
 }
 
-std::vector<float> SparseDnn::forward(const std::vector<float>& input,
-                                      index_t batch,
-                                      InferenceStats* stats) const {
-  RADIX_REQUIRE_DIM(
-      input.size() ==
-          static_cast<std::size_t>(batch) * layers_.front().rows(),
-      "SparseDnn::forward: input size mismatch");
+index_t SparseDnn::max_width() const noexcept {
+  // Panels only ever hold layer *outputs*; the input batch is read from
+  // the caller's buffer in place and never copied into a panel.
+  index_t w = 0;
+  for (const auto& l : layers_) w = std::max(w, l.cols());
+  return w;
+}
+
+const Csr<float>& SparseDnn::transposed(std::size_t k) const {
+  // The lock only serializes cache fills; once built a transpose is
+  // immutable, so returning the reference after unlock is safe.
+  std::scoped_lock lock(transpose_mutex_);
+  auto& slot = transposed_[k];
+  if (!slot) slot = std::make_unique<Csr<float>>(layers_[k].transpose());
+  return *slot;
+}
+
+std::span<const float> SparseDnn::forward(const float* input, index_t batch,
+                                          InferenceWorkspace& workspace,
+                                          InferenceStats* stats) const {
   Timer timer;
-  std::vector<float> cur = input;
-  std::vector<float> next;
+  // Layer 0 reads `input` while the kernels rewrite the panels -- and
+  // reserve() below may even reallocate them -- so an input aliasing
+  // the workspace (e.g. a span returned by a previous forward) is
+  // unsupported; copy it out first.
+  RADIX_REQUIRE(!workspace.owns(input),
+                "SparseDnn::forward: input must not alias the workspace "
+                "panels");
+  workspace.reserve(batch, max_width());
+  workspace.dispatch_.clear();
+  if (workspace.dispatch_.capacity() < layers_.size()) {
+    workspace.dispatch_.reserve(layers_.size());
+  }
+
+  // Input nonzero count seeds the density signal for the first layer's
+  // dispatch; every later layer gets it free from the fused epilogue.
+  std::uint64_t nz = count_nonzeros(
+      input, static_cast<std::size_t>(batch) * layers_.front().rows());
+
+  const float* cur = input;  // layer 0 reads the caller's batch in place
+  int out_panel = 0;
   for (std::size_t k = 0; k < layers_.size(); ++k) {
     const Csr<float>& w = layers_[k];
-    next.assign(static_cast<std::size_t>(batch) * w.cols(), 0.0f);
-    spmm_dense_csr(cur.data(), batch, w.rows(), w, next.data());
-    const float bias = biases_[k];
-    const float clamp = clamp_;
-    parallel_for(
-        0, static_cast<std::int64_t>(next.size()),
-        [&](std::int64_t i) {
-          // Challenge rule: bias only contributes where the unit received
-          // any input; adding it uniformly then ReLU-ing matches the
-          // published reference because inactive units sit at 0 + bias < 0.
-          float v = next[i] + bias;
-          if (v < 0.0f) v = 0.0f;
-          if (clamp > 0.0f && v > clamp) v = clamp;
-          next[i] = v;
-        });
-    cur.swap(next);
+    const std::size_t in_elems =
+        static_cast<std::size_t>(batch) * w.rows();
+    const double density =
+        in_elems > 0 ? static_cast<double>(nz) /
+                           static_cast<double>(in_elems)
+                     : 0.0;
+    Kernel choice = workspace.forced_;
+    if (choice == Kernel::kAuto) {
+      choice = density <= kGatherDensityThreshold ? Kernel::kScatter
+                                                  : Kernel::kGather;
+    }
+    float* dst = workspace.panel(out_panel);
+    if (layer_uniform_[k] != 0) {
+      nz = choice == Kernel::kScatter
+               ? spmm_dense_csr_fused_uniform(cur, batch, w.rows(), w,
+                                              uniform_weight_[k], dst,
+                                              biases_[k], clamp_)
+               : spmm_dense_csrT_fused_uniform(cur, batch, w.rows(),
+                                               transposed(k),
+                                               uniform_weight_[k], dst,
+                                               biases_[k], clamp_);
+    } else {
+      nz = choice == Kernel::kScatter
+               ? spmm_dense_csr_fused(cur, batch, w.rows(), w, dst,
+                                      biases_[k], clamp_)
+               : spmm_dense_csrT_fused(cur, batch, w.rows(), transposed(k),
+                                       dst, biases_[k], clamp_);
+    }
+    workspace.dispatch_.push_back({choice, density, nz});
+    cur = dst;
+    out_panel ^= 1;
   }
+
   if (stats != nullptr) {
     stats->wall_seconds = timer.seconds();
     stats->edges_processed = static_cast<std::uint64_t>(batch) * total_nnz();
@@ -72,14 +138,24 @@ std::vector<float> SparseDnn::forward(const std::vector<float>& input,
             ? static_cast<double>(stats->edges_processed) /
                   stats->wall_seconds
             : 0.0;
-    stats->nonzero_outputs = static_cast<std::uint64_t>(
-        std::count_if(cur.begin(), cur.end(),
-                      [](float v) { return v != 0.0f; }));
+    stats->nonzero_outputs = nz;  // fused-epilogue byproduct, no extra pass
   }
-  return cur;
+  return {cur, static_cast<std::size_t>(batch) * output_width()};
 }
 
-std::vector<index_t> SparseDnn::active_rows(const std::vector<float>& y,
+std::vector<float> SparseDnn::forward(const std::vector<float>& input,
+                                      index_t batch,
+                                      InferenceStats* stats) const {
+  RADIX_REQUIRE_DIM(
+      input.size() ==
+          static_cast<std::size_t>(batch) * layers_.front().rows(),
+      "SparseDnn::forward: input size mismatch");
+  InferenceWorkspace workspace;
+  const auto y = forward(input.data(), batch, workspace, stats);
+  return std::vector<float>(y.begin(), y.end());
+}
+
+std::vector<index_t> SparseDnn::active_rows(std::span<const float> y,
                                             index_t batch, index_t width) {
   RADIX_REQUIRE_DIM(y.size() == static_cast<std::size_t>(batch) * width,
                     "SparseDnn::active_rows: size mismatch");

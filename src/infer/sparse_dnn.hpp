@@ -7,16 +7,53 @@
 // weighted FNNT) and b_k is a per-layer scalar bias applied to every
 // *active* output unit (the challenge adds bias before ReLU).
 //
+// Hot path
+// --------
+// The engine runs each layer through one *fused* SpMM kernel
+// (sparse/spmm.hpp): bias, ReLU and clamp are applied in the same pass
+// that produces the activations, the batch is processed in
+// cache-resident tiles, and the kernel returns the nonzero-output count
+// as a free byproduct.  That count drives the adaptive dispatch for the
+// next layer:
+//
+//   * density <= kGatherDensityThreshold -> CSR *scatter* arm, which
+//     skips a layer row's weights outright whenever the activation
+//     feeding it is zero (post-ReLU activations are mostly zero deep in
+//     a challenge stack);
+//   * denser inputs -> row-*gather* arm over a transposed copy of the
+//     layer (built lazily on first use, then cached), which streams the
+//     weights sequentially and accumulates each output in a register
+//     instead of scattering read-modify-write traffic.
+//
+// Activations live in a caller-provided InferenceWorkspace: two
+// ping-pong panels sized once to batch x max_layer_width, so a forward
+// pass performs zero heap allocations and never copies the input batch
+// in steady state (the first pass may build transposed layers).
+// Concurrent forward calls on one SparseDnn instance are safe as long
+// as each caller brings its own workspace (the lazy transpose cache is
+// mutex-guarded).
+//
 // The engine reports the standard challenge throughput metric: edges
 // processed per second = batch * sum_k nnz(W_k) / wall time.
 #pragma once
 
 #include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
 #include <vector>
 
+#include "infer/workspace.hpp"
 #include "sparse/csr.hpp"
 
 namespace radix::infer {
+
+/// Activation-density crossover of the adaptive dispatch.  Below it the
+/// scatter arm's zero-activation row skip saves more weight traffic than
+/// the gather arm's sequential streaming recovers; above it the gather
+/// arm wins.  Empirical on the bench host (see BENCH_pr2.json); the
+/// exact value is uncritical within ~2x.
+inline constexpr double kGatherDensityThreshold = 0.25;
 
 struct InferenceStats {
   double wall_seconds = 0.0;
@@ -39,20 +76,49 @@ class SparseDnn {
   std::size_t depth() const noexcept { return layers_.size(); }
   std::uint64_t total_nnz() const noexcept;
 
-  /// Run the full stack over a row-major [batch x input_width] batch.
-  /// Returns the final activations [batch x output_width].
+  /// Widest activation panel a forward pass writes: the max over layer
+  /// output widths.  The input batch is read in place, never staged in
+  /// a panel, so the input width does not participate.
+  index_t max_width() const noexcept;
+
+  /// Zero-allocation forward: runs the full stack over the row-major
+  /// [batch x input_width] batch at `input` using the workspace's
+  /// ping-pong panels.  The returned span of final activations
+  /// [batch x output_width] aliases workspace memory and stays valid
+  /// until the workspace is next written.  The input batch is read in
+  /// place, never copied.
+  std::span<const float> forward(const float* input, index_t batch,
+                                 InferenceWorkspace& workspace,
+                                 InferenceStats* stats = nullptr) const;
+
+  /// Convenience overload owning a transient workspace; validates the
+  /// input size and copies the result out.  Use the span overload with a
+  /// long-lived workspace on hot paths.
   std::vector<float> forward(const std::vector<float>& input, index_t batch,
                              InferenceStats* stats = nullptr) const;
 
   /// Rows of the final activation whose max entry is positive
   /// ("categories" in challenge terms).
-  static std::vector<index_t> active_rows(const std::vector<float>& y,
+  static std::vector<index_t> active_rows(std::span<const float> y,
                                           index_t batch, index_t width);
 
  private:
+  void validate_and_index();
+  const Csr<float>& transposed(std::size_t k) const;
+
   std::vector<Csr<float>> layers_;
   std::vector<float> biases_;
   float clamp_;
+  // Graph-Challenge layers store one repeated weight; the constructor
+  // detects that per layer so the kernels can drop the per-edge value
+  // load + multiply (spmm_dense_csr*_fused_uniform).
+  std::vector<char> layer_uniform_;
+  std::vector<float> uniform_weight_;
+  // Lazily built, cached transposes backing the gather arm; the mutex
+  // serializes cache fills so concurrent forward calls on one instance
+  // (each with its own workspace) stay safe.
+  mutable std::mutex transpose_mutex_;
+  mutable std::vector<std::unique_ptr<Csr<float>>> transposed_;
 };
 
 }  // namespace radix::infer

@@ -1,0 +1,13 @@
+#include "infer/workspace.hpp"
+
+namespace radix::infer {
+
+void InferenceWorkspace::reserve(index_t batch, index_t max_width) {
+  const std::size_t need =
+      static_cast<std::size_t>(batch) * static_cast<std::size_t>(max_width);
+  for (auto& b : buf_) {
+    if (b.size() < need) b.resize(need);
+  }
+}
+
+}  // namespace radix::infer

@@ -1,0 +1,87 @@
+// Reusable activation workspace for the sparse DNN inference engine.
+//
+// A forward pass needs exactly two activation panels of
+// batch x max_layer_width floats: layer k reads one panel (or, for the
+// first layer, the caller's input batch directly) and writes the other,
+// ping-ponging down the stack.  InferenceWorkspace owns those panels and
+// grows them monotonically, so a caller that reuses one workspace across
+// repeated forward calls of the same shape performs zero heap
+// allocations and zero input copies in steady state -- the property the
+// Graph-Challenge edges/second metric rewards.
+//
+// The workspace also records, per layer of the last forward pass, which
+// kernel the adaptive dispatch chose and the activation density that
+// drove the choice (see sparse_dnn.hpp for the dispatch policy), and
+// lets tests pin the dispatch to one arm.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "sparse/types.hpp"
+
+namespace radix::infer {
+
+/// Which SpMM arm executes a layer.
+enum class Kernel : std::uint8_t {
+  kAuto,     ///< let the per-layer density heuristic decide
+  kScatter,  ///< CSR scatter with zero-activation row skip
+  kGather,   ///< row-gather over the lazily transposed layer
+};
+
+/// Per-layer record of the last forward pass's dispatch decisions.
+struct LayerDispatch {
+  Kernel chosen = Kernel::kAuto;   ///< kScatter or kGather after a pass
+  double input_density = 0.0;      ///< nonzero fraction of the layer input
+  std::uint64_t nonzero_outputs = 0;  ///< epilogue byproduct
+};
+
+class InferenceWorkspace {
+ public:
+  InferenceWorkspace() = default;
+
+  /// Ensure capacity for two batch x max_width panels.  Growth-only:
+  /// shrinking requests keep the larger buffers, so alternating shapes
+  /// never thrash the allocator.
+  void reserve(index_t batch, index_t max_width);
+
+  /// Floats per activation panel currently allocated.
+  std::size_t capacity() const noexcept { return buf_[0].size(); }
+
+  /// Pin every layer to one kernel arm (tests / benchmarking); kAuto
+  /// restores the density heuristic.
+  void force_kernel(Kernel k) noexcept { forced_ = k; }
+  Kernel forced_kernel() const noexcept { return forced_; }
+
+  /// Dispatch trace of the most recent forward pass (one entry per
+  /// layer, front == first layer).
+  const std::vector<LayerDispatch>& last_dispatch() const noexcept {
+    return dispatch_;
+  }
+
+  /// Stable address of panel 0; tests use it to prove buffer reuse.
+  const float* panel_data() const noexcept { return buf_[0].data(); }
+
+  /// True when p points into one of the activation panels (used to
+  /// reject inputs that alias memory the kernels are about to rewrite).
+  bool owns(const float* p) const noexcept {
+    const auto q = reinterpret_cast<std::uintptr_t>(p);
+    for (const auto& b : buf_) {
+      const auto lo = reinterpret_cast<std::uintptr_t>(b.data());
+      if (q >= lo && q < lo + b.size() * sizeof(float)) return true;
+    }
+    return false;
+  }
+
+ private:
+  friend class SparseDnn;
+
+  float* panel(int i) noexcept { return buf_[i].data(); }
+
+  std::vector<float> buf_[2];
+  std::vector<LayerDispatch> dispatch_;
+  Kernel forced_ = Kernel::kAuto;
+};
+
+}  // namespace radix::infer

@@ -13,9 +13,27 @@
 //
 // Dense operands are row-major float arrays (batch-major), matching
 // nn::Tensor's layout.
+//
+// Fused variants
+// --------------
+// The *_fused kernels own the whole per-layer pipeline of the inference
+// engine: they zero / overwrite the output panel themselves, apply the
+// Graph-Challenge epilogue  y = min(clamp, ReLU(y + bias))  in the same
+// pass that produces y (while the tile is still cache-resident, instead
+// of a second full read-modify-write sweep of the activation matrix),
+// and return the number of nonzero outputs as a free byproduct -- the
+// activation-density signal the engine's adaptive kernel dispatch and
+// InferenceStats consume.  Both accumulate contributions to each output
+// in ascending input-index order, so the scatter and gather forms are
+// bit-identical to each other and to a straight-line reference.
+//
+// Both fused kernels process the batch in tiles sized so a tile's input
+// and output panels stay cache-resident while the weight matrix streams
+// through exactly once per tile (instead of once per batch row).
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 
 #include "sparse/csr.hpp"
 
@@ -29,6 +47,47 @@ void spmm_dense_csr(const float* x, index_t batch, index_t m,
 /// y[b*m + r] += sum_c x[b*n + c] * w(r, c)   -- multiply by W^T.
 void spmm_dense_csrT(const float* x, index_t batch, index_t n,
                      const Csr<float>& w, float* y);
+
+/// Fused scatter kernel: y[b x n] = epilogue(X[b x m] * W[m x n]) with
+/// epilogue(v) = min(clamp, max(0, v + bias)); clamp <= 0 disables the
+/// ceiling.  y is written unconditionally (no zero-init required) and
+/// rows of W whose activation x[b*m + r] is zero are skipped entirely,
+/// which is what makes this arm win on sparse (post-ReLU) activations.
+/// Returns the number of nonzero outputs.
+std::uint64_t spmm_dense_csr_fused(const float* x, index_t batch, index_t m,
+                                   const Csr<float>& w, float* y,
+                                   float bias, float clamp);
+
+/// Fused gather kernel over a pre-transposed layer: given wt = W^T
+/// (n x m), computes y[b x n] = epilogue(X[b x m] * W) by accumulating
+/// each output in registers along wt's rows (pure sequential streaming,
+/// no scatter read-modify-write), then applies the same epilogue before
+/// the single write.  Wins once activations are dense.  Returns the
+/// number of nonzero outputs.
+std::uint64_t spmm_dense_csrT_fused(const float* x, index_t batch,
+                                    index_t m, const Csr<float>& wt,
+                                    float* y, float bias, float clamp);
+
+/// Uniform-weight specializations: Graph-Challenge layers store one
+/// repeated nonzero value (1/16 at in-degree 32), so the inner loop can
+/// accumulate plain activation sums -- no per-edge value load, no
+/// per-edge multiply -- and fold the weight into the epilogue as
+/// y = min(clamp, max(0, sum * uniform_weight + bias)).  The scatter and
+/// gather forms accumulate in the same order and stay bit-identical to
+/// each other (not to the general kernels: (sum x) * w rounds once where
+/// sum(x * w) rounds per term).
+std::uint64_t spmm_dense_csr_fused_uniform(const float* x, index_t batch,
+                                           index_t m, const Csr<float>& w,
+                                           float uniform_weight, float* y,
+                                           float bias, float clamp);
+
+std::uint64_t spmm_dense_csrT_fused_uniform(const float* x, index_t batch,
+                                            index_t m, const Csr<float>& wt,
+                                            float uniform_weight, float* y,
+                                            float bias, float clamp);
+
+/// Number of nonzero entries of a dense float array (parallel reduction).
+std::uint64_t count_nonzeros(const float* v, std::size_t n);
 
 /// Sparse matrix times dense vector: y[r] = sum_c w(r,c) * x[c].
 void spmv(const Csr<float>& w, const float* x, float* y);

@@ -4,6 +4,21 @@
 // that builds without OpenMP degrade gracefully to serial execution and
 // the grain-size policy lives in one place.  Loop bodies must be free of
 // cross-iteration dependences; reductions go through parallel_reduce.
+//
+// Grain policy
+// ------------
+// `grain` is the minimum trip count at which a loop is worth forking an
+// OpenMP region; below it the loop runs serially on the calling thread.
+// Entering a parallel region costs on the order of 10k-100k scalar ops
+// (thread wake-up + barrier), so a loop should only fork when the total
+// work comfortably exceeds that.  Callers that know their per-iteration
+// cost must derive the grain with `grain_for_cost(ops_per_iteration)`
+// rather than hard-coding it: a batched SpMM whose iterations each touch
+// nnz(W) entries passes grain_for_cost(nnz), which yields grain == 1 for
+// big layers (fork even for two batch rows) and a large grain for tiny
+// layers (a batch=1 forward over a 64-nnz layer must never fork).
+// Hard-coded `grain=1` is a misuse: it forks for every non-empty loop,
+// and was measured to dominate single-row inference latency.
 #pragma once
 
 #include <cstdint>
@@ -23,6 +38,21 @@ inline int hardware_threads() noexcept {
 #endif
 }
 
+/// Smallest total amount of per-loop scalar work (flops / memory ops)
+/// that amortizes the cost of entering an OpenMP parallel region.  The
+/// value is deliberately conservative (~32k ops): forking below it was
+/// measured to cost more than it recovers even on small core counts.
+inline constexpr std::int64_t kMinOpsPerFork = std::int64_t{1} << 15;
+
+/// Grain (minimum trip count to fork) for a loop whose every iteration
+/// performs roughly `ops_per_iteration` scalar operations.  See the
+/// grain-policy comment above.
+constexpr std::int64_t grain_for_cost(std::int64_t ops_per_iteration) noexcept {
+  if (ops_per_iteration <= 0) return kMinOpsPerFork;
+  const std::int64_t g = kMinOpsPerFork / ops_per_iteration;
+  return g < 1 ? 1 : g;
+}
+
 /// Parallel loop over [begin, end).  `body(i)` must be independent across
 /// iterations.  Small trip counts run serially to avoid fork overhead.
 template <typename Body>
@@ -31,7 +61,9 @@ void parallel_for(std::int64_t begin, std::int64_t end, const Body& body,
   const std::int64_t n = end - begin;
   if (n <= 0) return;
 #if defined(_OPENMP)
-  if (n >= grain && omp_get_max_threads() > 1) {
+  // n > 1: a single iteration can never profit from a fork, whatever
+  // the caller's grain says.
+  if (n > 1 && n >= grain && omp_get_max_threads() > 1) {
 #pragma omp parallel for schedule(static)
     for (std::int64_t i = begin; i < end; ++i) body(i);
     return;
@@ -50,7 +82,7 @@ T parallel_reduce_sum(std::int64_t begin, std::int64_t end, const Body& body,
   const std::int64_t n = end - begin;
   if (n <= 0) return total;
 #if defined(_OPENMP)
-  if (n >= grain && omp_get_max_threads() > 1) {
+  if (n > 1 && n >= grain && omp_get_max_threads() > 1) {
 #pragma omp parallel
     {
       T local{};

@@ -126,6 +126,87 @@ TEST(Spmm, ZeroBatchIsANoOp) {
   const auto w = random_csr(4, 4, 0.5, rng);
   spmm_dense_csr(nullptr, 0, 4, w, nullptr);
   spmm_dense_csrT(nullptr, 0, 4, w, nullptr);
+  EXPECT_EQ(spmm_dense_csr_fused(nullptr, 0, 4, w, nullptr, 0.1f, 2.0f),
+            0u);
+  EXPECT_EQ(spmm_dense_csrT_fused(nullptr, 0, 4, w.transpose(), nullptr,
+                                  0.1f, 2.0f),
+            0u);
+}
+
+// Reference epilogue of the challenge rule (two independent ifs, same
+// as the historical second sweep).
+float ref_epilogue(float v, float bias, float clamp) {
+  v += bias;
+  if (v < 0.0f) v = 0.0f;
+  if (clamp > 0.0f && v > clamp) v = clamp;
+  return v;
+}
+
+TEST(Spmm, FusedScatterMatchesUnfusedPlusEpilogue) {
+  Rng rng(16);
+  const index_t batch = 13, m = 23, n = 17;  // odd sizes: remainder tile
+  const auto w = random_csr(m, n, 0.4, rng);
+  auto x = random_dense(static_cast<std::size_t>(batch) * m, rng);
+  for (std::size_t i = 0; i < x.size(); i += 3) x[i] = 0.0f;  // skips
+  const float bias = -0.05f, clamp = 0.6f;
+
+  std::vector<float> want(static_cast<std::size_t>(batch) * n, 0.0f);
+  spmm_dense_csr(x.data(), batch, m, w, want.data());
+  std::uint64_t want_nz = 0;
+  for (auto& v : want) {
+    v = ref_epilogue(v, bias, clamp);
+    want_nz += v != 0.0f ? 1 : 0;
+  }
+
+  std::vector<float> got(want.size(), -1.0f);  // fused needs no zero-init
+  const auto nz =
+      spmm_dense_csr_fused(x.data(), batch, m, w, got.data(), bias, clamp);
+  EXPECT_EQ(nz, want_nz);
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    EXPECT_EQ(got[i], want[i]) << i;  // bit-exact, same summation order
+  }
+
+  // Gather arm over the transposed layer: same result, bit for bit.
+  std::vector<float> gat(want.size(), -2.0f);
+  const auto nz2 = spmm_dense_csrT_fused(x.data(), batch, m, w.transpose(),
+                                         gat.data(), bias, clamp);
+  EXPECT_EQ(nz2, want_nz);
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    EXPECT_EQ(gat[i], want[i]) << i;
+  }
+}
+
+TEST(Spmm, FusedUniformArmsAgreeBitExact) {
+  // Uniform-weight specializations: scatter and gather defer the weight
+  // to the epilogue scale identically, so they must agree bitwise.
+  Rng rng(17);
+  Coo<float> coo(19, 21);
+  for (index_t r = 0; r < 19; ++r) {
+    for (index_t c = 0; c < 21; ++c) {
+      if (rng.bernoulli(0.4)) coo.push(r, c, 0.0625f);
+    }
+  }
+  const auto w = Csr<float>::from_coo(coo);
+  const index_t batch = 11;
+  auto x = random_dense(static_cast<std::size_t>(batch) * 19, rng);
+  for (auto& v : x) v = v < 0.0f ? 0.0f : v;  // activation-like input
+
+  std::vector<float> a(static_cast<std::size_t>(batch) * 21);
+  std::vector<float> b(a.size());
+  const auto nza = spmm_dense_csr_fused_uniform(x.data(), batch, 19, w,
+                                                0.0625f, a.data(), -0.1f,
+                                                0.5f);
+  const auto nzb = spmm_dense_csrT_fused_uniform(x.data(), batch, 19,
+                                                 w.transpose(), 0.0625f,
+                                                 b.data(), -0.1f, 0.5f);
+  EXPECT_EQ(nza, nzb);
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]) << i;
+}
+
+TEST(Spmm, CountNonzeros) {
+  std::vector<float> v = {0.0f, 1.0f, -2.0f, 0.0f, 0.5f};
+  EXPECT_EQ(count_nonzeros(v.data(), v.size()), 3u);
+  EXPECT_EQ(count_nonzeros(nullptr, 0), 0u);
 }
 
 }  // namespace
