@@ -1,0 +1,176 @@
+// Serving-engine benchmark: does dynamic micro-batching recover the
+// paper's batch-benchmark edges/second from small asynchronous
+// requests?
+//
+// Google Benchmark harness, three views over one RadiX-Net challenge
+// preset (1024 neurons x 12 layers unless swept):
+//
+//   BM_ServeDirect      -- the in-harness upper bound: one thread
+//       calling the fused SparseDnn::forward directly at the serving
+//       batch size (no queueing, no coalescing, no copies).  Matches
+//       bench_inference_scaling's BM_InferFused shape.
+//   BM_ServeClosedLoop  -- offered-load sweep: N closed-loop client
+//       threads (->Threads), each submitting `rows_per_req`-row
+//       requests through one Engine (one worker) and blocking on the
+//       future.  At saturating load the micro-batcher coalesces
+//       requests up to the 32-row budget, and edges/second should
+//       approach BM_ServeDirect (acceptance: >= 0.7x).
+//   BM_ServeLatencyVsDelay -- the batching knob's latency cost: a
+//       single closed-loop client against max_delay in {0, 200, 2000}
+//       microseconds; per-iteration time IS the end-to-end request
+//       latency, and the engine's p95 e2e / mean batch rows are
+//       reported as counters.
+//
+// items_per_second is the challenge metric (edges/s = rows x total nnz
+// per wall second); scripts/check_perf_smoke.py sanity-checks this
+// bench's output shape in CI.
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <map>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "infer/sparse_dnn.hpp"
+#include "radixnet/graph_challenge.hpp"
+#include "serve/engine.hpp"
+#include "support/random.hpp"
+
+namespace radix {
+namespace {
+
+constexpr index_t kNeurons = 1024;
+constexpr std::size_t kLayers = 12;
+constexpr index_t kMaxBatchRows = 32;
+constexpr double kInputDensity = 0.4;
+
+const gc::Network& cached_network() {
+  static const gc::Network net = [] {
+    Rng rng(99);
+    return gc::network(kNeurons, kLayers, &rng);
+  }();
+  return net;
+}
+
+std::shared_ptr<infer::SparseDnn> make_dnn() {
+  const auto& net = cached_network();
+  return std::make_shared<infer::SparseDnn>(net.layers, net.bias, gc::kClamp);
+}
+
+const std::vector<float>& cached_input(index_t rows) {
+  static std::map<index_t, std::vector<float>> cache;
+  auto it = cache.find(rows);
+  if (it == cache.end()) {
+    Rng rng(7);
+    it = cache
+             .emplace(rows, gc::synthetic_input(rows, kNeurons,
+                                                kInputDensity, rng))
+             .first;
+  }
+  return it->second;
+}
+
+// One engine per benchmark run, built in Setup (single-threaded) so the
+// threaded benchmark body only submits.
+std::unique_ptr<serve::Engine> g_engine;
+serve::Engine::ModelId g_model = 0;
+
+void SetupEngine(const benchmark::State& state) {
+  serve::EngineOptions opts;
+  opts.workers = 1;  // measure batching efficiency, not core count
+  opts.max_batch_rows = kMaxBatchRows;
+  opts.max_delay = std::chrono::microseconds(state.range(1));
+  opts.queue_capacity = 4096;
+  g_engine = std::make_unique<serve::Engine>(opts);
+  g_model = g_engine->add_model(make_dnn(), "bench");
+  (void)cached_input(static_cast<index_t>(state.range(0)));
+}
+
+void TeardownEngine(const benchmark::State&) {
+  g_engine->shutdown();
+  g_engine.reset();
+}
+
+// Direct fused path at the serving batch size: the throughput ceiling
+// the engine is graded against.
+void BM_ServeDirect(benchmark::State& state) {
+  const index_t batch = static_cast<index_t>(state.range(0));
+  const auto dnn = make_dnn();
+  const auto& x = cached_input(batch);
+  infer::InferenceWorkspace ws;
+  dnn->prewarm({.max_batch = batch, .workspace = &ws});
+  for (auto _ : state) {
+    auto y = dnn->forward(x.data(), batch, ws);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          batch * static_cast<std::int64_t>(dnn->total_nnz()));
+}
+
+// Args: {rows_per_request, max_delay_us}; ->Threads(N) is the offered
+// load (N closed-loop clients, one outstanding request each).
+void BM_ServeClosedLoop(benchmark::State& state) {
+  const index_t rows = static_cast<index_t>(state.range(0));
+  const auto& x = cached_input(rows);
+  const std::uint64_t nnz = g_engine->model(g_model).total_nnz();
+
+  for (auto _ : state) {
+    auto fut = g_engine->submit(g_model, x.data(), rows);
+    benchmark::DoNotOptimize(fut.get().data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          rows * static_cast<std::int64_t>(nnz));
+
+  if (state.thread_index() == 0) {
+    const auto s = g_engine->stats(g_model);
+    state.counters["mean_batch_rows"] =
+        benchmark::Counter(s.mean_batch_rows);
+    state.counters["queue_p95_us"] =
+        benchmark::Counter(s.queue_wait_p95 * 1e6);
+    state.counters["e2e_p95_us"] = benchmark::Counter(s.e2e_p95 * 1e6);
+  }
+}
+
+// Args: {rows_per_request, max_delay_us}, always one client: the
+// per-iteration wall time is the end-to-end latency a lone request pays
+// for the coalescing window.
+void BM_ServeLatencyVsDelay(benchmark::State& state) {
+  const index_t rows = static_cast<index_t>(state.range(0));
+  const auto& x = cached_input(rows);
+  for (auto _ : state) {
+    auto fut = g_engine->submit(g_model, x.data(), rows);
+    benchmark::DoNotOptimize(fut.get().data());
+  }
+  const auto s = g_engine->stats(g_model);
+  state.counters["mean_batch_rows"] = benchmark::Counter(s.mean_batch_rows);
+  state.counters["e2e_p95_us"] = benchmark::Counter(s.e2e_p95 * 1e6);
+}
+
+BENCHMARK(BM_ServeDirect)
+    ->Args({kMaxBatchRows, 0})
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK(BM_ServeClosedLoop)
+    ->Args({1, 200})
+    ->Setup(SetupEngine)
+    ->Teardown(TeardownEngine)
+    ->Threads(1)
+    ->Threads(4)
+    ->Threads(16)
+    ->Threads(32)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime()
+    ->MeasureProcessCPUTime();
+
+BENCHMARK(BM_ServeLatencyVsDelay)
+    ->Args({1, 0})
+    ->Args({1, 200})
+    ->Args({1, 2000})
+    ->Setup(SetupEngine)
+    ->Teardown(TeardownEngine)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+}  // namespace
+}  // namespace radix

@@ -6,12 +6,17 @@ Usage:
     python3 scripts/record_bench_baseline.py [--build-dir build]
         [--output BENCH_pr2.json]
 
-Runs bench_sparse_kernels and bench_inference_scaling (Google Benchmark,
-JSON output; the latter pairs the fused inference path against the
-historical reference path, items_per_second == challenge edges/sec) and
-bench_fig6_algorithm (paper-figure reproduction), then writes a compact
-snapshot to the repo root.  Numbers are machine-specific; the file
-anchors trends on one host, it is not a portable performance truth.
+Runs the Google Benchmark harnesses (bench_sparse_kernels,
+bench_inference_scaling -- which pairs the fused inference path against
+the historical reference path, items_per_second == challenge edges/sec
+-- bench_brain_scale and bench_serving) and bench_fig6_algorithm
+(paper-figure reproduction), then writes a compact snapshot to the repo
+root.  The serving section also records the headline serving ratio:
+best closed-loop serving edges/sec over the direct fused path at the
+same batch size (the micro-batching efficiency; the PR-3 acceptance bar
+is >= 0.7 at saturating offered load).  Numbers are machine-specific;
+the file anchors trends on one host, it is not a portable performance
+truth.
 """
 
 import argparse
@@ -70,6 +75,27 @@ def fused_vs_reference(inference: dict) -> dict:
             if ratio is not None}
 
 
+def serving_over_direct(serving: dict) -> dict:
+    """Best closed-loop serving edges/sec over the direct fused path at
+    the serving batch size, plus the per-offered-load breakdown."""
+    direct = 0.0
+    per_load = {}
+    for b in serving["benchmarks"]:
+        rate = b.get("items_per_second", 0.0)
+        if b["name"].startswith("BM_ServeDirect/"):
+            direct = max(direct, rate)
+        elif b["name"].startswith("BM_ServeClosedLoop/"):
+            per_load[b["name"]] = rate
+    if direct <= 0.0 or not per_load:
+        return {}
+    best = max(per_load.values())
+    return {
+        "best_closed_loop_over_direct": round(best / direct, 3),
+        "per_load_over_direct": {name: round(rate / direct, 3)
+                                 for name, rate in per_load.items()},
+    }
+
+
 def run_fig6(build_dir: str) -> dict:
     exe = find_bench(build_dir, "bench_fig6_algorithm")
     t0 = time.perf_counter()
@@ -109,8 +135,9 @@ def main() -> int:
             "--force to overwrite")
 
     inference = run_gbench(args.build_dir, "bench_inference_scaling")
+    serving = run_gbench(args.build_dir, "bench_serving")
     baseline = {
-        "schema": "radix-bench-baseline/v2",
+        "schema": "radix-bench-baseline/v3",
         "recorded": datetime.date.today().isoformat(),
         "build_type": "Release",
         "compiler": compiler_id(args.build_dir),
@@ -123,16 +150,22 @@ def main() -> int:
                                            "bench_sparse_kernels"),
         "bench_inference_scaling": inference,
         "inference_fused_over_reference": fused_vs_reference(inference),
+        "bench_brain_scale": run_gbench(args.build_dir, "bench_brain_scale"),
+        "bench_serving": serving,
+        "serving_over_direct": serving_over_direct(serving),
     }
     with open(args.output, "w") as f:
         json.dump(baseline, f, indent=2)
         f.write("\n")
     ratios = baseline["inference_fused_over_reference"]
+    serve_ratio = baseline["serving_over_direct"].get(
+        "best_closed_loop_over_direct")
     print(f"wrote {args.output} "
           f"({len(baseline['bench_sparse_kernels']['benchmarks'])} kernel "
           f"benchmarks, fig6 reproduced="
           f"{baseline['bench_fig6_algorithm']['reproduced']}, "
-          f"fused/reference edges/s ratios: {ratios})")
+          f"fused/reference edges/s ratios: {ratios}, "
+          f"serving/direct: {serve_ratio})")
     return 0
 
 

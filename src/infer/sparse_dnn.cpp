@@ -71,6 +71,20 @@ const Csr<float>& SparseDnn::transposed(std::size_t k) const {
   return *slot;
 }
 
+void SparseDnn::prewarm(const WorkspaceHint& hint) const {
+  // Building via transposed() keeps the fill under the cache mutex, so
+  // prewarming may race concurrent forward calls safely.
+  for (std::size_t k = 0; k < layers_.size(); ++k) (void)transposed(k);
+  if (hint.workspace != nullptr) {
+    hint.workspace->reserve(hint.max_batch, max_width());
+    // forward() reserves the dispatch trace lazily; doing it here keeps
+    // the first post-prewarm pass allocation-free.
+    if (hint.workspace->dispatch_.capacity() < layers_.size()) {
+      hint.workspace->dispatch_.reserve(layers_.size());
+    }
+  }
+}
+
 std::span<const float> SparseDnn::forward(const float* input, index_t batch,
                                           InferenceWorkspace& workspace,
                                           InferenceStats* stats) const {

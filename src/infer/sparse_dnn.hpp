@@ -55,6 +55,17 @@ namespace radix::infer {
 /// exact value is uncritical within ~2x.
 inline constexpr double kGatherDensityThreshold = 0.25;
 
+/// What SparseDnn::prewarm should make ready ahead of the first
+/// forward call (see prewarm below).
+struct WorkspaceHint {
+  /// Largest batch (rows) the caller expects to run; used to size the
+  /// workspace panels.  0 skips panel sizing (transposes only).
+  index_t max_batch = 0;
+  /// Workspace to pre-size; may be null when only the shared transpose
+  /// cache should be built (e.g. worker workspaces live elsewhere).
+  InferenceWorkspace* workspace = nullptr;
+};
+
 struct InferenceStats {
   double wall_seconds = 0.0;
   std::uint64_t edges_processed = 0;  // batch * total nnz
@@ -80,6 +91,16 @@ class SparseDnn {
   /// output widths.  The input batch is read in place, never staged in
   /// a panel, so the input width does not participate.
   index_t max_width() const noexcept;
+
+  /// Pay every one-time cost up front so the *first* forward call is
+  /// already in the zero-allocation steady state: eagerly builds the
+  /// lazily cached transposed layers (the gather arm's backing store,
+  /// shared by all workspaces), and, when the hint carries a workspace,
+  /// sizes its panels for hint.max_batch rows and reserves its dispatch
+  /// trace.  Serving engines call this from model registration so the
+  /// first request never pays construction latency; thread-safe like
+  /// forward.
+  void prewarm(const WorkspaceHint& hint = {}) const;
 
   /// Zero-allocation forward: runs the full stack over the row-major
   /// [batch x input_width] batch at `input` using the workspace's

@@ -1,0 +1,151 @@
+#include "serve/batcher.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "support/error.hpp"
+
+namespace radix::serve {
+
+MicroBatcher::MicroBatcher(std::size_t queue_capacity)
+    : queue_capacity_(queue_capacity) {
+  RADIX_REQUIRE(queue_capacity > 0,
+                "MicroBatcher: queue capacity must be > 0");
+}
+
+std::size_t MicroBatcher::add_model() {
+  std::unique_lock lock(monitor_.mutex);
+  RADIX_REQUIRE(!closed_, "MicroBatcher: add_model after close");
+  queues_.push_back(std::make_unique<Queue>(queue_capacity_, monitor_));
+  return queues_.size() - 1;
+}
+
+std::size_t MicroBatcher::num_models() const {
+  std::unique_lock lock(monitor_.mutex);
+  return queues_.size();
+}
+
+bool MicroBatcher::submit(std::size_t model, Request&& r) {
+  std::unique_lock lock(monitor_.mutex);
+  RADIX_REQUIRE(model < queues_.size(), "MicroBatcher: unknown model id");
+  Queue& q = *queues_[model];
+  monitor_.cv.wait(lock, [&] { return closed_ || !q.full_locked(); });
+  if (closed_) return false;
+  q.push_locked(std::move(r));
+  monitor_.cv.notify_all();
+  return true;
+}
+
+bool MicroBatcher::try_submit(std::size_t model, Request&& r) {
+  std::unique_lock lock(monitor_.mutex);
+  RADIX_REQUIRE(model < queues_.size(), "MicroBatcher: unknown model id");
+  Queue& q = *queues_[model];
+  if (closed_ || q.full_locked()) return false;
+  q.push_locked(std::move(r));
+  monitor_.cv.notify_all();
+  return true;
+}
+
+bool MicroBatcher::next(Batch& out, index_t max_rows,
+                        std::chrono::microseconds max_delay,
+                        std::size_t& cursor) {
+  RADIX_REQUIRE(max_rows > 0, "MicroBatcher: max_rows must be > 0");
+  std::unique_lock lock(monitor_.mutex);
+  for (;;) {
+    // Round-robin scan for a model with pending work.
+    const std::size_t n = queues_.size();
+    std::size_t pick = n;
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::size_t q = (cursor + i) % n;
+      if (!queues_[q]->empty_locked()) {
+        pick = q;
+        break;
+      }
+    }
+    if (pick == n) {
+      if (closed_) return false;
+      monitor_.cv.wait(lock);
+      continue;
+    }
+
+    out.clear();
+    out.model = pick;
+    Queue& q = *queues_[pick];
+    const auto take_fitting = [&] {
+      bool popped = false;
+      while (!q.empty_locked()) {
+        Request& r = q.front_locked();
+        // FIFO, no reordering: stop at the first request that does not
+        // fit.  A lone oversize request still ships (forward handles
+        // any batch size).
+        if (!out.requests.empty() && out.rows + r.rows > max_rows) break;
+        out.rows += r.rows;
+        out.requests.push_back(std::move(r));
+        q.pop_front_locked();
+        popped = true;
+      }
+      // Wake producers blocked on a full queue *now*, not after the
+      // coalescing wait: with queue_capacity < max_rows a blocked
+      // submitter is exactly what fills this batch, and without the
+      // wake both sides would sleep out the whole max_delay window.
+      if (popped) monitor_.cv.notify_all();
+    };
+    take_fitting();
+
+    if (out.rows < max_rows && max_delay.count() > 0 && !closed_) {
+      // Coalescing window anchored at the *oldest* claimed request's
+      // enqueue time: total added latency is bounded by max_delay, and
+      // a request that already waited that long ships immediately.
+      const auto deadline = out.requests.front().enqueued + max_delay;
+      while (out.rows < max_rows && !closed_) {
+        if (monitor_.cv.wait_until(lock, deadline) ==
+            std::cv_status::timeout) {
+          take_fitting();  // grab anything that raced the deadline
+          break;
+        }
+        take_fitting();
+      }
+    }
+
+    cursor = (pick + 1) % n;
+    monitor_.cv.notify_all();  // queue space freed for blocked submitters
+    return true;
+  }
+}
+
+void MicroBatcher::close() {
+  std::unique_lock lock(monitor_.mutex);
+  closed_ = true;
+  for (auto& q : queues_) q->close_locked();
+  monitor_.cv.notify_all();
+}
+
+bool MicroBatcher::closed() const {
+  std::unique_lock lock(monitor_.mutex);
+  return closed_;
+}
+
+std::size_t MicroBatcher::pending(std::size_t model) const {
+  std::unique_lock lock(monitor_.mutex);
+  RADIX_REQUIRE(model < queues_.size(), "MicroBatcher: unknown model id");
+  return queues_[model]->size_locked();
+}
+
+const float* BatchAssembly::assemble(const MicroBatcher::Batch& batch,
+                                     index_t input_width) {
+  if (batch.requests.size() == 1) {
+    return batch.requests.front().input;  // zero-copy fast path
+  }
+  const std::size_t need =
+      static_cast<std::size_t>(batch.rows) * input_width;
+  if (staging_.size() < need) staging_.resize(need);
+  float* dst = staging_.data();
+  for (const Request& r : batch.requests) {
+    const std::size_t n = static_cast<std::size_t>(r.rows) * input_width;
+    std::memcpy(dst, r.input, n * sizeof(float));
+    dst += n;
+  }
+  return staging_.data();
+}
+
+}  // namespace radix::serve

@@ -1,0 +1,158 @@
+// Dynamic micro-batcher: coalesces pending inference requests into
+// large contiguous batches for the fused forward path.
+//
+// The Graph-Challenge numbers (and PR 2's fused kernels) reward big
+// batches, but production traffic arrives as many small asynchronous
+// requests.  The MicroBatcher bridges the two: producers push Requests
+// into per-model bounded queues (serve/queue.hpp, all sharing one
+// Monitor), and each consumer (engine worker) calls next(), which
+//
+//   1. scans the model queues round-robin from a per-consumer cursor and
+//      claims the first non-empty one;
+//   2. greedily pops FIFO requests while the running row total fits in
+//      max_rows (a first request larger than max_rows still ships alone
+//      -- the forward path handles any batch size);
+//   3. if the batch is not yet full, keeps absorbing newly arriving
+//      requests for the same model until it fills or the *oldest*
+//      claimed request has been waiting max_delay since it was enqueued
+//      -- so coalescing can never add more than max_delay to any
+//      request's latency, and a request that already sat in the queue
+//      that long ships immediately.
+//
+// Several consumers may coalesce batches for the same model
+// concurrently; FIFO order of claims is preserved per consumer, and
+// correctness does not depend on which worker serves which rows (each
+// batch row is independent in the forward rule).
+//
+// BatchAssembly (the other half of this file) turns a claimed batch
+// into the contiguous [rows x width] input panel SparseDnn::forward
+// expects, with a zero-copy fast path when the batch is one request,
+// and computes the per-request output row offsets for scattering
+// results back.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "serve/queue.hpp"
+#include "sparse/types.hpp"
+#include "support/thread.hpp"
+
+namespace radix::serve {
+
+/// Per-request timing delivered to completion callbacks and recorded by
+/// the stats surface.
+struct RequestTiming {
+  double queue_seconds = 0.0;  ///< enqueue -> claimed by a worker
+  double total_seconds = 0.0;  ///< enqueue -> completion delivered
+  index_t batch_rows = 0;      ///< rows of the coalesced batch served in
+};
+
+/// Completion callback.  On success `output` holds the request's rows of
+/// final activations ([rows x output_width], row-major) and `error` is
+/// null; the span aliases worker-owned memory and is only valid during
+/// the call -- copy it out to keep it.  On failure `output` is empty and
+/// `error` carries the exception.  Callbacks run on the worker thread
+/// that served the batch and must not block it for long; an exception
+/// escaping the callback is swallowed by the worker (it must never take
+/// down the pool), so handle errors inside.
+using DoneFn = std::function<void(std::span<const float> output,
+                                  const RequestTiming& timing,
+                                  std::exception_ptr error)>;
+
+/// One queued inference request: `rows` rows of model-input features at
+/// `input` (row-major).  When `owned` is non-empty it backs `input` and
+/// the request carries its own storage; otherwise the caller guarantees
+/// the pointed-to buffer stays alive until completion.
+struct Request {
+  index_t rows = 0;
+  const float* input = nullptr;
+  std::vector<float> owned;
+  DoneFn done;
+  std::chrono::steady_clock::time_point enqueued{};
+};
+
+class MicroBatcher {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// A claimed batch: requests of one model, FIFO, totalling `rows`.
+  struct Batch {
+    std::size_t model = 0;
+    index_t rows = 0;
+    std::vector<Request> requests;
+
+    void clear() noexcept {
+      rows = 0;
+      requests.clear();  // keeps capacity across reuse
+    }
+  };
+
+  /// `queue_capacity` bounds the *requests* pending per model; a full
+  /// queue blocks submit() (backpressure) rather than growing unbounded.
+  explicit MicroBatcher(std::size_t queue_capacity);
+
+  MicroBatcher(const MicroBatcher&) = delete;
+  MicroBatcher& operator=(const MicroBatcher&) = delete;
+
+  /// Append a model slot; returns its index.  Safe while consumers run.
+  std::size_t add_model();
+
+  std::size_t num_models() const;
+
+  /// Blocking submit with backpressure; false when closed (the request's
+  /// callback is NOT invoked -- the caller owns rejection handling).
+  bool submit(std::size_t model, Request&& r);
+
+  /// Non-blocking submit: false when the model queue is full or closed.
+  bool try_submit(std::size_t model, Request&& r);
+
+  /// Claim the next coalesced batch (see file comment for the policy).
+  /// `cursor` is the caller's round-robin position, updated for
+  /// fairness; start distinct consumers at distinct cursors.  Blocks
+  /// until work arrives; returns false only when closed *and* every
+  /// queue has drained -- the consumer's signal to exit.
+  bool next(Batch& out, index_t max_rows, std::chrono::microseconds max_delay,
+            std::size_t& cursor);
+
+  /// Stop accepting requests; queued ones keep being claimable until
+  /// drained (graceful-shutdown semantics).
+  void close();
+
+  bool closed() const;
+
+  /// Requests currently pending for one model.
+  std::size_t pending(std::size_t model) const;
+
+ private:
+  using Queue = BoundedMpmcQueue<Request>;
+
+  mutable Monitor monitor_;
+  std::size_t queue_capacity_;
+  // unique_ptr so the vector can grow while workers hold references.
+  std::vector<std::unique_ptr<Queue>> queues_;
+  bool closed_ = false;
+};
+
+/// Turns a claimed Batch into the contiguous input panel the fused
+/// forward pass expects.  Owns a growth-only staging buffer, so steady-
+/// state assembly allocates nothing once the high-water batch shape has
+/// been seen; a single-request batch is passed through zero-copy.
+class BatchAssembly {
+ public:
+  /// Contiguous [batch.rows x input_width] panel for `batch`.  The
+  /// returned pointer is either the lone request's own buffer or the
+  /// internal staging panel; it stays valid until the next assemble().
+  const float* assemble(const MicroBatcher::Batch& batch, index_t input_width);
+
+  std::size_t staging_capacity() const noexcept { return staging_.size(); }
+
+ private:
+  std::vector<float> staging_;
+};
+
+}  // namespace radix::serve

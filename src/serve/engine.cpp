@@ -1,0 +1,244 @@
+#include "serve/engine.hpp"
+
+#include <exception>
+#include <utility>
+
+#include "support/error.hpp"
+
+namespace radix::serve {
+
+namespace {
+
+double seconds_between(std::chrono::steady_clock::time_point a,
+                       std::chrono::steady_clock::time_point b) {
+  return std::chrono::duration<double>(b - a).count();
+}
+
+// Completion adapter shared by both future-returning submit overloads.
+DoneFn promise_done(
+    std::shared_ptr<std::promise<std::vector<float>>> promise) {
+  return [promise = std::move(promise)](std::span<const float> y,
+                                        const RequestTiming&,
+                                        std::exception_ptr err) {
+    if (err) {
+      promise->set_exception(err);
+    } else {
+      promise->set_value(std::vector<float>(y.begin(), y.end()));
+    }
+  };
+}
+
+}  // namespace
+
+Engine::Engine(EngineOptions options)
+    : options_(options), batcher_(options.queue_capacity) {
+  RADIX_REQUIRE(options_.max_batch_rows > 0,
+                "Engine: max_batch_rows must be > 0");
+  worker_count_ =
+      options_.workers == 0 ? default_worker_count() : options_.workers;
+  try {
+    for (unsigned i = 0; i < worker_count_; ++i) {
+      workers_.spawn([this, i] { worker_loop(i); });
+    }
+  } catch (...) {
+    // A failed spawn (e.g. thread-resource exhaustion) unwinds the
+    // constructor, so ~Engine will not run: close the batcher here so
+    // the already-started workers exit and ~ThreadGroup's joins return
+    // instead of deadlocking.
+    batcher_.close();
+    throw;
+  }
+}
+
+Engine::~Engine() { shutdown(); }
+
+Engine::ModelId Engine::add_model(
+    std::shared_ptr<const infer::SparseDnn> model, std::string name) {
+  RADIX_REQUIRE(model != nullptr, "Engine: model must not be null");
+  auto st = std::make_shared<ModelState>();
+  st->dnn = std::move(model);
+  st->input_width = st->dnn->input_width();
+  st->output_width = st->dnn->output_width();
+  if (options_.prewarm) {
+    // Builds the shared transposed-layer cache once, up front, so the
+    // first served batch does not pay one-time construction latency.
+    // Worker workspaces stay lazy: their panels grow once per worker on
+    // first contact (growth-only, cheap next to a transpose build).
+    st->dnn->prewarm();
+  }
+  // Registry push and batcher queue creation must be one atomic step:
+  // concurrent add_model calls interleaving between them would hand out
+  // mismatched ids and route one model's traffic to another's queue.
+  // Lock order is models_mutex_ -> batcher monitor; no other path nests
+  // the two.
+  std::scoped_lock lock(models_mutex_);
+  st->name = name.empty() ? "model-" + std::to_string(models_.size())
+                          : std::move(name);
+  models_.push_back(st);
+  const ModelId id = models_.size() - 1;
+  const ModelId batcher_id = batcher_.add_model();
+  RADIX_ASSERT(batcher_id == id,
+               "Engine: model registry and batcher out of sync");
+  return id;
+}
+
+std::size_t Engine::num_models() const {
+  std::scoped_lock lock(models_mutex_);
+  return models_.size();
+}
+
+unsigned Engine::num_workers() const noexcept { return worker_count_; }
+
+std::shared_ptr<Engine::ModelState> Engine::state(ModelId id) const {
+  std::scoped_lock lock(models_mutex_);
+  RADIX_REQUIRE(id < models_.size(), "Engine: unknown model id");
+  return models_[id];
+}
+
+const infer::SparseDnn& Engine::model(ModelId id) const {
+  return *state(id)->dnn;
+}
+
+const std::string& Engine::model_name(ModelId id) const {
+  return state(id)->name;
+}
+
+void Engine::submit(ModelId id, const float* input, index_t rows,
+                    DoneFn done) {
+  auto st = state(id);
+  RADIX_REQUIRE(rows == 0 || input != nullptr,
+                "Engine::submit: null input with rows > 0");
+  if (rows == 0) {
+    // Nothing to batch: complete inline with an empty span.
+    if (done) done({}, RequestTiming{}, nullptr);
+    return;
+  }
+  Request r;
+  r.rows = rows;
+  r.input = input;
+  r.done = std::move(done);
+  r.enqueued = MicroBatcher::Clock::now();
+  if (!batcher_.submit(id, std::move(r))) {
+    throw Error("Engine::submit: engine is shut down");
+  }
+}
+
+std::future<std::vector<float>> Engine::submit(ModelId id,
+                                               const float* input,
+                                               index_t rows) {
+  auto promise = std::make_shared<std::promise<std::vector<float>>>();
+  auto future = promise->get_future();
+  submit(id, input, rows, promise_done(std::move(promise)));
+  return future;
+}
+
+std::future<std::vector<float>> Engine::submit(ModelId id,
+                                               std::vector<float> input,
+                                               index_t rows) {
+  auto st = state(id);
+  RADIX_REQUIRE_DIM(
+      input.size() ==
+          static_cast<std::size_t>(rows) * st->input_width,
+      "Engine::submit: input size != rows * input_width");
+  if (rows == 0) {
+    std::promise<std::vector<float>> p;
+    p.set_value({});
+    return p.get_future();
+  }
+  auto promise = std::make_shared<std::promise<std::vector<float>>>();
+  auto future = promise->get_future();
+  Request r;
+  r.rows = rows;
+  r.owned = std::move(input);
+  r.input = r.owned.data();
+  r.enqueued = MicroBatcher::Clock::now();
+  r.done = promise_done(std::move(promise));
+  if (!batcher_.submit(id, std::move(r))) {
+    throw Error("Engine::submit: engine is shut down");
+  }
+  return future;
+}
+
+ServeStats Engine::stats(ModelId id) const { return state(id)->stats.snapshot(); }
+
+std::size_t Engine::pending(ModelId id) const {
+  (void)state(id);  // validates the id
+  return batcher_.pending(id);
+}
+
+void Engine::shutdown() {
+  std::call_once(shutdown_once_, [this] {
+    batcher_.close();     // refuse new work; queued requests stay claimable
+    workers_.join_all();  // workers exit once every queue has drained
+  });
+}
+
+bool Engine::accepting() const { return !batcher_.closed(); }
+
+void Engine::worker_loop(std::size_t worker_index) {
+  infer::InferenceWorkspace workspace;
+  BatchAssembly assembly;
+  MicroBatcher::Batch batch;
+  // Stagger round-robin cursors so workers fan out across models.
+  std::size_t cursor = worker_index;
+
+  while (batcher_.next(batch, options_.max_batch_rows, options_.max_delay,
+                       cursor)) {
+    const auto st = state(batch.model);
+    const auto claimed = MicroBatcher::Clock::now();
+
+    const float* input = assembly.assemble(batch, st->input_width);
+    infer::InferenceStats fstats;
+    std::span<const float> y;
+    std::exception_ptr error;
+    try {
+      y = st->dnn->forward(input, batch.rows, workspace, &fstats);
+    } catch (...) {
+      error = std::current_exception();
+    }
+    const auto finished = MicroBatcher::Clock::now();
+
+    // Record stats BEFORE delivering completions: a caller that wakes
+    // on its future and immediately reads stats() must already see its
+    // own request counted.
+    if (!error) {
+      st->stats.record_batch(batch.rows, fstats.edges_processed,
+                             fstats.wall_seconds);
+    }
+    for (const Request& r : batch.requests) {
+      st->stats.record_request(seconds_between(r.enqueued, claimed),
+                               seconds_between(r.enqueued, finished),
+                               error != nullptr);
+    }
+
+    // Scatter per-request output rows back to callers: requests were
+    // concatenated in FIFO order, so request i's rows are a contiguous
+    // sub-span of the batch output.
+    std::size_t row0 = 0;
+    for (Request& r : batch.requests) {
+      RequestTiming timing;
+      timing.queue_seconds = seconds_between(r.enqueued, claimed);
+      timing.total_seconds = seconds_between(r.enqueued, finished);
+      timing.batch_rows = batch.rows;
+      std::span<const float> rows_out;
+      if (!error) {
+        rows_out = y.subspan(row0 * st->output_width,
+                             static_cast<std::size_t>(r.rows) *
+                                 st->output_width);
+      }
+      if (r.done) {
+        try {
+          r.done(rows_out, timing, error);
+        } catch (...) {
+          // A throwing completion callback must not take down the
+          // worker (and with it every other in-flight request); the
+          // DoneFn contract documents that escaping exceptions are
+          // swallowed here.
+        }
+      }
+      row0 += r.rows;
+    }
+  }
+}
+
+}  // namespace radix::serve

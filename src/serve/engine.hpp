@@ -1,0 +1,144 @@
+// In-process serving engine: dynamic micro-batching over the fused
+// sparse inference path.
+//
+// radix::serve::Engine turns SparseDnn + InferenceWorkspace (PR 2's
+// single-call fast path) into a traffic-serving subsystem: many client
+// threads submit small asynchronous requests; the engine coalesces them
+// into large contiguous batches (serve/batcher.hpp) and runs each batch
+// through the fused forward pass on a worker pool, so per-request
+// traffic reaches the edges/second the Graph-Challenge batch benchmarks
+// demonstrate.
+//
+//   Engine engine({.workers = 2, .max_batch_rows = 64,
+//                  .max_delay = std::chrono::microseconds(200)});
+//   auto id = engine.add_model(std::make_shared<infer::SparseDnn>(
+//       net.layers, net.bias, gc::kClamp));
+//   std::future<std::vector<float>> y = engine.submit(id, row.data(), 1);
+//   ... y.get() ...                     // [1 x output_width]
+//   engine.stats(id);                   // edges/s, batch histogram, p99s
+//   engine.shutdown();                  // drains in-flight requests
+//
+// Design notes
+// ------------
+//   * One engine serves multiple models: per-model bounded request
+//     queues (backpressure on submit), shared worker pool, round-robin
+//     claim across models.
+//   * Each worker owns a persistent InferenceWorkspace and a growth-only
+//     batch staging buffer, so the steady-state serving path performs no
+//     heap allocation beyond the per-request future/callback plumbing.
+//   * add_model prewarms the model (SparseDnn::prewarm): the lazily
+//     transposed gather-arm layers are built once, up front and shared,
+//     so the first served request does not pay one-time construction.
+//   * Completion runs on the worker thread: the callback overload gets a
+//     zero-copy span into the batch output panel; the future overloads
+//     copy the request's rows out.  Batch rows are independent under the
+//     challenge forward rule, so results are bit-identical to a direct
+//     forward of the same rows regardless of how requests coalesce.
+//   * shutdown() (and the destructor) closes the queues, lets workers
+//     drain every queued request, then joins -- no request is ever
+//     dropped: once submit() has returned true, completion is
+//     guaranteed.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <future>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "infer/sparse_dnn.hpp"
+#include "serve/batcher.hpp"
+#include "serve/stats.hpp"
+#include "support/thread.hpp"
+
+namespace radix::serve {
+
+struct EngineOptions {
+  /// Worker threads; 0 means one per hardware thread.
+  unsigned workers = 0;
+  /// Row budget of one coalesced batch.  Large batches amortize kernel
+  /// and dispatch overhead (the challenge regime); a lone larger request
+  /// still runs in one piece.
+  index_t max_batch_rows = 64;
+  /// How long a claimed request may wait for co-batched company, from
+  /// its enqueue time.  0 disables coalescing waits (ship what's
+  /// queued).
+  std::chrono::microseconds max_delay{200};
+  /// Pending-request bound per model; full queues block submit().
+  std::size_t queue_capacity = 1024;
+  /// Prewarm models on add_model (build transposes, size workspaces).
+  bool prewarm = true;
+};
+
+class Engine {
+ public:
+  using ModelId = std::size_t;
+
+  explicit Engine(EngineOptions options = {});
+  ~Engine();  // shutdown() if still running
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Register a model; the returned id addresses submit()/stats().
+  /// Safe to call while traffic is being served.
+  ModelId add_model(std::shared_ptr<const infer::SparseDnn> model,
+                    std::string name = "");
+
+  std::size_t num_models() const;
+  unsigned num_workers() const noexcept;
+  const infer::SparseDnn& model(ModelId id) const;
+  const std::string& model_name(ModelId id) const;
+
+  /// Callback submit (zero-copy delivery; see DoneFn).  The input buffer
+  /// must stay alive until the callback runs.  Blocks while the model's
+  /// queue is full; throws Error after shutdown.
+  void submit(ModelId id, const float* input, index_t rows, DoneFn done);
+
+  /// Future submit over a caller-kept-alive buffer.
+  std::future<std::vector<float>> submit(ModelId id, const float* input,
+                                         index_t rows);
+
+  /// Future submit taking ownership of the input (caller may discard
+  /// immediately).  input.size() must equal rows * input_width.
+  std::future<std::vector<float>> submit(ModelId id,
+                                         std::vector<float> input,
+                                         index_t rows);
+
+  /// Current counters for one model (cheap, thread-safe).
+  ServeStats stats(ModelId id) const;
+
+  /// Requests queued (not yet claimed) for one model.
+  std::size_t pending(ModelId id) const;
+
+  /// Stop accepting requests, serve everything already queued, join the
+  /// workers.  Idempotent; called by the destructor.
+  void shutdown();
+
+  bool accepting() const;
+
+ private:
+  struct ModelState {
+    std::shared_ptr<const infer::SparseDnn> dnn;
+    std::string name;
+    index_t input_width = 0;
+    index_t output_width = 0;
+    StatsCollector stats;
+  };
+
+  std::shared_ptr<ModelState> state(ModelId id) const;
+  void worker_loop(std::size_t worker_index);
+
+  EngineOptions options_;
+  MicroBatcher batcher_;
+
+  mutable std::mutex models_mutex_;
+  std::vector<std::shared_ptr<ModelState>> models_;
+
+  ThreadGroup workers_;
+  unsigned worker_count_ = 0;
+  std::once_flag shutdown_once_;
+};
+
+}  // namespace radix::serve

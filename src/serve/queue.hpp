@@ -1,0 +1,142 @@
+// Bounded MPMC queue underpinning the serving engine's request path.
+//
+// BoundedMpmcQueue<T> is a mutex-guarded multi-producer multi-consumer
+// FIFO with a fixed capacity (backpressure: blocking push waits for
+// space) and close-drain semantics: after close(), push refuses new
+// items but pop keeps returning queued ones until the queue is empty --
+// the property graceful engine shutdown relies on.
+//
+// Two usage modes:
+//
+//   * Standalone: the queue owns its Monitor; push/pop/try_* are fully
+//     synchronized and safe from any number of threads.
+//   * Composed: several queues share one externally owned Monitor (one
+//     per serving engine), so a consumer can block once for "any queue
+//     has work".  The *_locked methods implement that protocol: the
+//     caller holds monitor().mutex across a scan of all queues and calls
+//     only *_locked members while it does.  The micro-batcher
+//     (serve/batcher.hpp) is the intended consumer.
+//
+// The queue deliberately trades lock-free cleverness for obvious
+// correctness: the serving engine pops *batches* of requests, so the
+// lock is taken once per batch, not once per row, and a microsecond-
+// scale critical section is invisible next to a multi-millisecond
+// fused forward pass.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <utility>
+
+#include "support/error.hpp"
+#include "support/thread.hpp"
+
+namespace radix::serve {
+
+template <typename T>
+class BoundedMpmcQueue {
+ public:
+  /// Standalone queue owning its synchronization.
+  explicit BoundedMpmcQueue(std::size_t capacity)
+      : monitor_(&owned_monitor_), capacity_(capacity) {
+    RADIX_REQUIRE(capacity > 0, "BoundedMpmcQueue: capacity must be > 0");
+  }
+
+  /// Queue sharing an external Monitor with its siblings (locked
+  /// protocol; see file comment).  The Monitor must outlive the queue.
+  BoundedMpmcQueue(std::size_t capacity, Monitor& shared)
+      : monitor_(&shared), capacity_(capacity) {
+    RADIX_REQUIRE(capacity > 0, "BoundedMpmcQueue: capacity must be > 0");
+  }
+
+  BoundedMpmcQueue(const BoundedMpmcQueue&) = delete;
+  BoundedMpmcQueue& operator=(const BoundedMpmcQueue&) = delete;
+
+  Monitor& monitor() noexcept { return *monitor_; }
+  std::size_t capacity() const noexcept { return capacity_; }
+
+  // -- Standalone (self-locking) interface --------------------------------
+
+  /// Blocking push: waits while the queue is full.  Returns false (and
+  /// drops `v`) when the queue is closed.
+  bool push(T v) {
+    std::unique_lock lock(monitor_->mutex);
+    monitor_->cv.wait(lock, [&] { return closed_ || items_.size() < capacity_; });
+    if (closed_) return false;
+    items_.push_back(std::move(v));
+    monitor_->cv.notify_all();
+    return true;
+  }
+
+  /// Non-blocking push: false when full or closed.
+  bool try_push(T v) {
+    std::unique_lock lock(monitor_->mutex);
+    if (closed_ || items_.size() >= capacity_) return false;
+    items_.push_back(std::move(v));
+    monitor_->cv.notify_all();
+    return true;
+  }
+
+  /// Blocking pop: waits for an item.  Returns false only when the queue
+  /// is closed *and* drained.
+  bool pop(T& out) {
+    std::unique_lock lock(monitor_->mutex);
+    monitor_->cv.wait(lock, [&] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return false;
+    out = std::move(items_.front());
+    items_.pop_front();
+    monitor_->cv.notify_all();
+    return true;
+  }
+
+  /// Non-blocking pop: false when currently empty.
+  bool try_pop(T& out) {
+    std::unique_lock lock(monitor_->mutex);
+    if (items_.empty()) return false;
+    out = std::move(items_.front());
+    items_.pop_front();
+    monitor_->cv.notify_all();
+    return true;
+  }
+
+  /// Refuse new items; queued ones remain poppable (close-drain).
+  void close() {
+    std::unique_lock lock(monitor_->mutex);
+    closed_ = true;
+    monitor_->cv.notify_all();
+  }
+
+  std::size_t size() const {
+    std::unique_lock lock(monitor_->mutex);
+    return items_.size();
+  }
+
+  bool closed() const {
+    std::unique_lock lock(monitor_->mutex);
+    return closed_;
+  }
+
+  // -- Locked protocol (caller holds monitor().mutex) ---------------------
+
+  bool empty_locked() const noexcept { return items_.empty(); }
+  std::size_t size_locked() const noexcept { return items_.size(); }
+  bool full_locked() const noexcept { return items_.size() >= capacity_; }
+  bool closed_locked() const noexcept { return closed_; }
+  void close_locked() noexcept { closed_ = true; }
+
+  void push_locked(T&& v) { items_.push_back(std::move(v)); }
+
+  /// Front element; queue must be non-empty.
+  T& front_locked() noexcept { return items_.front(); }
+  void pop_front_locked() noexcept { items_.pop_front(); }
+
+ private:
+  Monitor owned_monitor_;
+  Monitor* monitor_;
+  std::size_t capacity_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace radix::serve

@@ -1,0 +1,126 @@
+#include "serve/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace radix::serve {
+
+double Log2Histogram::upper_bound(int k) const noexcept {
+  return base_ * std::ldexp(1.0, k);  // base * 2^k
+}
+
+void Log2Histogram::record(double value) noexcept {
+  if (value < 0.0 || std::isnan(value)) value = 0.0;
+  int k = 0;
+  if (value > base_) {
+    // Smallest k with base * 2^k >= value.
+    k = static_cast<int>(std::ceil(std::log2(value / base_)));
+    k = std::clamp(k, 0, kBuckets - 1);
+  }
+  ++counts_[static_cast<std::size_t>(k)];
+  ++count_;
+  sum_ += value;
+  max_ = std::max(max_, value);
+}
+
+double Log2Histogram::percentile(double p) const noexcept {
+  if (count_ == 0) return 0.0;
+  p = std::clamp(p, 0.0, 1.0);
+  const double rank = p * static_cast<double>(count_);
+  std::uint64_t seen = 0;
+  for (int k = 0; k < kBuckets; ++k) {
+    seen += counts_[static_cast<std::size_t>(k)];
+    if (static_cast<double>(seen) >= rank) {
+      return std::min(upper_bound(k), max_);
+    }
+  }
+  return max_;
+}
+
+std::vector<std::pair<double, std::uint64_t>> Log2Histogram::buckets() const {
+  std::vector<std::pair<double, std::uint64_t>> out;
+  for (int k = 0; k < kBuckets; ++k) {
+    const std::uint64_t c = counts_[static_cast<std::size_t>(k)];
+    if (c != 0) out.emplace_back(upper_bound(k), c);
+  }
+  return out;
+}
+
+void StatsCollector::record_batch(index_t rows, std::uint64_t edges,
+                                  double forward_seconds) {
+  std::scoped_lock lock(mutex_);
+  ++batches_;
+  rows_ += rows;
+  edges_ += edges;
+  busy_seconds_ += forward_seconds;
+  batch_rows_.record(static_cast<double>(rows));
+}
+
+void StatsCollector::record_request(double queue_seconds,
+                                    double total_seconds, bool error) {
+  std::scoped_lock lock(mutex_);
+  ++requests_;
+  if (error) ++errors_;
+  queue_wait_.record(queue_seconds);
+  e2e_.record(total_seconds);
+}
+
+ServeStats StatsCollector::snapshot() const {
+  std::scoped_lock lock(mutex_);
+  ServeStats s;
+  s.requests = requests_;
+  s.rows = rows_;
+  s.batches = batches_;
+  s.edges = edges_;
+  s.errors = errors_;
+  s.busy_seconds = busy_seconds_;
+  s.edges_per_busy_second =
+      busy_seconds_ > 0.0 ? static_cast<double>(edges_) / busy_seconds_ : 0.0;
+  s.mean_batch_rows = batch_rows_.mean();
+  s.queue_wait_p50 = queue_wait_.percentile(0.50);
+  s.queue_wait_p95 = queue_wait_.percentile(0.95);
+  s.queue_wait_p99 = queue_wait_.percentile(0.99);
+  s.e2e_p50 = e2e_.percentile(0.50);
+  s.e2e_p95 = e2e_.percentile(0.95);
+  s.e2e_p99 = e2e_.percentile(0.99);
+  s.e2e_max = e2e_.max();
+  s.batch_rows_histogram = batch_rows_.buckets();
+  return s;
+}
+
+std::string to_string(const ServeStats& s) {
+  char line[192];
+  std::string out;
+  std::snprintf(line, sizeof(line),
+                "requests %llu (errors %llu), rows %llu, batches %llu, "
+                "mean batch %.1f rows\n",
+                static_cast<unsigned long long>(s.requests),
+                static_cast<unsigned long long>(s.errors),
+                static_cast<unsigned long long>(s.rows),
+                static_cast<unsigned long long>(s.batches),
+                s.mean_batch_rows);
+  out += line;
+  std::snprintf(line, sizeof(line),
+                "edges %llu in %.3fs busy -> %.3e edges/s\n",
+                static_cast<unsigned long long>(s.edges), s.busy_seconds,
+                s.edges_per_busy_second);
+  out += line;
+  std::snprintf(line, sizeof(line),
+                "queue wait p50/p95/p99: %.0f/%.0f/%.0f us; "
+                "e2e p50/p95/p99/max: %.0f/%.0f/%.0f/%.0f us\n",
+                s.queue_wait_p50 * 1e6, s.queue_wait_p95 * 1e6,
+                s.queue_wait_p99 * 1e6, s.e2e_p50 * 1e6, s.e2e_p95 * 1e6,
+                s.e2e_p99 * 1e6, s.e2e_max * 1e6);
+  out += line;
+  out += "batch rows histogram (<=bound: count):";
+  for (const auto& [bound, count] : s.batch_rows_histogram) {
+    std::snprintf(line, sizeof(line), " <=%g:%llu", bound,
+                  static_cast<unsigned long long>(count));
+    out += line;
+  }
+  out += '\n';
+  return out;
+}
+
+}  // namespace radix::serve

@@ -1,0 +1,114 @@
+// Stats surface of the serving engine.
+//
+// Per model the engine tracks the Graph-Challenge throughput metric
+// (edges/second over worker busy time), how well the micro-batcher is
+// coalescing (a power-of-two batch-row histogram), and two latency
+// distributions: queue wait (enqueue -> claimed by a worker, i.e. the
+// cost of batching) and end-to-end (enqueue -> completion delivered).
+//
+// Latencies are recorded into fixed log-2 bucket histograms, so
+// recording is O(1), allocation-free and bounded-memory regardless of
+// traffic; percentile queries return the winning bucket's upper bound
+// (clipped to the observed max), i.e. they are conservative to the
+// bucket resolution (~2x at microsecond scale -- ample for "is p99 one
+// batch delay or ten").  Recording is serialized
+// by a per-collector mutex; the engine records once per *batch* plus
+// once per request, which is noise next to a fused forward pass.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sparse/types.hpp"
+
+namespace radix::serve {
+
+/// Fixed-size log-2 histogram over positive values (seconds, rows, ...).
+/// Bucket k counts values in (base * 2^(k-1), base * 2^k]; values at or
+/// below `base` land in bucket 0, values beyond the last bound in the
+/// final bucket.
+class Log2Histogram {
+ public:
+  /// `base` is the upper bound of bucket 0 (e.g. 1e-6 for latencies in
+  /// seconds: sub-microsecond is "bucket 0").
+  explicit Log2Histogram(double base = 1e-6) : base_(base) {}
+
+  void record(double value) noexcept;
+
+  std::uint64_t count() const noexcept { return count_; }
+  double max() const noexcept { return max_; }
+  double sum() const noexcept { return sum_; }
+  double mean() const noexcept { return count_ ? sum_ / count_ : 0.0; }
+
+  /// Approximate p-quantile (p in [0,1]): upper bound of the bucket
+  /// holding the rank-p sample, clipped to the observed max.  0 when
+  /// empty.
+  double percentile(double p) const noexcept;
+
+  /// (upper_bound, count) per non-empty bucket, ascending.
+  std::vector<std::pair<double, std::uint64_t>> buckets() const;
+
+ private:
+  static constexpr int kBuckets = 48;  // base .. base * 2^47
+
+  double upper_bound(int k) const noexcept;
+
+  double base_;
+  std::array<std::uint64_t, kBuckets> counts_{};
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Immutable snapshot of one model's serving counters.
+struct ServeStats {
+  std::uint64_t requests = 0;  ///< completed requests
+  std::uint64_t rows = 0;      ///< input rows served
+  std::uint64_t batches = 0;   ///< coalesced batches executed
+  std::uint64_t edges = 0;     ///< batch rows x model nnz, summed
+  std::uint64_t errors = 0;    ///< requests completed with an exception
+
+  double busy_seconds = 0.0;          ///< summed forward wall time
+  double edges_per_busy_second = 0.0; ///< challenge metric over busy time
+  double mean_batch_rows = 0.0;       ///< coalescing quality
+
+  double queue_wait_p50 = 0.0, queue_wait_p95 = 0.0, queue_wait_p99 = 0.0;
+  double e2e_p50 = 0.0, e2e_p95 = 0.0, e2e_p99 = 0.0;
+  double e2e_max = 0.0;  // all latencies in seconds
+
+  /// (upper_bound_rows, batches) per non-empty batch-size bucket.
+  std::vector<std::pair<double, std::uint64_t>> batch_rows_histogram;
+};
+
+/// Human-readable multi-line rendering (examples / debugging).
+std::string to_string(const ServeStats& s);
+
+/// Thread-safe accumulator behind one model's ServeStats.
+class StatsCollector {
+ public:
+  /// One coalesced batch ran: `rows` input rows over `edges` =
+  /// rows x nnz weighted edges in `forward_seconds` of worker time.
+  void record_batch(index_t rows, std::uint64_t edges,
+                    double forward_seconds);
+
+  /// One request completed (possibly with an error).
+  void record_request(double queue_seconds, double total_seconds,
+                      bool error);
+
+  ServeStats snapshot() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::uint64_t requests_ = 0, batches_ = 0, edges_ = 0, errors_ = 0;
+  std::uint64_t rows_ = 0;
+  double busy_seconds_ = 0.0;
+  Log2Histogram batch_rows_{1.0};   // bucket 0 = single-row batches
+  Log2Histogram queue_wait_{1e-6};  // seconds
+  Log2Histogram e2e_{1e-6};         // seconds
+};
+
+}  // namespace radix::serve

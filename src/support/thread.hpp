@@ -1,0 +1,74 @@
+// std::thread-level utilities for the serving layer.
+//
+// The kernel substrate parallelizes *inside* one call via OpenMP
+// (support/parallel.hpp); the serving layer instead runs long-lived
+// std::threads that block on condition variables between batches.  These
+// helpers keep that layer dependency-free and uniform:
+//
+//   * Monitor      -- a mutex + condition variable pair.  Several
+//                     producer/consumer structures can share one Monitor
+//                     so a consumer can wait for "any of them has work"
+//                     with a single wait (see serve/queue.hpp's locked
+//                     protocol).
+//   * ThreadGroup  -- an RAII bundle of joinable threads: join_all() is
+//                     idempotent and the destructor always joins, so a
+//                     throwing constructor or early return can never leak
+//                     a running thread.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace radix {
+
+/// A mutex + condition variable pair meant to be *shared* between
+/// cooperating structures (e.g. all per-model request queues of one
+/// serving engine), so one consumer wait covers all of them.  All state
+/// guarded by `mutex` must only be touched with it held; wake-ups use
+/// notify_all because waiters wait for heterogeneous conditions
+/// (space / items / close) on the same variable.
+struct Monitor {
+  std::mutex mutex;
+  std::condition_variable cv;
+};
+
+/// RAII group of worker threads.  Threads are joined (never detached) on
+/// destruction; the owner is responsible for making its thread functions
+/// return (e.g. by closing the queue they consume).
+class ThreadGroup {
+ public:
+  ThreadGroup() = default;
+  ThreadGroup(const ThreadGroup&) = delete;
+  ThreadGroup& operator=(const ThreadGroup&) = delete;
+  ~ThreadGroup() { join_all(); }
+
+  template <typename Fn, typename... Args>
+  void spawn(Fn&& fn, Args&&... args) {
+    threads_.emplace_back(std::forward<Fn>(fn), std::forward<Args>(args)...);
+  }
+
+  std::size_t size() const noexcept { return threads_.size(); }
+
+  /// Join every thread that is still joinable; safe to call repeatedly
+  /// and from the destructor.
+  void join_all() {
+    for (auto& t : threads_) {
+      if (t.joinable()) t.join();
+    }
+  }
+
+ private:
+  std::vector<std::thread> threads_;
+};
+
+/// Worker-count default for thread pools: the hardware concurrency, with
+/// a floor of 1 (hardware_concurrency() may legally return 0).
+inline unsigned default_worker_count() noexcept {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1u : n;
+}
+
+}  // namespace radix

@@ -329,6 +329,53 @@ TEST(SparseDnnFused, WorkspaceReuseIsZeroAllocation) {
   expect_bit_exact(y2, first, "steady-state reuse");
 }
 
+TEST(SparseDnnFused, PrewarmMakesFirstForwardZeroAllocation) {
+  // Without prewarm, the first forward pays one-time costs: panel
+  // sizing, the dispatch-trace reserve, and (on the gather arm) the
+  // lazily built transposed layers.  prewarm(WorkspaceHint) pays all of
+  // them up front, so even the *first* forward through the hinted
+  // workspace is allocation-free -- the property the serving engine
+  // relies on at model registration.
+  Rng rng(25);
+  const auto net = gc::network(1024, 4, &rng);
+  infer::SparseDnn dnn(net.layers, net.bias, gc::kClamp);
+  Rng irng(4);
+  const index_t batch = 8;
+  const auto x = gc::synthetic_input(batch, 1024, 0.4, irng);
+
+  infer::InferenceWorkspace ws;
+  // Force the gather arm: every layer must find its transpose already
+  // cached (auto dispatch would also be covered, but this pins the
+  // worst case).
+  ws.force_kernel(infer::Kernel::kGather);
+  dnn.prewarm({.max_batch = batch, .workspace = &ws});
+  EXPECT_EQ(ws.capacity(), static_cast<std::size_t>(batch) * 1024);
+
+  g_alloc_count.store(0);
+  g_count_allocs.store(true);
+  const auto y1 = dnn.forward(x.data(), batch, ws);
+  g_count_allocs.store(false);
+  EXPECT_EQ(g_alloc_count.load(), 0u)
+      << "first forward after prewarm must not allocate";
+
+  // Bit-exact against an un-prewarmed engine: prewarm changes when the
+  // caches are built, never what the pass computes.
+  infer::SparseDnn cold(net.layers, net.bias, gc::kClamp);
+  infer::InferenceWorkspace cold_ws;
+  cold_ws.force_kernel(infer::Kernel::kGather);
+  const auto y2 = cold.forward(x.data(), batch, cold_ws);
+  expect_bit_exact(y1, std::vector<float>(y2.begin(), y2.end()), "prewarm");
+
+  // Idempotent, and a null-workspace hint (transposes only) is allowed.
+  dnn.prewarm({.max_batch = batch, .workspace = &ws});
+  dnn.prewarm();
+  g_alloc_count.store(0);
+  g_count_allocs.store(true);
+  (void)dnn.forward(x.data(), batch, ws);
+  g_count_allocs.store(false);
+  EXPECT_EQ(g_alloc_count.load(), 0u);
+}
+
 TEST(SparseDnnFused, WorkspaceGrowsMonotonically) {
   Rng rng(23);
   std::vector<Csr<float>> layers = {random_layer(8, 32, 0.5, rng)};

@@ -1,0 +1,318 @@
+// End-to-end tests of the serving engine: batched results must be
+// bit-identical to direct SparseDnn::forward of the same rows (batch
+// rows are independent under the challenge rule, so coalescing must not
+// change values), across the future, owning-future and zero-copy
+// callback APIs, multiple models, graceful shutdown drain, and the
+// stats surface.
+#include "serve/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <future>
+#include <memory>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "radixnet/graph_challenge.hpp"
+#include "serve/stats.hpp"
+#include "support/random.hpp"
+
+namespace radix::serve {
+namespace {
+
+using namespace std::chrono_literals;
+
+struct TestModel {
+  std::shared_ptr<infer::SparseDnn> dnn;
+  index_t width = 0;
+};
+
+TestModel make_model(index_t neurons, std::size_t layers, std::uint64_t seed) {
+  Rng rng(seed);
+  const auto net = gc::network(neurons, layers, &rng);
+  TestModel m;
+  m.dnn = std::make_shared<infer::SparseDnn>(net.layers, net.bias, gc::kClamp);
+  m.width = neurons;
+  return m;
+}
+
+/// Direct (unbatched) forward of `rows` rows -- the ground truth the
+/// engine must match bit-exactly however it coalesces.
+std::vector<float> direct_forward(const infer::SparseDnn& dnn,
+                                  const std::vector<float>& input,
+                                  index_t rows) {
+  infer::InferenceWorkspace ws;
+  const auto y = dnn.forward(input.data(), rows, ws);
+  return {y.begin(), y.end()};
+}
+
+TEST(ServeEngine, SingleRequestMatchesDirectForward) {
+  const auto m = make_model(1024, 4, 1);
+  Engine engine({.workers = 1});
+  const auto id = engine.add_model(m.dnn, "gc-1024");
+  EXPECT_EQ(engine.model_name(id), "gc-1024");
+
+  Rng irng(3);
+  const auto x = gc::synthetic_input(5, m.width, 0.4, irng);
+  auto fut = engine.submit(id, x.data(), 5);
+  const auto got = fut.get();
+  const auto want = direct_forward(*m.dnn, x, 5);
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    ASSERT_EQ(got[i], want[i]) << "at " << i;
+  }
+}
+
+TEST(ServeEngine, ManyConcurrentRequestsAreBitExactAndCoalesce) {
+  const auto m = make_model(1024, 4, 2);
+  Engine engine({.workers = 1,
+                 .max_batch_rows = 16,
+                 .max_delay = 5ms,
+                 .queue_capacity = 256});
+  const auto id = engine.add_model(m.dnn);
+
+  // Per-request expected outputs computed row-by-row up front.
+  constexpr index_t kRequests = 48;
+  Rng irng(7);
+  std::vector<std::vector<float>> inputs;
+  std::vector<std::vector<float>> want;
+  for (index_t i = 0; i < kRequests; ++i) {
+    const index_t rows = 1 + i % 3;
+    inputs.push_back(gc::synthetic_input(rows, m.width, 0.4, irng));
+    want.push_back(direct_forward(*m.dnn, inputs.back(), rows));
+  }
+
+  std::vector<std::future<std::vector<float>>> futures;
+  for (index_t i = 0; i < kRequests; ++i) {
+    futures.push_back(
+        engine.submit(id, inputs[i].data(), 1 + i % 3));
+  }
+  for (index_t i = 0; i < kRequests; ++i) {
+    const auto got = futures[i].get();
+    ASSERT_EQ(got.size(), want[i].size()) << "request " << i;
+    for (std::size_t j = 0; j < got.size(); ++j) {
+      ASSERT_EQ(got[j], want[i][j]) << "request " << i << " at " << j;
+    }
+  }
+
+  const ServeStats s = engine.stats(id);
+  EXPECT_EQ(s.requests, kRequests);
+  EXPECT_EQ(s.errors, 0u);
+  EXPECT_EQ(s.rows, 48u + 48u / 3 * (1 + 2));  // sum of 1,2,3 pattern
+  EXPECT_GE(s.batches, 1u);
+  EXPECT_LT(s.batches, s.requests)
+      << "with a 5ms window and one worker, some coalescing must happen";
+  EXPECT_GT(s.edges_per_busy_second, 0.0);
+  EXPECT_GT(s.mean_batch_rows, 1.0);
+  std::uint64_t hist_total = 0;
+  for (const auto& [bound, count] : s.batch_rows_histogram) {
+    hist_total += count;
+  }
+  EXPECT_EQ(hist_total, s.batches);
+}
+
+TEST(ServeEngine, OwningSubmitAndWidthValidation) {
+  const auto m = make_model(1024, 2, 3);
+  Engine engine({.workers = 1});
+  const auto id = engine.add_model(m.dnn);
+
+  Rng irng(9);
+  auto x = gc::synthetic_input(2, m.width, 0.3, irng);
+  const auto want = direct_forward(*m.dnn, x, 2);
+  auto fut = engine.submit(id, std::move(x), 2);  // engine owns the buffer
+  const auto got = fut.get();
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < want.size(); ++i) ASSERT_EQ(got[i], want[i]);
+
+  EXPECT_THROW(
+      (void)engine.submit(id, std::vector<float>(17, 0.0f), 2),
+      DimensionError)
+      << "owning submit must validate rows * input_width";
+}
+
+TEST(ServeEngine, CallbackApiDeliversSpanAndTiming) {
+  const auto m = make_model(1024, 2, 4);
+  Engine engine({.workers = 1, .max_delay = 0us});
+  const auto id = engine.add_model(m.dnn);
+
+  Rng irng(11);
+  const auto x = gc::synthetic_input(3, m.width, 0.4, irng);
+  const auto want = direct_forward(*m.dnn, x, 3);
+
+  std::promise<void> done_promise;
+  std::vector<float> got;
+  RequestTiming timing;
+  engine.submit(id, x.data(), 3,
+                [&](std::span<const float> y, const RequestTiming& t,
+                    std::exception_ptr err) {
+                  EXPECT_EQ(err, nullptr);
+                  got.assign(y.begin(), y.end());
+                  timing = t;
+                  done_promise.set_value();
+                });
+  done_promise.get_future().wait();
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < want.size(); ++i) ASSERT_EQ(got[i], want[i]);
+  EXPECT_GE(timing.batch_rows, 3u);
+  EXPECT_GE(timing.total_seconds, timing.queue_seconds);
+}
+
+TEST(ServeEngine, ZeroRowSubmitCompletesImmediately) {
+  const auto m = make_model(1024, 2, 5);
+  Engine engine({.workers = 1});
+  const auto id = engine.add_model(m.dnn);
+  auto fut = engine.submit(id, nullptr, 0);
+  EXPECT_TRUE(fut.get().empty());
+}
+
+TEST(ServeEngine, MultiModelRoutingAndStatsIsolation) {
+  const auto m0 = make_model(1024, 4, 6);
+  const auto m1 = make_model(4096, 3, 7);
+  Engine engine({.workers = 2, .max_delay = 1ms});
+  const auto id0 = engine.add_model(m0.dnn, "small");
+  const auto id1 = engine.add_model(m1.dnn, "wide");
+  EXPECT_EQ(engine.num_models(), 2u);
+
+  Rng irng(13);
+  const auto x0 = gc::synthetic_input(2, m0.width, 0.4, irng);
+  const auto x1 = gc::synthetic_input(1, m1.width, 0.4, irng);
+  const auto want0 = direct_forward(*m0.dnn, x0, 2);
+  const auto want1 = direct_forward(*m1.dnn, x1, 1);
+
+  std::vector<std::future<std::vector<float>>> f0, f1;
+  for (int i = 0; i < 6; ++i) {
+    f0.push_back(engine.submit(id0, x0.data(), 2));
+    f1.push_back(engine.submit(id1, x1.data(), 1));
+  }
+  for (auto& f : f0) {
+    const auto got = f.get();
+    ASSERT_EQ(got.size(), want0.size());
+    for (std::size_t i = 0; i < got.size(); ++i) ASSERT_EQ(got[i], want0[i]);
+  }
+  for (auto& f : f1) {
+    const auto got = f.get();
+    ASSERT_EQ(got.size(), want1.size());
+    for (std::size_t i = 0; i < got.size(); ++i) ASSERT_EQ(got[i], want1[i]);
+  }
+  EXPECT_EQ(engine.stats(id0).requests, 6u);
+  EXPECT_EQ(engine.stats(id1).requests, 6u);
+  EXPECT_EQ(engine.stats(id0).rows, 12u);
+  EXPECT_EQ(engine.stats(id1).rows, 6u);
+}
+
+TEST(ServeEngine, ShutdownDrainsEveryAcceptedRequest) {
+  const auto m = make_model(1024, 4, 8);
+  std::vector<std::future<std::vector<float>>> futures;
+  std::vector<float> x;
+  std::vector<float> want;
+  {
+    Engine engine({.workers = 1, .max_delay = 20ms});
+    const auto id = engine.add_model(m.dnn);
+    Rng irng(17);
+    x = gc::synthetic_input(1, m.width, 0.4, irng);
+    want = direct_forward(*m.dnn, x, 1);
+    for (int i = 0; i < 32; ++i) {
+      futures.push_back(engine.submit(id, x.data(), 1));
+    }
+    engine.shutdown();  // must serve all 32 before returning
+    EXPECT_FALSE(engine.accepting());
+    EXPECT_THROW((void)engine.submit(id, x.data(), 1), Error)
+        << "submit after shutdown must throw";
+    EXPECT_EQ(engine.stats(id).requests, 32u);
+  }  // destructor: second shutdown must be a no-op
+  for (auto& f : futures) {
+    const auto got = f.get();  // no broken promises
+    ASSERT_EQ(got.size(), want.size());
+    for (std::size_t i = 0; i < got.size(); ++i) ASSERT_EQ(got[i], want[i]);
+  }
+}
+
+TEST(ServeEngine, ThrowingCallbackDoesNotKillWorkers) {
+  const auto m = make_model(1024, 2, 10);
+  Engine engine({.workers = 1, .max_delay = 0us});
+  const auto id = engine.add_model(m.dnn);
+  Rng irng(23);
+  const auto x = gc::synthetic_input(1, m.width, 0.4, irng);
+
+  std::promise<void> threw;
+  engine.submit(id, x.data(), 1,
+                [&](std::span<const float>, const RequestTiming&,
+                    std::exception_ptr) {
+                  threw.set_value();
+                  throw std::runtime_error("client bug");
+                });
+  threw.get_future().wait();
+  // The worker must have survived the escaping exception and still
+  // serve subsequent requests.
+  auto fut = engine.submit(id, x.data(), 1);
+  EXPECT_EQ(fut.get(), direct_forward(*m.dnn, x, 1));
+}
+
+TEST(ServeEngine, ConcurrentAddModelKeepsIdsConsistent) {
+  // add_model is documented safe while traffic is served: registry and
+  // batcher ids must stay in lockstep under concurrent registration,
+  // and every id must route to its own model.
+  std::vector<TestModel> models;
+  for (std::uint64_t s = 0; s < 4; ++s) models.push_back(make_model(1024, 2, 20 + s));
+
+  Engine engine({.workers = 2, .max_delay = 0us});
+  std::vector<Engine::ModelId> ids(4);
+  {
+    std::vector<std::thread> registrars;
+    for (int t = 0; t < 4; ++t) {
+      registrars.emplace_back([&, t] {
+        ids[static_cast<std::size_t>(t)] =
+            engine.add_model(models[static_cast<std::size_t>(t)].dnn);
+      });
+    }
+    for (auto& th : registrars) th.join();
+  }
+  EXPECT_EQ(engine.num_models(), 4u);
+  Rng irng(29);
+  const auto x = gc::synthetic_input(1, 1024, 0.4, irng);
+  for (int t = 0; t < 4; ++t) {
+    const auto id = ids[static_cast<std::size_t>(t)];
+    auto fut = engine.submit(id, x.data(), 1);
+    EXPECT_EQ(fut.get(),
+              direct_forward(*models[static_cast<std::size_t>(t)].dnn, x, 1))
+        << "model id " << id << " routed to the wrong model";
+  }
+}
+
+TEST(ServeEngine, StatsPercentilesAreOrdered) {
+  const auto m = make_model(1024, 2, 9);
+  Engine engine({.workers = 1, .max_delay = 1ms});
+  const auto id = engine.add_model(m.dnn);
+  Rng irng(19);
+  const auto x = gc::synthetic_input(1, m.width, 0.4, irng);
+  std::vector<std::future<std::vector<float>>> futures;
+  for (int i = 0; i < 20; ++i) futures.push_back(engine.submit(id, x.data(), 1));
+  for (auto& f : futures) (void)f.get();
+
+  const ServeStats s = engine.stats(id);
+  EXPECT_GT(s.e2e_p50, 0.0);
+  EXPECT_LE(s.queue_wait_p50, s.queue_wait_p95);
+  EXPECT_LE(s.queue_wait_p95, s.queue_wait_p99);
+  EXPECT_LE(s.e2e_p50, s.e2e_p95);
+  EXPECT_LE(s.e2e_p95, s.e2e_p99);
+  EXPECT_LE(s.e2e_p99, std::max(s.e2e_max, s.e2e_p99));
+  EXPECT_FALSE(to_string(s).empty());
+}
+
+TEST(ServeLog2Histogram, PercentileApproximation) {
+  Log2Histogram h(1e-6);
+  EXPECT_EQ(h.percentile(0.99), 0.0);
+  for (int i = 0; i < 99; ++i) h.record(10e-6);  // ~10us
+  h.record(10e-3);                               // one 10ms outlier
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_NEAR(h.mean(), 10e-6 * 0.99 + 10e-3 * 0.01, 1e-9);
+  // p50 lands in the 10us bucket (bound 16us); p995+ sees the outlier.
+  EXPECT_LE(h.percentile(0.50), 16e-6);
+  EXPECT_GT(h.percentile(0.999), 1e-3);
+  EXPECT_DOUBLE_EQ(h.max(), 10e-3);
+}
+
+}  // namespace
+}  // namespace radix::serve

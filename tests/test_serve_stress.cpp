@@ -1,0 +1,189 @@
+// Concurrency stress tests, sized to stay meaningful (and fast) under
+// ThreadSanitizer:
+//
+//   * many client threads hammering one Engine (two models, shared
+//     worker pool) -- every result must be bit-exact against a direct
+//     forward of the same rows, whatever batches the traffic coalesced
+//     into;
+//   * many threads driving one shared SparseDnn directly with
+//     per-thread workspaces (the documented concurrency contract of the
+//     fused path), racing the lazily built transpose cache on both
+//     dispatch arms.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "infer/sparse_dnn.hpp"
+#include "radixnet/graph_challenge.hpp"
+#include "serve/engine.hpp"
+#include "support/random.hpp"
+#include "support/thread.hpp"
+
+namespace radix {
+namespace {
+
+using namespace std::chrono_literals;
+
+std::shared_ptr<infer::SparseDnn> make_dnn(index_t neurons,
+                                           std::size_t layers,
+                                           std::uint64_t seed) {
+  Rng rng(seed);
+  const auto net = gc::network(neurons, layers, &rng);
+  return std::make_shared<infer::SparseDnn>(net.layers, net.bias, gc::kClamp);
+}
+
+std::vector<float> direct_forward(const infer::SparseDnn& dnn,
+                                  const float* input, index_t rows) {
+  infer::InferenceWorkspace ws;
+  const auto y = dnn.forward(input, rows, ws);
+  return {y.begin(), y.end()};
+}
+
+TEST(ServeStress, ManyClientsOneEngineBitExact) {
+  const auto dnn0 = make_dnn(1024, 4, 41);
+  const auto dnn1 = make_dnn(1024, 2, 42);
+
+  serve::Engine engine({.workers = 2,
+                        .max_batch_rows = 32,
+                        .max_delay = 500us,
+                        .queue_capacity = 64});
+  const auto id0 = engine.add_model(dnn0, "a");
+  const auto id1 = engine.add_model(dnn1, "b");
+
+  // A small pool of distinct request payloads with precomputed expected
+  // outputs; clients cycle through it.
+  constexpr index_t kPayloads = 6;
+  struct Payload {
+    std::vector<float> x;
+    index_t rows;
+    std::vector<float> want0, want1;
+  };
+  std::vector<Payload> payloads;
+  Rng irng(5);
+  for (index_t p = 0; p < kPayloads; ++p) {
+    Payload pl;
+    pl.rows = 1 + p % 3;
+    pl.x = gc::synthetic_input(pl.rows, 1024, 0.4, irng);
+    pl.want0 = direct_forward(*dnn0, pl.x.data(), pl.rows);
+    pl.want1 = direct_forward(*dnn1, pl.x.data(), pl.rows);
+    payloads.push_back(std::move(pl));
+  }
+
+  constexpr int kClients = 8;
+  constexpr int kRequestsPerClient = 25;
+  std::atomic<int> mismatches{0};
+  std::atomic<int> completed{0};
+  {
+    ThreadGroup clients;
+    for (int c = 0; c < kClients; ++c) {
+      clients.spawn([&, c] {
+        for (int i = 0; i < kRequestsPerClient; ++i) {
+          const Payload& pl =
+              payloads[static_cast<std::size_t>((c + i) % kPayloads)];
+          const bool to0 = (c + i) % 2 == 0;
+          auto fut = engine.submit(to0 ? id0 : id1, pl.x.data(), pl.rows);
+          const auto got = fut.get();
+          const auto& want = to0 ? pl.want0 : pl.want1;
+          if (got.size() != want.size()) {
+            ++mismatches;
+            continue;
+          }
+          for (std::size_t j = 0; j < want.size(); ++j) {
+            if (got[j] != want[j]) {
+              ++mismatches;
+              break;
+            }
+          }
+          ++completed;
+        }
+      });
+    }
+  }  // join
+  engine.shutdown();
+
+  EXPECT_EQ(mismatches.load(), 0);
+  EXPECT_EQ(completed.load(), kClients * kRequestsPerClient);
+  const auto s0 = engine.stats(id0);
+  const auto s1 = engine.stats(id1);
+  EXPECT_EQ(s0.requests + s1.requests,
+            static_cast<std::uint64_t>(kClients * kRequestsPerClient));
+  EXPECT_EQ(s0.errors + s1.errors, 0u);
+}
+
+TEST(ServeStress, SharedSparseDnnPerThreadWorkspaces) {
+  const auto dnn = make_dnn(1024, 4, 43);
+  Rng irng(6);
+  const index_t rows = 4;
+  const auto x = gc::synthetic_input(rows, 1024, 0.4, irng);
+  const auto want = direct_forward(*dnn, x.data(), rows);
+
+  constexpr int kThreads = 8;
+  constexpr int kIters = 30;
+  std::atomic<int> mismatches{0};
+  ThreadGroup threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.spawn([&, t] {
+      infer::InferenceWorkspace ws;
+      // Half the threads force the gather arm so the lazily built,
+      // mutex-guarded transpose cache is raced from the start.
+      if (t % 2 == 0) ws.force_kernel(infer::Kernel::kGather);
+      for (int i = 0; i < kIters; ++i) {
+        const auto y = dnn->forward(x.data(), rows, ws);
+        if (y.size() != want.size()) {
+          ++mismatches;
+          continue;
+        }
+        for (std::size_t j = 0; j < want.size(); ++j) {
+          if (y[j] != want[j]) {
+            ++mismatches;
+            break;
+          }
+        }
+      }
+    });
+  }
+  threads.join_all();
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
+TEST(ServeStress, SubmittersRaceShutdown) {
+  // Submitters race close(): every submit must either complete its
+  // future or throw the shutdown error -- never hang, never drop.
+  const auto dnn = make_dnn(1024, 2, 44);
+  serve::Engine engine({.workers = 2, .max_delay = 200us});
+  const auto id = engine.add_model(dnn);
+  Rng irng(8);
+  const auto x = gc::synthetic_input(1, 1024, 0.4, irng);
+
+  std::atomic<int> served{0};
+  std::atomic<int> rejected{0};
+  {
+    ThreadGroup clients;
+    for (int c = 0; c < 4; ++c) {
+      clients.spawn([&] {
+        for (int i = 0; i < 40; ++i) {
+          try {
+            auto fut = engine.submit(id, x.data(), 1);
+            (void)fut.get();
+            ++served;
+          } catch (const Error&) {
+            ++rejected;
+          }
+        }
+      });
+    }
+    std::this_thread::sleep_for(2ms);
+    engine.shutdown();
+  }
+  EXPECT_EQ(served.load() + rejected.load(), 4 * 40);
+  EXPECT_EQ(engine.stats(id).requests,
+            static_cast<std::uint64_t>(served.load()));
+}
+
+}  // namespace
+}  // namespace radix
