@@ -21,6 +21,20 @@
 //       latency, and the engine's p95 e2e / mean batch rows are
 //       reported as counters.
 //
+// plus the PR-4 mixed-priority QoS sweep (one engine, an interactive-
+// class and a batch-class model with per-class max_delay/max_batch_rows
+// overrides):
+//
+//   BM_ServeInteractiveSolo -- the interactive client alone: its
+//       solo-load e2e p99 is the yardstick.
+//   BM_ServeBatchOnly       -- batch-class clients only: the single-
+//       class serving throughput the mixed aggregate is graded against.
+//   BM_ServeMixedQoS        -- thread 0 is the interactive client, all
+//       other threads are closed-loop batch clients saturating the
+//       worker.  QoS acceptance (recorded in BENCH_pr4.json): the
+//       interactive class's p99 stays within ~2x its solo p99 while
+//       aggregate edges/s stays >= 0.9x BM_ServeBatchOnly.
+//
 // items_per_second is the challenge metric (edges/s = rows x total nnz
 // per wall second); scripts/check_perf_smoke.py sanity-checks this
 // bench's output shape in CI.
@@ -147,6 +161,92 @@ void BM_ServeLatencyVsDelay(benchmark::State& state) {
   state.counters["e2e_p95_us"] = benchmark::Counter(s.e2e_p95 * 1e6);
 }
 
+// --- Mixed-priority QoS sweep -------------------------------------------
+
+// Both QoS classes run 4-row requests against an 8-row budget: the
+// batch class keeps a generous coalescing window while the interactive
+// class's small window and budget bound how long a worker can be
+// head-of-line blocked in front of it.
+constexpr index_t kQosRows = 4;
+constexpr index_t kQosBudget = 8;
+
+std::unique_ptr<serve::Engine> g_qos_engine;
+serve::Engine::ModelId g_qos_inter = 0;
+serve::Engine::ModelId g_qos_batch = 0;
+
+void SetupQosEngine(const benchmark::State&) {
+  serve::EngineOptions opts;
+  opts.workers = 1;  // measure scheduling policy, not core count
+  opts.max_batch_rows = kQosBudget;
+  opts.max_delay = std::chrono::microseconds(200);
+  opts.queue_capacity = 4096;
+  opts.class_policy[static_cast<std::size_t>(
+      serve::Priority::kInteractive)] = {
+      .max_delay = std::chrono::microseconds(50),
+      .max_batch_rows = kQosBudget};
+  g_qos_engine = std::make_unique<serve::Engine>(opts);
+  g_qos_inter = g_qos_engine->add_model(
+      make_dnn(), "interactive",
+      {.priority = serve::Priority::kInteractive, .weight = 4});
+  g_qos_batch = g_qos_engine->add_model(
+      make_dnn(), "batch", {.priority = serve::Priority::kBatch});
+  (void)cached_input(kQosRows);
+}
+
+void TeardownQosEngine(const benchmark::State&) {
+  g_qos_engine->shutdown();
+  g_qos_engine.reset();
+}
+
+void RunQosClient(benchmark::State& state, serve::Engine::ModelId id) {
+  const auto& x = cached_input(kQosRows);
+  const std::uint64_t nnz = g_qos_engine->model(id).total_nnz();
+  for (auto _ : state) {
+    auto fut = g_qos_engine->submit(id, x.data(), kQosRows);
+    benchmark::DoNotOptimize(fut.get().data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          kQosRows * static_cast<std::int64_t>(nnz));
+}
+
+// The interactive client alone: its e2e p99 under solo load is the
+// yardstick the mixed-load p99 is compared against.
+void BM_ServeInteractiveSolo(benchmark::State& state) {
+  RunQosClient(state, g_qos_inter);
+  const auto s = g_qos_engine->class_stats(serve::Priority::kInteractive);
+  state.counters["interactive_p99_us"] = benchmark::Counter(s.e2e_p99 * 1e6);
+  state.counters["interactive_p50_us"] = benchmark::Counter(s.e2e_p50 * 1e6);
+}
+
+// Batch-class clients only: the single-class serving throughput.
+void BM_ServeBatchOnly(benchmark::State& state) {
+  RunQosClient(state, g_qos_batch);
+  if (state.thread_index() == 0) {
+    const auto s = g_qos_engine->class_stats(serve::Priority::kBatch);
+    state.counters["batch_p99_us"] = benchmark::Counter(s.e2e_p99 * 1e6);
+    state.counters["batch_mean_rows"] = benchmark::Counter(s.mean_batch_rows);
+  }
+}
+
+// Thread 0 is the interactive client; every other thread saturates the
+// worker with batch-class traffic.
+void BM_ServeMixedQoS(benchmark::State& state) {
+  const bool interactive = state.thread_index() == 0;
+  RunQosClient(state, interactive ? g_qos_inter : g_qos_batch);
+  if (interactive) {
+    const auto si =
+        g_qos_engine->class_stats(serve::Priority::kInteractive);
+    const auto sb = g_qos_engine->class_stats(serve::Priority::kBatch);
+    state.counters["interactive_p99_us"] =
+        benchmark::Counter(si.e2e_p99 * 1e6);
+    state.counters["interactive_p50_us"] =
+        benchmark::Counter(si.e2e_p50 * 1e6);
+    state.counters["batch_p99_us"] = benchmark::Counter(sb.e2e_p99 * 1e6);
+    state.counters["batch_mean_rows"] =
+        benchmark::Counter(sb.mean_batch_rows);
+  }
+}
+
 BENCHMARK(BM_ServeDirect)
     ->Args({kMaxBatchRows, 0})
     ->Unit(benchmark::kMillisecond);
@@ -171,6 +271,28 @@ BENCHMARK(BM_ServeLatencyVsDelay)
     ->Teardown(TeardownEngine)
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
+
+BENCHMARK(BM_ServeInteractiveSolo)
+    ->Setup(SetupQosEngine)
+    ->Teardown(TeardownQosEngine)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+BENCHMARK(BM_ServeBatchOnly)
+    ->Setup(SetupQosEngine)
+    ->Teardown(TeardownQosEngine)
+    ->Threads(4)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime()
+    ->MeasureProcessCPUTime();
+
+BENCHMARK(BM_ServeMixedQoS)
+    ->Setup(SetupQosEngine)
+    ->Teardown(TeardownQosEngine)
+    ->Threads(4)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime()
+    ->MeasureProcessCPUTime();
 
 }  // namespace
 }  // namespace radix

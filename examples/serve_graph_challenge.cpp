@@ -1,14 +1,16 @@
-// Serving a Graph-Challenge network to concurrent clients.
+// Serving a Graph-Challenge network to concurrent clients with QoS.
 //
 // Demonstrates the in-process serving engine (radix::serve::Engine):
-// a RadiX-Net challenge preset is registered once (prewarmed), four
-// closed-loop client threads submit small asynchronous requests (1-4
-// rows each), the dynamic micro-batcher coalesces them into up-to-32-row
-// batches for the fused forward path, and the stats surface reports the
-// challenge edges/second plus batch-size and latency distributions.
-// Every response is verified bit-exact against a direct forward of the
-// same rows -- coalescing changes when work runs, never what it
-// computes.
+// one RadiX-Net challenge preset is registered twice on one engine --
+// as an interactive-class "chat" model (tiny coalescing window, high
+// weight) and as a background-class "bulk" model (big window, best
+// effort).  Interactive closed-loop clients submit small requests while
+// a bulk client pushes 4-row work; the QoS scheduler claims interactive
+// traffic first (with a starvation bound protecting the bulk class),
+// the micro-batcher coalesces within each class's row budget, and the
+// per-class stats surface shows the resulting split.  Every response is
+// verified bit-exact against a direct forward of the same rows --
+// scheduling changes when work runs, never what it computes.
 //
 // Runs in a few seconds; registered as a CTest smoke test.
 #include <atomic>
@@ -26,7 +28,7 @@
 using namespace radix;
 
 int main() {
-  std::printf("== Serving a Graph-Challenge RadiX-Net ==\n\n");
+  std::printf("== Serving a Graph-Challenge RadiX-Net with QoS ==\n\n");
 
   // The model: 1024 neurons x 12 layers, challenge weights and bias.
   Rng rng(42);
@@ -36,14 +38,26 @@ int main() {
   std::printf("model: 1024 neurons x 12 layers, %llu weighted edges\n",
               static_cast<unsigned long long>(dnn->total_nnz()));
 
-  serve::Engine engine({.workers = 2,
-                        .max_batch_rows = 32,
-                        .max_delay = std::chrono::microseconds(500),
-                        .queue_capacity = 256});
-  const auto model = engine.add_model(dnn, "gc-1024x12");
-  std::printf("engine: %u workers, 32-row batches, 500us coalescing "
-              "window\n\n",
-              engine.num_workers());
+  serve::EngineOptions opts;
+  opts.workers = 2;
+  opts.max_batch_rows = 32;
+  opts.max_delay = std::chrono::microseconds(500);
+  opts.queue_capacity = 256;
+  opts.starvation_bound = 8;
+  opts.class_policy[static_cast<std::size_t>(
+      serve::Priority::kInteractive)] = {
+      .max_delay = std::chrono::microseconds(50), .max_batch_rows = 8};
+  serve::Engine engine(opts);
+  const auto chat = engine.add_model(
+      dnn, "chat", {.priority = serve::Priority::kInteractive,
+                    .weight = 4});
+  const auto bulk = engine.add_model(
+      dnn, "bulk", {.priority = serve::Priority::kBackground});
+  std::printf("engine: %u workers; chat=%s (50us window, 8-row budget), "
+              "bulk=%s (500us window, 32-row budget)\n\n",
+              engine.num_workers(),
+              serve::to_string(engine.model_policy(chat).priority),
+              serve::to_string(engine.model_policy(bulk).priority));
 
   // Distinct request payloads with precomputed ground truth.
   struct Payload {
@@ -63,45 +77,49 @@ int main() {
     payloads.push_back(std::move(pl));
   }
 
-  // Four closed-loop clients, 60 requests each.
-  constexpr int kClients = 4;
+  // Three interactive closed-loop clients plus one bulk client.
+  constexpr int kChatClients = 3;
   constexpr int kRequestsPerClient = 60;
   std::atomic<int> mismatches{0};
   {
     ThreadGroup clients;
-    for (int c = 0; c < kClients; ++c) {
-      clients.spawn([&, c] {
+    for (int c = 0; c < kChatClients + 1; ++c) {
+      const bool is_chat = c < kChatClients;
+      clients.spawn([&, c, is_chat] {
         for (int i = 0; i < kRequestsPerClient; ++i) {
           const Payload& pl =
               payloads[static_cast<std::size_t>((c * 3 + i) % 8)];
-          auto fut = engine.submit(model, pl.x.data(), pl.rows);
+          auto fut = engine.submit(is_chat ? chat : bulk, pl.x.data(),
+                                   pl.rows);
           const auto got = fut.get();
-          if (got.size() != pl.want.size()) {
-            ++mismatches;
-            continue;
-          }
-          for (std::size_t j = 0; j < got.size(); ++j) {
-            if (got[j] != pl.want[j]) {
-              ++mismatches;
-              break;
-            }
-          }
+          if (got != pl.want) ++mismatches;
         }
       });
     }
   }  // clients join
   engine.shutdown();
 
-  const serve::ServeStats s = engine.stats(model);
-  std::printf("%s\n", serve::to_string(s).c_str());
+  for (const auto p :
+       {serve::Priority::kInteractive, serve::Priority::kBackground}) {
+    const serve::ServeStats s = engine.class_stats(p);
+    std::printf("[%s]\n%s\n", serve::to_string(p),
+                serve::to_string(s).c_str());
+  }
   std::printf("bit-exact vs direct forward: %s\n",
               mismatches.load() == 0 ? "yes" : "NO");
 
-  const bool ok = mismatches.load() == 0 &&
-                  s.requests ==
-                      static_cast<std::uint64_t>(kClients *
-                                                 kRequestsPerClient) &&
-                  s.errors == 0 && s.mean_batch_rows >= 1.0;
+  const serve::ServeStats chat_stats = engine.class_stats(
+      serve::Priority::kInteractive);
+  const serve::ServeStats bulk_stats = engine.class_stats(
+      serve::Priority::kBackground);
+  const bool ok =
+      mismatches.load() == 0 &&
+      chat_stats.requests ==
+          static_cast<std::uint64_t>(kChatClients * kRequestsPerClient) &&
+      bulk_stats.requests ==
+          static_cast<std::uint64_t>(kRequestsPerClient) &&
+      chat_stats.errors + bulk_stats.errors == 0 &&
+      chat_stats.mean_batch_rows >= 1.0;
   std::printf("%s\n", ok ? "SERVED" : "FAILED");
   return ok ? 0 : 1;
 }

@@ -66,7 +66,8 @@ def check_serving_shape(build_dir: str, min_time: str) -> int:
     data = json.loads(out.stdout)
 
     seen = {"BM_ServeDirect": 0, "BM_ServeClosedLoop": 0,
-            "BM_ServeLatencyVsDelay": 0}
+            "BM_ServeLatencyVsDelay": 0, "BM_ServeInteractiveSolo": 0,
+            "BM_ServeBatchOnly": 0, "BM_ServeMixedQoS": 0}
     for b in data["benchmarks"]:
         family = b["name"].split("/", 1)[0]
         if family not in seen:
@@ -81,6 +82,10 @@ def check_serving_shape(build_dir: str, min_time: str) -> int:
                 if b.get(counter, 0.0) <= 0.0:
                     print(f"FAIL: {b['name']} missing counter {counter}")
                     return 1
+        if family in ("BM_ServeInteractiveSolo", "BM_ServeMixedQoS") and \
+                b.get("interactive_p99_us", 0.0) <= 0.0:
+            print(f"FAIL: {b['name']} missing counter interactive_p99_us")
+            return 1
     missing = [f for f, n in seen.items() if n == 0]
     if missing:
         print(f"FAIL: bench_serving produced no runs for {missing}")

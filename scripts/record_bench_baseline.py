@@ -14,9 +14,13 @@ the historical reference path, items_per_second == challenge edges/sec
 root.  The serving section also records the headline serving ratio:
 best closed-loop serving edges/sec over the direct fused path at the
 same batch size (the micro-batching efficiency; the PR-3 acceptance bar
-is >= 0.7 at saturating offered load).  Numbers are machine-specific;
-the file anchors trends on one host, it is not a portable performance
-truth.
+is >= 0.7 at saturating offered load), plus the PR-4 QoS acceptance
+numbers: the interactive class's e2e p99 under saturating batch-class
+load over its solo-load p99 (bar: ~<= 2x; p99s are log2-bucket upper
+bounds, so the ratio quantizes to powers of two), and mixed aggregate
+edges/sec over the batch-only single-class throughput (bar: >= 0.9).
+Numbers are machine-specific; the file anchors trends on one host, it
+is not a portable performance truth.
 """
 
 import argparse
@@ -40,10 +44,10 @@ def find_bench(build_dir: str, name: str) -> str:
                      "build in Release first")
 
 
-def run_gbench(build_dir: str, name: str) -> dict:
+def run_gbench(build_dir: str, name: str, min_time: str = "0.05") -> dict:
     exe = find_bench(build_dir, name)
     out = subprocess.run(
-        [exe, "--benchmark_format=json", "--benchmark_min_time=0.05"],
+        [exe, "--benchmark_format=json", f"--benchmark_min_time={min_time}"],
         capture_output=True, text=True, check=True)
     data = json.loads(out.stdout)
     return {
@@ -57,6 +61,11 @@ def run_gbench(build_dir: str, name: str) -> dict:
                 "iterations": b["iterations"],
                 **({"items_per_second": round(b["items_per_second"], 1)}
                    if "items_per_second" in b else {}),
+                # Serving QoS / batching counters (latency percentiles,
+                # batch-size means) ride along where a bench reports them.
+                **{k: round(v, 1) for k, v in b.items()
+                   if isinstance(v, (int, float)) and
+                   k.endswith(("_us", "_rows"))},
             }
             for b in data["benchmarks"]
         ],
@@ -93,6 +102,28 @@ def serving_over_direct(serving: dict) -> dict:
         "best_closed_loop_over_direct": round(best / direct, 3),
         "per_load_over_direct": {name: round(rate / direct, 3)
                                  for name, rate in per_load.items()},
+    }
+
+
+def serving_qos(serving: dict) -> dict:
+    """PR-4 QoS acceptance numbers (see module docstring)."""
+    solo_p99 = mixed_p99 = batch_only = mixed_agg = None
+    for b in serving["benchmarks"]:
+        name = b["name"]
+        if name.startswith("BM_ServeInteractiveSolo"):
+            solo_p99 = b.get("interactive_p99_us")
+        elif name.startswith("BM_ServeMixedQoS"):
+            mixed_p99 = b.get("interactive_p99_us")
+            mixed_agg = b.get("items_per_second")
+        elif name.startswith("BM_ServeBatchOnly"):
+            batch_only = b.get("items_per_second")
+    if not (solo_p99 and mixed_p99 and batch_only and mixed_agg):
+        return {}
+    return {
+        "interactive_solo_p99_us": round(solo_p99, 1),
+        "interactive_mixed_p99_us": round(mixed_p99, 1),
+        "interactive_p99_mixed_over_solo": round(mixed_p99 / solo_p99, 3),
+        "aggregate_mixed_over_batch_only": round(mixed_agg / batch_only, 3),
     }
 
 
@@ -135,9 +166,11 @@ def main() -> int:
             "--force to overwrite")
 
     inference = run_gbench(args.build_dir, "bench_inference_scaling")
-    serving = run_gbench(args.build_dir, "bench_serving")
+    # Longer window for the serving bench: its latency percentiles need
+    # enough samples that the per-engine cold start falls outside p99.
+    serving = run_gbench(args.build_dir, "bench_serving", min_time="0.3")
     baseline = {
-        "schema": "radix-bench-baseline/v3",
+        "schema": "radix-bench-baseline/v4",
         "recorded": datetime.date.today().isoformat(),
         "build_type": "Release",
         "compiler": compiler_id(args.build_dir),
@@ -153,6 +186,7 @@ def main() -> int:
         "bench_brain_scale": run_gbench(args.build_dir, "bench_brain_scale"),
         "bench_serving": serving,
         "serving_over_direct": serving_over_direct(serving),
+        "serving_qos": serving_qos(serving),
     }
     with open(args.output, "w") as f:
         json.dump(baseline, f, indent=2)
@@ -160,12 +194,17 @@ def main() -> int:
     ratios = baseline["inference_fused_over_reference"]
     serve_ratio = baseline["serving_over_direct"].get(
         "best_closed_loop_over_direct")
+    qos = baseline["serving_qos"]
     print(f"wrote {args.output} "
           f"({len(baseline['bench_sparse_kernels']['benchmarks'])} kernel "
           f"benchmarks, fig6 reproduced="
           f"{baseline['bench_fig6_algorithm']['reproduced']}, "
           f"fused/reference edges/s ratios: {ratios}, "
-          f"serving/direct: {serve_ratio})")
+          f"serving/direct: {serve_ratio}, "
+          f"qos p99 mixed/solo: "
+          f"{qos.get('interactive_p99_mixed_over_solo')}, "
+          f"qos aggregate mixed/batch-only: "
+          f"{qos.get('aggregate_mixed_over_batch_only')})")
     return 0
 
 

@@ -7,70 +7,201 @@
 
 namespace radix::serve {
 
-MicroBatcher::MicroBatcher(std::size_t queue_capacity)
-    : queue_capacity_(queue_capacity) {
-  RADIX_REQUIRE(queue_capacity > 0,
+MicroBatcher::MicroBatcher(BatcherOptions options)
+    : options_(options),
+      clock_(options.clock ? options.clock : &steady_clock_source()) {
+  RADIX_REQUIRE(options_.queue_capacity > 0,
                 "MicroBatcher: queue capacity must be > 0");
+  RADIX_REQUIRE(options_.max_batch_rows > 0,
+                "MicroBatcher: max_batch_rows must be > 0");
+  RADIX_REQUIRE(options_.starvation_bound > 0,
+                "MicroBatcher: starvation_bound must be >= 1");
 }
 
-std::size_t MicroBatcher::add_model() {
+MicroBatcher::~MicroBatcher() { clock_->forget(monitor_); }
+
+std::size_t MicroBatcher::add_model(QosPolicy policy) {
   std::unique_lock lock(monitor_.mutex);
   RADIX_REQUIRE(!closed_, "MicroBatcher: add_model after close");
-  queues_.push_back(std::make_unique<Queue>(queue_capacity_, monitor_));
-  return queues_.size() - 1;
+  // Resolve inherited knobs so the scheduler never consults defaults.
+  if (policy.max_batch_rows == 0) policy.max_batch_rows = options_.max_batch_rows;
+  if (policy.max_delay < std::chrono::microseconds::zero()) {
+    policy.max_delay = options_.max_delay;
+  }
+  RADIX_REQUIRE(policy.weight >= 1, "MicroBatcher: weight must be >= 1");
+  // Priority is a uint8 enum class, so any raw value converts legally
+  // (e.g. out of config parsing); it indexes classes_, so gate it here.
+  RADIX_REQUIRE(static_cast<std::size_t>(policy.priority) < kNumPriorities,
+                "MicroBatcher: invalid priority class");
+  auto slot = std::make_unique<ModelSlot>();
+  slot->queue = std::make_unique<Queue>(options_.queue_capacity, monitor_);
+  slot->policy = policy;
+  slots_.push_back(std::move(slot));
+  const std::size_t id = slots_.size() - 1;
+  classes_[static_cast<std::size_t>(policy.priority)].members.push_back(id);
+  return id;
 }
 
 std::size_t MicroBatcher::num_models() const {
   std::unique_lock lock(monitor_.mutex);
-  return queues_.size();
+  return slots_.size();
+}
+
+QosPolicy MicroBatcher::policy(std::size_t model) const {
+  std::unique_lock lock(monitor_.mutex);
+  RADIX_REQUIRE(model < slots_.size(), "MicroBatcher: unknown model id");
+  return slots_[model]->policy;
+}
+
+bool MicroBatcher::push_locked(std::size_t model, Request&& r) {
+  // Enqueue time is stamped here, after any backpressure wait: the
+  // max_delay bound is measured from admission, with the injected
+  // clock.  `submitted` (the stats anchor) was stamped at submit entry
+  // so latency percentiles include the backpressure wait itself.
+  r.enqueued = clock_->now();
+  if (r.submitted == Clock::time_point{}) r.submitted = r.enqueued;
+  slots_[model]->queue->push_locked(std::move(r));
+  monitor_.cv.notify_all();
+  return true;
 }
 
 bool MicroBatcher::submit(std::size_t model, Request&& r) {
   std::unique_lock lock(monitor_.mutex);
-  RADIX_REQUIRE(model < queues_.size(), "MicroBatcher: unknown model id");
-  Queue& q = *queues_[model];
+  RADIX_REQUIRE(model < slots_.size(), "MicroBatcher: unknown model id");
+  r.submitted = clock_->now();
+  Queue& q = *slots_[model]->queue;
   monitor_.cv.wait(lock, [&] { return closed_ || !q.full_locked(); });
   if (closed_) return false;
-  q.push_locked(std::move(r));
-  monitor_.cv.notify_all();
-  return true;
+  return push_locked(model, std::move(r));
 }
 
 bool MicroBatcher::try_submit(std::size_t model, Request&& r) {
-  std::unique_lock lock(monitor_.mutex);
-  RADIX_REQUIRE(model < queues_.size(), "MicroBatcher: unknown model id");
-  Queue& q = *queues_[model];
-  if (closed_ || q.full_locked()) return false;
-  q.push_locked(std::move(r));
-  monitor_.cv.notify_all();
-  return true;
+  return submit_for(model, std::move(r), std::chrono::microseconds::zero());
 }
 
-bool MicroBatcher::next(Batch& out, index_t max_rows,
-                        std::chrono::microseconds max_delay,
-                        std::size_t& cursor) {
-  RADIX_REQUIRE(max_rows > 0, "MicroBatcher: max_rows must be > 0");
+bool MicroBatcher::submit_for(std::size_t model, Request&& r,
+                              std::chrono::microseconds timeout) {
   std::unique_lock lock(monitor_.mutex);
-  for (;;) {
-    // Round-robin scan for a model with pending work.
-    const std::size_t n = queues_.size();
-    std::size_t pick = n;
-    for (std::size_t i = 0; i < n; ++i) {
-      const std::size_t q = (cursor + i) % n;
-      if (!queues_[q]->empty_locked()) {
-        pick = q;
+  RADIX_REQUIRE(model < slots_.size(), "MicroBatcher: unknown model id");
+  r.submitted = clock_->now();
+  Queue& q = *slots_[model]->queue;
+  if (timeout.count() > 0) {
+    const auto deadline = clock_->now() + timeout;
+    while (!closed_ && q.full_locked()) {
+      if (clock_->wait_until(monitor_, lock, deadline) ==
+              std::cv_status::timeout &&
+          q.full_locked()) {
+        break;  // deadline reached with no space: admission failure
+      }
+    }
+  }
+  if (closed_ || q.full_locked()) return false;
+  return push_locked(model, std::move(r));
+}
+
+std::size_t MicroBatcher::pick_model_locked() {
+  std::array<bool, kNumPriorities> has{};
+  bool any = false;
+  for (std::size_t c = 0; c < kNumPriorities; ++c) {
+    for (std::size_t m : classes_[c].members) {
+      if (!slots_[m]->queue->empty_locked()) {
+        has[c] = true;
+        any = true;
         break;
       }
     }
-    if (pick == n) {
+  }
+  if (!any) return kNone;
+
+  // Starvation boost overrides strict priority: a backlogged class
+  // passed over for starvation_bound consecutive claims is served now.
+  // Checked lowest class first -- it is the one strictness hurts most.
+  std::size_t chosen = kNumPriorities;
+  for (std::size_t c = kNumPriorities; c-- > 0;) {
+    if (has[c] && classes_[c].skipped >= options_.starvation_bound) {
+      chosen = c;
+      break;
+    }
+  }
+  if (chosen == kNumPriorities) {
+    for (std::size_t c = 0; c < kNumPriorities; ++c) {
+      if (has[c]) {
+        chosen = c;
+        break;
+      }
+    }
+  }
+  for (std::size_t c = 0; c < kNumPriorities; ++c) {
+    if (!has[c]) continue;  // an idle class is not being starved
+    classes_[c].skipped = (c == chosen) ? 0 : classes_[c].skipped + 1;
+  }
+  return pick_in_class_locked(classes_[chosen]);
+}
+
+std::size_t MicroBatcher::pick_in_class_locked(ClassState& cls) {
+  const std::size_t n = cls.members.size();
+  // Idle queues bank no credit: fairness divides rows among backlogged
+  // models only, and debt is forgiven once a queue fully drains.
+  for (std::size_t m : cls.members) {
+    if (slots_[m]->queue->empty_locked()) slots_[m]->deficit = 0;
+  }
+  // A model can afford a claim when its banked rows cover its head
+  // request (capped at its row budget: an oversize head ships alone
+  // anyway, and the cap keeps the replenish arithmetic bounded).
+  const auto cost_of = [&](const ModelSlot& s) {
+    return std::min<std::int64_t>(s.queue->front_locked().rows,
+                                  s.policy.max_batch_rows);
+  };
+  for (;;) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::size_t at = (cls.cursor + i) % n;
+      ModelSlot& s = *slots_[cls.members[at]];
+      if (s.queue->empty_locked()) continue;
+      if (s.deficit >= cost_of(s)) {
+        cls.cursor = (at + 1) % n;
+        return cls.members[at];
+      }
+    }
+    // Nobody can afford their head request: replenish every backlogged
+    // model by the minimum number of whole rounds (weight rows each)
+    // that lets at least one of them pay -- exact DRR, without looping
+    // one quantum at a time.
+    std::int64_t rounds = -1;
+    for (std::size_t m : cls.members) {
+      const ModelSlot& s = *slots_[m];
+      if (s.queue->empty_locked()) continue;
+      const std::int64_t need = cost_of(s) - s.deficit;
+      const std::int64_t w = s.policy.weight;
+      const std::int64_t r = (need + w - 1) / w;
+      if (rounds < 0 || r < rounds) rounds = r;
+    }
+    RADIX_ASSERT(rounds > 0, "MicroBatcher: WDRR replenish must progress");
+    for (std::size_t m : cls.members) {
+      ModelSlot& s = *slots_[m];
+      if (!s.queue->empty_locked()) {
+        s.deficit += rounds * static_cast<std::int64_t>(s.policy.weight);
+      }
+    }
+  }
+}
+
+bool MicroBatcher::next(Batch& out) {
+  std::unique_lock lock(monitor_.mutex);
+  for (;;) {
+    const std::size_t pick = pick_model_locked();
+    if (pick == kNone) {
       if (closed_) return false;
       monitor_.cv.wait(lock);
       continue;
     }
 
+    ModelSlot& slot = *slots_[pick];
+    const index_t max_rows = slot.policy.max_batch_rows;
+    const auto max_delay = slot.policy.max_delay;
     out.clear();
     out.model = pick;
-    Queue& q = *queues_[pick];
+    out.priority = slot.policy.priority;
+    Queue& q = *slot.queue;
     const auto take_fitting = [&] {
       bool popped = false;
       while (!q.empty_locked()) {
@@ -98,7 +229,7 @@ bool MicroBatcher::next(Batch& out, index_t max_rows,
       // a request that already waited that long ships immediately.
       const auto deadline = out.requests.front().enqueued + max_delay;
       while (out.rows < max_rows && !closed_) {
-        if (monitor_.cv.wait_until(lock, deadline) ==
+        if (clock_->wait_until(monitor_, lock, deadline) ==
             std::cv_status::timeout) {
           take_fitting();  // grab anything that raced the deadline
           break;
@@ -107,7 +238,12 @@ bool MicroBatcher::next(Batch& out, index_t max_rows,
       }
     }
 
-    cursor = (pick + 1) % n;
+    // WDRR accounting: pay for every row claimed.  A batch may exceed
+    // the head-request cost it was admitted under (coalescing fills to
+    // the budget; an oversize lone request exceeds it), so deficit can
+    // go negative -- that debt is the mechanism that keeps long-run row
+    // shares proportional to the weights.
+    slot.deficit -= static_cast<std::int64_t>(out.rows);
     monitor_.cv.notify_all();  // queue space freed for blocked submitters
     return true;
   }
@@ -116,7 +252,7 @@ bool MicroBatcher::next(Batch& out, index_t max_rows,
 void MicroBatcher::close() {
   std::unique_lock lock(monitor_.mutex);
   closed_ = true;
-  for (auto& q : queues_) q->close_locked();
+  for (auto& slot : slots_) slot->queue->close_locked();
   monitor_.cv.notify_all();
 }
 
@@ -127,8 +263,8 @@ bool MicroBatcher::closed() const {
 
 std::size_t MicroBatcher::pending(std::size_t model) const {
   std::unique_lock lock(monitor_.mutex);
-  RADIX_REQUIRE(model < queues_.size(), "MicroBatcher: unknown model id");
-  return queues_[model]->size_locked();
+  RADIX_REQUIRE(model < slots_.size(), "MicroBatcher: unknown model id");
+  return slots_[model]->queue->size_locked();
 }
 
 const float* BatchAssembly::assemble(const MicroBatcher::Batch& batch,

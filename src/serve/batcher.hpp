@@ -1,23 +1,46 @@
 // Dynamic micro-batcher: coalesces pending inference requests into
-// large contiguous batches for the fused forward path.
+// large contiguous batches for the fused forward path, scheduling
+// across models by QoS class.
 //
 // The Graph-Challenge numbers (and PR 2's fused kernels) reward big
 // batches, but production traffic arrives as many small asynchronous
-// requests.  The MicroBatcher bridges the two: producers push Requests
-// into per-model bounded queues (serve/queue.hpp, all sharing one
-// Monitor), and each consumer (engine worker) calls next(), which
+// requests from clients with very different latency needs.  The
+// MicroBatcher bridges the two: producers push Requests into per-model
+// bounded queues (serve/queue.hpp, all sharing one Monitor), and each
+// consumer (engine worker) calls next(), which
 //
-//   1. scans the model queues round-robin from a per-consumer cursor and
-//      claims the first non-empty one;
+//   1. picks the model to serve by the QoS claim policy (below);
 //   2. greedily pops FIFO requests while the running row total fits in
-//      max_rows (a first request larger than max_rows still ships alone
-//      -- the forward path handles any batch size);
+//      the model's max_batch_rows (a first request larger than the
+//      budget still ships alone -- the forward path handles any batch
+//      size);
 //   3. if the batch is not yet full, keeps absorbing newly arriving
 //      requests for the same model until it fills or the *oldest*
-//      claimed request has been waiting max_delay since it was enqueued
-//      -- so coalescing can never add more than max_delay to any
-//      request's latency, and a request that already sat in the queue
-//      that long ships immediately.
+//      claimed request has been waiting the model's max_delay since it
+//      was enqueued -- so coalescing can never add more than max_delay
+//      to any request's latency, and a request that already sat in the
+//      queue that long ships immediately.
+//
+// Claim policy (serve/qos.hpp)
+// ----------------------------
+//   * Strict priority between classes: a queued interactive request is
+//     always claimed before batch work, batch before background.
+//   * Starvation bound: a backlogged lower class passed over for
+//     `starvation_bound` consecutive claims is served next, so
+//     background work keeps a guaranteed 1-in-(starvation_bound+1)
+//     claim share under saturating higher-class load.
+//   * Weighted-deficit round-robin within a class: each model banks
+//     `weight` rows of credit per replenish round and pays for claimed
+//     rows from its bank, so backlogged models of one class receive
+//     rows proportional to their weights regardless of request sizes.
+//     Credit does not accumulate while a model's queue is empty.
+//
+// Time is injectable (support/thread.hpp ClockSource): production uses
+// the steady clock; tests inject a FakeClock so the deadline and
+// fairness behavior above is asserted deterministically, without
+// sleeps.  The batcher stamps request timestamps itself with that
+// clock: `submitted` at submit entry (stats anchor) and `enqueued` on
+// admission (deadline anchor) -- see Request.
 //
 // Several consumers may coalesce batches for the same model
 // concurrently; FIFO order of claims is preserved per consumer, and
@@ -31,13 +54,16 @@
 // results back.
 #pragma once
 
+#include <array>
 #include <chrono>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <span>
 #include <vector>
 
+#include "serve/qos.hpp"
 #include "serve/queue.hpp"
 #include "sparse/types.hpp"
 #include "support/thread.hpp"
@@ -68,12 +94,35 @@ using DoneFn = std::function<void(std::span<const float> output,
 /// `input` (row-major).  When `owned` is non-empty it backs `input` and
 /// the request carries its own storage; otherwise the caller guarantees
 /// the pointed-to buffer stays alive until completion.
+///
+/// The batcher stamps two timestamps with its injected clock:
+/// `submitted` when the caller entered submit (the stats anchor, so
+/// queue-wait/e2e percentiles include time spent blocked on a full
+/// queue) and `enqueued` on admission (the max_delay deadline anchor,
+/// so a request that waited out backpressure still gets a full
+/// coalescing window).
 struct Request {
   index_t rows = 0;
   const float* input = nullptr;
   std::vector<float> owned;
   DoneFn done;
+  std::chrono::steady_clock::time_point submitted{};
   std::chrono::steady_clock::time_point enqueued{};
+};
+
+struct BatcherOptions {
+  /// Pending-request bound per model; a full queue blocks submit().
+  std::size_t queue_capacity = 1024;
+  /// Default row budget of one coalesced batch (per-model overridable).
+  index_t max_batch_rows = 64;
+  /// Default coalescing window from the oldest claimed request's
+  /// enqueue time; 0 ships whatever is queued (per-model overridable).
+  std::chrono::microseconds max_delay{200};
+  /// A backlogged lower class is served after being passed over this
+  /// many consecutive claims (>= 1; see file comment).
+  std::uint64_t starvation_bound = 16;
+  /// Time source; nullptr means the process steady clock.
+  ClockSource* clock = nullptr;
 };
 
 class MicroBatcher {
@@ -83,26 +132,33 @@ class MicroBatcher {
   /// A claimed batch: requests of one model, FIFO, totalling `rows`.
   struct Batch {
     std::size_t model = 0;
+    Priority priority = Priority::kBatch;
     index_t rows = 0;
     std::vector<Request> requests;
 
     void clear() noexcept {
+      model = 0;
+      priority = Priority::kBatch;
       rows = 0;
       requests.clear();  // keeps capacity across reuse
     }
   };
 
-  /// `queue_capacity` bounds the *requests* pending per model; a full
-  /// queue blocks submit() (backpressure) rather than growing unbounded.
-  explicit MicroBatcher(std::size_t queue_capacity);
+  explicit MicroBatcher(BatcherOptions options = {});
+  ~MicroBatcher();  // detaches from a fake clock, if one was injected
 
   MicroBatcher(const MicroBatcher&) = delete;
   MicroBatcher& operator=(const MicroBatcher&) = delete;
 
-  /// Append a model slot; returns its index.  Safe while consumers run.
-  std::size_t add_model();
+  /// Append a model slot with its service policy; returns its index.
+  /// Unset policy fields inherit the batcher defaults; weight must
+  /// resolve >= 1.  Safe while consumers run.
+  std::size_t add_model(QosPolicy policy = {});
 
   std::size_t num_models() const;
+
+  /// The fully resolved policy a model was registered with.
+  QosPolicy policy(std::size_t model) const;
 
   /// Blocking submit with backpressure; false when closed (the request's
   /// callback is NOT invoked -- the caller owns rejection handling).
@@ -111,13 +167,16 @@ class MicroBatcher {
   /// Non-blocking submit: false when the model queue is full or closed.
   bool try_submit(std::size_t model, Request&& r);
 
+  /// Bounded-wait submit: waits up to `timeout` (by the injected clock)
+  /// for queue space; false when still full at the deadline or closed.
+  /// timeout <= 0 behaves like try_submit().
+  bool submit_for(std::size_t model, Request&& r,
+                  std::chrono::microseconds timeout);
+
   /// Claim the next coalesced batch (see file comment for the policy).
-  /// `cursor` is the caller's round-robin position, updated for
-  /// fairness; start distinct consumers at distinct cursors.  Blocks
-  /// until work arrives; returns false only when closed *and* every
-  /// queue has drained -- the consumer's signal to exit.
-  bool next(Batch& out, index_t max_rows, std::chrono::microseconds max_delay,
-            std::size_t& cursor);
+  /// Blocks until work arrives; returns false only when closed *and*
+  /// every queue has drained -- the consumer's signal to exit.
+  bool next(Batch& out);
 
   /// Stop accepting requests; queued ones keep being claimable until
   /// drained (graceful-shutdown semantics).
@@ -128,13 +187,38 @@ class MicroBatcher {
   /// Requests currently pending for one model.
   std::size_t pending(std::size_t model) const;
 
+  ClockSource& clock() const noexcept { return *clock_; }
+
  private:
   using Queue = BoundedMpmcQueue<Request>;
 
+  struct ModelSlot {
+    // unique_ptr members so the slots vector can grow while workers
+    // hold references into live slots.
+    std::unique_ptr<Queue> queue;
+    QosPolicy policy;           // fully resolved at add_model
+    std::int64_t deficit = 0;   // banked rows (WDRR credit)
+  };
+
+  struct ClassState {
+    std::vector<std::size_t> members;  // model ids, add_model order
+    std::size_t cursor = 0;            // round-robin position
+    std::uint64_t skipped = 0;         // consecutive passed-over claims
+  };
+
+  static constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+
+  /// QoS claim decision; kNone when every queue is empty.  Updates the
+  /// starvation counters and, within the chosen class, the WDRR state.
+  std::size_t pick_model_locked();
+  std::size_t pick_in_class_locked(ClassState& cls);
+  bool push_locked(std::size_t model, Request&& r);
+
   mutable Monitor monitor_;
-  std::size_t queue_capacity_;
-  // unique_ptr so the vector can grow while workers hold references.
-  std::vector<std::unique_ptr<Queue>> queues_;
+  BatcherOptions options_;
+  ClockSource* clock_;
+  std::vector<std::unique_ptr<ModelSlot>> slots_;
+  std::array<ClassState, kNumPriorities> classes_{};
   bool closed_ = false;
 };
 

@@ -14,7 +14,7 @@ double seconds_between(std::chrono::steady_clock::time_point a,
   return std::chrono::duration<double>(b - a).count();
 }
 
-// Completion adapter shared by both future-returning submit overloads.
+// Completion adapter shared by the future-returning submit overloads.
 DoneFn promise_done(
     std::shared_ptr<std::promise<std::vector<float>>> promise) {
   return [promise = std::move(promise)](std::span<const float> y,
@@ -28,10 +28,20 @@ DoneFn promise_done(
   };
 }
 
+BatcherOptions batcher_options(const EngineOptions& o) {
+  BatcherOptions b;
+  b.queue_capacity = o.queue_capacity;
+  b.max_batch_rows = o.max_batch_rows;
+  b.max_delay = o.max_delay;
+  b.starvation_bound = o.starvation_bound;
+  b.clock = o.clock;
+  return b;
+}
+
 }  // namespace
 
 Engine::Engine(EngineOptions options)
-    : options_(options), batcher_(options.queue_capacity) {
+    : options_(options), batcher_(batcher_options(options)) {
   RADIX_REQUIRE(options_.max_batch_rows > 0,
                 "Engine: max_batch_rows must be > 0");
   worker_count_ =
@@ -52,8 +62,25 @@ Engine::Engine(EngineOptions options)
 
 Engine::~Engine() { shutdown(); }
 
+QosPolicy Engine::resolve_qos(QosPolicy qos) const {
+  // Per-model value > class override > engine default; the batcher
+  // resolves the final (engine-default) layer itself.  Priority is a
+  // uint8 enum class (any raw value converts legally) and indexes the
+  // override table, so gate it before the lookup.
+  RADIX_REQUIRE(static_cast<std::size_t>(qos.priority) < kNumPriorities,
+                "Engine: invalid priority class");
+  const ClassPolicy& cls =
+      options_.class_policy[static_cast<std::size_t>(qos.priority)];
+  if (qos.max_delay < std::chrono::microseconds::zero()) {
+    qos.max_delay = cls.max_delay;  // may still be unset: batcher default
+  }
+  if (qos.max_batch_rows == 0) qos.max_batch_rows = cls.max_batch_rows;
+  return qos;
+}
+
 Engine::ModelId Engine::add_model(
-    std::shared_ptr<const infer::SparseDnn> model, std::string name) {
+    std::shared_ptr<const infer::SparseDnn> model, std::string name,
+    QosPolicy qos) {
   RADIX_REQUIRE(model != nullptr, "Engine: model must not be null");
   auto st = std::make_shared<ModelState>();
   st->dnn = std::move(model);
@@ -74,11 +101,16 @@ Engine::ModelId Engine::add_model(
   std::scoped_lock lock(models_mutex_);
   st->name = name.empty() ? "model-" + std::to_string(models_.size())
                           : std::move(name);
-  models_.push_back(st);
-  const ModelId id = models_.size() - 1;
-  const ModelId batcher_id = batcher_.add_model();
+  // Batcher slot first: its validation (priority, weight, closed) can
+  // throw, and throwing *after* the registry push would leave the two
+  // permanently desynced.  The reverse failure (push_back throwing
+  // after the slot exists) only leaves an unreachable empty queue,
+  // which the scheduler skips.
+  const ModelId id = models_.size();
+  const ModelId batcher_id = batcher_.add_model(resolve_qos(qos));
   RADIX_ASSERT(batcher_id == id,
                "Engine: model registry and batcher out of sync");
+  models_.push_back(st);
   return id;
 }
 
@@ -103,6 +135,11 @@ const std::string& Engine::model_name(ModelId id) const {
   return state(id)->name;
 }
 
+QosPolicy Engine::model_policy(ModelId id) const {
+  (void)state(id);  // validates the id
+  return batcher_.policy(id);
+}
+
 void Engine::submit(ModelId id, const float* input, index_t rows,
                     DoneFn done) {
   auto st = state(id);
@@ -117,7 +154,6 @@ void Engine::submit(ModelId id, const float* input, index_t rows,
   r.rows = rows;
   r.input = input;
   r.done = std::move(done);
-  r.enqueued = MicroBatcher::Clock::now();
   if (!batcher_.submit(id, std::move(r))) {
     throw Error("Engine::submit: engine is shut down");
   }
@@ -151,7 +187,6 @@ std::future<std::vector<float>> Engine::submit(ModelId id,
   r.rows = rows;
   r.owned = std::move(input);
   r.input = r.owned.data();
-  r.enqueued = MicroBatcher::Clock::now();
   r.done = promise_done(std::move(promise));
   if (!batcher_.submit(id, std::move(r))) {
     throw Error("Engine::submit: engine is shut down");
@@ -159,7 +194,57 @@ std::future<std::vector<float>> Engine::submit(ModelId id,
   return future;
 }
 
+bool Engine::try_submit(ModelId id, const float* input, index_t rows,
+                        DoneFn done) {
+  auto st = state(id);
+  RADIX_REQUIRE(rows == 0 || input != nullptr,
+                "Engine::try_submit: null input with rows > 0");
+  if (rows == 0) {
+    if (!accepting()) return false;
+    if (done) done({}, RequestTiming{}, nullptr);
+    return true;
+  }
+  Request r;
+  r.rows = rows;
+  r.input = input;
+  r.done = std::move(done);
+  return batcher_.try_submit(id, std::move(r));
+}
+
+std::optional<std::future<std::vector<float>>> Engine::try_submit(
+    ModelId id, const float* input, index_t rows) {
+  return try_submit_for(id, input, rows, std::chrono::microseconds::zero());
+}
+
+std::optional<std::future<std::vector<float>>> Engine::try_submit_for(
+    ModelId id, const float* input, index_t rows,
+    std::chrono::microseconds timeout) {
+  auto st = state(id);
+  RADIX_REQUIRE(rows == 0 || input != nullptr,
+                "Engine::try_submit_for: null input with rows > 0");
+  if (rows == 0) {
+    if (!accepting()) return std::nullopt;
+    std::promise<std::vector<float>> p;
+    p.set_value({});
+    return p.get_future();
+  }
+  auto promise = std::make_shared<std::promise<std::vector<float>>>();
+  auto future = promise->get_future();
+  Request r;
+  r.rows = rows;
+  r.input = input;
+  r.done = promise_done(std::move(promise));
+  if (!batcher_.submit_for(id, std::move(r), timeout)) return std::nullopt;
+  return future;
+}
+
 ServeStats Engine::stats(ModelId id) const { return state(id)->stats.snapshot(); }
+
+ServeStats Engine::class_stats(Priority p) const {
+  RADIX_REQUIRE(static_cast<std::size_t>(p) < kNumPriorities,
+                "Engine: invalid priority class");
+  return class_stats_[static_cast<std::size_t>(p)].snapshot();
+}
 
 std::size_t Engine::pending(ModelId id) const {
   (void)state(id);  // validates the id
@@ -176,16 +261,17 @@ void Engine::shutdown() {
 bool Engine::accepting() const { return !batcher_.closed(); }
 
 void Engine::worker_loop(std::size_t worker_index) {
+  (void)worker_index;  // worker identity only matters for debugging now
   infer::InferenceWorkspace workspace;
   BatchAssembly assembly;
   MicroBatcher::Batch batch;
-  // Stagger round-robin cursors so workers fan out across models.
-  std::size_t cursor = worker_index;
+  ClockSource& clock = batcher_.clock();
 
-  while (batcher_.next(batch, options_.max_batch_rows, options_.max_delay,
-                       cursor)) {
+  while (batcher_.next(batch)) {
     const auto st = state(batch.model);
-    const auto claimed = MicroBatcher::Clock::now();
+    StatsCollector& cls =
+        class_stats_[static_cast<std::size_t>(batch.priority)];
+    const auto claimed = clock.now();
 
     const float* input = assembly.assemble(batch, st->input_width);
     infer::InferenceStats fstats;
@@ -196,19 +282,25 @@ void Engine::worker_loop(std::size_t worker_index) {
     } catch (...) {
       error = std::current_exception();
     }
-    const auto finished = MicroBatcher::Clock::now();
+    const auto finished = clock.now();
 
     // Record stats BEFORE delivering completions: a caller that wakes
     // on its future and immediately reads stats() must already see its
-    // own request counted.
+    // own request counted.  Batches and requests land in the model's
+    // collector and in its service class's aggregate.
     if (!error) {
       st->stats.record_batch(batch.rows, fstats.edges_processed,
                              fstats.wall_seconds);
+      cls.record_batch(batch.rows, fstats.edges_processed,
+                       fstats.wall_seconds);
     }
+    // Latencies anchor at `submitted` (submit entry), not `enqueued`
+    // (admission), so time spent blocked on a full queue is reported.
     for (const Request& r : batch.requests) {
-      st->stats.record_request(seconds_between(r.enqueued, claimed),
-                               seconds_between(r.enqueued, finished),
-                               error != nullptr);
+      const double qs = seconds_between(r.submitted, claimed);
+      const double ts = seconds_between(r.submitted, finished);
+      st->stats.record_request(qs, ts, error != nullptr);
+      cls.record_request(qs, ts, error != nullptr);
     }
 
     // Scatter per-request output rows back to callers: requests were
@@ -217,8 +309,8 @@ void Engine::worker_loop(std::size_t worker_index) {
     std::size_t row0 = 0;
     for (Request& r : batch.requests) {
       RequestTiming timing;
-      timing.queue_seconds = seconds_between(r.enqueued, claimed);
-      timing.total_seconds = seconds_between(r.enqueued, finished);
+      timing.queue_seconds = seconds_between(r.submitted, claimed);
+      timing.total_seconds = seconds_between(r.submitted, finished);
       timing.batch_rows = batch.rows;
       std::span<const float> rows_out;
       if (!error) {

@@ -1,5 +1,5 @@
 // In-process serving engine: dynamic micro-batching over the fused
-// sparse inference path.
+// sparse inference path, with per-model QoS.
 //
 // radix::serve::Engine turns SparseDnn + InferenceWorkspace (PR 2's
 // single-call fast path) into a traffic-serving subsystem: many client
@@ -7,22 +7,33 @@
 // into large contiguous batches (serve/batcher.hpp) and runs each batch
 // through the fused forward pass on a worker pool, so per-request
 // traffic reaches the edges/second the Graph-Challenge batch benchmarks
-// demonstrate.
+// demonstrate -- while latency-sensitive models stay fast under mixed
+// load via priority classes (serve/qos.hpp).
 //
 //   Engine engine({.workers = 2, .max_batch_rows = 64,
 //                  .max_delay = std::chrono::microseconds(200)});
-//   auto id = engine.add_model(std::make_shared<infer::SparseDnn>(
-//       net.layers, net.bias, gc::kClamp));
-//   std::future<std::vector<float>> y = engine.submit(id, row.data(), 1);
+//   auto chat = engine.add_model(chat_dnn, "chat",
+//       {.priority = Priority::kInteractive, .weight = 4,
+//        .max_delay = std::chrono::microseconds(50)});
+//   auto bulk = engine.add_model(bulk_dnn, "bulk",
+//       {.priority = Priority::kBackground});
+//   std::future<std::vector<float>> y = engine.submit(chat, row.data(), 1);
 //   ... y.get() ...                     // [1 x output_width]
-//   engine.stats(id);                   // edges/s, batch histogram, p99s
+//   engine.stats(chat);                 // per-model edges/s, p99s
+//   engine.class_stats(Priority::kInteractive);  // per-class view
 //   engine.shutdown();                  // drains in-flight requests
 //
 // Design notes
 // ------------
 //   * One engine serves multiple models: per-model bounded request
-//     queues (backpressure on submit), shared worker pool, round-robin
-//     claim across models.
+//     queues (backpressure on submit), shared worker pool, QoS claim
+//     policy across models (strict priority between classes, weighted
+//     fairness within a class, starvation bound for background work --
+//     see serve/batcher.hpp).
+//   * Admission has three flavors: submit() blocks on a full queue
+//     (backpressure), try_submit() fails fast, and try_submit_for()
+//     waits a bounded time -- so a latency-sensitive caller is never
+//     parked indefinitely behind a backlogged model.
 //   * Each worker owns a persistent InferenceWorkspace and a growth-only
 //     batch staging buffer, so the steady-state serving path performs no
 //     heap allocation beyond the per-request future/callback plumbing.
@@ -38,17 +49,22 @@
 //     drain every queued request, then joins -- no request is ever
 //     dropped: once submit() has returned true, completion is
 //     guaranteed.
+//   * Time is injectable (EngineOptions::clock): tests drive the
+//     coalescing deadlines and latency stats with a FakeClock.
 #pragma once
 
+#include <array>
 #include <chrono>
 #include <cstddef>
 #include <future>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "infer/sparse_dnn.hpp"
 #include "serve/batcher.hpp"
+#include "serve/qos.hpp"
 #include "serve/stats.hpp"
 #include "support/thread.hpp"
 
@@ -57,18 +73,28 @@ namespace radix::serve {
 struct EngineOptions {
   /// Worker threads; 0 means one per hardware thread.
   unsigned workers = 0;
-  /// Row budget of one coalesced batch.  Large batches amortize kernel
-  /// and dispatch overhead (the challenge regime); a lone larger request
-  /// still runs in one piece.
+  /// Default row budget of one coalesced batch.  Large batches amortize
+  /// kernel and dispatch overhead (the challenge regime); a lone larger
+  /// request still runs in one piece.
   index_t max_batch_rows = 64;
-  /// How long a claimed request may wait for co-batched company, from
-  /// its enqueue time.  0 disables coalescing waits (ship what's
-  /// queued).
+  /// Default coalescing window: how long a claimed request may wait for
+  /// co-batched company, from its enqueue time.  0 disables coalescing
+  /// waits (ship what's queued).
   std::chrono::microseconds max_delay{200};
   /// Pending-request bound per model; full queues block submit().
   std::size_t queue_capacity = 1024;
   /// Prewarm models on add_model (build transposes, size workspaces).
   bool prewarm = true;
+  /// Per-class overrides of max_delay / max_batch_rows, indexed by
+  /// Priority; unset fields inherit the engine-wide defaults above.
+  /// A per-model QosPolicy field overrides both.
+  std::array<ClassPolicy, kNumPriorities> class_policy{};
+  /// A backlogged lower class is served after being passed over this
+  /// many consecutive claims (>= 1).
+  std::uint64_t starvation_bound = 16;
+  /// Time source for deadlines and latency stats; nullptr = steady
+  /// clock.  Tests inject a FakeClock for deterministic assertions.
+  ClockSource* clock = nullptr;
 };
 
 class Engine {
@@ -82,14 +108,19 @@ class Engine {
   Engine& operator=(const Engine&) = delete;
 
   /// Register a model; the returned id addresses submit()/stats().
+  /// `qos` sets its service class / weight / knob overrides (unset
+  /// fields inherit the class override, then the engine defaults).
   /// Safe to call while traffic is being served.
   ModelId add_model(std::shared_ptr<const infer::SparseDnn> model,
-                    std::string name = "");
+                    std::string name = "", QosPolicy qos = {});
 
   std::size_t num_models() const;
   unsigned num_workers() const noexcept;
   const infer::SparseDnn& model(ModelId id) const;
   const std::string& model_name(ModelId id) const;
+
+  /// The fully resolved QoS policy a model is served under.
+  QosPolicy model_policy(ModelId id) const;
 
   /// Callback submit (zero-copy delivery; see DoneFn).  The input buffer
   /// must stay alive until the callback runs.  Blocks while the model's
@@ -106,8 +137,27 @@ class Engine {
                                          std::vector<float> input,
                                          index_t rows);
 
+  /// Non-blocking callback submit: false (admission failure, `done` not
+  /// invoked, input untouched) when the model's queue is full or the
+  /// engine is shut down.  Never throws on a full queue or shutdown.
+  bool try_submit(ModelId id, const float* input, index_t rows, DoneFn done);
+
+  /// Non-blocking future submit; nullopt on admission failure.
+  std::optional<std::future<std::vector<float>>> try_submit(
+      ModelId id, const float* input, index_t rows);
+
+  /// Bounded-wait future submit: waits up to `timeout` for queue space,
+  /// then gives up; nullopt on admission failure.  timeout <= 0 is
+  /// try_submit().
+  std::optional<std::future<std::vector<float>>> try_submit_for(
+      ModelId id, const float* input, index_t rows,
+      std::chrono::microseconds timeout);
+
   /// Current counters for one model (cheap, thread-safe).
   ServeStats stats(ModelId id) const;
+
+  /// Aggregate counters for one service class across its models.
+  ServeStats class_stats(Priority p) const;
 
   /// Requests queued (not yet claimed) for one model.
   std::size_t pending(ModelId id) const;
@@ -128,6 +178,7 @@ class Engine {
   };
 
   std::shared_ptr<ModelState> state(ModelId id) const;
+  QosPolicy resolve_qos(QosPolicy qos) const;
   void worker_loop(std::size_t worker_index);
 
   EngineOptions options_;
@@ -135,6 +186,9 @@ class Engine {
 
   mutable std::mutex models_mutex_;
   std::vector<std::shared_ptr<ModelState>> models_;
+
+  // Per-class aggregation across models (workers record into both).
+  std::array<StatsCollector, kNumPriorities> class_stats_;
 
   ThreadGroup workers_;
   unsigned worker_count_ = 0;

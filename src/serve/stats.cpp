@@ -81,6 +81,7 @@ ServeStats StatsCollector::snapshot() const {
   s.queue_wait_p50 = queue_wait_.percentile(0.50);
   s.queue_wait_p95 = queue_wait_.percentile(0.95);
   s.queue_wait_p99 = queue_wait_.percentile(0.99);
+  s.queue_wait_max = queue_wait_.max();
   s.e2e_p50 = e2e_.percentile(0.50);
   s.e2e_p95 = e2e_.percentile(0.95);
   s.e2e_p99 = e2e_.percentile(0.99);
@@ -107,10 +108,11 @@ std::string to_string(const ServeStats& s) {
                 s.edges_per_busy_second);
   out += line;
   std::snprintf(line, sizeof(line),
-                "queue wait p50/p95/p99: %.0f/%.0f/%.0f us; "
+                "queue wait p50/p95/p99/max: %.0f/%.0f/%.0f/%.0f us; "
                 "e2e p50/p95/p99/max: %.0f/%.0f/%.0f/%.0f us\n",
                 s.queue_wait_p50 * 1e6, s.queue_wait_p95 * 1e6,
-                s.queue_wait_p99 * 1e6, s.e2e_p50 * 1e6, s.e2e_p95 * 1e6,
+                s.queue_wait_p99 * 1e6, s.queue_wait_max * 1e6,
+                s.e2e_p50 * 1e6, s.e2e_p95 * 1e6,
                 s.e2e_p99 * 1e6, s.e2e_max * 1e6);
   out += line;
   out += "batch rows histogram (<=bound: count):";

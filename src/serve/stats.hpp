@@ -1,6 +1,7 @@
 // Stats surface of the serving engine.
 //
-// Per model the engine tracks the Graph-Challenge throughput metric
+// Per model -- and, aggregated by the engine, per QoS class -- the
+// engine tracks the Graph-Challenge throughput metric
 // (edges/second over worker busy time), how well the micro-batcher is
 // coalescing (a power-of-two batch-row histogram), and two latency
 // distributions: queue wait (enqueue -> claimed by a worker, i.e. the
@@ -77,6 +78,7 @@ struct ServeStats {
   double mean_batch_rows = 0.0;       ///< coalescing quality
 
   double queue_wait_p50 = 0.0, queue_wait_p95 = 0.0, queue_wait_p99 = 0.0;
+  double queue_wait_max = 0.0;
   double e2e_p50 = 0.0, e2e_p95 = 0.0, e2e_p99 = 0.0;
   double e2e_max = 0.0;  // all latencies in seconds
 

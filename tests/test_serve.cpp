@@ -301,6 +301,119 @@ TEST(ServeEngine, StatsPercentilesAreOrdered) {
   EXPECT_FALSE(to_string(s).empty());
 }
 
+TEST(ServeEngineQos, ModelPolicyResolvesClassOverridesThenDefaults) {
+  const auto m = make_model(1024, 2, 30);
+  EngineOptions opts;
+  opts.workers = 1;
+  opts.max_batch_rows = 64;
+  opts.max_delay = 300us;
+  opts.class_policy[static_cast<std::size_t>(Priority::kInteractive)] = {
+      .max_delay = 50us, .max_batch_rows = 4};
+  Engine engine(opts);
+
+  const auto plain = engine.add_model(m.dnn, "plain");
+  const auto chat = engine.add_model(
+      m.dnn, "chat", {.priority = Priority::kInteractive, .weight = 4});
+  const auto custom = engine.add_model(
+      m.dnn, "custom",
+      {.priority = Priority::kInteractive, .max_delay = 10us});
+
+  // Engine defaults for an un-overridden batch-class model.
+  EXPECT_EQ(engine.model_policy(plain).priority, Priority::kBatch);
+  EXPECT_EQ(engine.model_policy(plain).weight, 1u);
+  EXPECT_EQ(engine.model_policy(plain).max_delay, 300us);
+  EXPECT_EQ(engine.model_policy(plain).max_batch_rows, 64u);
+  // Class override fills unset per-model fields.
+  EXPECT_EQ(engine.model_policy(chat).max_delay, 50us);
+  EXPECT_EQ(engine.model_policy(chat).max_batch_rows, 4u);
+  EXPECT_EQ(engine.model_policy(chat).weight, 4u);
+  // A per-model value beats the class override.
+  EXPECT_EQ(engine.model_policy(custom).max_delay, 10us);
+  EXPECT_EQ(engine.model_policy(custom).max_batch_rows, 4u);
+}
+
+TEST(ServeEngineQos, ClassStatsAggregatePerPriority) {
+  const auto m0 = make_model(1024, 2, 31);
+  const auto m1 = make_model(1024, 2, 32);
+  Engine engine({.workers = 2, .max_delay = 0us});
+  const auto chat = engine.add_model(
+      m0.dnn, "chat", {.priority = Priority::kInteractive});
+  const auto bulk = engine.add_model(
+      m1.dnn, "bulk", {.priority = Priority::kBackground});
+
+  Rng irng(33);
+  const auto x = gc::synthetic_input(1, 1024, 0.4, irng);
+  std::vector<std::future<std::vector<float>>> futures;
+  for (int i = 0; i < 8; ++i) futures.push_back(engine.submit(chat, x.data(), 1));
+  for (int i = 0; i < 3; ++i) futures.push_back(engine.submit(bulk, x.data(), 1));
+  for (auto& f : futures) (void)f.get();
+
+  const ServeStats si = engine.class_stats(Priority::kInteractive);
+  const ServeStats sb = engine.class_stats(Priority::kBackground);
+  EXPECT_EQ(si.requests, 8u);
+  EXPECT_EQ(sb.requests, 3u);
+  EXPECT_EQ(engine.class_stats(Priority::kBatch).requests, 0u);
+  EXPECT_EQ(si.errors + sb.errors, 0u);
+  EXPECT_GT(si.edges_per_busy_second, 0.0);
+  // The per-class view aggregates what the per-model collectors saw.
+  EXPECT_EQ(si.rows, engine.stats(chat).rows);
+  EXPECT_EQ(sb.rows, engine.stats(bulk).rows);
+}
+
+TEST(ServeEngineQos, TrySubmitFailsFastOnFullQueueThenRecovers) {
+  const auto m = make_model(1024, 2, 34);
+  Engine engine({.workers = 1, .max_delay = 0us, .queue_capacity = 2});
+  const auto id = engine.add_model(m.dnn);
+  Rng irng(35);
+  const auto x = gc::synthetic_input(1, m.width, 0.4, irng);
+
+  // Park the lone worker inside a completion callback so the queue
+  // stays deterministically full while we probe admission.
+  std::promise<void> worker_parked;
+  std::promise<void> release_worker;
+  auto release_future = release_worker.get_future();
+  engine.submit(id, x.data(), 1,
+                [&](std::span<const float>, const RequestTiming&,
+                    std::exception_ptr) {
+                  worker_parked.set_value();
+                  release_future.wait();
+                });
+  worker_parked.get_future().wait();
+
+  // Fill the queue to capacity behind the parked worker.
+  auto f1 = engine.submit(id, x.data(), 1);
+  auto f2 = engine.submit(id, x.data(), 1);
+  EXPECT_EQ(engine.pending(id), 2u);
+
+  EXPECT_FALSE(engine.try_submit(
+      id, x.data(), 1,
+      [](std::span<const float>, const RequestTiming&, std::exception_ptr) {
+        FAIL() << "rejected request must never complete";
+      }))
+      << "full queue must fail fast";
+  EXPECT_FALSE(engine.try_submit(id, x.data(), 1).has_value());
+  EXPECT_FALSE(engine.try_submit_for(id, x.data(), 1, 1000us).has_value())
+      << "bounded wait must give up on a still-full queue";
+
+  release_worker.set_value();  // worker drains the backlog
+  const auto want = direct_forward(*m.dnn, x, 1);
+  EXPECT_EQ(f1.get(), want);
+  EXPECT_EQ(f2.get(), want);
+
+  // With the queue drained, non-blocking admission succeeds again.
+  auto f3 = engine.try_submit(id, x.data(), 1);
+  ASSERT_TRUE(f3.has_value());
+  EXPECT_EQ(f3->get(), want);
+
+  engine.shutdown();
+  EXPECT_FALSE(engine.try_submit(id, x.data(), 1).has_value())
+      << "try_submit after shutdown reports failure instead of throwing";
+  EXPECT_FALSE(engine.try_submit(
+      id, x.data(), 1,
+      [](std::span<const float>, const RequestTiming&, std::exception_ptr) {
+      }));
+}
+
 TEST(ServeLog2Histogram, PercentileApproximation) {
   Log2Histogram h(1e-6);
   EXPECT_EQ(h.percentile(0.99), 0.0);

@@ -1,14 +1,14 @@
-// Unit tests for the serving substrate: the bounded MPMC queue
-// (standalone mode) and the dynamic micro-batcher's coalescing policy
-// (row budget, FIFO no-reorder, max_delay deadline, round-robin across
-// models, close-drain) plus batch assembly (zero-copy single-request
-// fast path, contiguous concatenation).
+// Unit tests for the serving substrate below the batcher: the bounded
+// MPMC queue (standalone mode: FIFO, try-variants, close-drain,
+// blocking handoff) and BatchAssembly (zero-copy single-request fast
+// path, contiguous concatenation, growth-only staging).  The
+// micro-batcher's scheduling policy itself is covered deterministically
+// in test_serve_batcher.cpp.
 #include "serve/batcher.hpp"
 #include "serve/queue.hpp"
 
 #include <gtest/gtest.h>
 
-#include <chrono>
 #include <numeric>
 #include <thread>
 #include <vector>
@@ -16,13 +16,10 @@
 namespace radix::serve {
 namespace {
 
-using namespace std::chrono_literals;
-
 Request make_request(index_t rows, const float* input = nullptr) {
   Request r;
   r.rows = rows;
   r.input = input;
-  r.enqueued = MicroBatcher::Clock::now();
   return r;
 }
 
@@ -73,178 +70,6 @@ TEST(BoundedMpmcQueue, BlockingHandoffAcrossThreads) {
   consumer.join();
   ASSERT_EQ(got.size(), 100u);
   for (int i = 0; i < 100; ++i) EXPECT_EQ(got[static_cast<size_t>(i)], i);
-}
-
-TEST(MicroBatcher, CoalescesUpToRowBudget) {
-  MicroBatcher b(64);
-  const std::size_t m = b.add_model();
-  for (int i = 0; i < 5; ++i) ASSERT_TRUE(b.submit(m, make_request(2)));
-
-  MicroBatcher::Batch batch;
-  std::size_t cursor = 0;
-  // 5 x 2 rows against a budget of 8: first claim takes 4 requests.
-  ASSERT_TRUE(b.next(batch, /*max_rows=*/8, /*max_delay=*/0us, cursor));
-  EXPECT_EQ(batch.model, m);
-  EXPECT_EQ(batch.rows, 8u);
-  EXPECT_EQ(batch.requests.size(), 4u);
-  // The leftover request ships in the second claim.
-  ASSERT_TRUE(b.next(batch, 8, 0us, cursor));
-  EXPECT_EQ(batch.rows, 2u);
-  EXPECT_EQ(batch.requests.size(), 1u);
-}
-
-TEST(MicroBatcher, FifoNeverReordersPastANonFittingRequest) {
-  MicroBatcher b(64);
-  const std::size_t m = b.add_model();
-  ASSERT_TRUE(b.submit(m, make_request(3)));
-  ASSERT_TRUE(b.submit(m, make_request(6)));  // does not fit after 3
-  ASSERT_TRUE(b.submit(m, make_request(1)));  // would fit, must NOT jump
-
-  MicroBatcher::Batch batch;
-  std::size_t cursor = 0;
-  ASSERT_TRUE(b.next(batch, 8, 0us, cursor));
-  EXPECT_EQ(batch.rows, 3u) << "stop at first non-fitting request";
-  ASSERT_TRUE(b.next(batch, 8, 0us, cursor));
-  EXPECT_EQ(batch.rows, 7u) << "6-row then 1-row request coalesce next";
-  EXPECT_EQ(batch.requests.size(), 2u);
-}
-
-TEST(MicroBatcher, OversizeRequestShipsAlone) {
-  MicroBatcher b(64);
-  const std::size_t m = b.add_model();
-  ASSERT_TRUE(b.submit(m, make_request(100)));
-  ASSERT_TRUE(b.submit(m, make_request(1)));
-
-  MicroBatcher::Batch batch;
-  std::size_t cursor = 0;
-  ASSERT_TRUE(b.next(batch, 8, 0us, cursor));
-  EXPECT_EQ(batch.rows, 100u);
-  EXPECT_EQ(batch.requests.size(), 1u);
-}
-
-TEST(MicroBatcher, DeadlineShipsPartialBatch) {
-  MicroBatcher b(64);
-  const std::size_t m = b.add_model();
-  ASSERT_TRUE(b.submit(m, make_request(1)));
-
-  MicroBatcher::Batch batch;
-  std::size_t cursor = 0;
-  const auto t0 = MicroBatcher::Clock::now();
-  ASSERT_TRUE(b.next(batch, /*max_rows=*/64, /*max_delay=*/20ms, cursor));
-  const auto waited = MicroBatcher::Clock::now() - t0;
-  EXPECT_EQ(batch.rows, 1u);
-  // Must have honored (roughly) the coalescing window before giving up
-  // on filling the batch -- and not waited forever.
-  EXPECT_GE(waited, 10ms);
-  EXPECT_LT(waited, 5s);
-}
-
-TEST(MicroBatcher, LateArrivalsJoinTheOpenBatch) {
-  MicroBatcher b(64);
-  const std::size_t m = b.add_model();
-  ASSERT_TRUE(b.submit(m, make_request(1)));
-
-  std::thread feeder([&] {
-    std::this_thread::sleep_for(5ms);
-    for (int i = 0; i < 3; ++i) ASSERT_TRUE(b.submit(m, make_request(1)));
-  });
-  MicroBatcher::Batch batch;
-  std::size_t cursor = 0;
-  ASSERT_TRUE(b.next(batch, /*max_rows=*/4, /*max_delay=*/2s, cursor));
-  feeder.join();
-  // The batch fills to the row budget well before the 2s window ends.
-  EXPECT_EQ(batch.rows, 4u);
-  EXPECT_EQ(batch.requests.size(), 4u);
-}
-
-TEST(MicroBatcher, RoundRobinAcrossModels) {
-  MicroBatcher b(64);
-  const std::size_t m0 = b.add_model();
-  const std::size_t m1 = b.add_model();
-  ASSERT_TRUE(b.submit(m0, make_request(1)));
-  ASSERT_TRUE(b.submit(m1, make_request(1)));
-  ASSERT_TRUE(b.submit(m0, make_request(1)));
-  ASSERT_TRUE(b.submit(m1, make_request(1)));
-
-  MicroBatcher::Batch batch;
-  std::size_t cursor = 0;
-  ASSERT_TRUE(b.next(batch, 1, 0us, cursor));
-  EXPECT_EQ(batch.model, m0);
-  ASSERT_TRUE(b.next(batch, 1, 0us, cursor));
-  EXPECT_EQ(batch.model, m1) << "cursor advances past the served model";
-  ASSERT_TRUE(b.next(batch, 1, 0us, cursor));
-  EXPECT_EQ(batch.model, m0);
-  ASSERT_TRUE(b.next(batch, 1, 0us, cursor));
-  EXPECT_EQ(batch.model, m1);
-}
-
-TEST(MicroBatcher, CloseDrainsQueuedRequestsThenStops) {
-  MicroBatcher b(64);
-  const std::size_t m = b.add_model();
-  for (int i = 0; i < 3; ++i) ASSERT_TRUE(b.submit(m, make_request(1)));
-  b.close();
-  EXPECT_FALSE(b.submit(m, make_request(1))) << "submit after close";
-
-  MicroBatcher::Batch batch;
-  std::size_t cursor = 0;
-  index_t drained = 0;
-  while (b.next(batch, 64, 0us, cursor)) drained += batch.rows;
-  EXPECT_EQ(drained, 3u);
-}
-
-TEST(MicroBatcher, NextUnblocksOnClose) {
-  MicroBatcher b(64);
-  (void)b.add_model();
-  std::thread closer([&] {
-    std::this_thread::sleep_for(10ms);
-    b.close();
-  });
-  MicroBatcher::Batch batch;
-  std::size_t cursor = 0;
-  EXPECT_FALSE(b.next(batch, 64, 1h, cursor))
-      << "a consumer blocked on an empty batcher must exit on close";
-  closer.join();
-}
-
-TEST(MicroBatcher, SubmitBackpressureBlocksUntilSpace) {
-  MicroBatcher b(/*queue_capacity=*/2);
-  const std::size_t m = b.add_model();
-  ASSERT_TRUE(b.submit(m, make_request(1)));
-  ASSERT_TRUE(b.submit(m, make_request(1)));
-  EXPECT_FALSE(b.try_submit(m, make_request(1))) << "queue full";
-
-  std::thread producer([&] {
-    ASSERT_TRUE(b.submit(m, make_request(1)));  // blocks until a claim
-  });
-  std::this_thread::sleep_for(5ms);
-  MicroBatcher::Batch batch;
-  std::size_t cursor = 0;
-  ASSERT_TRUE(b.next(batch, 1, 0us, cursor));
-  producer.join();
-  EXPECT_EQ(b.pending(m), 2u);
-}
-
-TEST(MicroBatcher, BlockedProducerIsWokenDuringCoalescingWindow) {
-  // Regression: with queue_capacity < max_rows, the requests that fill
-  // a batch come from a producer blocked on the full queue.  The
-  // consumer's pops during the coalescing window must wake it
-  // immediately -- without that wake both sides sleep out the whole
-  // max_delay and the batch ships partial.
-  MicroBatcher b(/*queue_capacity=*/1);
-  const std::size_t m = b.add_model();
-  ASSERT_TRUE(b.submit(m, make_request(1)));
-
-  std::thread producer([&] {
-    for (int i = 0; i < 2; ++i) ASSERT_TRUE(b.submit(m, make_request(1)));
-  });
-  MicroBatcher::Batch batch;
-  std::size_t cursor = 0;
-  const auto t0 = MicroBatcher::Clock::now();
-  ASSERT_TRUE(b.next(batch, /*max_rows=*/3, /*max_delay=*/5s, cursor));
-  const auto waited = MicroBatcher::Clock::now() - t0;
-  producer.join();
-  EXPECT_EQ(batch.rows, 3u) << "batch must fill from the blocked producer";
-  EXPECT_LT(waited, 2s) << "must not sleep out the max_delay window";
 }
 
 TEST(BatchAssembly, SingleRequestIsZeroCopy) {

@@ -1,0 +1,173 @@
+// Golden tests of the serving stats surface against an exact
+// sorted-sample reference.
+//
+// Log2Histogram::percentile documents its result as "the upper bound of
+// the bucket holding the rank-p sample, clipped to the observed max".
+// These tests pin that contract on random latency traffic: an exact
+// reference computes the rank-p sample from the sorted data, derives
+// the bucket it must land in with the documented bucketing rule, and
+// the histogram's answer must equal that bucket's bound exactly -- plus
+// the distribution-free sandwich that the answer is never below the
+// true sample and never more than one bucket (2x) above it.
+#include "serve/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "support/random.hpp"
+
+namespace radix::serve {
+namespace {
+
+constexpr double kBase = 1e-6;
+constexpr int kBuckets = 48;
+
+// The documented bucketing rule, replicated independently of the
+// implementation: bucket k holds values in (base*2^(k-1), base*2^k].
+int bucket_of(double v) {
+  if (v <= kBase) return 0;
+  const int k = static_cast<int>(std::ceil(std::log2(v / kBase)));
+  return std::clamp(k, 0, kBuckets - 1);
+}
+
+double upper_bound(int k) { return kBase * std::ldexp(1.0, k); }
+
+// Exact rank-p sample: the first cumulative count >= p*n, matching the
+// histogram's winner-selection rule.
+double exact_rank_sample(std::vector<double> sorted, double p) {
+  std::sort(sorted.begin(), sorted.end());
+  const double rank = p * static_cast<double>(sorted.size());
+  std::size_t idx = static_cast<std::size_t>(std::ceil(rank));
+  idx = std::clamp<std::size_t>(idx, 1, sorted.size());
+  return sorted[idx - 1];
+}
+
+// What percentile() must return for this sample set: the upper bound of
+// the rank sample's bucket, clipped to the observed max.
+double golden_percentile(const std::vector<double>& samples, double p) {
+  const double s = exact_rank_sample(samples, p);
+  const double max = *std::max_element(samples.begin(), samples.end());
+  return std::min(upper_bound(bucket_of(s)), max);
+}
+
+std::vector<double> random_latencies(Rng& rng, std::size_t n) {
+  // Log-uniform over ~2us .. 50ms: spans 15 buckets like real traffic
+  // (queue waits microseconds, stragglers tens of milliseconds).
+  std::vector<double> v(n);
+  for (double& x : v) {
+    x = 2e-6 * std::pow(10.0, rng.uniform(0.0, 4.4));
+  }
+  return v;
+}
+
+TEST(Log2HistogramGolden, PercentileMatchesSortedSampleReference) {
+  Rng rng(777);
+  const std::vector<double> ps = {0.5, 0.9, 0.95, 0.99, 0.999, 1.0};
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t n = 100 + rng.uniform(2000);
+    const auto samples = random_latencies(rng, n);
+    Log2Histogram h(kBase);
+    for (double s : samples) h.record(s);
+    ASSERT_EQ(h.count(), n);
+
+    for (double p : ps) {
+      const double got = h.percentile(p);
+      const double want = golden_percentile(samples, p);
+      EXPECT_DOUBLE_EQ(got, want)
+          << "p=" << p << " n=" << n << " trial=" << trial;
+      // Distribution-free sandwich: conservative, within one bucket.
+      const double s = exact_rank_sample(samples, p);
+      EXPECT_GE(got, s) << "percentile must be an upper bound (p=" << p
+                        << ")";
+      EXPECT_LE(got, 2.0 * s)
+          << "percentile must stay within bucket resolution (p=" << p
+          << ")";
+    }
+  }
+}
+
+TEST(Log2HistogramGolden, EdgeCases) {
+  Log2Histogram h(kBase);
+  EXPECT_EQ(h.percentile(0.5), 0.0) << "empty histogram";
+
+  // Everything at or below base lands in bucket 0; the answer is the
+  // observed max (bound clipped), not the bucket bound.
+  h.record(0.0);
+  h.record(0.5e-6);
+  h.record(kBase);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_DOUBLE_EQ(h.percentile(1.0), kBase);
+  EXPECT_DOUBLE_EQ(h.percentile(0.01), kBase);
+
+  // A value beyond the last bucket bound is clamped into the final
+  // bucket; its bound is below the observed max, so the bound wins the
+  // min() and the report stays finite.
+  Log2Histogram wide(kBase);
+  const double huge = kBase * std::ldexp(1.0, 60);  // past bucket 47
+  wide.record(huge);
+  EXPECT_DOUBLE_EQ(wide.percentile(1.0),
+                   std::min(upper_bound(kBuckets - 1), huge));
+}
+
+TEST(Log2HistogramGolden, BucketsSumToCountAndAscend) {
+  Rng rng(31);
+  const auto samples = random_latencies(rng, 500);
+  Log2Histogram h(kBase);
+  for (double s : samples) h.record(s);
+  std::uint64_t total = 0;
+  double prev = 0.0;
+  for (const auto& [bound, count] : h.buckets()) {
+    EXPECT_GT(bound, prev) << "bucket bounds must ascend";
+    prev = bound;
+    total += count;
+  }
+  EXPECT_EQ(total, h.count());
+}
+
+TEST(StatsCollectorGolden, SnapshotPercentilesMatchReference) {
+  Rng rng(123);
+  const std::size_t n = 1000;
+  const auto e2e = random_latencies(rng, n);
+  std::vector<double> queue(n);
+  for (std::size_t i = 0; i < n; ++i) queue[i] = e2e[i] * 0.25;
+
+  StatsCollector c;
+  for (std::size_t i = 0; i < n; ++i) {
+    c.record_request(queue[i], e2e[i], /*error=*/i % 100 == 0);
+  }
+  c.record_batch(/*rows=*/64, /*edges=*/1000, /*forward_seconds=*/0.5);
+  c.record_batch(/*rows=*/32, /*edges=*/500, /*forward_seconds=*/0.25);
+
+  const ServeStats s = c.snapshot();
+  EXPECT_EQ(s.requests, n);
+  EXPECT_EQ(s.errors, 10u);
+  EXPECT_EQ(s.batches, 2u);
+  EXPECT_EQ(s.rows, 96u);
+  EXPECT_EQ(s.edges, 1500u);
+  EXPECT_DOUBLE_EQ(s.busy_seconds, 0.75);
+  EXPECT_DOUBLE_EQ(s.edges_per_busy_second, 2000.0);
+  EXPECT_DOUBLE_EQ(s.mean_batch_rows, 48.0);
+
+  EXPECT_DOUBLE_EQ(s.queue_wait_p50, golden_percentile(queue, 0.50));
+  EXPECT_DOUBLE_EQ(s.queue_wait_p95, golden_percentile(queue, 0.95));
+  EXPECT_DOUBLE_EQ(s.queue_wait_p99, golden_percentile(queue, 0.99));
+  EXPECT_DOUBLE_EQ(s.queue_wait_max,
+                   *std::max_element(queue.begin(), queue.end()));
+  EXPECT_DOUBLE_EQ(s.e2e_p50, golden_percentile(e2e, 0.50));
+  EXPECT_DOUBLE_EQ(s.e2e_p95, golden_percentile(e2e, 0.95));
+  EXPECT_DOUBLE_EQ(s.e2e_p99, golden_percentile(e2e, 0.99));
+  EXPECT_DOUBLE_EQ(s.e2e_max, *std::max_element(e2e.begin(), e2e.end()));
+
+  std::uint64_t hist_total = 0;
+  for (const auto& [bound, count] : s.batch_rows_histogram) {
+    hist_total += count;
+  }
+  EXPECT_EQ(hist_total, s.batches);
+  EXPECT_FALSE(to_string(s).empty());
+}
+
+}  // namespace
+}  // namespace radix::serve

@@ -13,6 +13,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstdint>
 #include <future>
 #include <memory>
 #include <thread>
@@ -149,6 +150,108 @@ TEST(ServeStress, SharedSparseDnnPerThreadWorkspaces) {
   }
   threads.join_all();
   EXPECT_EQ(mismatches.load(), 0);
+}
+
+TEST(ServeStress, MixedPriorityQosUnderContention) {
+  // Mixed-priority producers hammer one engine: interactive traffic is
+  // preferred by the scheduler, yet background closed-loop clients must
+  // still finish (starvation bound), every result must stay bit-exact
+  // against a direct forward, and shutdown must drain every accepted
+  // request -- including a tail submitted right before close.
+  const auto dnn_i = make_dnn(1024, 4, 45);
+  const auto dnn_b = make_dnn(1024, 2, 46);
+
+  serve::EngineOptions opts;
+  opts.workers = 2;
+  opts.max_batch_rows = 16;
+  opts.max_delay = std::chrono::microseconds(200);
+  opts.queue_capacity = 128;
+  opts.starvation_bound = 4;  // tight bound: background must interleave
+  opts.class_policy[static_cast<std::size_t>(
+      serve::Priority::kInteractive)] = {
+      .max_delay = std::chrono::microseconds(50), .max_batch_rows = 8};
+  serve::Engine engine(opts);
+  const auto chat = engine.add_model(
+      dnn_i, "chat", {.priority = serve::Priority::kInteractive,
+                      .weight = 4});
+  const auto bulk = engine.add_model(
+      dnn_b, "bulk", {.priority = serve::Priority::kBackground});
+
+  constexpr index_t kPayloads = 4;
+  struct Payload {
+    std::vector<float> x;
+    index_t rows;
+    std::vector<float> want_i, want_b;
+  };
+  std::vector<Payload> payloads;
+  Rng irng(9);
+  for (index_t p = 0; p < kPayloads; ++p) {
+    Payload pl;
+    pl.rows = 1 + p % 2;
+    pl.x = gc::synthetic_input(pl.rows, 1024, 0.4, irng);
+    pl.want_i = direct_forward(*dnn_i, pl.x.data(), pl.rows);
+    pl.want_b = direct_forward(*dnn_b, pl.x.data(), pl.rows);
+    payloads.push_back(std::move(pl));
+  }
+
+  constexpr int kInteractiveClients = 4;
+  constexpr int kBackgroundClients = 2;
+  constexpr int kRequestsPerClient = 25;
+  std::atomic<int> mismatches{0};
+  std::atomic<int> completed{0};
+  {
+    ThreadGroup clients;
+    for (int c = 0; c < kInteractiveClients + kBackgroundClients; ++c) {
+      const bool interactive = c < kInteractiveClients;
+      clients.spawn([&, c, interactive] {
+        const auto id = interactive ? chat : bulk;
+        for (int i = 0; i < kRequestsPerClient; ++i) {
+          const Payload& pl =
+              payloads[static_cast<std::size_t>((c + i) % kPayloads)];
+          auto fut = engine.submit(id, pl.x.data(), pl.rows);
+          const auto got = fut.get();
+          const auto& want = interactive ? pl.want_i : pl.want_b;
+          if (got != want) {
+            ++mismatches;
+          } else {
+            ++completed;
+          }
+        }
+      });
+    }
+  }  // join: background clients finishing at all proves no starvation
+
+  // Tail of accepted-but-unwaited requests races shutdown: drain must
+  // complete every one of them (futures resolve, no broken promises).
+  std::vector<std::future<std::vector<float>>> tail;
+  for (int i = 0; i < 16; ++i) {
+    const Payload& pl = payloads[static_cast<std::size_t>(i % kPayloads)];
+    tail.push_back(engine.submit(i % 2 == 0 ? chat : bulk, pl.x.data(),
+                                 pl.rows));
+  }
+  engine.shutdown();
+  for (int i = 0; i < 16; ++i) {
+    const Payload& pl = payloads[static_cast<std::size_t>(i % kPayloads)];
+    const auto got = tail[static_cast<std::size_t>(i)].get();
+    EXPECT_EQ(got, i % 2 == 0 ? pl.want_i : pl.want_b)
+        << "tail request " << i;
+  }
+
+  EXPECT_EQ(mismatches.load(), 0);
+  EXPECT_EQ(completed.load(),
+            (kInteractiveClients + kBackgroundClients) * kRequestsPerClient);
+
+  const auto si = engine.class_stats(serve::Priority::kInteractive);
+  const auto sb = engine.class_stats(serve::Priority::kBackground);
+  EXPECT_EQ(si.requests,
+            static_cast<std::uint64_t>(
+                kInteractiveClients * kRequestsPerClient + 8));
+  EXPECT_EQ(sb.requests,
+            static_cast<std::uint64_t>(
+                kBackgroundClients * kRequestsPerClient + 8));
+  EXPECT_EQ(si.errors + sb.errors, 0u);
+  EXPECT_EQ(si.rows + sb.rows,
+            engine.stats(chat).rows + engine.stats(bulk).rows);
 }
 
 TEST(ServeStress, SubmittersRaceShutdown) {
