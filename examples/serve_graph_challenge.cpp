@@ -1,34 +1,57 @@
-// Serving a Graph-Challenge network to concurrent clients with QoS.
+// Serving a Graph-Challenge network to concurrent clients with QoS,
+// through the unified front-end API -- optionally sharded.
 //
-// Demonstrates the in-process serving engine (radix::serve::Engine):
-// one RadiX-Net challenge preset is registered twice on one engine --
-// as an interactive-class "chat" model (tiny coalescing window, high
-// weight) and as a background-class "bulk" model (big window, best
-// effort).  Interactive closed-loop clients submit small requests while
-// a bulk client pushes 4-row work; the QoS scheduler claims interactive
+// Demonstrates the serving stack top to bottom: clients hold a
+// serve::Client bound to a model on a serve::Backend; the backend is
+// either one in-process Engine (--shards 1) or a ShardRouter fanning
+// the same models out across N independent engines (--shards N,
+// default 2), chosen at runtime behind the same interface.  One
+// RadiX-Net challenge preset is registered twice -- as an
+// interactive-class "chat" model (tiny coalescing window, high weight)
+// and as a background-class "bulk" model (big window, best effort).
+// Interactive closed-loop clients submit small requests while a bulk
+// client pushes 4-row work; the QoS scheduler claims interactive
 // traffic first (with a starvation bound protecting the bulk class),
 // the micro-batcher coalesces within each class's row budget, and the
-// per-class stats surface shows the resulting split.  Every response is
-// verified bit-exact against a direct forward of the same rows --
-// scheduling changes when work runs, never what it computes.
+// stats surface -- merged across shards by the router -- shows the
+// resulting split.  Every response is verified bit-exact against a
+// direct forward of the same rows: scheduling and sharding change when
+// and where work runs, never what it computes.
 //
-// Runs in a few seconds; registered as a CTest smoke test.
+// Runs in a few seconds; registered as a CTest smoke test (which
+// exercises the sharded router end-to-end via the default --shards 2).
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <memory>
 #include <vector>
 
 #include "infer/sparse_dnn.hpp"
 #include "radixnet/graph_challenge.hpp"
+#include "serve/client.hpp"
 #include "serve/engine.hpp"
+#include "serve/router.hpp"
 #include "support/random.hpp"
 #include "support/thread.hpp"
 
 using namespace radix;
 
-int main() {
-  std::printf("== Serving a Graph-Challenge RadiX-Net with QoS ==\n\n");
+int main(int argc, char** argv) {
+  std::size_t shards = 2;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--shards") == 0 && i + 1 < argc) {
+      shards = static_cast<std::size_t>(std::strtoul(argv[++i], nullptr, 10));
+    } else {
+      std::fprintf(stderr, "usage: %s [--shards N]\n", argv[0]);
+      return 2;
+    }
+  }
+  if (shards == 0) shards = 1;
+
+  std::printf("== Serving a Graph-Challenge RadiX-Net with QoS "
+              "(%zu shard%s) ==\n\n", shards, shards == 1 ? "" : "s");
 
   // The model: 1024 neurons x 12 layers, challenge weights and bias.
   Rng rng(42);
@@ -47,17 +70,33 @@ int main() {
   opts.class_policy[static_cast<std::size_t>(
       serve::Priority::kInteractive)] = {
       .max_delay = std::chrono::microseconds(50), .max_batch_rows = 8};
-  serve::Engine engine(opts);
-  const auto chat = engine.add_model(
-      dnn, "chat", {.priority = serve::Priority::kInteractive,
-                    .weight = 4});
-  const auto bulk = engine.add_model(
-      dnn, "bulk", {.priority = serve::Priority::kBackground});
-  std::printf("engine: %u workers; chat=%s (50us window, 8-row budget), "
-              "bulk=%s (500us window, 32-row budget)\n\n",
-              engine.num_workers(),
-              serve::to_string(engine.model_policy(chat).priority),
-              serve::to_string(engine.model_policy(bulk).priority));
+
+  // The backend: one engine, or the same options per shard behind a
+  // ShardRouter -- the serving code below only sees serve::Backend.
+  std::unique_ptr<serve::Engine> engine;
+  std::unique_ptr<serve::ShardRouter> router;
+  serve::Backend* backend = nullptr;
+  const serve::QosPolicy chat_qos{.priority = serve::Priority::kInteractive,
+                                  .weight = 4};
+  const serve::QosPolicy bulk_qos{.priority = serve::Priority::kBackground};
+  if (shards == 1) {
+    engine = std::make_unique<serve::Engine>(opts);
+    (void)engine->add_model(dnn, "chat", chat_qos);
+    (void)engine->add_model(dnn, "bulk", bulk_qos);
+    backend = engine.get();
+  } else {
+    router = std::make_unique<serve::ShardRouter>(
+        serve::ShardRouterOptions{.shards = shards, .engine = opts});
+    (void)router->add_model(dnn, "chat", chat_qos);
+    (void)router->add_model(dnn, "bulk", bulk_qos);
+    backend = router.get();
+  }
+  serve::Client chat(*backend, backend->find_model("chat").value());
+  serve::Client bulk(*backend, backend->find_model("bulk").value());
+  std::printf("backend: %zu shard%s x %u workers; chat=interactive "
+              "(50us window, 8-row budget), bulk=background "
+              "(500us window, 32-row budget)\n\n",
+              shards, shards == 1 ? "" : "s", opts.workers);
 
   // Distinct request payloads with precomputed ground truth.
   struct Payload {
@@ -86,32 +125,26 @@ int main() {
     for (int c = 0; c < kChatClients + 1; ++c) {
       const bool is_chat = c < kChatClients;
       clients.spawn([&, c, is_chat] {
+        const serve::Client& client = is_chat ? chat : bulk;
         for (int i = 0; i < kRequestsPerClient; ++i) {
           const Payload& pl =
               payloads[static_cast<std::size_t>((c * 3 + i) % 8)];
-          auto fut = engine.submit(is_chat ? chat : bulk, pl.x.data(),
-                                   pl.rows);
-          const auto got = fut.get();
-          if (got != pl.want) ++mismatches;
+          auto res = client.submit(pl.x, pl.rows);
+          if (!res.admitted() || res.get() != pl.want) ++mismatches;
         }
       });
     }
   }  // clients join
-  engine.shutdown();
+  backend->shutdown();
 
-  for (const auto p :
-       {serve::Priority::kInteractive, serve::Priority::kBackground}) {
-    const serve::ServeStats s = engine.class_stats(p);
-    std::printf("[%s]\n%s\n", serve::to_string(p),
-                serve::to_string(s).c_str());
-  }
+  // Per-model stats, merged across shards by the router's Backend view.
+  const serve::ServeStats chat_stats = chat.stats();
+  const serve::ServeStats bulk_stats = bulk.stats();
+  std::printf("[chat]\n%s\n", serve::to_string(chat_stats).c_str());
+  std::printf("[bulk]\n%s\n", serve::to_string(bulk_stats).c_str());
   std::printf("bit-exact vs direct forward: %s\n",
               mismatches.load() == 0 ? "yes" : "NO");
 
-  const serve::ServeStats chat_stats = engine.class_stats(
-      serve::Priority::kInteractive);
-  const serve::ServeStats bulk_stats = engine.class_stats(
-      serve::Priority::kBackground);
   const bool ok =
       mismatches.load() == 0 &&
       chat_stats.requests ==

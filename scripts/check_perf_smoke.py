@@ -14,12 +14,14 @@ only two invariants that must hold on any host:
 
 When bench_serving is present (it is skipped only when Google Benchmark
 is unavailable), its output *shape* is sanity-checked too: the direct,
-closed-loop and latency benchmarks must all be present, report
-edges/sec > 0, and the closed-loop runs must expose the batching
-counters (mean_batch_rows, e2e_p95_us).  No serving throughput ratio is
-gated here -- shared CI runners are 1-2 cores and the saturation
-behavior is machine-specific; the ratio is tracked by
-scripts/record_bench_baseline.py snapshots instead.
+closed-loop, latency, QoS and sharded-router benchmarks must all be
+present, report edges/sec > 0, the closed-loop runs must expose the
+batching counters (mean_batch_rows, e2e_p95_us), and the sharded runs
+(shards 1/2/4) must expose a sane busiest_shard_share in (0, 1].  No
+serving throughput or shard-scaling ratio is gated here -- shared CI
+runners are 1-2 cores and the saturation behavior is machine-specific;
+the ratios are tracked by scripts/record_bench_baseline.py snapshots
+instead.
 
 Usage: python3 scripts/check_perf_smoke.py [--build-dir build]
 """
@@ -67,7 +69,8 @@ def check_serving_shape(build_dir: str, min_time: str) -> int:
 
     seen = {"BM_ServeDirect": 0, "BM_ServeClosedLoop": 0,
             "BM_ServeLatencyVsDelay": 0, "BM_ServeInteractiveSolo": 0,
-            "BM_ServeBatchOnly": 0, "BM_ServeMixedQoS": 0}
+            "BM_ServeBatchOnly": 0, "BM_ServeMixedQoS": 0,
+            "BM_ServeSharded": 0}
     for b in data["benchmarks"]:
         family = b["name"].split("/", 1)[0]
         if family not in seen:
@@ -86,6 +89,12 @@ def check_serving_shape(build_dir: str, min_time: str) -> int:
                 b.get("interactive_p99_us", 0.0) <= 0.0:
             print(f"FAIL: {b['name']} missing counter interactive_p99_us")
             return 1
+        if family == "BM_ServeSharded":
+            share = b.get("busiest_shard_share", 0.0)
+            if not 0.0 < share <= 1.0:
+                print(f"FAIL: {b['name']} busiest_shard_share {share} "
+                      "not in (0, 1]")
+                return 1
     missing = [f for f, n in seen.items() if n == 0]
     if missing:
         print(f"FAIL: bench_serving produced no runs for {missing}")

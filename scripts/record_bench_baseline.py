@@ -18,9 +18,14 @@ is >= 0.7 at saturating offered load), plus the PR-4 QoS acceptance
 numbers: the interactive class's e2e p99 under saturating batch-class
 load over its solo-load p99 (bar: ~<= 2x; p99s are log2-bucket upper
 bounds, so the ratio quantizes to powers of two), and mixed aggregate
-edges/sec over the batch-only single-class throughput (bar: >= 0.9).
-Numbers are machine-specific; the file anchors trends on one host, it
-is not a portable performance truth.
+edges/sec over the batch-only single-class throughput (bar: >= 0.9),
+and the PR-5 sharded-scaling sweep: BM_ServeSharded aggregate edges/sec
+by ShardRouter shard count (1, 2, 4) with each count's ratio over the
+single-shard run.  Shard scaling is compute-bound -- it needs free
+cores to show up -- so the snapshot records the host core count next to
+the curve; on a 1-core host a flat curve is the expected shape, not a
+regression.  Numbers are machine-specific; the file anchors trends on
+one host, it is not a portable performance truth.
 """
 
 import argparse
@@ -127,6 +132,36 @@ def serving_qos(serving: dict) -> dict:
     }
 
 
+def serving_sharded(serving: dict) -> dict:
+    """PR-5 sharded-scaling curve (see module docstring): aggregate
+    edges/sec per BM_ServeSharded shard count, normalized to the
+    single-shard run."""
+    per_shards = {}
+    for b in serving["benchmarks"]:
+        name = b["name"]  # BM_ServeSharded/<shards>/<suffixes>/threads:N
+        if not name.startswith("BM_ServeSharded/"):
+            continue
+        try:
+            shards = int(name.split("/")[1])
+        except (IndexError, ValueError):
+            continue
+        per_shards[shards] = b.get("items_per_second", 0.0)
+    if not per_shards or per_shards.get(1, 0.0) <= 0.0:
+        return {}
+    base = per_shards[1]
+    return {
+        "edges_per_second_by_shards": {str(n): round(rate, 1)
+                                       for n, rate in sorted(per_shards.items())},
+        "scaling_over_one_shard": {str(n): round(rate / base, 3)
+                                   for n, rate in sorted(per_shards.items())},
+        "cpu_count": os.cpu_count(),
+        "note": ("Shard workers are CPU-bound in the fused forward: the "
+                 "curve rises only while shards <= free cores.  A flat or "
+                 "slightly negative curve on a 1-core host is the expected "
+                 "shape (the limiter is core count, not the router)."),
+    }
+
+
 def run_fig6(build_dir: str) -> dict:
     exe = find_bench(build_dir, "bench_fig6_algorithm")
     t0 = time.perf_counter()
@@ -170,7 +205,7 @@ def main() -> int:
     # enough samples that the per-engine cold start falls outside p99.
     serving = run_gbench(args.build_dir, "bench_serving", min_time="0.3")
     baseline = {
-        "schema": "radix-bench-baseline/v4",
+        "schema": "radix-bench-baseline/v5",
         "recorded": datetime.date.today().isoformat(),
         "build_type": "Release",
         "compiler": compiler_id(args.build_dir),
@@ -187,6 +222,7 @@ def main() -> int:
         "bench_serving": serving,
         "serving_over_direct": serving_over_direct(serving),
         "serving_qos": serving_qos(serving),
+        "serving_sharded": serving_sharded(serving),
     }
     with open(args.output, "w") as f:
         json.dump(baseline, f, indent=2)
@@ -195,6 +231,7 @@ def main() -> int:
     serve_ratio = baseline["serving_over_direct"].get(
         "best_closed_loop_over_direct")
     qos = baseline["serving_qos"]
+    sharded = baseline["serving_sharded"]
     print(f"wrote {args.output} "
           f"({len(baseline['bench_sparse_kernels']['benchmarks'])} kernel "
           f"benchmarks, fig6 reproduced="
@@ -204,7 +241,9 @@ def main() -> int:
           f"qos p99 mixed/solo: "
           f"{qos.get('interactive_p99_mixed_over_solo')}, "
           f"qos aggregate mixed/batch-only: "
-          f"{qos.get('aggregate_mixed_over_batch_only')})")
+          f"{qos.get('aggregate_mixed_over_batch_only')}, "
+          f"sharded scaling over 1 shard: "
+          f"{sharded.get('scaling_over_one_shard')})")
     return 0
 
 

@@ -65,30 +65,14 @@
 
 #include "serve/qos.hpp"
 #include "serve/queue.hpp"
+#include "serve/request.hpp"
 #include "sparse/types.hpp"
 #include "support/thread.hpp"
 
 namespace radix::serve {
 
-/// Per-request timing delivered to completion callbacks and recorded by
-/// the stats surface.
-struct RequestTiming {
-  double queue_seconds = 0.0;  ///< enqueue -> claimed by a worker
-  double total_seconds = 0.0;  ///< enqueue -> completion delivered
-  index_t batch_rows = 0;      ///< rows of the coalesced batch served in
-};
-
-/// Completion callback.  On success `output` holds the request's rows of
-/// final activations ([rows x output_width], row-major) and `error` is
-/// null; the span aliases worker-owned memory and is only valid during
-/// the call -- copy it out to keep it.  On failure `output` is empty and
-/// `error` carries the exception.  Callbacks run on the worker thread
-/// that served the batch and must not block it for long; an exception
-/// escaping the callback is swallowed by the worker (it must never take
-/// down the pool), so handle errors inside.
-using DoneFn = std::function<void(std::span<const float> output,
-                                  const RequestTiming& timing,
-                                  std::exception_ptr error)>;
+// RequestTiming and DoneFn -- the completion vocabulary shared with the
+// front-end API -- live in serve/request.hpp.
 
 /// One queued inference request: `rows` rows of model-input features at
 /// `input` (row-major).  When `owned` is non-empty it backs `input` and

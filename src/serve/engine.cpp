@@ -14,7 +14,7 @@ double seconds_between(std::chrono::steady_clock::time_point a,
   return std::chrono::duration<double>(b - a).count();
 }
 
-// Completion adapter shared by the future-returning submit overloads.
+// Completion adapter for future-completion submissions.
 DoneFn promise_done(
     std::shared_ptr<std::promise<std::vector<float>>> promise) {
   return [promise = std::move(promise)](std::span<const float> y,
@@ -78,9 +78,8 @@ QosPolicy Engine::resolve_qos(QosPolicy qos) const {
   return qos;
 }
 
-Engine::ModelId Engine::add_model(
-    std::shared_ptr<const infer::SparseDnn> model, std::string name,
-    QosPolicy qos) {
+ModelId Engine::add_model(std::shared_ptr<const infer::SparseDnn> model,
+                          std::string name, QosPolicy qos) {
   RADIX_REQUIRE(model != nullptr, "Engine: model must not be null");
   auto st = std::make_shared<ModelState>();
   st->dnn = std::move(model);
@@ -99,8 +98,15 @@ Engine::ModelId Engine::add_model(
   // Lock order is models_mutex_ -> batcher monitor; no other path nests
   // the two.
   std::scoped_lock lock(models_mutex_);
-  st->name = name.empty() ? "model-" + std::to_string(models_.size())
-                          : std::move(name);
+  st->name = detail::resolve_model_name(
+      std::move(name), models_.size(),
+      [&](const std::string& n) {
+        for (const auto& existing : models_) {
+          if (existing->name == n) return true;
+        }
+        return false;
+      },
+      "Engine");
   // Batcher slot first: its validation (priority, weight, closed) can
   // throw, and throwing *after* the registry push would leave the two
   // permanently desynced.  The reverse failure (push_back throwing
@@ -117,6 +123,14 @@ Engine::ModelId Engine::add_model(
 std::size_t Engine::num_models() const {
   std::scoped_lock lock(models_mutex_);
   return models_.size();
+}
+
+std::optional<ModelId> Engine::find_model(std::string_view name) const {
+  std::scoped_lock lock(models_mutex_);
+  for (ModelId id = 0; id < models_.size(); ++id) {
+    if (models_[id]->name == name) return id;
+  }
+  return std::nullopt;
 }
 
 unsigned Engine::num_workers() const noexcept { return worker_count_; }
@@ -140,102 +154,61 @@ QosPolicy Engine::model_policy(ModelId id) const {
   return batcher_.policy(id);
 }
 
-void Engine::submit(ModelId id, const float* input, index_t rows,
-                    DoneFn done) {
-  auto st = state(id);
-  RADIX_REQUIRE(rows == 0 || input != nullptr,
+SubmitResult Engine::submit(InferenceRequest req, SubmitOptions opts) {
+  auto st = state(req.model);  // validates the id
+  RADIX_REQUIRE(req.rows == 0 || req.input.data() != nullptr,
                 "Engine::submit: null input with rows > 0");
-  if (rows == 0) {
-    // Nothing to batch: complete inline with an empty span.
-    if (done) done({}, RequestTiming{}, nullptr);
-    return;
-  }
-  Request r;
-  r.rows = rows;
-  r.input = input;
-  r.done = std::move(done);
-  if (!batcher_.submit(id, std::move(r))) {
-    throw Error("Engine::submit: engine is shut down");
-  }
-}
-
-std::future<std::vector<float>> Engine::submit(ModelId id,
-                                               const float* input,
-                                               index_t rows) {
-  auto promise = std::make_shared<std::promise<std::vector<float>>>();
-  auto future = promise->get_future();
-  submit(id, input, rows, promise_done(std::move(promise)));
-  return future;
-}
-
-std::future<std::vector<float>> Engine::submit(ModelId id,
-                                               std::vector<float> input,
-                                               index_t rows) {
-  auto st = state(id);
   RADIX_REQUIRE_DIM(
-      input.size() ==
-          static_cast<std::size_t>(rows) * st->input_width,
+      req.input.size() ==
+          static_cast<std::size_t>(req.rows) * st->input_width,
       "Engine::submit: input size != rows * input_width");
-  if (rows == 0) {
+
+  const bool callback = static_cast<bool>(opts.done);
+  if (req.rows == 0) {
+    // Nothing to batch: complete inline.  Admission still applies --
+    // after shutdown the engine serves nothing, not even empties.
+    if (!accepting()) return SubmitResult::rejected();
+    if (callback) {
+      opts.done({}, RequestTiming{}, nullptr);
+      return SubmitResult::admitted_callback();
+    }
     std::promise<std::vector<float>> p;
     p.set_value({});
-    return p.get_future();
+    return SubmitResult::admitted_future(p.get_future());
   }
-  auto promise = std::make_shared<std::promise<std::vector<float>>>();
-  auto future = promise->get_future();
-  Request r;
-  r.rows = rows;
-  r.owned = std::move(input);
-  r.input = r.owned.data();
-  r.done = promise_done(std::move(promise));
-  if (!batcher_.submit(id, std::move(r))) {
-    throw Error("Engine::submit: engine is shut down");
-  }
-  return future;
-}
 
-bool Engine::try_submit(ModelId id, const float* input, index_t rows,
-                        DoneFn done) {
-  auto st = state(id);
-  RADIX_REQUIRE(rows == 0 || input != nullptr,
-                "Engine::try_submit: null input with rows > 0");
-  if (rows == 0) {
-    if (!accepting()) return false;
-    if (done) done({}, RequestTiming{}, nullptr);
-    return true;
-  }
   Request r;
-  r.rows = rows;
-  r.input = input;
-  r.done = std::move(done);
-  return batcher_.try_submit(id, std::move(r));
-}
-
-std::optional<std::future<std::vector<float>>> Engine::try_submit(
-    ModelId id, const float* input, index_t rows) {
-  return try_submit_for(id, input, rows, std::chrono::microseconds::zero());
-}
-
-std::optional<std::future<std::vector<float>>> Engine::try_submit_for(
-    ModelId id, const float* input, index_t rows,
-    std::chrono::microseconds timeout) {
-  auto st = state(id);
-  RADIX_REQUIRE(rows == 0 || input != nullptr,
-                "Engine::try_submit_for: null input with rows > 0");
-  if (rows == 0) {
-    if (!accepting()) return std::nullopt;
-    std::promise<std::vector<float>> p;
-    p.set_value({});
-    return p.get_future();
+  r.rows = req.rows;
+  std::future<std::vector<float>> future;
+  if (callback) {
+    r.done = std::move(opts.done);
+  } else {
+    auto promise = std::make_shared<std::promise<std::vector<float>>>();
+    future = promise->get_future();
+    r.done = promise_done(std::move(promise));
   }
-  auto promise = std::make_shared<std::promise<std::vector<float>>>();
-  auto future = promise->get_future();
-  Request r;
-  r.rows = rows;
-  r.input = input;
-  r.done = promise_done(std::move(promise));
-  if (!batcher_.submit_for(id, std::move(r), timeout)) return std::nullopt;
-  return future;
+  if (!req.storage.empty()) {
+    r.owned = std::move(req.storage);
+    r.input = r.owned.data();
+  } else {
+    r.input = req.input.data();
+  }
+
+  bool admitted = false;
+  switch (opts.admission) {
+    case Admission::kBlock:
+      admitted = batcher_.submit(req.model, std::move(r));
+      break;
+    case Admission::kFailFast:
+      admitted = batcher_.try_submit(req.model, std::move(r));
+      break;
+    case Admission::kBoundedWait:
+      admitted = batcher_.submit_for(req.model, std::move(r), opts.timeout);
+      break;
+  }
+  if (!admitted) return SubmitResult::rejected();
+  return callback ? SubmitResult::admitted_callback()
+                  : SubmitResult::admitted_future(std::move(future));
 }
 
 ServeStats Engine::stats(ModelId id) const { return state(id)->stats.snapshot(); }
@@ -249,6 +222,10 @@ ServeStats Engine::class_stats(Priority p) const {
 std::size_t Engine::pending(ModelId id) const {
   (void)state(id);  // validates the id
   return batcher_.pending(id);
+}
+
+std::size_t Engine::pending_probe(ModelId id) const {
+  return batcher_.pending(id);  // validates id under the monitor alone
 }
 
 void Engine::shutdown() {

@@ -10,15 +10,20 @@
 // demonstrate -- while latency-sensitive models stay fast under mixed
 // load via priority classes (serve/qos.hpp).
 //
+// Engine is the base Backend implementation (serve/backend.hpp): the
+// entire submit surface is the one entry point over the front-end types
+// of serve/request.hpp.
+//
 //   Engine engine({.workers = 2, .max_batch_rows = 64,
 //                  .max_delay = std::chrono::microseconds(200)});
 //   auto chat = engine.add_model(chat_dnn, "chat",
 //       {.priority = Priority::kInteractive, .weight = 4,
 //        .max_delay = std::chrono::microseconds(50)});
-//   auto bulk = engine.add_model(bulk_dnn, "bulk",
-//       {.priority = Priority::kBackground});
-//   std::future<std::vector<float>> y = engine.submit(chat, row.data(), 1);
-//   ... y.get() ...                     // [1 x output_width]
+//   auto fut = engine.submit(InferenceRequest::borrowed(chat, row, 1))
+//                  .take_future();
+//   ... fut.get() ...                   // [1 x output_width]
+//   engine.submit(InferenceRequest::owned(chat, std::move(buf), n),
+//                 {.admission = Admission::kFailFast, .done = cb});
 //   engine.stats(chat);                 // per-model edges/s, p99s
 //   engine.class_stats(Priority::kInteractive);  // per-class view
 //   engine.shutdown();                  // drains in-flight requests
@@ -29,25 +34,30 @@
 //     queues (backpressure on submit), shared worker pool, QoS claim
 //     policy across models (strict priority between classes, weighted
 //     fairness within a class, starvation bound for background work --
-//     see serve/batcher.hpp).
-//   * Admission has three flavors: submit() blocks on a full queue
-//     (backpressure), try_submit() fails fast, and try_submit_for()
-//     waits a bounded time -- so a latency-sensitive caller is never
-//     parked indefinitely behind a backlogged model.
+//     see serve/batcher.hpp).  Model names are unique per engine and
+//     resolvable through find_model().
+//   * Admission is SubmitOptions::admission: kBlock parks the caller on
+//     a full queue (backpressure), kFailFast rejects immediately and
+//     kBoundedWait gives up after `timeout` -- so a latency-sensitive
+//     caller is never parked indefinitely behind a backlogged model.
+//     Rejection (including after shutdown) is reported through
+//     SubmitResult::admitted(), never thrown; exceptions are reserved
+//     for caller bugs (unknown model, input size mismatch).
 //   * Each worker owns a persistent InferenceWorkspace and a growth-only
 //     batch staging buffer, so the steady-state serving path performs no
 //     heap allocation beyond the per-request future/callback plumbing.
 //   * add_model prewarms the model (SparseDnn::prewarm): the lazily
 //     transposed gather-arm layers are built once, up front and shared,
 //     so the first served request does not pay one-time construction.
-//   * Completion runs on the worker thread: the callback overload gets a
-//     zero-copy span into the batch output panel; the future overloads
-//     copy the request's rows out.  Batch rows are independent under the
-//     challenge forward rule, so results are bit-identical to a direct
-//     forward of the same rows regardless of how requests coalesce.
+//   * Completion runs on the worker thread: callback completion
+//     (SubmitOptions::done) gets a zero-copy span into the batch output
+//     panel; future completion copies the request's rows out.  Batch
+//     rows are independent under the challenge forward rule, so results
+//     are bit-identical to a direct forward of the same rows regardless
+//     of how requests coalesce.
 //   * shutdown() (and the destructor) closes the queues, lets workers
 //     drain every queued request, then joins -- no request is ever
-//     dropped: once submit() has returned true, completion is
+//     dropped: once submit() has reported admitted, completion is
 //     guaranteed.
 //   * Time is injectable (EngineOptions::clock): tests drive the
 //     coalescing deadlines and latency stats with a FakeClock.
@@ -56,15 +66,18 @@
 #include <array>
 #include <chrono>
 #include <cstddef>
-#include <future>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "infer/sparse_dnn.hpp"
+#include "serve/backend.hpp"
 #include "serve/batcher.hpp"
 #include "serve/qos.hpp"
+#include "serve/request.hpp"
 #include "serve/stats.hpp"
 #include "support/thread.hpp"
 
@@ -81,7 +94,8 @@ struct EngineOptions {
   /// co-batched company, from its enqueue time.  0 disables coalescing
   /// waits (ship what's queued).
   std::chrono::microseconds max_delay{200};
-  /// Pending-request bound per model; full queues block submit().
+  /// Pending-request bound per model; what a full queue does to submit
+  /// is SubmitOptions::admission.
   std::size_t queue_capacity = 1024;
   /// Prewarm models on add_model (build transposes, size workspaces).
   bool prewarm = true;
@@ -97,24 +111,22 @@ struct EngineOptions {
   ClockSource* clock = nullptr;
 };
 
-class Engine {
+class Engine final : public Backend {
  public:
-  using ModelId = std::size_t;
-
   explicit Engine(EngineOptions options = {});
-  ~Engine();  // shutdown() if still running
+  ~Engine() override;  // shutdown() if still running
 
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
 
   /// Register a model; the returned id addresses submit()/stats().
-  /// `qos` sets its service class / weight / knob overrides (unset
-  /// fields inherit the class override, then the engine defaults).
-  /// Safe to call while traffic is being served.
+  /// `name` must be unique within this engine (empty generates
+  /// "model-<id>"); a duplicate throws.  `qos` sets its service class /
+  /// weight / knob overrides (unset fields inherit the class override,
+  /// then the engine defaults).  Safe to call while traffic is served.
   ModelId add_model(std::shared_ptr<const infer::SparseDnn> model,
                     std::string name = "", QosPolicy qos = {});
 
-  std::size_t num_models() const;
   unsigned num_workers() const noexcept;
   const infer::SparseDnn& model(ModelId id) const;
   const std::string& model_name(ModelId id) const;
@@ -122,51 +134,36 @@ class Engine {
   /// The fully resolved QoS policy a model is served under.
   QosPolicy model_policy(ModelId id) const;
 
-  /// Callback submit (zero-copy delivery; see DoneFn).  The input buffer
-  /// must stay alive until the callback runs.  Blocks while the model's
-  /// queue is full; throws Error after shutdown.
-  void submit(ModelId id, const float* input, index_t rows, DoneFn done);
-
-  /// Future submit over a caller-kept-alive buffer.
-  std::future<std::vector<float>> submit(ModelId id, const float* input,
-                                         index_t rows);
-
-  /// Future submit taking ownership of the input (caller may discard
-  /// immediately).  input.size() must equal rows * input_width.
-  std::future<std::vector<float>> submit(ModelId id,
-                                         std::vector<float> input,
-                                         index_t rows);
-
-  /// Non-blocking callback submit: false (admission failure, `done` not
-  /// invoked, input untouched) when the model's queue is full or the
-  /// engine is shut down.  Never throws on a full queue or shutdown.
-  bool try_submit(ModelId id, const float* input, index_t rows, DoneFn done);
-
-  /// Non-blocking future submit; nullopt on admission failure.
-  std::optional<std::future<std::vector<float>>> try_submit(
-      ModelId id, const float* input, index_t rows);
-
-  /// Bounded-wait future submit: waits up to `timeout` for queue space,
-  /// then gives up; nullopt on admission failure.  timeout <= 0 is
-  /// try_submit().
-  std::optional<std::future<std::vector<float>>> try_submit_for(
-      ModelId id, const float* input, index_t rows,
-      std::chrono::microseconds timeout);
-
-  /// Current counters for one model (cheap, thread-safe).
-  ServeStats stats(ModelId id) const;
-
   /// Aggregate counters for one service class across its models.
   ServeStats class_stats(Priority p) const;
 
+  // -- Backend interface --------------------------------------------------
+
+  /// THE submit entry point (see serve/request.hpp for the request /
+  /// options vocabulary and the admission semantics).
+  SubmitResult submit(InferenceRequest req, SubmitOptions opts = {}) override;
+
+  /// Current counters for one model (cheap, thread-safe).
+  ServeStats stats(ModelId id) const override;
+
   /// Requests queued (not yet claimed) for one model.
-  std::size_t pending(ModelId id) const;
+  std::size_t pending(ModelId id) const override;
+
+  /// pending() for probe traffic (ShardRouter's two-choice pick): takes
+  /// only the batcher monitor, not the model registry lock, so probes
+  /// do not contend with add_model/stats lookups.  Same validation and
+  /// result as pending().
+  std::size_t pending_probe(ModelId id) const;
+
+  std::size_t num_models() const override;
+
+  std::optional<ModelId> find_model(std::string_view name) const override;
 
   /// Stop accepting requests, serve everything already queued, join the
   /// workers.  Idempotent; called by the destructor.
-  void shutdown();
+  void shutdown() override;
 
-  bool accepting() const;
+  bool accepting() const override;
 
  private:
   struct ModelState {

@@ -1,0 +1,189 @@
+// Front-end vocabulary of the serving layer: what a client submits and
+// what it gets back, independent of the backend that serves it.
+//
+// PR 3/4 grew Engine a six-way submit overload matrix (callback/future x
+// blocking/fail-fast/bounded-wait, plus owned vs. borrowed buffers) that
+// every new serving target -- the sharded router, a future network
+// front-end -- would have had to duplicate.  This header collapses the
+// matrix into data:
+//
+//   * InferenceRequest -- WHAT to run: a model handle, a row count and
+//     the input rows, either borrowed (a std::span the caller keeps
+//     alive until completion) or owned (a vector the request carries).
+//     The borrowed/owned factories make the lifetime contract part of
+//     the type instead of a comment.
+//   * SubmitOptions    -- HOW to run it: the admission mode (block on a
+//     full queue / fail fast / wait a bounded time) and the completion
+//     style (a future, or a zero-copy callback when `done` is set).
+//   * SubmitResult     -- what came back: whether the request was
+//     admitted, and for future-completion submissions the future that
+//     will carry the output rows.
+//
+// Every backend exposes exactly one entry point over these types
+// (Backend::submit in serve/backend.hpp); there are no per-mode
+// overloads anywhere in the serving API.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <future>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "sparse/types.hpp"
+#include "support/error.hpp"
+
+namespace radix::serve {
+
+/// Identifies a registered model within one Backend.
+using ModelId = std::size_t;
+
+/// Per-request timing delivered to completion callbacks and recorded by
+/// the stats surface.
+struct RequestTiming {
+  double queue_seconds = 0.0;  ///< submit -> claimed by a worker
+  double total_seconds = 0.0;  ///< submit -> completion delivered
+  index_t batch_rows = 0;      ///< rows of the coalesced batch served in
+};
+
+/// Completion callback.  On success `output` holds the request's rows of
+/// final activations ([rows x output_width], row-major) and `error` is
+/// null; the span aliases worker-owned memory and is only valid during
+/// the call -- copy it out to keep it.  On failure `output` is empty and
+/// `error` carries the exception.  Callbacks run on the worker thread
+/// that served the batch and must not block it for long; an exception
+/// escaping the callback is swallowed by the worker (it must never take
+/// down the pool), so handle errors inside.
+using DoneFn = std::function<void(std::span<const float> output,
+                                  const RequestTiming& timing,
+                                  std::exception_ptr error)>;
+
+/// One inference request: `rows` rows of model-input features for
+/// `model`, row-major in `input`.  Construct through the factories --
+/// they encode the input-lifetime contract in the type:
+///
+///   * borrowed(): `input` views caller-owned memory that MUST stay
+///     alive until the request completes (future resolved / callback
+///     run).  Zero-copy on the submit path.
+///   * owned(): the request carries its own storage; the caller may
+///     discard its buffer the moment submit returns.
+struct InferenceRequest {
+  ModelId model = 0;
+  index_t rows = 0;
+  /// The input rows ([rows x input_width]); views `storage` when owned.
+  std::span<const float> input{};
+  /// Non-empty exactly when the request owns its input.  Vector moves
+  /// keep the heap buffer stable, so `input` stays valid as the request
+  /// is moved through the submit path.
+  std::vector<float> storage{};
+
+  InferenceRequest() = default;
+  InferenceRequest(InferenceRequest&&) = default;
+  InferenceRequest& operator=(InferenceRequest&&) = default;
+  // Copying an owned request must rebind `input` to the copy's own
+  // storage -- the default memberwise copy would leave it viewing the
+  // source's buffer, dangling once the source dies.
+  InferenceRequest(const InferenceRequest& other) { *this = other; }
+  InferenceRequest& operator=(const InferenceRequest& other) {
+    model = other.model;
+    rows = other.rows;
+    storage = other.storage;
+    input = storage.empty() ? other.input : std::span<const float>(storage);
+    return *this;
+  }
+
+  /// Caller keeps `input` alive until completion.
+  static InferenceRequest borrowed(ModelId model, std::span<const float> input,
+                                   index_t rows) {
+    InferenceRequest r;
+    r.model = model;
+    r.rows = rows;
+    r.input = input;
+    return r;
+  }
+
+  /// The request takes ownership of `input`.
+  static InferenceRequest owned(ModelId model, std::vector<float> input,
+                                index_t rows) {
+    InferenceRequest r;
+    r.model = model;
+    r.rows = rows;
+    r.storage = std::move(input);
+    r.input = std::span<const float>(r.storage);
+    return r;
+  }
+};
+
+/// What to do when the model's queue is full at submit time.
+enum class Admission : std::uint8_t {
+  kBlock = 0,       ///< wait for space (backpressure); rejected only when
+                    ///< the backend is shut down
+  kFailFast = 1,    ///< never wait: rejected immediately when full
+  kBoundedWait = 2, ///< wait up to SubmitOptions::timeout, then rejected
+};
+
+/// How one submit call is admitted and completed.  Defaults reproduce
+/// the common case: block for queue space, deliver through a future.
+struct SubmitOptions {
+  Admission admission = Admission::kBlock;
+  /// Admission::kBoundedWait budget; ignored by the other modes.
+  /// timeout <= 0 behaves like kFailFast.
+  std::chrono::microseconds timeout{0};
+  /// When set, completion is the callback (zero-copy output span, worker
+  /// thread) and SubmitResult carries no future; when empty, completion
+  /// is SubmitResult::take_future().
+  DoneFn done{};
+};
+
+/// Outcome of Backend::submit.  `admitted()` is the admission verdict:
+/// false means the request was NOT accepted (full queue under
+/// kFailFast/kBoundedWait, or the backend is shut down) and will never
+/// complete -- the callback is not invoked, borrowed input is untouched.
+/// For admitted future-completion submissions take_future() yields the
+/// output rows ([rows x output_width]) or rethrows the serving error.
+class SubmitResult {
+ public:
+  SubmitResult() = default;  // rejected
+
+  bool admitted() const noexcept { return admitted_; }
+  explicit operator bool() const noexcept { return admitted_; }
+
+  /// True until take_future() is called on an admitted future-completion
+  /// result; always false for callback submissions and rejections.
+  bool has_future() const noexcept { return future_.valid(); }
+
+  /// The pending output; callable exactly once, only when has_future().
+  std::future<std::vector<float>> take_future() {
+    RADIX_REQUIRE(future_.valid(),
+                  "SubmitResult: no future (rejected, callback-completed, "
+                  "or already taken)");
+    return std::move(future_);
+  }
+
+  /// Convenience: take_future().get().
+  std::vector<float> get() { return take_future().get(); }
+
+  static SubmitResult rejected() { return {}; }
+
+  static SubmitResult admitted_callback() {
+    SubmitResult r;
+    r.admitted_ = true;
+    return r;
+  }
+
+  static SubmitResult admitted_future(std::future<std::vector<float>> f) {
+    SubmitResult r;
+    r.admitted_ = true;
+    r.future_ = std::move(f);
+    return r;
+  }
+
+ private:
+  bool admitted_ = false;
+  std::future<std::vector<float>> future_{};
+};
+
+}  // namespace radix::serve

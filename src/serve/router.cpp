@@ -1,0 +1,153 @@
+#include "serve/router.hpp"
+
+#include <atomic>
+#include <utility>
+
+#include "support/error.hpp"
+
+namespace radix::serve {
+
+namespace {
+
+// splitmix64 finalizer: one multiply-shift mix per draw, statistically
+// ample for shard picks and cheap enough to sit on the submit path.
+inline std::uint64_t mix64(std::uint64_t z) noexcept {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+// Draw i of a (thread, seed) stream: mixing the router seed into every
+// draw (rather than into thread-local seeded-once state) keeps two
+// routers with different seeds on different sequences even when one
+// thread submits through both, and concurrent submitters never contend
+// on shared RNG state.
+std::uint64_t thread_random(std::uint64_t seed) noexcept {
+  static std::atomic<std::uint64_t> stream{0};
+  thread_local const std::uint64_t thread_salt =
+      mix64(stream.fetch_add(1, std::memory_order_relaxed) +
+            0x9e3779b97f4a7c15ull);
+  thread_local std::uint64_t counter = 0;
+  counter += 0x9e3779b97f4a7c15ull;
+  return mix64(seed ^ thread_salt ^ counter);
+}
+
+}  // namespace
+
+ShardRouter::ShardRouter(ShardRouterOptions options)
+    : options_(std::move(options)) {
+  RADIX_REQUIRE(options_.shards >= 1, "ShardRouter: shards must be >= 1");
+  engines_.reserve(options_.shards);
+  for (std::size_t s = 0; s < options_.shards; ++s) {
+    engines_.push_back(std::make_unique<Engine>(options_.engine));
+  }
+}
+
+ShardRouter::~ShardRouter() { shutdown(); }
+
+ModelId ShardRouter::add_model(std::shared_ptr<const infer::SparseDnn> model,
+                               std::string name, QosPolicy qos) {
+  RADIX_REQUIRE(model != nullptr, "ShardRouter: model must not be null");
+  // The router names the model itself (rather than letting each shard
+  // generate a default) so every shard registers the SAME name and
+  // find_model agrees between router and shards.  The registration loop
+  // runs under names_mutex_, making concurrent add_model calls atomic
+  // across shards -- ids stay in lockstep.
+  // Run every validation that can legitimately throw BEFORE the
+  // registration loop (the shards re-check, but by then failure is too
+  // late): after this point only allocation-class failures can
+  // interrupt the loop, and those leave the router unusable for
+  // further registration (documented in the header).
+  RADIX_REQUIRE(static_cast<std::size_t>(qos.priority) < kNumPriorities,
+                "ShardRouter: invalid priority class");
+  RADIX_REQUIRE(qos.weight >= 1, "ShardRouter: weight must be >= 1");
+  std::scoped_lock lock(names_mutex_);
+  RADIX_REQUIRE(accepting(), "ShardRouter: add_model after shutdown");
+  const ModelId id = names_.size();
+  name = detail::resolve_model_name(
+      std::move(name), id,
+      [&](const std::string& n) {
+        for (const auto& existing : names_) {
+          if (existing == n) return true;
+        }
+        return false;
+      },
+      "ShardRouter");
+  for (auto& engine : engines_) {
+    const ModelId shard_id = engine->add_model(model, name, qos);
+    RADIX_ASSERT(shard_id == id, "ShardRouter: shard ids out of sync");
+  }
+  names_.push_back(std::move(name));
+  return id;
+}
+
+std::size_t ShardRouter::num_shards() const noexcept { return engines_.size(); }
+
+const Engine& ShardRouter::shard(std::size_t index) const {
+  RADIX_REQUIRE(index < engines_.size(), "ShardRouter: unknown shard");
+  return *engines_[index];
+}
+
+std::size_t ShardRouter::pick_shard(ModelId model) {
+  const std::size_t n = engines_.size();
+  if (n == 1) return 0;
+  // Power of two choices: probe two DISTINCT random shards, take the
+  // one with the shorter queue for this model (ties go to the first).
+  // pending_probe takes only the probed shard's batcher monitor -- a
+  // brief acquisition, but still the lock workers and submitters of
+  // that shard use; a lock-free per-model depth gauge is the next step
+  // if probe traffic ever shows up in a profile.
+  const std::uint64_t r = thread_random(options_.seed);
+  const std::size_t a = static_cast<std::size_t>(r % n);
+  const std::size_t b =
+      (a + 1 + static_cast<std::size_t>((r >> 32) % (n - 1))) % n;
+  return engines_[b]->pending_probe(model) < engines_[a]->pending_probe(model)
+             ? b
+             : a;
+}
+
+SubmitResult ShardRouter::submit(InferenceRequest req, SubmitOptions opts) {
+  // No id pre-check here: it would put names_mutex_ on the hot path,
+  // serializing submitters across shards.  The shard engine validates
+  // req.model (pick_shard's pending() probes for > 1 shard, submit
+  // itself always) and throws the same unknown-model error.
+  return engines_[pick_shard(req.model)]->submit(std::move(req),
+                                                 std::move(opts));
+}
+
+ServeStats ShardRouter::stats(ModelId model) const {
+  ServeStats merged = engines_.front()->stats(model);
+  for (std::size_t s = 1; s < engines_.size(); ++s) {
+    merged.merge(engines_[s]->stats(model));
+  }
+  return merged;
+}
+
+std::size_t ShardRouter::pending(ModelId model) const {
+  std::size_t total = 0;
+  for (const auto& engine : engines_) total += engine->pending(model);
+  return total;
+}
+
+std::size_t ShardRouter::num_models() const {
+  std::scoped_lock lock(names_mutex_);
+  return names_.size();
+}
+
+std::optional<ModelId> ShardRouter::find_model(std::string_view name) const {
+  std::scoped_lock lock(names_mutex_);
+  for (ModelId id = 0; id < names_.size(); ++id) {
+    if (names_[id] == name) return id;
+  }
+  return std::nullopt;
+}
+
+void ShardRouter::shutdown() {
+  // Engine::shutdown is idempotent and drains before joining, so a
+  // plain sweep gives the router the same guarantee per shard.
+  for (auto& engine : engines_) engine->shutdown();
+}
+
+bool ShardRouter::accepting() const { return engines_.front()->accepting(); }
+
+}  // namespace radix::serve

@@ -1,0 +1,129 @@
+// ShardRouter: one model sharded across N independent serving engines,
+// behind the same Backend interface as a single Engine.
+//
+// One Engine scales until its monitor, queues and worker pool saturate
+// one socket's worth of contention; the Graph-Challenge regime wants
+// the whole host (and, eventually, several hosts) saturated.  The
+// ShardRouter takes the cheap route there: it owns N fully independent
+// Engine instances -- each with its own worker pool, request queues and
+// monitor, so shards share *nothing* on the hot path -- and routes each
+// incoming request to one of them:
+//
+//   * add_model registers the model (same shared SparseDnn, same QoS
+//     policy, same name) on every shard; ids are identical across
+//     shards and across the router.
+//   * submit picks the shard by power-of-two-choices on queue depth:
+//     two random shards are probed and the request goes to the one with
+//     fewer pending requests for its model.  That is one RNG draw and
+//     two briefly locked depth reads per request (Engine::pending_probe,
+//     batcher monitor only) -- no global balancing state -- yet keeps
+//     the maximum queue imbalance exponentially better than random
+//     placement (Mitzenmacher's classic result).
+//   * A request is served whole on one shard (rows are never split),
+//     and batch rows are independent under the challenge forward rule,
+//     so outputs are bit-identical to a direct fused forward of the
+//     same rows no matter which shard serves them or how they coalesce.
+//   * stats() merges the per-shard snapshots with ServeStats::merge
+//     (bucket-wise Log2Histogram::merge), so the aggregate percentiles
+//     equal those of a histogram fed every shard's samples; pending()
+//     sums shards; shutdown() drains every shard (admitted requests all
+//     complete).
+//
+// The cost of independence: coalescing quality.  Traffic that one
+// engine would merge into a single 32-row batch lands on N shards as N
+// smaller batches, so lightly loaded routers batch worse than a single
+// engine -- the router pays off when offered load saturates more
+// workers than one engine's lock can feed (see bench_serving's
+// BM_ServeSharded sweep).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "infer/sparse_dnn.hpp"
+#include "serve/backend.hpp"
+#include "serve/engine.hpp"
+#include "serve/qos.hpp"
+
+namespace radix::serve {
+
+struct ShardRouterOptions {
+  /// Independent engines behind the router (>= 1).
+  std::size_t shards = 2;
+  /// Applied to every shard.  Note workers == 0 gives EVERY shard one
+  /// worker per hardware thread -- set an explicit per-shard count
+  /// (e.g. cores / shards) unless oversubscription is intended.
+  EngineOptions engine{};
+  /// Seed of the power-of-two-choices shard picks (deterministic
+  /// per-thread sequences; any value is fine).
+  std::uint64_t seed = 0x2545f4914f6cdd1dull;
+};
+
+class ShardRouter final : public Backend {
+ public:
+  explicit ShardRouter(ShardRouterOptions options = {});
+  ~ShardRouter() override;  // shutdown() if still running
+
+  ShardRouter(const ShardRouter&) = delete;
+  ShardRouter& operator=(const ShardRouter&) = delete;
+
+  /// Register a model on every shard; returns the router-wide id (equal
+  /// on every shard).  `name` must be unique within the router (empty
+  /// generates "model-<id>").  Safe to call while traffic is served.
+  /// Validation failures (duplicate name, bad QoS, after shutdown)
+  /// throw before anything is committed; an allocation-class failure
+  /// mid-registration (or a shutdown() racing this call) can leave the
+  /// shards partially registered, after which further add_model calls
+  /// fail -- discard the router in that case.  Already-registered
+  /// models keep serving either way.
+  ModelId add_model(std::shared_ptr<const infer::SparseDnn> model,
+                    std::string name = "", QosPolicy qos = {});
+
+  std::size_t num_shards() const noexcept;
+
+  /// Read access to one shard (e.g. per-shard stats in benches).
+  /// Deliberately const-only: mutating a shard directly (add_model,
+  /// shutdown) would desync it from the router's registry and its
+  /// siblings.
+  const Engine& shard(std::size_t index) const;
+
+  // -- Backend interface --------------------------------------------------
+
+  /// Route to a shard by power-of-two-choices on pending depth, then
+  /// submit there under `opts` unchanged.  Admission is decided by the
+  /// chosen shard: kBlock waits out backpressure on that shard even if
+  /// another happens to have space (the depth-aware pick makes that
+  /// rare).
+  SubmitResult submit(InferenceRequest req, SubmitOptions opts = {}) override;
+
+  /// Aggregate view across shards (histograms merged bucket-wise).
+  ServeStats stats(ModelId model) const override;
+
+  /// Sum of the shards' pending requests for `model`.
+  std::size_t pending(ModelId model) const override;
+
+  std::size_t num_models() const override;
+
+  std::optional<ModelId> find_model(std::string_view name) const override;
+
+  /// Drain and join every shard.  Idempotent; called by the destructor.
+  void shutdown() override;
+
+  bool accepting() const override;
+
+ private:
+  std::size_t pick_shard(ModelId model);
+
+  ShardRouterOptions options_;
+  std::vector<std::unique_ptr<Engine>> engines_;
+
+  mutable std::mutex names_mutex_;
+  std::vector<std::string> names_;  // index == ModelId
+};
+
+}  // namespace radix::serve

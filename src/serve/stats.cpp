@@ -4,6 +4,8 @@
 #include <cmath>
 #include <cstdio>
 
+#include "support/error.hpp"
+
 namespace radix::serve {
 
 double Log2Histogram::upper_bound(int k) const noexcept {
@@ -22,6 +24,22 @@ void Log2Histogram::record(double value) noexcept {
   ++count_;
   sum_ += value;
   max_ = std::max(max_, value);
+}
+
+void Log2Histogram::merge(const Log2Histogram& other) {
+  // Bucket k spans (base*2^(k-1), base*2^k]: with equal bases the
+  // bucket grids line up and a bucket-wise sum IS the histogram of the
+  // pooled samples.  With different bases it would silently misbucket,
+  // so refuse.
+  RADIX_REQUIRE(base_ == other.base_,
+                "Log2Histogram::merge: histograms must share their base");
+  for (int k = 0; k < kBuckets; ++k) {
+    counts_[static_cast<std::size_t>(k)] +=
+        other.counts_[static_cast<std::size_t>(k)];
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+  max_ = std::max(max_, other.max_);
 }
 
 double Log2Histogram::percentile(double p) const noexcept {
@@ -66,6 +84,34 @@ void StatsCollector::record_request(double queue_seconds,
   e2e_.record(total_seconds);
 }
 
+void ServeStats::finalize() {
+  edges_per_busy_second =
+      busy_seconds > 0.0 ? static_cast<double>(edges) / busy_seconds : 0.0;
+  mean_batch_rows = batch_rows_hist.mean();
+  queue_wait_p50 = queue_wait_hist.percentile(0.50);
+  queue_wait_p95 = queue_wait_hist.percentile(0.95);
+  queue_wait_p99 = queue_wait_hist.percentile(0.99);
+  queue_wait_max = queue_wait_hist.max();
+  e2e_p50 = e2e_hist.percentile(0.50);
+  e2e_p95 = e2e_hist.percentile(0.95);
+  e2e_p99 = e2e_hist.percentile(0.99);
+  e2e_max = e2e_hist.max();
+  batch_rows_histogram = batch_rows_hist.buckets();
+}
+
+void ServeStats::merge(const ServeStats& other) {
+  requests += other.requests;
+  rows += other.rows;
+  batches += other.batches;
+  edges += other.edges;
+  errors += other.errors;
+  busy_seconds += other.busy_seconds;
+  batch_rows_hist.merge(other.batch_rows_hist);
+  queue_wait_hist.merge(other.queue_wait_hist);
+  e2e_hist.merge(other.e2e_hist);
+  finalize();
+}
+
 ServeStats StatsCollector::snapshot() const {
   std::scoped_lock lock(mutex_);
   ServeStats s;
@@ -75,18 +121,10 @@ ServeStats StatsCollector::snapshot() const {
   s.edges = edges_;
   s.errors = errors_;
   s.busy_seconds = busy_seconds_;
-  s.edges_per_busy_second =
-      busy_seconds_ > 0.0 ? static_cast<double>(edges_) / busy_seconds_ : 0.0;
-  s.mean_batch_rows = batch_rows_.mean();
-  s.queue_wait_p50 = queue_wait_.percentile(0.50);
-  s.queue_wait_p95 = queue_wait_.percentile(0.95);
-  s.queue_wait_p99 = queue_wait_.percentile(0.99);
-  s.queue_wait_max = queue_wait_.max();
-  s.e2e_p50 = e2e_.percentile(0.50);
-  s.e2e_p95 = e2e_.percentile(0.95);
-  s.e2e_p99 = e2e_.percentile(0.99);
-  s.e2e_max = e2e_.max();
-  s.batch_rows_histogram = batch_rows_.buckets();
+  s.batch_rows_hist = batch_rows_;
+  s.queue_wait_hist = queue_wait_;
+  s.e2e_hist = e2e_;
+  s.finalize();
   return s;
 }
 

@@ -15,6 +15,13 @@
 // batch delay or ten").  Recording is serialized
 // by a per-collector mutex; the engine records once per *batch* plus
 // once per request, which is noise next to a fused forward pass.
+//
+// Snapshots are MERGEABLE: a ServeStats carries its three histograms
+// alongside the derived scalars, and ServeStats::merge folds another
+// snapshot in bucket-wise (Log2Histogram::merge) and recomputes the
+// derived fields -- so a composite backend (serve/router.hpp) can
+// aggregate per-shard views into one whose percentiles are exactly
+// those of a histogram built from the pooled samples.
 #pragma once
 
 #include <array>
@@ -40,6 +47,12 @@ class Log2Histogram {
 
   void record(double value) noexcept;
 
+  /// Fold `other` in bucket-wise; both histograms must share `base`.
+  /// Afterwards every query answers as if this histogram had recorded
+  /// the union of both sample streams.
+  void merge(const Log2Histogram& other);
+
+  double base() const noexcept { return base_; }
   std::uint64_t count() const noexcept { return count_; }
   double max() const noexcept { return max_; }
   double sum() const noexcept { return sum_; }
@@ -65,7 +78,10 @@ class Log2Histogram {
   double max_ = 0.0;
 };
 
-/// Immutable snapshot of one model's serving counters.
+/// Snapshot of one model's serving counters.  Carries the raw
+/// histograms it was derived from, so snapshots from independent
+/// collectors (e.g. one per shard) merge exactly: fold with merge(),
+/// read the recomputed derived fields.
 struct ServeStats {
   std::uint64_t requests = 0;  ///< completed requests
   std::uint64_t rows = 0;      ///< input rows served
@@ -84,6 +100,21 @@ struct ServeStats {
 
   /// (upper_bound_rows, batches) per non-empty batch-size bucket.
   std::vector<std::pair<double, std::uint64_t>> batch_rows_histogram;
+
+  /// The raw distributions behind the derived fields above.
+  Log2Histogram batch_rows_hist{1.0};
+  Log2Histogram queue_wait_hist{1e-6};
+  Log2Histogram e2e_hist{1e-6};
+
+  /// Fold `other` in (counters summed, histograms merged bucket-wise)
+  /// and recompute every derived field.  Percentiles of the merged view
+  /// equal those of a histogram fed the pooled samples.
+  void merge(const ServeStats& other);
+
+  /// Recompute the derived scalar fields and the bucket listing from
+  /// the counters and histograms.  StatsCollector::snapshot and merge()
+  /// call this; callers only need it after mutating raw fields by hand.
+  void finalize();
 };
 
 /// Human-readable multi-line rendering (examples / debugging).

@@ -1,9 +1,10 @@
-// End-to-end tests of the serving engine: batched results must be
+// End-to-end tests of the serving engine behind the unified front-end
+// API (serve/request.hpp + serve/backend.hpp): batched results must be
 // bit-identical to direct SparseDnn::forward of the same rows (batch
 // rows are independent under the challenge rule, so coalescing must not
-// change values), across the future, owning-future and zero-copy
-// callback APIs, multiple models, graceful shutdown drain, and the
-// stats surface.
+// change values), across future and callback completion, borrowed and
+// owned inputs, all three admission modes, multiple models, graceful
+// shutdown drain, model lookup by name, and the stats surface.
 #include "serve/engine.hpp"
 
 #include <gtest/gtest.h>
@@ -16,6 +17,7 @@
 #include <vector>
 
 #include "radixnet/graph_challenge.hpp"
+#include "serve/client.hpp"
 #include "serve/stats.hpp"
 #include "support/random.hpp"
 
@@ -56,13 +58,42 @@ TEST(ServeEngine, SingleRequestMatchesDirectForward) {
 
   Rng irng(3);
   const auto x = gc::synthetic_input(5, m.width, 0.4, irng);
-  auto fut = engine.submit(id, x.data(), 5);
+  auto fut = engine.submit(InferenceRequest::borrowed(id, x, 5)).take_future();
   const auto got = fut.get();
   const auto want = direct_forward(*m.dnn, x, 5);
   ASSERT_EQ(got.size(), want.size());
   for (std::size_t i = 0; i < want.size(); ++i) {
     ASSERT_EQ(got[i], want[i]) << "at " << i;
   }
+}
+
+TEST(ServeEngine, FindModelByNameAndDuplicateNamesRejected) {
+  const auto m0 = make_model(1024, 2, 50);
+  const auto m1 = make_model(1024, 2, 51);
+  Engine engine({.workers = 1});
+  const auto chat = engine.add_model(m0.dnn, "chat");
+  const auto anon = engine.add_model(m1.dnn);  // generated name
+
+  ASSERT_TRUE(engine.find_model("chat").has_value());
+  EXPECT_EQ(engine.find_model("chat").value(), chat);
+  ASSERT_TRUE(engine.find_model(engine.model_name(anon)).has_value());
+  EXPECT_EQ(engine.find_model(engine.model_name(anon)).value(), anon);
+  EXPECT_FALSE(engine.find_model("no-such-model").has_value());
+
+  // Two models sharing one name would make stats ambiguous: rejected,
+  // and the failed registration must not consume an id.
+  EXPECT_THROW((void)engine.add_model(m1.dnn, "chat"), Error);
+  EXPECT_EQ(engine.num_models(), 2u);
+  const auto third = engine.add_model(m1.dnn, "chat-2");
+  EXPECT_EQ(third, 2u);
+
+  // Anonymous registration must dodge an explicitly taken "model-<n>"
+  // name instead of failing.
+  (void)engine.add_model(m1.dnn, "model-4");  // id 3, squats the next slot
+  const auto anon2 = engine.add_model(m1.dnn);
+  EXPECT_EQ(anon2, 4u);
+  EXPECT_EQ(engine.model_name(anon2), "model-5");
+  EXPECT_EQ(engine.find_model("model-5").value(), anon2);
 }
 
 TEST(ServeEngine, ManyConcurrentRequestsAreBitExactAndCoalesce) {
@@ -87,7 +118,8 @@ TEST(ServeEngine, ManyConcurrentRequestsAreBitExactAndCoalesce) {
   std::vector<std::future<std::vector<float>>> futures;
   for (index_t i = 0; i < kRequests; ++i) {
     futures.push_back(
-        engine.submit(id, inputs[i].data(), 1 + i % 3));
+        engine.submit(InferenceRequest::borrowed(id, inputs[i], 1 + i % 3))
+            .take_future());
   }
   for (index_t i = 0; i < kRequests; ++i) {
     const auto got = futures[i].get();
@@ -113,7 +145,7 @@ TEST(ServeEngine, ManyConcurrentRequestsAreBitExactAndCoalesce) {
   EXPECT_EQ(hist_total, s.batches);
 }
 
-TEST(ServeEngine, OwningSubmitAndWidthValidation) {
+TEST(ServeEngine, OwnedSubmitAndInputSizeValidation) {
   const auto m = make_model(1024, 2, 3);
   Engine engine({.workers = 1});
   const auto id = engine.add_model(m.dnn);
@@ -121,18 +153,27 @@ TEST(ServeEngine, OwningSubmitAndWidthValidation) {
   Rng irng(9);
   auto x = gc::synthetic_input(2, m.width, 0.3, irng);
   const auto want = direct_forward(*m.dnn, x, 2);
-  auto fut = engine.submit(id, std::move(x), 2);  // engine owns the buffer
+  // Owned request: the engine carries the buffer, the caller's vector
+  // is gone the moment the factory returns.
+  auto fut = engine.submit(InferenceRequest::owned(id, std::move(x), 2))
+                 .take_future();
   const auto got = fut.get();
   ASSERT_EQ(got.size(), want.size());
   for (std::size_t i = 0; i < want.size(); ++i) ASSERT_EQ(got[i], want[i]);
 
   EXPECT_THROW(
-      (void)engine.submit(id, std::vector<float>(17, 0.0f), 2),
+      (void)engine.submit(
+          InferenceRequest::owned(id, std::vector<float>(17, 0.0f), 2)),
       DimensionError)
-      << "owning submit must validate rows * input_width";
+      << "owned submit must validate rows * input_width";
+  const std::vector<float> short_buf(m.width, 0.0f);
+  EXPECT_THROW(
+      (void)engine.submit(InferenceRequest::borrowed(id, short_buf, 2)),
+      DimensionError)
+      << "the borrowed span encodes its length, so size is validated too";
 }
 
-TEST(ServeEngine, CallbackApiDeliversSpanAndTiming) {
+TEST(ServeEngine, CallbackCompletionDeliversSpanAndTiming) {
   const auto m = make_model(1024, 2, 4);
   Engine engine({.workers = 1, .max_delay = 0us});
   const auto id = engine.add_model(m.dnn);
@@ -144,14 +185,16 @@ TEST(ServeEngine, CallbackApiDeliversSpanAndTiming) {
   std::promise<void> done_promise;
   std::vector<float> got;
   RequestTiming timing;
-  engine.submit(id, x.data(), 3,
-                [&](std::span<const float> y, const RequestTiming& t,
-                    std::exception_ptr err) {
-                  EXPECT_EQ(err, nullptr);
-                  got.assign(y.begin(), y.end());
-                  timing = t;
-                  done_promise.set_value();
-                });
+  const auto res = engine.submit(
+      InferenceRequest::borrowed(id, x, 3),
+      {.done = [&](std::span<const float> y, const RequestTiming& t,
+                   std::exception_ptr err) {
+        EXPECT_EQ(err, nullptr);
+        got.assign(y.begin(), y.end());
+        timing = t;
+        done_promise.set_value();
+      }});
+  EXPECT_TRUE(res.admitted());
   done_promise.get_future().wait();
   ASSERT_EQ(got.size(), want.size());
   for (std::size_t i = 0; i < want.size(); ++i) ASSERT_EQ(got[i], want[i]);
@@ -159,12 +202,52 @@ TEST(ServeEngine, CallbackApiDeliversSpanAndTiming) {
   EXPECT_GE(timing.total_seconds, timing.queue_seconds);
 }
 
+TEST(ServeEngine, CallbackSubmitCarriesNoFuture) {
+  const auto m = make_model(1024, 2, 12);
+  Engine engine({.workers = 1, .max_delay = 0us});
+  const auto id = engine.add_model(m.dnn);
+  Rng irng(13);
+  const auto x = gc::synthetic_input(1, m.width, 0.4, irng);
+
+  std::promise<void> done;
+  auto res = engine.submit(
+      InferenceRequest::borrowed(id, x, 1),
+      {.done = [&](std::span<const float>, const RequestTiming&,
+                   std::exception_ptr) { done.set_value(); }});
+  EXPECT_TRUE(res.admitted());
+  EXPECT_FALSE(res.has_future());
+  EXPECT_THROW((void)res.take_future(), Error);
+  done.get_future().wait();
+}
+
 TEST(ServeEngine, ZeroRowSubmitCompletesImmediately) {
   const auto m = make_model(1024, 2, 5);
   Engine engine({.workers = 1});
   const auto id = engine.add_model(m.dnn);
-  auto fut = engine.submit(id, nullptr, 0);
+  auto fut = engine.submit(InferenceRequest::borrowed(id, {}, 0))
+                 .take_future();
   EXPECT_TRUE(fut.get().empty());
+}
+
+TEST(ServeEngine, ClientBindsBackendAndModel) {
+  const auto m = make_model(1024, 2, 14);
+  Engine engine({.workers = 1});
+  const auto id = engine.add_model(m.dnn, "bound");
+
+  Client client(engine, engine.find_model("bound").value());
+  EXPECT_TRUE(client.bound());
+  EXPECT_EQ(client.model(), id);
+  EXPECT_EQ(&client.backend(), static_cast<Backend*>(&engine));
+
+  Rng irng(15);
+  const auto x = gc::synthetic_input(2, m.width, 0.4, irng);
+  const auto want = direct_forward(*m.dnn, x, 2);
+  // Borrowed (span) and owned (vector) wrappers funnel into the same
+  // backend entry point.
+  EXPECT_EQ(client.submit(x, 2).get(), want);
+  EXPECT_EQ(client.submit(std::vector<float>(x), 2).get(), want);
+  EXPECT_EQ(client.stats().requests, 2u);
+  EXPECT_EQ(client.pending(), 0u);
 }
 
 TEST(ServeEngine, MultiModelRoutingAndStatsIsolation) {
@@ -183,8 +266,10 @@ TEST(ServeEngine, MultiModelRoutingAndStatsIsolation) {
 
   std::vector<std::future<std::vector<float>>> f0, f1;
   for (int i = 0; i < 6; ++i) {
-    f0.push_back(engine.submit(id0, x0.data(), 2));
-    f1.push_back(engine.submit(id1, x1.data(), 1));
+    f0.push_back(
+        engine.submit(InferenceRequest::borrowed(id0, x0, 2)).take_future());
+    f1.push_back(
+        engine.submit(InferenceRequest::borrowed(id1, x1, 1)).take_future());
   }
   for (auto& f : f0) {
     const auto got = f.get();
@@ -214,12 +299,13 @@ TEST(ServeEngine, ShutdownDrainsEveryAcceptedRequest) {
     x = gc::synthetic_input(1, m.width, 0.4, irng);
     want = direct_forward(*m.dnn, x, 1);
     for (int i = 0; i < 32; ++i) {
-      futures.push_back(engine.submit(id, x.data(), 1));
+      futures.push_back(
+          engine.submit(InferenceRequest::borrowed(id, x, 1)).take_future());
     }
     engine.shutdown();  // must serve all 32 before returning
     EXPECT_FALSE(engine.accepting());
-    EXPECT_THROW((void)engine.submit(id, x.data(), 1), Error)
-        << "submit after shutdown must throw";
+    EXPECT_FALSE(engine.submit(InferenceRequest::borrowed(id, x, 1)).admitted())
+        << "submit after shutdown must be rejected, not served";
     EXPECT_EQ(engine.stats(id).requests, 32u);
   }  // destructor: second shutdown must be a no-op
   for (auto& f : futures) {
@@ -237,16 +323,16 @@ TEST(ServeEngine, ThrowingCallbackDoesNotKillWorkers) {
   const auto x = gc::synthetic_input(1, m.width, 0.4, irng);
 
   std::promise<void> threw;
-  engine.submit(id, x.data(), 1,
-                [&](std::span<const float>, const RequestTiming&,
-                    std::exception_ptr) {
-                  threw.set_value();
-                  throw std::runtime_error("client bug");
-                });
+  (void)engine.submit(InferenceRequest::borrowed(id, x, 1),
+                      {.done = [&](std::span<const float>,
+                                   const RequestTiming&, std::exception_ptr) {
+                        threw.set_value();
+                        throw std::runtime_error("client bug");
+                      }});
   threw.get_future().wait();
   // The worker must have survived the escaping exception and still
   // serve subsequent requests.
-  auto fut = engine.submit(id, x.data(), 1);
+  auto fut = engine.submit(InferenceRequest::borrowed(id, x, 1)).take_future();
   EXPECT_EQ(fut.get(), direct_forward(*m.dnn, x, 1));
 }
 
@@ -258,13 +344,14 @@ TEST(ServeEngine, ConcurrentAddModelKeepsIdsConsistent) {
   for (std::uint64_t s = 0; s < 4; ++s) models.push_back(make_model(1024, 2, 20 + s));
 
   Engine engine({.workers = 2, .max_delay = 0us});
-  std::vector<Engine::ModelId> ids(4);
+  std::vector<ModelId> ids(4);
   {
     std::vector<std::thread> registrars;
     for (int t = 0; t < 4; ++t) {
       registrars.emplace_back([&, t] {
-        ids[static_cast<std::size_t>(t)] =
-            engine.add_model(models[static_cast<std::size_t>(t)].dnn);
+        ids[static_cast<std::size_t>(t)] = engine.add_model(
+            models[static_cast<std::size_t>(t)].dnn,
+            "model-t" + std::to_string(t));
       });
     }
     for (auto& th : registrars) th.join();
@@ -274,7 +361,9 @@ TEST(ServeEngine, ConcurrentAddModelKeepsIdsConsistent) {
   const auto x = gc::synthetic_input(1, 1024, 0.4, irng);
   for (int t = 0; t < 4; ++t) {
     const auto id = ids[static_cast<std::size_t>(t)];
-    auto fut = engine.submit(id, x.data(), 1);
+    EXPECT_EQ(engine.find_model("model-t" + std::to_string(t)).value(), id);
+    auto fut =
+        engine.submit(InferenceRequest::borrowed(id, x, 1)).take_future();
     EXPECT_EQ(fut.get(),
               direct_forward(*models[static_cast<std::size_t>(t)].dnn, x, 1))
         << "model id " << id << " routed to the wrong model";
@@ -288,7 +377,10 @@ TEST(ServeEngine, StatsPercentilesAreOrdered) {
   Rng irng(19);
   const auto x = gc::synthetic_input(1, m.width, 0.4, irng);
   std::vector<std::future<std::vector<float>>> futures;
-  for (int i = 0; i < 20; ++i) futures.push_back(engine.submit(id, x.data(), 1));
+  for (int i = 0; i < 20; ++i) {
+    futures.push_back(
+        engine.submit(InferenceRequest::borrowed(id, x, 1)).take_future());
+  }
   for (auto& f : futures) (void)f.get();
 
   const ServeStats s = engine.stats(id);
@@ -344,8 +436,14 @@ TEST(ServeEngineQos, ClassStatsAggregatePerPriority) {
   Rng irng(33);
   const auto x = gc::synthetic_input(1, 1024, 0.4, irng);
   std::vector<std::future<std::vector<float>>> futures;
-  for (int i = 0; i < 8; ++i) futures.push_back(engine.submit(chat, x.data(), 1));
-  for (int i = 0; i < 3; ++i) futures.push_back(engine.submit(bulk, x.data(), 1));
+  for (int i = 0; i < 8; ++i) {
+    futures.push_back(
+        engine.submit(InferenceRequest::borrowed(chat, x, 1)).take_future());
+  }
+  for (int i = 0; i < 3; ++i) {
+    futures.push_back(
+        engine.submit(InferenceRequest::borrowed(bulk, x, 1)).take_future());
+  }
   for (auto& f : futures) (void)f.get();
 
   const ServeStats si = engine.class_stats(Priority::kInteractive);
@@ -360,7 +458,7 @@ TEST(ServeEngineQos, ClassStatsAggregatePerPriority) {
   EXPECT_EQ(sb.rows, engine.stats(bulk).rows);
 }
 
-TEST(ServeEngineQos, TrySubmitFailsFastOnFullQueueThenRecovers) {
+TEST(ServeEngineQos, FailFastAdmissionOnFullQueueThenRecovers) {
   const auto m = make_model(1024, 2, 34);
   Engine engine({.workers = 1, .max_delay = 0us, .queue_capacity = 2});
   const auto id = engine.add_model(m.dnn);
@@ -372,27 +470,38 @@ TEST(ServeEngineQos, TrySubmitFailsFastOnFullQueueThenRecovers) {
   std::promise<void> worker_parked;
   std::promise<void> release_worker;
   auto release_future = release_worker.get_future();
-  engine.submit(id, x.data(), 1,
-                [&](std::span<const float>, const RequestTiming&,
-                    std::exception_ptr) {
-                  worker_parked.set_value();
-                  release_future.wait();
-                });
+  (void)engine.submit(InferenceRequest::borrowed(id, x, 1),
+                      {.done = [&](std::span<const float>,
+                                   const RequestTiming&, std::exception_ptr) {
+                        worker_parked.set_value();
+                        release_future.wait();
+                      }});
   worker_parked.get_future().wait();
 
   // Fill the queue to capacity behind the parked worker.
-  auto f1 = engine.submit(id, x.data(), 1);
-  auto f2 = engine.submit(id, x.data(), 1);
+  auto f1 = engine.submit(InferenceRequest::borrowed(id, x, 1)).take_future();
+  auto f2 = engine.submit(InferenceRequest::borrowed(id, x, 1)).take_future();
   EXPECT_EQ(engine.pending(id), 2u);
 
-  EXPECT_FALSE(engine.try_submit(
-      id, x.data(), 1,
-      [](std::span<const float>, const RequestTiming&, std::exception_ptr) {
-        FAIL() << "rejected request must never complete";
-      }))
+  EXPECT_FALSE(
+      engine
+          .submit(InferenceRequest::borrowed(id, x, 1),
+                  {.admission = Admission::kFailFast,
+                   .done = [](std::span<const float>, const RequestTiming&,
+                              std::exception_ptr) {
+                     FAIL() << "rejected request must never complete";
+                   }})
+          .admitted())
       << "full queue must fail fast";
-  EXPECT_FALSE(engine.try_submit(id, x.data(), 1).has_value());
-  EXPECT_FALSE(engine.try_submit_for(id, x.data(), 1, 1000us).has_value())
+  EXPECT_FALSE(engine
+                   .submit(InferenceRequest::borrowed(id, x, 1),
+                           {.admission = Admission::kFailFast})
+                   .admitted());
+  EXPECT_FALSE(engine
+                   .submit(InferenceRequest::borrowed(id, x, 1),
+                           {.admission = Admission::kBoundedWait,
+                            .timeout = 1000us})
+                   .admitted())
       << "bounded wait must give up on a still-full queue";
 
   release_worker.set_value();  // worker drains the backlog
@@ -401,17 +510,24 @@ TEST(ServeEngineQos, TrySubmitFailsFastOnFullQueueThenRecovers) {
   EXPECT_EQ(f2.get(), want);
 
   // With the queue drained, non-blocking admission succeeds again.
-  auto f3 = engine.try_submit(id, x.data(), 1);
-  ASSERT_TRUE(f3.has_value());
-  EXPECT_EQ(f3->get(), want);
+  auto r3 = engine.submit(InferenceRequest::borrowed(id, x, 1),
+                          {.admission = Admission::kFailFast});
+  ASSERT_TRUE(r3.admitted());
+  EXPECT_EQ(r3.get(), want);
 
   engine.shutdown();
-  EXPECT_FALSE(engine.try_submit(id, x.data(), 1).has_value())
-      << "try_submit after shutdown reports failure instead of throwing";
-  EXPECT_FALSE(engine.try_submit(
-      id, x.data(), 1,
-      [](std::span<const float>, const RequestTiming&, std::exception_ptr) {
-      }));
+  EXPECT_FALSE(engine
+                   .submit(InferenceRequest::borrowed(id, x, 1),
+                           {.admission = Admission::kFailFast})
+                   .admitted())
+      << "fail-fast after shutdown reports rejection";
+  EXPECT_FALSE(engine
+                   .submit(InferenceRequest::borrowed(id, x, 1),
+                           {.admission = Admission::kFailFast,
+                            .done = [](std::span<const float>,
+                                       const RequestTiming&,
+                                       std::exception_ptr) {}})
+                   .admitted());
 }
 
 TEST(ServeLog2Histogram, PercentileApproximation) {

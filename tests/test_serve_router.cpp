@@ -1,0 +1,259 @@
+// ShardRouter tests: routing one model across N independent engines
+// must change WHERE work runs, never what it computes -- outputs stay
+// bit-identical to a direct fused forward of the same rows -- while the
+// Backend surface (merged stats, summed pending, drain-on-shutdown,
+// name lookup) behaves like one big engine.  Sized to stay meaningful
+// under ThreadSanitizer (the suite carries the `serve` CTest label).
+#include "serve/router.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <vector>
+
+#include "radixnet/graph_challenge.hpp"
+#include "serve/client.hpp"
+#include "support/random.hpp"
+#include "support/thread.hpp"
+
+namespace radix::serve {
+namespace {
+
+using namespace std::chrono_literals;
+
+std::shared_ptr<infer::SparseDnn> make_dnn(index_t neurons,
+                                           std::size_t layers,
+                                           std::uint64_t seed) {
+  Rng rng(seed);
+  const auto net = gc::network(neurons, layers, &rng);
+  return std::make_shared<infer::SparseDnn>(net.layers, net.bias, gc::kClamp);
+}
+
+std::vector<float> direct_forward(const infer::SparseDnn& dnn,
+                                  const std::vector<float>& input,
+                                  index_t rows) {
+  infer::InferenceWorkspace ws;
+  const auto y = dnn.forward(input.data(), rows, ws);
+  return {y.begin(), y.end()};
+}
+
+TEST(ShardRouter, BitExactAcrossShardsAndAggregatedStats) {
+  const auto dnn = make_dnn(1024, 4, 60);
+  ShardRouter router({.shards = 3,
+                      .engine = {.workers = 1,
+                                 .max_batch_rows = 8,
+                                 .max_delay = 200us,
+                                 .queue_capacity = 64}});
+  EXPECT_EQ(router.num_shards(), 3u);
+  const auto id = router.add_model(dnn, "gc");
+
+  constexpr index_t kRequests = 60;
+  Rng irng(61);
+  std::vector<std::vector<float>> inputs;
+  std::vector<std::vector<float>> want;
+  std::uint64_t total_rows = 0;
+  for (index_t i = 0; i < kRequests; ++i) {
+    const index_t rows = 1 + i % 3;
+    total_rows += rows;
+    inputs.push_back(gc::synthetic_input(rows, 1024, 0.4, irng));
+    want.push_back(direct_forward(*dnn, inputs.back(), rows));
+  }
+
+  std::vector<std::future<std::vector<float>>> futures;
+  for (index_t i = 0; i < kRequests; ++i) {
+    futures.push_back(
+        router.submit(InferenceRequest::borrowed(id, inputs[i], 1 + i % 3))
+            .take_future());
+  }
+  for (index_t i = 0; i < kRequests; ++i) {
+    EXPECT_EQ(futures[i].get(), want[i])
+        << "request " << i << " must be bit-exact regardless of its shard";
+  }
+
+  // The merged view must account for every request exactly once, and
+  // its batch histogram must cover every batch any shard ran.
+  const ServeStats merged = router.stats(id);
+  EXPECT_EQ(merged.requests, kRequests);
+  EXPECT_EQ(merged.rows, total_rows);
+  EXPECT_EQ(merged.errors, 0u);
+  EXPECT_GT(merged.edges_per_busy_second, 0.0);
+  std::uint64_t shard_requests = 0, shard_batches = 0;
+  for (std::size_t s = 0; s < router.num_shards(); ++s) {
+    shard_requests += router.shard(s).stats(id).requests;
+    shard_batches += router.shard(s).stats(id).batches;
+  }
+  EXPECT_EQ(shard_requests, kRequests);
+  EXPECT_EQ(merged.batches, shard_batches);
+  std::uint64_t hist_total = 0;
+  for (const auto& [bound, count] : merged.batch_rows_histogram) {
+    hist_total += count;
+  }
+  EXPECT_EQ(hist_total, merged.batches);
+  EXPECT_EQ(router.pending(id), 0u);
+}
+
+TEST(ShardRouter, SingleShardDegeneratesToOneEngine) {
+  const auto dnn = make_dnn(1024, 2, 62);
+  ShardRouter router({.shards = 1, .engine = {.workers = 1}});
+  const auto id = router.add_model(dnn, "solo");
+  Rng irng(63);
+  const auto x = gc::synthetic_input(2, 1024, 0.4, irng);
+  EXPECT_EQ(router.submit(InferenceRequest::borrowed(id, x, 2)).get(),
+            direct_forward(*dnn, x, 2));
+  EXPECT_EQ(router.stats(id).requests, 1u);
+  EXPECT_EQ(router.shard(0).stats(id).requests, 1u);
+}
+
+TEST(ShardRouter, FindModelNamesAndDuplicateRejection) {
+  const auto d0 = make_dnn(1024, 2, 64);
+  const auto d1 = make_dnn(1024, 2, 65);
+  ShardRouter router({.shards = 2, .engine = {.workers = 1}});
+  const auto a = router.add_model(d0, "alpha");
+  const auto anon = router.add_model(d1);  // generated name
+
+  EXPECT_EQ(router.num_models(), 2u);
+  EXPECT_EQ(router.find_model("alpha").value(), a);
+  EXPECT_EQ(router.find_model("model-1").value(), anon);
+  EXPECT_FALSE(router.find_model("beta").has_value());
+  // Router and shard registries agree on names.
+  for (std::size_t s = 0; s < router.num_shards(); ++s) {
+    EXPECT_EQ(router.shard(s).find_model("alpha").value(), a);
+    EXPECT_EQ(router.shard(s).model_name(anon), "model-1");
+  }
+  EXPECT_THROW((void)router.add_model(d1, "alpha"), Error);
+  EXPECT_EQ(router.num_models(), 2u);
+}
+
+TEST(ShardRouter, ClientWorksOverRouterBackend) {
+  const auto dnn = make_dnn(1024, 2, 66);
+  ShardRouter router({.shards = 2, .engine = {.workers = 1}});
+  (void)router.add_model(dnn, "svc");
+  Client client(router, router.find_model("svc").value());
+  Rng irng(67);
+  const auto x = gc::synthetic_input(1, 1024, 0.4, irng);
+  const auto want = direct_forward(*dnn, x, 1);
+  for (int i = 0; i < 6; ++i) EXPECT_EQ(client.submit(x, 1).get(), want);
+  EXPECT_EQ(client.stats().requests, 6u);
+}
+
+TEST(ShardRouter, ConcurrentClientsSpreadAndStayBitExact) {
+  const auto dnn = make_dnn(1024, 4, 68);
+  ShardRouter router({.shards = 2,
+                      .engine = {.workers = 1,
+                                 .max_batch_rows = 16,
+                                 .max_delay = 200us,
+                                 .queue_capacity = 64}});
+  const auto id = router.add_model(dnn, "hot");
+
+  constexpr index_t kPayloads = 4;
+  struct Payload {
+    std::vector<float> x;
+    index_t rows;
+    std::vector<float> want;
+  };
+  std::vector<Payload> payloads;
+  Rng irng(69);
+  for (index_t p = 0; p < kPayloads; ++p) {
+    Payload pl;
+    pl.rows = 1 + p % 2;
+    pl.x = gc::synthetic_input(pl.rows, 1024, 0.4, irng);
+    pl.want = direct_forward(*dnn, pl.x, pl.rows);
+    payloads.push_back(std::move(pl));
+  }
+
+  constexpr int kClients = 6;
+  constexpr int kRequestsPerClient = 25;
+  std::atomic<int> mismatches{0};
+  {
+    ThreadGroup clients;
+    for (int c = 0; c < kClients; ++c) {
+      clients.spawn([&, c] {
+        for (int i = 0; i < kRequestsPerClient; ++i) {
+          const Payload& pl =
+              payloads[static_cast<std::size_t>((c + i) % kPayloads)];
+          auto res =
+              router.submit(InferenceRequest::borrowed(id, pl.x, pl.rows));
+          if (!res.admitted() || res.get() != pl.want) ++mismatches;
+        }
+      });
+    }
+  }  // join
+  EXPECT_EQ(mismatches.load(), 0);
+  const ServeStats merged = router.stats(id);
+  EXPECT_EQ(merged.requests,
+            static_cast<std::uint64_t>(kClients * kRequestsPerClient));
+  EXPECT_EQ(merged.errors, 0u);
+  // Two-choice routing under saturating load must actually use more
+  // than one shard (a stuck router would funnel everything to one).
+  int shards_used = 0;
+  for (std::size_t s = 0; s < router.num_shards(); ++s) {
+    if (router.shard(s).stats(id).requests > 0) ++shards_used;
+  }
+  EXPECT_GT(shards_used, 1) << "power-of-two-choices never spread the load";
+}
+
+TEST(ShardRouter, ShutdownDrainsEveryShardAndRejectsAfter) {
+  const auto dnn = make_dnn(1024, 2, 70);
+  std::vector<std::future<std::vector<float>>> futures;
+  std::vector<float> x;
+  std::vector<float> want;
+  {
+    ShardRouter router({.shards = 3,
+                        .engine = {.workers = 1, .max_delay = 10ms}});
+    const auto id = router.add_model(dnn, "drain");
+    Rng irng(71);
+    x = gc::synthetic_input(1, 1024, 0.4, irng);
+    want = direct_forward(*dnn, x, 1);
+    for (int i = 0; i < 30; ++i) {
+      futures.push_back(
+          router.submit(InferenceRequest::borrowed(id, x, 1)).take_future());
+    }
+    router.shutdown();  // every shard drains before this returns
+    EXPECT_FALSE(router.accepting());
+    EXPECT_FALSE(router.submit(InferenceRequest::borrowed(id, x, 1)).admitted());
+    EXPECT_EQ(router.stats(id).requests, 30u);
+  }  // destructor: second shutdown must be a no-op
+  for (auto& f : futures) {
+    EXPECT_EQ(f.get(), want);  // no broken promises across shards
+  }
+}
+
+TEST(ShardRouter, FailFastAdmissionIsPerChosenShard) {
+  const auto dnn = make_dnn(1024, 2, 72);
+  // One shard, one worker, tiny queue: deterministic full-queue probe
+  // through the router's admission path.
+  ShardRouter router({.shards = 1,
+                      .engine = {.workers = 1,
+                                 .max_delay = 0us,
+                                 .queue_capacity = 1}});
+  const auto id = router.add_model(dnn, "tight");
+  Rng irng(73);
+  const auto x = gc::synthetic_input(1, 1024, 0.4, irng);
+
+  std::promise<void> parked;
+  std::promise<void> release;
+  auto release_future = release.get_future();
+  (void)router.submit(InferenceRequest::borrowed(id, x, 1),
+                      {.done = [&](std::span<const float>,
+                                   const RequestTiming&, std::exception_ptr) {
+                        parked.set_value();
+                        release_future.wait();
+                      }});
+  parked.get_future().wait();
+  auto f1 = router.submit(InferenceRequest::borrowed(id, x, 1)).take_future();
+  EXPECT_EQ(router.pending(id), 1u);
+  EXPECT_FALSE(router
+                   .submit(InferenceRequest::borrowed(id, x, 1),
+                           {.admission = Admission::kFailFast})
+                   .admitted())
+      << "full shard queue must reject fail-fast admission";
+  release.set_value();
+  EXPECT_EQ(f1.get(), direct_forward(*dnn, x, 1));
+}
+
+}  // namespace
+}  // namespace radix::serve

@@ -17,6 +17,7 @@
 #include <cmath>
 #include <vector>
 
+#include "support/error.hpp"
 #include "support/random.hpp"
 
 namespace radix::serve {
@@ -167,6 +168,102 @@ TEST(StatsCollectorGolden, SnapshotPercentilesMatchReference) {
   }
   EXPECT_EQ(hist_total, s.batches);
   EXPECT_FALSE(to_string(s).empty());
+}
+
+TEST(Log2HistogramMerge, MatchesHistogramOfPooledSamples) {
+  // Cross-shard aggregation contract: merging per-shard histograms must
+  // be indistinguishable from one histogram that recorded every sample.
+  Rng rng(555);
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto a = random_latencies(rng, 100 + rng.uniform(900));
+    const auto b = random_latencies(rng, 50 + rng.uniform(1500));
+
+    Log2Histogram ha(kBase), hb(kBase), pooled(kBase);
+    for (double s : a) {
+      ha.record(s);
+      pooled.record(s);
+    }
+    for (double s : b) {
+      hb.record(s);
+      pooled.record(s);
+    }
+    ha.merge(hb);
+
+    EXPECT_EQ(ha.count(), pooled.count()) << "trial " << trial;
+    // merge() adds the two partial sums, pooled accumulated sample by
+    // sample: same value up to summation order.
+    EXPECT_NEAR(ha.sum(), pooled.sum(), 1e-12 * pooled.sum())
+        << "trial " << trial;
+    EXPECT_DOUBLE_EQ(ha.max(), pooled.max()) << "trial " << trial;
+    EXPECT_EQ(ha.buckets(), pooled.buckets()) << "trial " << trial;
+    for (double p : {0.5, 0.9, 0.95, 0.99, 0.999, 1.0}) {
+      EXPECT_DOUBLE_EQ(ha.percentile(p), pooled.percentile(p))
+          << "p=" << p << " trial=" << trial;
+      std::vector<double> all(a);
+      all.insert(all.end(), b.begin(), b.end());
+      EXPECT_DOUBLE_EQ(ha.percentile(p), golden_percentile(all, p))
+          << "merged percentile must match the pooled-sample reference "
+          << "(p=" << p << " trial=" << trial << ")";
+    }
+  }
+}
+
+TEST(Log2HistogramMerge, EmptyAndMismatchedBase) {
+  Log2Histogram h(kBase), empty(kBase);
+  h.record(5e-6);
+  h.merge(empty);  // no-op
+  EXPECT_EQ(h.count(), 1u);
+  empty.merge(h);  // adopt
+  EXPECT_EQ(empty.count(), 1u);
+  EXPECT_DOUBLE_EQ(empty.percentile(1.0), h.percentile(1.0));
+
+  Log2Histogram rows(1.0);  // batch-rows base
+  EXPECT_THROW(h.merge(rows), Error)
+      << "merging histograms with different bucket grids must refuse";
+}
+
+TEST(ServeStatsMerge, AggregatesCountersAndRederivesPercentiles) {
+  // Two "shards" record disjoint traffic; the merged snapshot must
+  // equal a single collector that saw everything.
+  Rng rng(888);
+  const auto lat_a = random_latencies(rng, 400);
+  const auto lat_b = random_latencies(rng, 700);
+
+  StatsCollector shard_a, shard_b, all;
+  for (double s : lat_a) {
+    shard_a.record_request(s * 0.5, s, false);
+    all.record_request(s * 0.5, s, false);
+  }
+  for (double s : lat_b) {
+    shard_b.record_request(s * 0.5, s, true);
+    all.record_request(s * 0.5, s, true);
+  }
+  shard_a.record_batch(16, 100, 0.25);
+  all.record_batch(16, 100, 0.25);
+  shard_b.record_batch(64, 900, 0.5);
+  all.record_batch(64, 900, 0.5);
+
+  ServeStats merged = shard_a.snapshot();
+  merged.merge(shard_b.snapshot());
+  const ServeStats want = all.snapshot();
+
+  EXPECT_EQ(merged.requests, want.requests);
+  EXPECT_EQ(merged.rows, want.rows);
+  EXPECT_EQ(merged.batches, want.batches);
+  EXPECT_EQ(merged.edges, want.edges);
+  EXPECT_EQ(merged.errors, want.errors);
+  EXPECT_DOUBLE_EQ(merged.busy_seconds, want.busy_seconds);
+  EXPECT_DOUBLE_EQ(merged.edges_per_busy_second, want.edges_per_busy_second);
+  EXPECT_DOUBLE_EQ(merged.mean_batch_rows, want.mean_batch_rows);
+  EXPECT_DOUBLE_EQ(merged.queue_wait_p50, want.queue_wait_p50);
+  EXPECT_DOUBLE_EQ(merged.queue_wait_p95, want.queue_wait_p95);
+  EXPECT_DOUBLE_EQ(merged.queue_wait_p99, want.queue_wait_p99);
+  EXPECT_DOUBLE_EQ(merged.queue_wait_max, want.queue_wait_max);
+  EXPECT_DOUBLE_EQ(merged.e2e_p50, want.e2e_p50);
+  EXPECT_DOUBLE_EQ(merged.e2e_p95, want.e2e_p95);
+  EXPECT_DOUBLE_EQ(merged.e2e_p99, want.e2e_p99);
+  EXPECT_DOUBLE_EQ(merged.e2e_max, want.e2e_max);
+  EXPECT_EQ(merged.batch_rows_histogram, want.batch_rows_histogram);
 }
 
 }  // namespace

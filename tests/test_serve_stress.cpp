@@ -87,7 +87,10 @@ TEST(ServeStress, ManyClientsOneEngineBitExact) {
           const Payload& pl =
               payloads[static_cast<std::size_t>((c + i) % kPayloads)];
           const bool to0 = (c + i) % 2 == 0;
-          auto fut = engine.submit(to0 ? id0 : id1, pl.x.data(), pl.rows);
+          auto fut = engine
+                         .submit(serve::InferenceRequest::borrowed(
+                             to0 ? id0 : id1, pl.x, pl.rows))
+                         .take_future();
           const auto got = fut.get();
           const auto& want = to0 ? pl.want0 : pl.want1;
           if (got.size() != want.size()) {
@@ -208,7 +211,10 @@ TEST(ServeStress, MixedPriorityQosUnderContention) {
         for (int i = 0; i < kRequestsPerClient; ++i) {
           const Payload& pl =
               payloads[static_cast<std::size_t>((c + i) % kPayloads)];
-          auto fut = engine.submit(id, pl.x.data(), pl.rows);
+          auto fut = engine
+                         .submit(serve::InferenceRequest::borrowed(
+                             id, pl.x, pl.rows))
+                         .take_future();
           const auto got = fut.get();
           const auto& want = interactive ? pl.want_i : pl.want_b;
           if (got != want) {
@@ -226,8 +232,10 @@ TEST(ServeStress, MixedPriorityQosUnderContention) {
   std::vector<std::future<std::vector<float>>> tail;
   for (int i = 0; i < 16; ++i) {
     const Payload& pl = payloads[static_cast<std::size_t>(i % kPayloads)];
-    tail.push_back(engine.submit(i % 2 == 0 ? chat : bulk, pl.x.data(),
-                                 pl.rows));
+    tail.push_back(engine
+                       .submit(serve::InferenceRequest::borrowed(
+                           i % 2 == 0 ? chat : bulk, pl.x, pl.rows))
+                       .take_future());
   }
   engine.shutdown();
   for (int i = 0; i < 16; ++i) {
@@ -256,7 +264,7 @@ TEST(ServeStress, MixedPriorityQosUnderContention) {
 
 TEST(ServeStress, SubmittersRaceShutdown) {
   // Submitters race close(): every submit must either complete its
-  // future or throw the shutdown error -- never hang, never drop.
+  // future or report rejection -- never hang, never drop.
   const auto dnn = make_dnn(1024, 2, 44);
   serve::Engine engine({.workers = 2, .max_delay = 200us});
   const auto id = engine.add_model(dnn);
@@ -270,11 +278,11 @@ TEST(ServeStress, SubmittersRaceShutdown) {
     for (int c = 0; c < 4; ++c) {
       clients.spawn([&] {
         for (int i = 0; i < 40; ++i) {
-          try {
-            auto fut = engine.submit(id, x.data(), 1);
-            (void)fut.get();
+          auto res = engine.submit(serve::InferenceRequest::borrowed(id, x, 1));
+          if (res.admitted()) {
+            (void)res.get();
             ++served;
-          } catch (const Error&) {
+          } else {
             ++rejected;
           }
         }
