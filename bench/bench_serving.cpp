@@ -394,5 +394,61 @@ BENCHMARK(BM_ServeSharded)
     ->UseRealTime()
     ->MeasureProcessCPUTime();
 
+// --- Failover sweep (PR 6 live operations) ------------------------------
+
+// The cost of shard churn in the serving path: closed-loop clients keep
+// the fleet saturated while thread 0 doubles as the chaos actor,
+// periodically killing one shard (orphans fail over to its siblings)
+// and restarting it (fresh engine, registry replayed).  Throughput is
+// the aggregate edges/s the fleet sustains THROUGH the churn; the
+// `failovers` counter reports how many queued requests the kills
+// actually moved (low on an unloaded fleet: killing an idle shard
+// orphans nothing).  Arg: {shards}; never fewer than 2 so a kill
+// always leaves rotation non-empty.
+void BM_ServeFailover(benchmark::State& state) {
+  const auto& x = cached_input(kShardedRows);
+  const std::uint64_t nnz =
+      g_router->shard(0).model(g_router_model).total_nnz();
+  const bool chaos = state.thread_index() == 0;
+  const auto shards = g_router->num_shards();
+  std::size_t victim = 0;
+  std::uint64_t kills = 0;
+  std::int64_t i = 0;
+  for (auto _ : state) {
+    auto fut = g_router
+                   ->submit(serve::InferenceRequest::borrowed(
+                       g_router_model, x, kShardedRows))
+                   .take_future();
+    benchmark::DoNotOptimize(fut.get().data());
+    // First kill lands on the very first iteration: even the shortest
+    // CI sample (scripts/check_perf_smoke.py) observes churn.
+    if (chaos && ++i % 16 == 1) {
+      g_router->kill_shard(victim);    // orphans fail over to siblings
+      g_router->restart_shard(victim); // replay registry, rejoin rotation
+      victim = (victim + 1) % shards;
+      ++kills;
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          kShardedRows * static_cast<std::int64_t>(nnz));
+  if (chaos) {
+    state.counters["kills"] = benchmark::Counter(static_cast<double>(kills));
+    state.counters["failovers"] =
+        benchmark::Counter(static_cast<double>(g_router->failovers()));
+    const auto merged = g_router->stats(g_router_model);
+    state.counters["e2e_p95_us"] = benchmark::Counter(merged.e2e_p95 * 1e6);
+  }
+}
+
+BENCHMARK(BM_ServeFailover)
+    ->Args({2})
+    ->Args({4})
+    ->Setup(SetupRouter)
+    ->Teardown(TeardownRouter)
+    ->Threads(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime()
+    ->MeasureProcessCPUTime();
+
 }  // namespace
 }  // namespace radix

@@ -70,7 +70,7 @@ def check_serving_shape(build_dir: str, min_time: str) -> int:
     seen = {"BM_ServeDirect": 0, "BM_ServeClosedLoop": 0,
             "BM_ServeLatencyVsDelay": 0, "BM_ServeInteractiveSolo": 0,
             "BM_ServeBatchOnly": 0, "BM_ServeMixedQoS": 0,
-            "BM_ServeSharded": 0}
+            "BM_ServeSharded": 0, "BM_ServeFailover": 0}
     for b in data["benchmarks"]:
         family = b["name"].split("/", 1)[0]
         if family not in seen:
@@ -94,6 +94,17 @@ def check_serving_shape(build_dir: str, min_time: str) -> int:
             if not 0.0 < share <= 1.0:
                 print(f"FAIL: {b['name']} busiest_shard_share {share} "
                       "not in (0, 1]")
+                return 1
+        if family == "BM_ServeFailover":
+            # The chaos thread must have actually churned shards AND the
+            # kills must have moved queued work (failovers is allowed to
+            # be zero only if a short sample produced zero kills).
+            kills = b.get("kills", 0.0)
+            if kills <= 0.0:
+                print(f"FAIL: {b['name']} reports no shard kills")
+                return 1
+            if "failovers" not in b:
+                print(f"FAIL: {b['name']} missing counter failovers")
                 return 1
     missing = [f for f, n in seen.items() if n == 0]
     if missing:

@@ -53,6 +53,69 @@ QosPolicy MicroBatcher::policy(std::size_t model) const {
   return slots_[model]->policy;
 }
 
+void MicroBatcher::retire_model(std::size_t model) {
+  std::unique_lock lock(monitor_.mutex);
+  RADIX_REQUIRE(model < slots_.size(), "MicroBatcher: unknown model id");
+  slots_[model]->retired = true;
+  // Submitters blocked on this model's full queue must wake and fail:
+  // their wait predicates include the retired flag.
+  monitor_.cv.notify_all();
+}
+
+bool MicroBatcher::model_retired(std::size_t model) const {
+  std::unique_lock lock(monitor_.mutex);
+  RADIX_REQUIRE(model < slots_.size(), "MicroBatcher: unknown model id");
+  return slots_[model]->retired;
+}
+
+void MicroBatcher::drain_model(std::size_t model) {
+  std::unique_lock lock(monitor_.mutex);
+  RADIX_REQUIRE(model < slots_.size(), "MicroBatcher: unknown model id");
+  ModelSlot& slot = *slots_[model];
+  monitor_.cv.wait(lock, [&] {
+    return slot.queue->empty_locked() && slot.inflight == 0;
+  });
+}
+
+void MicroBatcher::quiesce() {
+  std::unique_lock lock(monitor_.mutex);
+  monitor_.cv.wait(lock, [&] {
+    for (const auto& slot : slots_) {
+      if (!slot->queue->empty_locked() || slot->inflight != 0) return false;
+    }
+    return true;
+  });
+}
+
+void MicroBatcher::batch_complete(std::size_t model) {
+  std::unique_lock lock(monitor_.mutex);
+  RADIX_REQUIRE(model < slots_.size(), "MicroBatcher: unknown model id");
+  ModelSlot& slot = *slots_[model];
+  RADIX_ASSERT(slot.inflight > 0,
+               "MicroBatcher: batch_complete without a claimed batch");
+  --slot.inflight;
+  // Wakes drain_model/quiesce waiters (and costs one spurious sweep for
+  // anyone else sharing the monitor -- batches are coarse, so this is
+  // per-batch, not per-request, noise).
+  monitor_.cv.notify_all();
+}
+
+std::vector<std::pair<std::size_t, Request>> MicroBatcher::abort() {
+  std::vector<std::pair<std::size_t, Request>> orphans;
+  std::unique_lock lock(monitor_.mutex);
+  closed_ = true;
+  for (std::size_t m = 0; m < slots_.size(); ++m) {
+    Queue& q = *slots_[m]->queue;
+    q.close_locked();
+    while (!q.empty_locked()) {
+      orphans.emplace_back(m, std::move(q.front_locked()));
+      q.pop_front_locked();
+    }
+  }
+  monitor_.cv.notify_all();
+  return orphans;
+}
+
 bool MicroBatcher::push_locked(std::size_t model, Request&& r) {
   // Enqueue time is stamped here, after any backpressure wait: the
   // max_delay bound is measured from admission, with the injected
@@ -69,9 +132,11 @@ bool MicroBatcher::submit(std::size_t model, Request&& r) {
   std::unique_lock lock(monitor_.mutex);
   RADIX_REQUIRE(model < slots_.size(), "MicroBatcher: unknown model id");
   r.submitted = clock_->now();
-  Queue& q = *slots_[model]->queue;
-  monitor_.cv.wait(lock, [&] { return closed_ || !q.full_locked(); });
-  if (closed_) return false;
+  ModelSlot& slot = *slots_[model];
+  Queue& q = *slot.queue;
+  monitor_.cv.wait(
+      lock, [&] { return closed_ || slot.retired || !q.full_locked(); });
+  if (closed_ || slot.retired) return false;
   return push_locked(model, std::move(r));
 }
 
@@ -84,10 +149,11 @@ bool MicroBatcher::submit_for(std::size_t model, Request&& r,
   std::unique_lock lock(monitor_.mutex);
   RADIX_REQUIRE(model < slots_.size(), "MicroBatcher: unknown model id");
   r.submitted = clock_->now();
-  Queue& q = *slots_[model]->queue;
+  ModelSlot& slot = *slots_[model];
+  Queue& q = *slot.queue;
   if (timeout.count() > 0) {
     const auto deadline = clock_->now() + timeout;
-    while (!closed_ && q.full_locked()) {
+    while (!closed_ && !slot.retired && q.full_locked()) {
       if (clock_->wait_until(monitor_, lock, deadline) ==
               std::cv_status::timeout &&
           q.full_locked()) {
@@ -95,7 +161,7 @@ bool MicroBatcher::submit_for(std::size_t model, Request&& r,
       }
     }
   }
-  if (closed_ || q.full_locked()) return false;
+  if (closed_ || slot.retired || q.full_locked()) return false;
   return push_locked(model, std::move(r));
 }
 
@@ -222,6 +288,11 @@ bool MicroBatcher::next(Batch& out) {
       if (popped) monitor_.cv.notify_all();
     };
     take_fitting();
+    // The claim is in flight from the FIRST pop, not from return: the
+    // coalescing wait below leaves the queue empty while the claimed
+    // requests sit in `out`, and drain_model/quiesce must not conclude
+    // the model is idle while a worker still holds its work.
+    ++slot.inflight;
 
     if (out.rows < max_rows && max_delay.count() > 0 && !closed_) {
       // Coalescing window anchored at the *oldest* claimed request's

@@ -139,6 +139,43 @@ class MicroBatcher {
   /// resolve >= 1.  Safe while consumers run.
   std::size_t add_model(QosPolicy policy = {});
 
+  /// Stop admitting requests for one model (submit/try_submit/submit_for
+  /// return false, blocked submitters wake and fail) while everything
+  /// already queued stays claimable -- the per-model half of close().
+  /// Idempotent; safe while consumers run.  Model ids are never reused,
+  /// so a retired slot stays retired.
+  void retire_model(std::size_t model);
+
+  bool model_retired(std::size_t model) const;
+
+  /// Block until one model has nothing queued and nothing in flight
+  /// (every claimed batch has been reported via batch_complete).
+  /// Combined with retire_model this is a per-model graceful drain:
+  /// retire, drain, and the model has served its last request.
+  void drain_model(std::size_t model);
+
+  /// Block until EVERY model is idle (empty queues, zero in-flight
+  /// batches).  Does not stop admission: callers that want a terminal
+  /// quiesce retire/close first.
+  void quiesce();
+
+  /// Consumer-side completion hook: a batch claimed from `model` by
+  /// next() has been fully served (results delivered).  Drives the
+  /// in-flight accounting drain_model/quiesce wait on; every next()
+  /// claim must be paired with exactly one batch_complete.
+  void batch_complete(std::size_t model);
+
+  /// Close AND fail fast: refuse new work and hand every still-queued
+  /// request back to the caller as (model, request) pairs instead of
+  /// letting consumers drain them.  Batches already claimed by next()
+  /// still finish normally (a running forward pass cannot be recalled);
+  /// consumers exit once those are done.  The caller owns completing the
+  /// returned orphans (the engine fails them with AbortedError so a
+  /// failover layer can resubmit).  Idempotent: a second abort (or an
+  /// abort after close) returns whatever is still queued, which after a
+  /// completed close() drain is nothing.
+  std::vector<std::pair<std::size_t, Request>> abort();
+
   std::size_t num_models() const;
 
   /// The fully resolved policy a model was registered with.
@@ -182,6 +219,8 @@ class MicroBatcher {
     std::unique_ptr<Queue> queue;
     QosPolicy policy;           // fully resolved at add_model
     std::int64_t deficit = 0;   // banked rows (WDRR credit)
+    bool retired = false;       // admission closed for this model only
+    std::size_t inflight = 0;   // batches claimed but not batch_complete'd
   };
 
   struct ClassState {

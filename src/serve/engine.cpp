@@ -44,6 +44,7 @@ Engine::Engine(EngineOptions options)
     : options_(options), batcher_(batcher_options(options)) {
   RADIX_REQUIRE(options_.max_batch_rows > 0,
                 "Engine: max_batch_rows must be > 0");
+  models_.store(std::make_shared<const Registry>());
   worker_count_ =
       options_.workers == 0 ? default_worker_count() : options_.workers;
   try {
@@ -78,6 +79,17 @@ QosPolicy Engine::resolve_qos(QosPolicy qos) const {
   return qos;
 }
 
+void Engine::publish_locked(ModelId id, std::shared_ptr<const ModelState> st) {
+  const auto current = models_.load(std::memory_order_acquire);
+  auto next = std::make_shared<Registry>(*current);  // shallow slot copy
+  if (id == next->size()) {
+    next->push_back(std::move(st));
+  } else {
+    (*next)[id] = std::move(st);
+  }
+  models_.store(std::move(next), std::memory_order_release);
+}
+
 ModelId Engine::add_model(std::shared_ptr<const infer::SparseDnn> model,
                           std::string name, QosPolicy qos) {
   RADIX_REQUIRE(model != nullptr, "Engine: model must not be null");
@@ -85,6 +97,7 @@ ModelId Engine::add_model(std::shared_ptr<const infer::SparseDnn> model,
   st->dnn = std::move(model);
   st->input_width = st->dnn->input_width();
   st->output_width = st->dnn->output_width();
+  st->stats = std::make_shared<StatsCollector>();
   if (options_.prewarm) {
     // Builds the shared transposed-layer cache once, up front, so the
     // first served batch does not pay one-time construction latency.
@@ -92,57 +105,138 @@ ModelId Engine::add_model(std::shared_ptr<const infer::SparseDnn> model,
     // first contact (growth-only, cheap next to a transpose build).
     st->dnn->prewarm();
   }
-  // Registry push and batcher queue creation must be one atomic step:
-  // concurrent add_model calls interleaving between them would hand out
-  // mismatched ids and route one model's traffic to another's queue.
-  // Lock order is models_mutex_ -> batcher monitor; no other path nests
-  // the two.
+  // Registry publish and batcher queue creation must be one atomic
+  // step: concurrent add_model calls interleaving between them would
+  // hand out mismatched ids and route one model's traffic to another's
+  // queue.  Lock order is models_mutex_ -> batcher monitor; no other
+  // path nests the two.
   std::scoped_lock lock(models_mutex_);
+  const auto reg = models_.load(std::memory_order_acquire);
   st->name = detail::resolve_model_name(
-      std::move(name), models_.size(),
+      std::move(name), reg->size(),
       [&](const std::string& n) {
-        for (const auto& existing : models_) {
-          if (existing->name == n) return true;
+        // Retired slots release their name for reuse: the model they
+        // named has left the registry.
+        for (const auto& existing : *reg) {
+          if (!existing->retired && existing->name == n) return true;
         }
         return false;
       },
       "Engine");
   // Batcher slot first: its validation (priority, weight, closed) can
-  // throw, and throwing *after* the registry push would leave the two
-  // permanently desynced.  The reverse failure (push_back throwing
+  // throw, and throwing *after* the registry publish would leave the
+  // two permanently desynced.  The reverse failure (publish throwing
   // after the slot exists) only leaves an unreachable empty queue,
   // which the scheduler skips.
-  const ModelId id = models_.size();
+  const ModelId id = reg->size();
   const ModelId batcher_id = batcher_.add_model(resolve_qos(qos));
   RADIX_ASSERT(batcher_id == id,
                "Engine: model registry and batcher out of sync");
-  models_.push_back(st);
+  publish_locked(id, std::move(st));
   return id;
 }
 
-std::size_t Engine::num_models() const {
+void Engine::remove_model(ModelId id) {
   std::scoped_lock lock(models_mutex_);
-  return models_.size();
+  const auto reg = models_.load(std::memory_order_acquire);
+  RADIX_REQUIRE(id < reg->size(), "Engine: unknown model id");
+  const auto& old = (*reg)[id];
+  RADIX_REQUIRE(!old->retired, "Engine: model already removed");
+  // Close admission for this model only, then serve out its backlog.
+  // Workers make progress without models_mutex_ (they read the atomic
+  // snapshot), so holding it across the drain only serializes other
+  // lifecycle calls -- exactly the intent.
+  batcher_.retire_model(id);
+  batcher_.drain_model(id);
+  // Tombstone: weights released, name freed for reuse, stats retained
+  // so the id keeps answering stats() with its history.
+  auto st = std::make_shared<ModelState>(*old);
+  st->dnn = nullptr;
+  st->retired = true;
+  publish_locked(id, std::move(st));
+}
+
+void Engine::swap_model(ModelId id,
+                        std::shared_ptr<const infer::SparseDnn> dnn) {
+  RADIX_REQUIRE(dnn != nullptr, "Engine: model must not be null");
+  if (options_.prewarm) {
+    // Prewarm BEFORE taking any lock or publishing: the first batch on
+    // the new version must not pay transpose construction, and the
+    // submit hot path must never wait on it.
+    dnn->prewarm();
+  }
+  std::scoped_lock lock(models_mutex_);
+  const auto reg = models_.load(std::memory_order_acquire);
+  RADIX_REQUIRE(id < reg->size(), "Engine: unknown model id");
+  const auto& old = (*reg)[id];
+  RADIX_REQUIRE(!old->retired, "Engine: cannot swap a removed model");
+  // Queued requests were size-validated against the current widths; a
+  // version with different widths is a different model, not a swap.
+  RADIX_REQUIRE_DIM(dnn->input_width() == old->input_width &&
+                        dnn->output_width() == old->output_width,
+                    "Engine::swap_model: version widths differ");
+  auto st = std::make_shared<ModelState>(*old);  // shares name + stats
+  st->dnn = std::move(dnn);
+  st->version = old->version + 1;
+  publish_locked(id, std::move(st));
+  // Batches claimed from here on resolve the new snapshot; batches
+  // already claimed finish on the version they resolved.  The old
+  // version's weights free once its last in-flight batch drops them.
+}
+
+ModelId Engine::add_tombstone() {
+  auto st = std::make_shared<ModelState>();
+  st->stats = std::make_shared<StatsCollector>();
+  st->retired = true;
+  std::scoped_lock lock(models_mutex_);
+  const auto reg = models_.load(std::memory_order_acquire);
+  const ModelId id = reg->size();
+  st->name = "tombstone-" + std::to_string(id);
+  const ModelId batcher_id = batcher_.add_model(QosPolicy{});
+  RADIX_ASSERT(batcher_id == id,
+               "Engine: model registry and batcher out of sync");
+  batcher_.retire_model(id);
+  publish_locked(id, std::move(st));
+  return id;
+}
+
+std::uint32_t Engine::model_version(ModelId id) const {
+  return state(id)->version;
+}
+
+bool Engine::model_retired(ModelId id) const { return state(id)->retired; }
+
+void Engine::quiesce() { batcher_.quiesce(); }
+
+std::size_t Engine::num_models() const {
+  const auto reg = models_.load(std::memory_order_acquire);
+  std::size_t live = 0;
+  for (const auto& st : *reg) {
+    if (!st->retired) ++live;
+  }
+  return live;
 }
 
 std::optional<ModelId> Engine::find_model(std::string_view name) const {
-  std::scoped_lock lock(models_mutex_);
-  for (ModelId id = 0; id < models_.size(); ++id) {
-    if (models_[id]->name == name) return id;
+  const auto reg = models_.load(std::memory_order_acquire);
+  for (ModelId id = 0; id < reg->size(); ++id) {
+    if (!(*reg)[id]->retired && (*reg)[id]->name == name) return id;
   }
   return std::nullopt;
 }
 
 unsigned Engine::num_workers() const noexcept { return worker_count_; }
 
-std::shared_ptr<Engine::ModelState> Engine::state(ModelId id) const {
-  std::scoped_lock lock(models_mutex_);
-  RADIX_REQUIRE(id < models_.size(), "Engine: unknown model id");
-  return models_[id];
+std::shared_ptr<const Engine::ModelState> Engine::state(ModelId id) const {
+  const auto reg = models_.load(std::memory_order_acquire);
+  RADIX_REQUIRE(id < reg->size(), "Engine: unknown model id");
+  return (*reg)[id];
 }
 
 const infer::SparseDnn& Engine::model(ModelId id) const {
-  return *state(id)->dnn;
+  const auto st = state(id);
+  RADIX_REQUIRE(st->dnn != nullptr, "Engine: model was removed");
+  return *st->dnn;
 }
 
 const std::string& Engine::model_name(ModelId id) const {
@@ -155,7 +249,13 @@ QosPolicy Engine::model_policy(ModelId id) const {
 }
 
 SubmitResult Engine::submit(InferenceRequest req, SubmitOptions opts) {
+  // Lock-free id resolution: one atomic snapshot load, no registry
+  // mutex -- lifecycle publishes never stall the hot path.
   auto st = state(req.model);  // validates the id
+  // A removed model is a known id whose service ended: rejection is a
+  // value (like shutdown), not a caller bug.  The batcher's retired
+  // flag is the race-free authority; this check just short-circuits.
+  if (st->retired) return SubmitResult::rejected();
   RADIX_REQUIRE(req.rows == 0 || req.input.data() != nullptr,
                 "Engine::submit: null input with rows > 0");
   RADIX_REQUIRE_DIM(
@@ -167,7 +267,9 @@ SubmitResult Engine::submit(InferenceRequest req, SubmitOptions opts) {
   if (req.rows == 0) {
     // Nothing to batch: complete inline.  Admission still applies --
     // after shutdown the engine serves nothing, not even empties.
-    if (!accepting()) return SubmitResult::rejected();
+    if (!accepting() || batcher_.model_retired(req.model)) {
+      return SubmitResult::rejected();
+    }
     if (callback) {
       opts.done({}, RequestTiming{}, nullptr);
       return SubmitResult::admitted_callback();
@@ -211,7 +313,9 @@ SubmitResult Engine::submit(InferenceRequest req, SubmitOptions opts) {
                   : SubmitResult::admitted_future(std::move(future));
 }
 
-ServeStats Engine::stats(ModelId id) const { return state(id)->stats.snapshot(); }
+ServeStats Engine::stats(ModelId id) const {
+  return state(id)->stats->snapshot();
+}
 
 ServeStats Engine::class_stats(Priority p) const {
   RADIX_REQUIRE(static_cast<std::size_t>(p) < kNumPriorities,
@@ -228,12 +332,51 @@ std::size_t Engine::pending_probe(ModelId id) const {
   return batcher_.pending(id);  // validates id under the monitor alone
 }
 
-void Engine::shutdown() {
-  std::call_once(shutdown_once_, [this] {
-    batcher_.close();     // refuse new work; queued requests stay claimable
-    workers_.join_all();  // workers exit once every queue has drained
+void Engine::stop(bool abort_queued) {
+  std::call_once(shutdown_once_, [&] {
+    if (!abort_queued) {
+      batcher_.close();     // refuse new work; queued stays claimable
+      workers_.join_all();  // workers exit once every queue has drained
+      return;
+    }
+    // Crash-shaped stop: extract everything still queued, fail it with
+    // AbortedError so a failover layer can resubmit, and let claimed
+    // batches finish.  Orphans are completed BEFORE joining the
+    // workers: their completions (a router's resubmit-elsewhere) must
+    // not wait on in-flight forward passes here.
+    auto orphans = batcher_.abort();
+    const auto now = batcher_.clock().now();
+    for (auto& [model, r] : orphans) {
+      const auto st = state(model);
+      StatsCollector& cls = class_stats_[static_cast<std::size_t>(
+          batcher_.policy(model).priority)];
+      RequestTiming timing;
+      timing.queue_seconds = seconds_between(r.submitted, now);
+      timing.total_seconds = timing.queue_seconds;
+      // The shard's own ledger records the abort as an error even when
+      // a router retry later serves the request elsewhere: per-shard
+      // stats count what THIS engine did with its admissions.
+      st->stats->record_request(timing.queue_seconds, timing.total_seconds,
+                                true);
+      cls.record_request(timing.queue_seconds, timing.total_seconds, true);
+      if (r.done) {
+        try {
+          r.done({}, timing,
+                 std::make_exception_ptr(AbortedError(
+                     "engine aborted before the request was claimed")));
+        } catch (...) {
+          // Same contract as worker-side completion: a throwing DoneFn
+          // must not take down the abort sweep.
+        }
+      }
+    }
+    workers_.join_all();
   });
 }
+
+void Engine::shutdown() { stop(false); }
+
+void Engine::abort() { stop(true); }
 
 bool Engine::accepting() const { return !batcher_.closed(); }
 
@@ -245,6 +388,8 @@ void Engine::worker_loop(std::size_t worker_index) {
   ClockSource& clock = batcher_.clock();
 
   while (batcher_.next(batch)) {
+    // One snapshot resolve per claimed batch: every row of this batch
+    // is served by this version, so a swap can never split a batch.
     const auto st = state(batch.model);
     StatsCollector& cls =
         class_stats_[static_cast<std::size_t>(batch.priority)];
@@ -266,8 +411,8 @@ void Engine::worker_loop(std::size_t worker_index) {
     // own request counted.  Batches and requests land in the model's
     // collector and in its service class's aggregate.
     if (!error) {
-      st->stats.record_batch(batch.rows, fstats.edges_processed,
-                             fstats.wall_seconds);
+      st->stats->record_batch(batch.rows, fstats.edges_processed,
+                              fstats.wall_seconds);
       cls.record_batch(batch.rows, fstats.edges_processed,
                        fstats.wall_seconds);
     }
@@ -276,7 +421,7 @@ void Engine::worker_loop(std::size_t worker_index) {
     for (const Request& r : batch.requests) {
       const double qs = seconds_between(r.submitted, claimed);
       const double ts = seconds_between(r.submitted, finished);
-      st->stats.record_request(qs, ts, error != nullptr);
+      st->stats->record_request(qs, ts, error != nullptr);
       cls.record_request(qs, ts, error != nullptr);
     }
 
@@ -307,6 +452,8 @@ void Engine::worker_loop(std::size_t worker_index) {
       }
       row0 += r.rows;
     }
+    // Claim retired: what remove_model's drain and quiesce() wait on.
+    batcher_.batch_complete(batch.model);
   }
 }
 

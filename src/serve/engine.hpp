@@ -58,12 +58,24 @@
 //   * shutdown() (and the destructor) closes the queues, lets workers
 //     drain every queued request, then joins -- no request is ever
 //     dropped: once submit() has reported admitted, completion is
-//     guaranteed.
+//     guaranteed.  abort() is the crash-shaped stop for failover
+//     layers: queued-but-unclaimed requests complete exceptionally with
+//     AbortedError (so a router can resubmit them elsewhere), claimed
+//     batches still finish.
+//   * The model registry is copy-on-write: submit()/stats()/workers
+//     read an atomic<shared_ptr> snapshot without taking any lock, so
+//     the lifecycle calls -- add_model, remove_model, swap_model --
+//     publish under a mutation mutex without ever blocking the submit
+//     hot path.  swap_model prewarms the incoming version's transpose
+//     caches BEFORE publishing, so the first post-cutover batch pays no
+//     one-time construction; a batch is always served whole by one
+//     version (workers resolve the snapshot once per claimed batch).
 //   * Time is injectable (EngineOptions::clock): tests drive the
 //     coalescing deadlines and latency stats with a FakeClock.
 #pragma once
 
 #include <array>
+#include <atomic>
 #include <chrono>
 #include <cstddef>
 #include <memory>
@@ -127,6 +139,50 @@ class Engine final : public Backend {
   ModelId add_model(std::shared_ptr<const infer::SparseDnn> model,
                     std::string name = "", QosPolicy qos = {});
 
+  /// Retire a model without dropping traffic: admission for `id` closes
+  /// immediately (subsequent submits are rejected as a value, blocked
+  /// submitters wake rejected), everything already admitted is served,
+  /// and on return the model's weights are released.  Its name becomes
+  /// reusable; the id itself is never reused and keeps answering
+  /// stats() with the model's history.  Safe while traffic is served.
+  void remove_model(ModelId id);
+
+  /// Cut `id` over to a new version of the model without a gap in
+  /// service.  The new version must have the same input/output widths
+  /// (queued requests were validated against them).  The incoming dnn
+  /// is prewarmed (transpose caches, see add_model) BEFORE the
+  /// copy-on-write publish, and the publish never blocks submit:
+  /// requests claimed after swap_model returns are served by the new
+  /// version, batches claimed earlier finish on the version they
+  /// started with -- a batch is never split across versions.
+  void swap_model(ModelId id, std::shared_ptr<const infer::SparseDnn> dnn);
+
+  /// Burn one model id: appends a permanently retired slot (no model,
+  /// rejects submits) and returns its id.  Composite backends use this
+  /// to keep per-shard id spaces in lockstep when a multi-shard
+  /// registration fails partway and is rolled back (see
+  /// ShardRouter::add_model).
+  ModelId add_tombstone();
+
+  /// Crash-shaped stop for failover layers: close admission, fail every
+  /// queued-but-unclaimed request with AbortedError (recorded as errors
+  /// in the stats), let claimed batches finish, join the workers.  The
+  /// orphaned requests' completions run inside this call -- a router
+  /// resubmits them to healthy shards before abort() returns.
+  /// Idempotent with shutdown(): whichever runs first wins.
+  void abort();
+
+  /// Version counter of a model: 1 after add_model, +1 per swap_model.
+  std::uint32_t model_version(ModelId id) const;
+
+  /// True until remove_model(id) (add_tombstone slots are born retired).
+  bool model_retired(ModelId id) const;
+
+  /// Block until every queue is empty and every claimed batch has
+  /// completed.  Does not stop admission -- an ops-level "wait for the
+  /// backlog to clear" used by graceful shard drain.
+  void quiesce();
+
   unsigned num_workers() const noexcept;
   const infer::SparseDnn& model(ModelId id) const;
   const std::string& model_name(ModelId id) const;
@@ -166,23 +222,37 @@ class Engine final : public Backend {
   bool accepting() const override;
 
  private:
+  // One model VERSION.  Instances are immutable once published (the
+  // stats collector is internally synchronized and shared across
+  // versions of the same id), so snapshot readers never need a lock.
   struct ModelState {
-    std::shared_ptr<const infer::SparseDnn> dnn;
+    std::shared_ptr<const infer::SparseDnn> dnn;  // null once retired
     std::string name;
     index_t input_width = 0;
     index_t output_width = 0;
-    StatsCollector stats;
+    std::shared_ptr<StatsCollector> stats;  // survives swap/remove
+    std::uint32_t version = 1;
+    bool retired = false;
   };
 
-  std::shared_ptr<ModelState> state(ModelId id) const;
+  // The copy-on-write registry: readers atomically load the current
+  // snapshot (submit hot path, workers, observers); mutators copy the
+  // vector under models_mutex_, edit one slot, and publish.  ModelId is
+  // the slot index and is never reused.
+  using Registry = std::vector<std::shared_ptr<const ModelState>>;
+
+  std::shared_ptr<const ModelState> state(ModelId id) const;
+  /// Copy-edit-publish helper; caller holds models_mutex_.
+  void publish_locked(ModelId id, std::shared_ptr<const ModelState> st);
+  void stop(bool abort_queued);
   QosPolicy resolve_qos(QosPolicy qos) const;
   void worker_loop(std::size_t worker_index);
 
   EngineOptions options_;
   MicroBatcher batcher_;
 
-  mutable std::mutex models_mutex_;
-  std::vector<std::shared_ptr<ModelState>> models_;
+  mutable std::mutex models_mutex_;  // serializes registry mutations
+  std::atomic<std::shared_ptr<const Registry>> models_;
 
   // Per-class aggregation across models (workers record into both).
   std::array<StatsCollector, kNumPriorities> class_stats_;

@@ -41,6 +41,20 @@ namespace radix::serve {
 /// Identifies a registered model within one Backend.
 using ModelId = std::size_t;
 
+/// Completion error of a request orphaned by a backend abort: the
+/// serving shard went down (Engine::abort) after admitting the request
+/// but before a worker claimed it.  The request was never executed, so
+/// resubmitting it elsewhere is always safe -- outputs are deterministic
+/// functions of the input, making retries idempotent by construction.
+/// ShardRouter's failover path catches exactly this type to resubmit on
+/// a healthy shard; any other serving error is deterministic caller- or
+/// model-side failure and is delivered as-is.
+class AbortedError : public Error {
+ public:
+  explicit AbortedError(const std::string& what)
+      : Error("aborted: " + what) {}
+};
+
 /// Per-request timing delivered to completion callbacks and recorded by
 /// the stats surface.
 struct RequestTiming {

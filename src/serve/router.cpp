@@ -1,6 +1,9 @@
 #include "serve/router.hpp"
 
+#include <algorithm>
 #include <atomic>
+#include <future>
+#include <span>
 #include <utility>
 
 #include "support/error.hpp"
@@ -8,6 +11,8 @@
 namespace radix::serve {
 
 namespace {
+
+constexpr std::size_t kNoShard = static_cast<std::size_t>(-1);
 
 // splitmix64 finalizer: one multiply-shift mix per draw, statistically
 // ample for shard picks and cheap enough to sit on the submit path.
@@ -32,122 +37,488 @@ std::uint64_t thread_random(std::uint64_t seed) noexcept {
   return mix64(seed ^ thread_salt ^ counter);
 }
 
+// Completion adapter for future-completion submissions (the router
+// terminates completions itself now -- the shard engines only ever see
+// callback submissions through the failover capsule).
+DoneFn promise_done(
+    std::shared_ptr<std::promise<std::vector<float>>> promise) {
+  return [promise = std::move(promise)](std::span<const float> y,
+                                        const RequestTiming&,
+                                        std::exception_ptr err) {
+    if (err) {
+      promise->set_exception(err);
+    } else {
+      promise->set_value(std::vector<float>(y.begin(), y.end()));
+    }
+  };
+}
+
 }  // namespace
+
+// The failover capsule: one heap object per routed request, shared by
+// the submit path and every retry.  It pins the input rows (owning them
+// outright when the caller submitted an owned request) so the shards
+// can always be handed a borrowed view -- a resubmit after shard death
+// needs the bytes to still exist.  `tried` is a bitmap of shard indices
+// this request has been offered to (hence the <= 64 shard bound): a
+// request is offered to each shard at most once, which bounds the retry
+// chain and guarantees failover terminates.  No lock: the bitmap is
+// only touched by whichever single thread currently owns the capsule
+// (the submitter, then at most one completion at a time), with the
+// shard queue's monitor ordering the handoffs.
+struct ShardRouter::Relay {
+  ModelId model = 0;
+  index_t rows = 0;
+  std::vector<float> owned;      // backs `input` for owned submissions
+  std::span<const float> input;  // what every shard sees (borrowed)
+  DoneFn done;                   // the caller's completion, run exactly once
+  std::chrono::microseconds timeout{0};
+  std::uint64_t tried = 0;
+};
 
 ShardRouter::ShardRouter(ShardRouterOptions options)
     : options_(std::move(options)) {
-  RADIX_REQUIRE(options_.shards >= 1, "ShardRouter: shards must be >= 1");
-  engines_.reserve(options_.shards);
+  RADIX_REQUIRE(options_.shards >= 1 && options_.shards <= 64,
+                "ShardRouter: shards must be in [1, 64]");
+  auto f = std::make_shared<Fleet>();
+  f->engines.reserve(options_.shards);
   for (std::size_t s = 0; s < options_.shards; ++s) {
-    engines_.push_back(std::make_unique<Engine>(options_.engine));
+    f->engines.push_back(std::make_shared<Engine>(options_.engine));
   }
+  f->health.assign(options_.shards, ShardHealth::kUp);
+  f->healthy.resize(options_.shards);
+  for (std::size_t s = 0; s < options_.shards; ++s) f->healthy[s] = s;
+  fleet_.store(std::move(f), std::memory_order_release);
 }
 
 ShardRouter::~ShardRouter() { shutdown(); }
 
+std::shared_ptr<const ShardRouter::Fleet> ShardRouter::fleet() const {
+  return fleet_.load(std::memory_order_acquire);
+}
+
+std::shared_ptr<ShardRouter::Fleet> ShardRouter::clone_fleet_locked() const {
+  return std::make_shared<Fleet>(*fleet());
+}
+
+void ShardRouter::publish_locked(std::shared_ptr<Fleet> next) {
+  next->healthy.clear();
+  for (std::size_t s = 0; s < next->health.size(); ++s) {
+    if (next->health[s] == ShardHealth::kUp) next->healthy.push_back(s);
+  }
+  fleet_.store(std::shared_ptr<const Fleet>(std::move(next)),
+               std::memory_order_release);
+}
+
 ModelId ShardRouter::add_model(std::shared_ptr<const infer::SparseDnn> model,
                                std::string name, QosPolicy qos) {
   RADIX_REQUIRE(model != nullptr, "ShardRouter: model must not be null");
-  // The router names the model itself (rather than letting each shard
-  // generate a default) so every shard registers the SAME name and
-  // find_model agrees between router and shards.  The registration loop
-  // runs under names_mutex_, making concurrent add_model calls atomic
-  // across shards -- ids stay in lockstep.
   // Run every validation that can legitimately throw BEFORE the
-  // registration loop (the shards re-check, but by then failure is too
-  // late): after this point only allocation-class failures can
-  // interrupt the loop, and those leave the router unusable for
-  // further registration (documented in the header).
+  // registration loop; the shards re-check, but by then a throw means
+  // rollback work instead of a clean refusal.
   RADIX_REQUIRE(static_cast<std::size_t>(qos.priority) < kNumPriorities,
                 "ShardRouter: invalid priority class");
   RADIX_REQUIRE(qos.weight >= 1, "ShardRouter: weight must be >= 1");
-  std::scoped_lock lock(names_mutex_);
-  RADIX_REQUIRE(accepting(), "ShardRouter: add_model after shutdown");
-  const ModelId id = names_.size();
+  // The router names the model itself (rather than letting each shard
+  // generate a default) so every shard registers the SAME name and
+  // find_model agrees between router and shards.  admin_mutex_ makes
+  // concurrent add_model calls atomic across shards -- ids stay in
+  // lockstep.
+  std::scoped_lock lock(admin_mutex_);
+  RADIX_REQUIRE(!shutdown_, "ShardRouter: add_model after shutdown");
+  const ModelId id = registry_.size();
   name = detail::resolve_model_name(
       std::move(name), id,
       [&](const std::string& n) {
-        for (const auto& existing : names_) {
-          if (existing == n) return true;
+        for (const auto& e : registry_) {
+          if (!e.retired && e.name == n) return true;
         }
         return false;
       },
       "ShardRouter");
-  for (auto& engine : engines_) {
-    const ModelId shard_id = engine->add_model(model, name, qos);
-    RADIX_ASSERT(shard_id == id, "ShardRouter: shard ids out of sync");
+  // Down shards are skipped: restart_shard replays the registry into
+  // their replacements, so they pick this model up then.
+  const auto f = fleet();  // engines are stable under admin_mutex_
+  std::vector<std::size_t> registered;
+  registered.reserve(f->engines.size());
+  try {
+    for (std::size_t s = 0; s < f->engines.size(); ++s) {
+      if (f->health[s] == ShardHealth::kDown) continue;
+      if (options_.registration_hook) options_.registration_hook(s, id);
+      const ModelId shard_id = f->engines[s]->add_model(model, name, qos);
+      RADIX_ASSERT(shard_id == id, "ShardRouter: shard ids out of sync");
+      registered.push_back(s);
+    }
+  } catch (...) {
+    // All-or-nothing: unwind the shards that did register and burn the
+    // id on the ones that did not, so every shard's next id is the same
+    // again.  remove_model leaves a tombstone at `id` (engine ids are
+    // never reused); add_tombstone creates the same tombstone on the
+    // untouched shards.  The registry records the burned id so restart
+    // replays it too.
+    for (std::size_t s = 0; s < f->engines.size(); ++s) {
+      if (f->health[s] == ShardHealth::kDown) continue;
+      const bool got = std::find(registered.begin(), registered.end(), s) !=
+                       registered.end();
+      if (got) {
+        f->engines[s]->remove_model(id);
+      } else {
+        const ModelId t = f->engines[s]->add_tombstone();
+        RADIX_ASSERT(t == id, "ShardRouter: shard ids out of sync");
+      }
+    }
+    ModelEntry burned;
+    burned.retired = true;
+    registry_.push_back(std::move(burned));
+    throw;
   }
-  names_.push_back(std::move(name));
+  ModelEntry entry;
+  entry.dnn = std::move(model);
+  entry.name = std::move(name);
+  entry.qos = qos;
+  registry_.push_back(std::move(entry));
   return id;
 }
 
-std::size_t ShardRouter::num_shards() const noexcept { return engines_.size(); }
-
-const Engine& ShardRouter::shard(std::size_t index) const {
-  RADIX_REQUIRE(index < engines_.size(), "ShardRouter: unknown shard");
-  return *engines_[index];
+void ShardRouter::remove_model(ModelId id) {
+  std::scoped_lock lock(admin_mutex_);
+  RADIX_REQUIRE(id < registry_.size(), "ShardRouter: unknown model id");
+  RADIX_REQUIRE(!registry_[id].retired, "ShardRouter: model already removed");
+  const auto f = fleet();
+  for (std::size_t s = 0; s < f->engines.size(); ++s) {
+    if (f->health[s] == ShardHealth::kDown) continue;
+    f->engines[s]->remove_model(id);
+  }
+  registry_[id].retired = true;
+  registry_[id].dnn = nullptr;  // release the weights
 }
 
-std::size_t ShardRouter::pick_shard(ModelId model) {
-  const std::size_t n = engines_.size();
-  if (n == 1) return 0;
-  // Power of two choices: probe two DISTINCT random shards, take the
-  // one with the shorter queue for this model (ties go to the first).
-  // pending_probe takes only the probed shard's batcher monitor -- a
-  // brief acquisition, but still the lock workers and submitters of
-  // that shard use; a lock-free per-model depth gauge is the next step
-  // if probe traffic ever shows up in a profile.
+void ShardRouter::swap_model(ModelId id,
+                             std::shared_ptr<const infer::SparseDnn> dnn) {
+  RADIX_REQUIRE(dnn != nullptr, "ShardRouter: model must not be null");
+  if (options_.engine.prewarm) {
+    // One prewarm before ANY shard cuts over: the transpose caches live
+    // on the shared SparseDnn, so each shard's own prewarm (inside
+    // Engine::swap_model) finds them already built.
+    dnn->prewarm();
+  }
+  std::scoped_lock lock(admin_mutex_);
+  RADIX_REQUIRE(id < registry_.size(), "ShardRouter: unknown model id");
+  RADIX_REQUIRE(!registry_[id].retired,
+                "ShardRouter: cannot swap a removed model");
+  const auto f = fleet();
+  for (std::size_t s = 0; s < f->engines.size(); ++s) {
+    if (f->health[s] == ShardHealth::kDown) continue;
+    // The first shard validates the version's shape; with one dnn for
+    // every shard a later-shard failure is impossible, so the cutover
+    // is all-or-nothing in practice.
+    f->engines[s]->swap_model(id, dnn);
+  }
+  registry_[id].dnn = std::move(dnn);
+  ++registry_[id].version;
+}
+
+std::size_t ShardRouter::num_shards() const noexcept {
+  return fleet()->engines.size();
+}
+
+const Engine& ShardRouter::shard(std::size_t index) const {
+  const auto f = fleet();
+  RADIX_REQUIRE(index < f->engines.size(), "ShardRouter: unknown shard");
+  return *f->engines[index];
+}
+
+ShardHealth ShardRouter::shard_health(std::size_t index) const {
+  const auto f = fleet();
+  RADIX_REQUIRE(index < f->health.size(), "ShardRouter: unknown shard");
+  return f->health[index];
+}
+
+void ShardRouter::drain_shard(std::size_t index) {
+  std::scoped_lock lock(admin_mutex_);
+  const auto f = fleet();
+  RADIX_REQUIRE(index < f->engines.size(), "ShardRouter: unknown shard");
+  RADIX_REQUIRE(f->health[index] != ShardHealth::kDown,
+                "ShardRouter: cannot drain a down shard");
+  if (f->health[index] == ShardHealth::kUp) {
+    auto next = clone_fleet_locked();
+    next->health[index] = ShardHealth::kDraining;
+    publish_locked(std::move(next));
+  }
+  // Out of rotation; now wait out the backlog.  Submitters holding a
+  // pre-publish snapshot can still land one more request each -- drain
+  // empties what has arrived, it does not fence the route.
+  f->engines[index]->quiesce();
+}
+
+void ShardRouter::kill_shard(std::size_t index) {
+  std::scoped_lock lock(admin_mutex_);
+  const auto f = fleet();
+  RADIX_REQUIRE(index < f->engines.size(), "ShardRouter: unknown shard");
+  if (f->health[index] == ShardHealth::kDown) return;  // idempotent
+  // Out of rotation FIRST: the failover resubmissions triggered by the
+  // abort below load the fleet snapshot and must not route back onto
+  // the shard being killed.
+  auto next = clone_fleet_locked();
+  next->health[index] = ShardHealth::kDown;
+  publish_locked(std::move(next));
+  // Orphaned requests complete inside abort() with AbortedError; the
+  // capsule completion catches it and resubmits on a healthy shard, so
+  // by the time abort returns every orphan is queued elsewhere.
+  f->engines[index]->abort();
+}
+
+void ShardRouter::restart_shard(std::size_t index) {
+  std::scoped_lock lock(admin_mutex_);
+  const auto f = fleet();
+  RADIX_REQUIRE(index < f->engines.size(), "ShardRouter: unknown shard");
+  switch (f->health[index]) {
+    case ShardHealth::kUp:
+      return;  // idempotent
+    case ShardHealth::kDraining: {
+      // The engine never stopped; just put it back in rotation.
+      auto next = clone_fleet_locked();
+      next->health[index] = ShardHealth::kUp;
+      publish_locked(std::move(next));
+      return;
+    }
+    case ShardHealth::kDown:
+      break;
+  }
+  // Fold the dead engine's stats into the carried accumulator before
+  // letting go of it: stats() keeps reporting the full service history
+  // across any number of restarts.
+  {
+    std::scoped_lock stats_lock(carried_mutex_);
+    if (carried_.size() < registry_.size()) carried_.resize(registry_.size());
+    for (ModelId m = 0; m < registry_.size(); ++m) {
+      carried_[m].merge(f->engines[index]->stats(m));
+    }
+  }
+  auto engine = std::make_shared<Engine>(options_.engine);
+  replay_registry_locked(*engine);
+  auto next = clone_fleet_locked();
+  next->engines[index] = std::move(engine);
+  next->health[index] = ShardHealth::kUp;
+  publish_locked(std::move(next));
+}
+
+void ShardRouter::replay_registry_locked(Engine& engine) const {
+  for (ModelId id = 0; id < registry_.size(); ++id) {
+    const ModelEntry& e = registry_[id];
+    if (e.retired) {
+      // Removed models and rollback-burned ids alike: the slot exists,
+      // rejects traffic, and keeps the id space in lockstep.
+      const ModelId t = engine.add_tombstone();
+      RADIX_ASSERT(t == id, "ShardRouter: replayed ids out of sync");
+      continue;
+    }
+    const ModelId got = engine.add_model(e.dnn, e.name, e.qos);
+    RADIX_ASSERT(got == id, "ShardRouter: replayed ids out of sync");
+    // Replay the swap count so the rebuilt shard reports the same
+    // model_version as its siblings (the dnn is already the current
+    // version; the transpose caches are shared, so this is cheap).
+    for (std::uint32_t v = 1; v < e.version; ++v) {
+      engine.swap_model(id, e.dnn);
+    }
+  }
+}
+
+std::uint64_t ShardRouter::failovers() const noexcept {
+  return failovers_.load(std::memory_order_relaxed);
+}
+
+std::size_t ShardRouter::pick_shard(const Fleet& fleet, ModelId model) const {
+  const auto& h = fleet.healthy;
+  if (h.empty()) return kNoShard;
+  if (h.size() == 1) return h.front();
+  // Power of two choices over the in-rotation shards: probe two
+  // DISTINCT random shards, take the one with the shorter queue for
+  // this model (ties go to the first).  Both positions come from
+  // bias-free bounded draws (detail::bounded_draw); the second draw
+  // re-mixes the first so the pair is decorrelated without a second
+  // RNG stream.  pending_probe takes only the probed shard's batcher
+  // monitor -- a brief acquisition, but still the lock workers and
+  // submitters of that shard use; a lock-free per-model depth gauge is
+  // the next step if probe traffic ever shows up in a profile.
   const std::uint64_t r = thread_random(options_.seed);
-  const std::size_t a = static_cast<std::size_t>(r % n);
-  const std::size_t b =
-      (a + 1 + static_cast<std::size_t>((r >> 32) % (n - 1))) % n;
-  return engines_[b]->pending_probe(model) < engines_[a]->pending_probe(model)
+  const std::size_t m = h.size();
+  const std::size_t ai = static_cast<std::size_t>(detail::bounded_draw(r, m));
+  std::size_t bi = static_cast<std::size_t>(
+      detail::bounded_draw(mix64(r + 0x9e3779b97f4a7c15ull), m - 1));
+  if (bi >= ai) ++bi;
+  const std::size_t a = h[ai];
+  const std::size_t b = h[bi];
+  return fleet.engines[b]->pending_probe(model) <
+                 fleet.engines[a]->pending_probe(model)
              ? b
              : a;
 }
 
+bool ShardRouter::dispatch(const Fleet& fleet, std::size_t index,
+                           const std::shared_ptr<Relay>& relay,
+                           Admission admission) {
+  relay->tried |= (std::uint64_t{1} << index);
+  SubmitOptions opts;
+  opts.admission = admission;
+  opts.timeout = relay->timeout;
+  opts.done = [this, relay](std::span<const float> out,
+                            const RequestTiming& timing,
+                            std::exception_ptr err) {
+    if (err) {
+      // AbortedError -- and exactly AbortedError -- proves the request
+      // was never executed (see serve/request.hpp), so resubmitting it
+      // cannot double-serve.  Any other error is a deterministic
+      // serving failure a retry would only repeat: deliver it.
+      try {
+        std::rethrow_exception(err);
+      } catch (const AbortedError&) {
+        if (failover(relay)) return;  // the retry owns completion now
+      } catch (...) {
+      }
+    }
+    relay->done(out, timing, err);
+  };
+  // Always a borrowed view: the capsule pins the bytes until the final
+  // completion, across any number of resubmissions.
+  return fleet.engines[index]
+      ->submit(InferenceRequest::borrowed(relay->model, relay->input,
+                                          relay->rows),
+               std::move(opts))
+      .admitted();
+}
+
+bool ShardRouter::failover(const std::shared_ptr<Relay>& relay) {
+  // Runs on the thread that observed the abort (kill_shard's caller,
+  // inside Engine::abort's orphan sweep).  Retries use kBlock
+  // regardless of the original admission mode: the caller was already
+  // told "admitted", so rejection is no longer expressible -- the
+  // request must complete, and waiting out backpressure on the healthy
+  // shard is the only sane way to keep the admission promise.  kBlock
+  // rejects only when the target shard is itself closed, in which case
+  // the loop moves on; with every shard tried, the AbortedError reaches
+  // the caller.
+  for (;;) {
+    const auto f = fleet();
+    std::size_t index = kNoShard;
+    for (const std::size_t s : f->healthy) {
+      if ((relay->tried >> s) & 1u) continue;
+      index = s;
+      break;
+    }
+    if (index == kNoShard) return false;
+    if (dispatch(*f, index, relay, Admission::kBlock)) {
+      failovers_.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
+  }
+}
+
 SubmitResult ShardRouter::submit(InferenceRequest req, SubmitOptions opts) {
-  // No id pre-check here: it would put names_mutex_ on the hot path,
-  // serializing submitters across shards.  The shard engine validates
-  // req.model (pick_shard's pending() probes for > 1 shard, submit
-  // itself always) and throws the same unknown-model error.
-  return engines_[pick_shard(req.model)]->submit(std::move(req),
-                                                 std::move(opts));
+  // One atomic snapshot load, no lock: lifecycle publishes (kill,
+  // drain, restart, swap) never stall the hot path.  No id pre-check
+  // either -- the shard engine validates req.model and throws the same
+  // unknown-model error.
+  auto f = fleet();
+  auto relay = std::make_shared<Relay>();
+  relay->model = req.model;
+  relay->rows = req.rows;
+  relay->timeout = opts.timeout;
+  if (!req.storage.empty()) {
+    relay->owned = std::move(req.storage);
+    relay->input = std::span<const float>(relay->owned);
+  } else {
+    relay->input = req.input;
+  }
+  const bool callback = static_cast<bool>(opts.done);
+  std::future<std::vector<float>> future;
+  if (callback) {
+    relay->done = std::move(opts.done);
+  } else {
+    auto promise = std::make_shared<std::promise<std::vector<float>>>();
+    future = promise->get_future();
+    relay->done = promise_done(std::move(promise));
+  }
+  std::size_t index = pick_shard(*f, req.model);
+  while (index != kNoShard) {
+    if (dispatch(*f, index, relay, opts.admission)) {
+      return callback ? SubmitResult::admitted_callback()
+                      : SubmitResult::admitted_future(std::move(future));
+    }
+    // Rejected.  A full queue under kFailFast/kBoundedWait is the
+    // chosen shard's legitimate answer -- deliver it.  A shard that is
+    // no longer accepting is a kill racing the pick: re-pick among the
+    // in-rotation shards this request has not tried yet.
+    if (f->engines[index]->accepting()) break;
+    f = fleet();
+    index = kNoShard;
+    for (const std::size_t s : f->healthy) {
+      if ((relay->tried >> s) & 1u) continue;
+      index = s;
+      break;
+    }
+  }
+  return SubmitResult::rejected();
 }
 
 ServeStats ShardRouter::stats(ModelId model) const {
-  ServeStats merged = engines_.front()->stats(model);
-  for (std::size_t s = 1; s < engines_.size(); ++s) {
-    merged.merge(engines_[s]->stats(model));
+  ServeStats merged;
+  {
+    std::scoped_lock lock(carried_mutex_);
+    if (model < carried_.size()) merged = carried_[model];
   }
+  // Down shards still answer stats (their collectors outlive the
+  // abort); only a restart moves their numbers into carried_.
+  const auto f = fleet();
+  for (const auto& engine : f->engines) merged.merge(engine->stats(model));
   return merged;
 }
 
 std::size_t ShardRouter::pending(ModelId model) const {
+  const auto f = fleet();
   std::size_t total = 0;
-  for (const auto& engine : engines_) total += engine->pending(model);
+  for (const auto& engine : f->engines) total += engine->pending(model);
   return total;
 }
 
 std::size_t ShardRouter::num_models() const {
-  std::scoped_lock lock(names_mutex_);
-  return names_.size();
+  std::scoped_lock lock(admin_mutex_);
+  std::size_t live = 0;
+  for (const auto& e : registry_) {
+    if (!e.retired) ++live;
+  }
+  return live;
 }
 
 std::optional<ModelId> ShardRouter::find_model(std::string_view name) const {
-  std::scoped_lock lock(names_mutex_);
-  for (ModelId id = 0; id < names_.size(); ++id) {
-    if (names_[id] == name) return id;
+  std::scoped_lock lock(admin_mutex_);
+  for (ModelId id = 0; id < registry_.size(); ++id) {
+    if (!registry_[id].retired && registry_[id].name == name) return id;
   }
   return std::nullopt;
 }
 
 void ShardRouter::shutdown() {
+  {
+    std::scoped_lock lock(admin_mutex_);
+    shutdown_ = true;
+  }
   // Engine::shutdown is idempotent and drains before joining, so a
-  // plain sweep gives the router the same guarantee per shard.
-  for (auto& engine : engines_) engine->shutdown();
+  // plain sweep gives the router the same guarantee per shard; down
+  // shards are already stopped.
+  const auto f = fleet();
+  for (const auto& engine : f->engines) engine->shutdown();
 }
 
-bool ShardRouter::accepting() const { return engines_.front()->accepting(); }
+bool ShardRouter::accepting() const {
+  // The all-shards view: the router accepts work while ANY in-rotation
+  // shard does.  (Consulting only shard 0 -- the old behavior -- went
+  // wrong in both directions once shards could die independently.)
+  const auto f = fleet();
+  for (const std::size_t s : f->healthy) {
+    if (f->engines[s]->accepting()) return true;
+  }
+  return false;
+}
 
 }  // namespace radix::serve

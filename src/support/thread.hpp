@@ -196,6 +196,16 @@ class FakeClock final : public ClockSource {
     advance_done_.notify_all();
   }
 
+  /// Advance to an absolute virtual instant (no-op when `tp` is not in
+  /// the future).  Arrival-process drivers (e.g. the serving chaos
+  /// tests' inhomogeneous-Poisson load) work in absolute event times;
+  /// this saves each call site the now()-subtraction and makes a
+  /// replayed schedule idempotent under repeated advances.
+  void advance_to(time_point tp) {
+    const auto current = now();
+    if (tp > current) advance(tp - current);
+  }
+
   void forget(Monitor& m) override {
     std::unique_lock lock(mutex_);
     // An advance() may still be notifying from a snapshot that contains

@@ -8,11 +8,15 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
 #include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <future>
 #include <memory>
+#include <span>
+#include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include "radixnet/graph_challenge.hpp"
@@ -253,6 +257,248 @@ TEST(ShardRouter, FailFastAdmissionIsPerChosenShard) {
       << "full shard queue must reject fail-fast admission";
   release.set_value();
   EXPECT_EQ(f1.get(), direct_forward(*dnn, x, 1));
+}
+
+TEST(ShardRouter, BoundedDrawIsInRangeAndUnbiased) {
+  // Local splitmix64: deterministic, decorrelated inputs for the draw.
+  const auto mix = [](std::uint64_t z) {
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  };
+  // Edges: the widening multiply maps the extremes of the input range
+  // onto the extremes of [0, n).
+  EXPECT_EQ(detail::bounded_draw(0, 6), 0u);
+  EXPECT_EQ(detail::bounded_draw(~std::uint64_t{0}, 6), 5u);
+  EXPECT_EQ(detail::bounded_draw(mix(1), 1), 0u);
+
+  // Chi-square goodness of fit for n = 6 (not a power of two, so the
+  // old `r % n` would have been biased).  Inputs are a fixed splitmix64
+  // stream, so the statistic is a constant -- this cannot flake.  The
+  // bound is the 99.9th percentile of chi^2 with 5 degrees of freedom.
+  constexpr std::uint64_t kN = 6;
+  constexpr int kDraws = 120000;
+  std::array<std::uint64_t, kN> counts{};
+  for (int i = 1; i <= kDraws; ++i) {
+    const std::uint64_t d =
+        detail::bounded_draw(mix(0x9e3779b97f4a7c15ull * i), kN);
+    ASSERT_LT(d, kN);
+    ++counts[d];
+  }
+  const double expected = static_cast<double>(kDraws) / kN;
+  double chi2 = 0.0;
+  for (const std::uint64_t c : counts) {
+    const double diff = static_cast<double>(c) - expected;
+    chi2 += diff * diff / expected;
+  }
+  EXPECT_LT(chi2, 20.52) << "bounded_draw distribution is skewed";
+}
+
+TEST(ShardRouter, AcceptingReflectsTheWholeFleet) {
+  const auto dnn = make_dnn(1024, 2, 74);
+  ShardRouter router({.shards = 2, .engine = {.workers = 1}});
+  const auto id = router.add_model(dnn, "fleet");
+  Rng irng(75);
+  const auto x = gc::synthetic_input(1, 1024, 0.4, irng);
+  const auto want = direct_forward(*dnn, x, 1);
+
+  EXPECT_TRUE(router.accepting());
+  // Losing shard 0 must NOT report the fleet closed (the old
+  // front()-only view did exactly that), and traffic keeps flowing.
+  router.kill_shard(0);
+  EXPECT_EQ(router.shard_health(0), ShardHealth::kDown);
+  EXPECT_TRUE(router.accepting());
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(router.submit(InferenceRequest::borrowed(id, x, 1)).get(), want);
+  }
+  router.kill_shard(1);
+  EXPECT_FALSE(router.accepting()) << "no shard left in rotation";
+  EXPECT_FALSE(router.submit(InferenceRequest::borrowed(id, x, 1)).admitted());
+  router.restart_shard(0);
+  EXPECT_TRUE(router.accepting());
+  EXPECT_EQ(router.submit(InferenceRequest::borrowed(id, x, 1)).get(), want);
+}
+
+TEST(ShardRouter, KillShardFailsOverQueuedRequestsExactlyOnce) {
+  const auto dnn = make_dnn(1024, 2, 76);
+  // One worker per shard, one row per batch, no coalescing delay: a
+  // parked worker deterministically strands everything queued behind it.
+  ShardRouter router({.shards = 2,
+                      .engine = {.workers = 1,
+                                 .max_batch_rows = 1,
+                                 .max_delay = 0us,
+                                 .queue_capacity = 64}});
+  const auto id = router.add_model(dnn, "ha");
+  Rng irng(77);
+  const auto x = gc::synthetic_input(1, 1024, 0.4, irng);
+  const auto want = direct_forward(*dnn, x, 1);
+
+  // Park BOTH shards' workers inside completion callbacks, so queued
+  // requests stay queued until we say otherwise.  A parker that lands
+  // behind an already-parked worker just queues; keep submitting until
+  // two of them actually hold a worker each.
+  std::atomic<int> parked{0};
+  std::promise<void> release;
+  std::shared_future<void> release_future = release.get_future().share();
+  int parkers = 0;
+  while (parked.load() < 2 && parkers < 64) {
+    (void)router.submit(InferenceRequest::borrowed(id, x, 1),
+                        {.done = [&](std::span<const float>,
+                                     const RequestTiming&,
+                                     std::exception_ptr) {
+                          ++parked;
+                          release_future.wait();
+                        }});
+    ++parkers;
+    std::this_thread::sleep_for(1ms);
+  }
+  ASSERT_EQ(parked.load(), 2) << "could not park both shard workers";
+
+  // Queue real traffic; it spreads across both shards (two-choice on
+  // pending depth guarantees the less-loaded shard is picked on ties'
+  // follow-ups), so shard 0 ends up with queued-but-unclaimed work.
+  std::vector<std::future<std::vector<float>>> futures;
+  for (int i = 0; i < 10; ++i) {
+    futures.push_back(
+        router.submit(InferenceRequest::borrowed(id, x, 1)).take_future());
+  }
+  const std::size_t orphans = router.shard(0).pending(id);
+  ASSERT_GT(orphans, 0u) << "two-choice routing left shard 0 empty";
+
+  // kill_shard completes the orphans' failover BEFORE joining the dead
+  // shard's (still parked) worker, so it must be driven from a side
+  // thread; the assertions below run while it is still joining.
+  std::thread killer([&] { router.kill_shard(0); });
+  const auto deadline = std::chrono::steady_clock::now() + 5s;
+  while (router.failovers() < orphans &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(1ms);
+  }
+  EXPECT_EQ(router.failovers(), orphans)
+      << "every orphaned request must be resubmitted exactly once";
+  EXPECT_EQ(router.shard_health(0), ShardHealth::kDown);
+  EXPECT_TRUE(router.accepting());
+
+  release.set_value();  // claimed batches finish; shard 1 drains it all
+  killer.join();
+  for (auto& f : futures) {
+    EXPECT_EQ(f.get(), want) << "a failed-over request was lost or wrong";
+  }
+  // The dead shard's ledger shows its orphans as errors; the router's
+  // merged view therefore must too -- failover changes where a request
+  // is SERVED, not what shard 0 did with it.
+  EXPECT_GE(router.stats(id).errors, orphans);
+}
+
+TEST(ShardRouter, AddModelRollbackKeepsShardIdSpacesInLockstep) {
+  const auto d0 = make_dnn(1024, 2, 78);
+  const auto d1 = make_dnn(1024, 2, 79);
+  ShardRouterOptions opts{.shards = 2, .engine = {.workers = 1}};
+  opts.registration_hook = [](std::size_t shard, ModelId id) {
+    // Shard 0 registers id 1, then shard 1 explodes: the partial-
+    // registration case the rollback exists for.
+    if (id == 1 && shard == 1) throw std::runtime_error("injected");
+  };
+  ShardRouter router(opts);
+  const auto a = router.add_model(d0, "a");
+  EXPECT_THROW((void)router.add_model(d1, "b"), std::runtime_error);
+
+  // The failed registration must leave no trace but a burned id: the
+  // router still serves "a", rejects the burned id as a value, and the
+  // NEXT registration gets the same id on every shard.
+  EXPECT_EQ(router.num_models(), 1u);
+  EXPECT_FALSE(router.find_model("b").has_value());
+  for (std::size_t s = 0; s < router.num_shards(); ++s) {
+    EXPECT_TRUE(router.shard(s).model_retired(1))
+        << "shard " << s << " did not burn the rolled-back id";
+  }
+  Rng irng(100);
+  const auto x = gc::synthetic_input(1, 1024, 0.4, irng);
+  EXPECT_FALSE(router.submit(InferenceRequest::borrowed(1, x, 1)).admitted());
+
+  const auto c = router.add_model(d1, "c");
+  EXPECT_EQ(c, 2u) << "ids desynced across the rollback";
+  for (std::size_t s = 0; s < router.num_shards(); ++s) {
+    EXPECT_EQ(router.shard(s).find_model("c").value(), c);
+  }
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_EQ(router.submit(InferenceRequest::borrowed(c, x, 1)).get(),
+              direct_forward(*d1, x, 1));
+  }
+  EXPECT_EQ(router.submit(InferenceRequest::borrowed(a, x, 1)).get(),
+            direct_forward(*d0, x, 1));
+  // The name of the failed registration was never committed: reusable.
+  EXPECT_EQ(router.add_model(make_dnn(1024, 2, 101), "b"), 3u);
+}
+
+TEST(ShardRouter, DrainShardRoutesAroundUntilRestart) {
+  const auto dnn = make_dnn(1024, 2, 102);
+  ShardRouter router({.shards = 2, .engine = {.workers = 1}});
+  const auto id = router.add_model(dnn, "maint");
+  Rng irng(103);
+  const auto x = gc::synthetic_input(1, 1024, 0.4, irng);
+  const auto want = direct_forward(*dnn, x, 1);
+
+  router.drain_shard(0);
+  EXPECT_EQ(router.shard_health(0), ShardHealth::kDraining);
+  EXPECT_TRUE(router.accepting());
+  const auto before = router.shard(0).stats(id).requests;
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(router.submit(InferenceRequest::borrowed(id, x, 1)).get(), want);
+  }
+  EXPECT_EQ(router.shard(0).stats(id).requests, before)
+      << "a draining shard must receive no new routed traffic";
+
+  router.restart_shard(0);
+  EXPECT_EQ(router.shard_health(0), ShardHealth::kUp);
+  for (int i = 0; i < 40; ++i) {
+    EXPECT_EQ(router.submit(InferenceRequest::borrowed(id, x, 1)).get(), want);
+  }
+  EXPECT_GT(router.shard(0).stats(id).requests, before)
+      << "a restarted shard must re-enter rotation";
+  EXPECT_EQ(router.stats(id).requests, 60u);
+}
+
+TEST(ShardRouter, RestartReplaysRegistryAndCarriesStats) {
+  const auto d_a = make_dnn(1024, 2, 104);
+  const auto d_b1 = make_dnn(1024, 2, 105);
+  const auto d_b2 = make_dnn(1024, 2, 106);
+  ShardRouter router({.shards = 2, .engine = {.workers = 1}});
+  const auto a = router.add_model(d_a, "a");
+  const auto b = router.add_model(d_b1, "b");
+  router.remove_model(a);
+  router.swap_model(b, d_b2);
+  Rng irng(107);
+  const auto x = gc::synthetic_input(1, 1024, 0.4, irng);
+  const auto want = direct_forward(*d_b2, x, 1);
+  for (int i = 0; i < 12; ++i) {
+    EXPECT_EQ(router.submit(InferenceRequest::borrowed(b, x, 1)).get(), want);
+  }
+  const auto before = router.stats(b).requests;
+  EXPECT_EQ(before, 12u);
+
+  router.kill_shard(0);
+  router.restart_shard(0);
+  EXPECT_EQ(router.shard_health(0), ShardHealth::kUp);
+
+  // The rebuilt shard must be indistinguishable from its siblings:
+  // same ids, same names, same tombstones, same swap version.
+  const Engine& rebuilt = router.shard(0);
+  EXPECT_EQ(rebuilt.num_models(), 1u);
+  EXPECT_TRUE(rebuilt.model_retired(a));
+  EXPECT_EQ(rebuilt.find_model("b").value(), b);
+  EXPECT_EQ(rebuilt.model_version(b), 2u);
+  EXPECT_EQ(rebuilt.model_version(b), router.shard(1).model_version(b));
+
+  // Restarts must not lose history: the merged view still carries every
+  // pre-kill request, and new traffic lands on top -- served by v2.
+  EXPECT_EQ(router.stats(b).requests, before);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(router.submit(InferenceRequest::borrowed(b, x, 1)).get(), want);
+  }
+  EXPECT_EQ(router.stats(b).requests, before + 10);
+  EXPECT_FALSE(router.submit(InferenceRequest::borrowed(a, x, 1)).admitted())
+      << "a removed model must stay removed across restarts";
 }
 
 }  // namespace

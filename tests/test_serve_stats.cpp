@@ -266,5 +266,53 @@ TEST(ServeStatsMerge, AggregatesCountersAndRederivesPercentiles) {
   EXPECT_EQ(merged.batch_rows_histogram, want.batch_rows_histogram);
 }
 
+TEST(ServeStatsMerge, EmptyOperandsAreIdentityAndAllEmptyStaysZero) {
+  // Default-constructed ServeStats must be the identity of merge in
+  // BOTH operand positions: the router folds restarted-shard history
+  // into default-initialized carried accumulators (empty.merge(full))
+  // and folds a freshly rebuilt engine's empty snapshot into a live
+  // aggregate (full.merge(empty)).  Either direction drifting would
+  // corrupt every post-restart stats() answer.
+  StatsCollector collector;
+  collector.record_request(2e-6, 8e-6, false);
+  collector.record_request(5e-5, 2e-4, true);
+  collector.record_batch(4, 1000, 0.25);
+  const ServeStats want = collector.snapshot();
+
+  ServeStats empty_absorbs;  // empty.merge(nonempty)
+  empty_absorbs.merge(want);
+  ServeStats full_keeps = want;  // nonempty.merge(empty)
+  full_keeps.merge(ServeStats{});
+
+  for (const ServeStats* got : {&empty_absorbs, &full_keeps}) {
+    EXPECT_EQ(got->requests, want.requests);
+    EXPECT_EQ(got->rows, want.rows);
+    EXPECT_EQ(got->batches, want.batches);
+    EXPECT_EQ(got->edges, want.edges);
+    EXPECT_EQ(got->errors, want.errors);
+    EXPECT_DOUBLE_EQ(got->busy_seconds, want.busy_seconds);
+    EXPECT_DOUBLE_EQ(got->edges_per_busy_second, want.edges_per_busy_second);
+    EXPECT_DOUBLE_EQ(got->mean_batch_rows, want.mean_batch_rows);
+    EXPECT_DOUBLE_EQ(got->queue_wait_p99, want.queue_wait_p99);
+    EXPECT_DOUBLE_EQ(got->queue_wait_max, want.queue_wait_max);
+    EXPECT_DOUBLE_EQ(got->e2e_p50, want.e2e_p50);
+    EXPECT_DOUBLE_EQ(got->e2e_p99, want.e2e_p99);
+    EXPECT_DOUBLE_EQ(got->e2e_max, want.e2e_max);
+    EXPECT_EQ(got->batch_rows_histogram, want.batch_rows_histogram);
+  }
+
+  // All-empty merge: still all zero, and the derived ratios must come
+  // out 0.0 (not NaN/inf from 0/0) so dashboards render a quiet model.
+  ServeStats a;
+  a.merge(ServeStats{});
+  EXPECT_EQ(a.requests, 0u);
+  EXPECT_EQ(a.batches, 0u);
+  EXPECT_DOUBLE_EQ(a.edges_per_busy_second, 0.0);
+  EXPECT_DOUBLE_EQ(a.mean_batch_rows, 0.0);
+  EXPECT_DOUBLE_EQ(a.queue_wait_p99, 0.0);
+  EXPECT_DOUBLE_EQ(a.e2e_p99, 0.0);
+  EXPECT_TRUE(a.batch_rows_histogram.empty());
+}
+
 }  // namespace
 }  // namespace radix::serve
