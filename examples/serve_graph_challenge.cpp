@@ -26,8 +26,17 @@
 // traffic sees only the new weights -- and then retired, after which
 // its id politely rejects instead of serving stale answers.
 //
+// A second mode, --overload, shows the PR-7 robustness story instead:
+// an open-loop IPPP load generator offers the fleet 2x its capacity in
+// background traffic next to a modest interactive stream with an
+// end-to-end deadline, every worker pays an injected service floor
+// (the FaultInjector seam), and the bounded queues shed background --
+// never interactive -- to keep the interactive class inside its
+// deadline.  See the "Overload behavior" section of the README.
+//
 // Runs in a few seconds; registered as a CTest smoke test (which
-// exercises the sharded router end-to-end via the default --shards 2).
+// exercises the sharded router end-to-end via the default --shards 2;
+// a second smoke covers --overload).
 #include <atomic>
 #include <chrono>
 #include <cstdio>
@@ -41,23 +50,219 @@
 #include "radixnet/graph_challenge.hpp"
 #include "serve/client.hpp"
 #include "serve/engine.hpp"
+#include "serve/fault.hpp"
+#include "serve/loadgen.hpp"
 #include "serve/router.hpp"
 #include "support/random.hpp"
 #include "support/thread.hpp"
 
 using namespace radix;
 
+namespace {
+
+// --- The overload scenario (--overload) -----------------------------------
+//
+// Two QoS classes against a deliberately slow fleet: every batch pays a
+// 2ms injected service floor, so fleet capacity is a touch under
+// (workers / 2ms) and the offered background load -- an open-loop
+// Poisson schedule at 2x that bound -- is guaranteed to cross it on any
+// host.  The interactive "chat" stream rides along at a modest rate
+// with a 250ms end-to-end deadline.  The contract printed (and
+// enforced via the exit code): every request completes exactly once,
+// background shedding is nonzero, interactive shedding is zero, and no
+// interactive deadline is missed.
+int run_overload(std::size_t shards) {
+  using namespace std::chrono_literals;
+  constexpr index_t kRows = 4;
+  constexpr unsigned kWorkers = 2;
+  constexpr auto kFloor = 2ms;
+  constexpr auto kWindow = 1s;
+
+  std::printf("== Overload: open-loop 2x load with priority shedding "
+              "(%zu shard%s) ==\n\n", shards, shards == 1 ? "" : "s");
+
+  Rng rng(42);
+  const auto net = gc::network(1024, 12, &rng);
+  auto dnn =
+      std::make_shared<infer::SparseDnn>(net.layers, net.bias, gc::kClamp);
+
+  serve::FaultInjector floor({.added_latency = kFloor});
+  serve::EngineOptions opts;
+  opts.workers = kWorkers;
+  opts.max_batch_rows = kRows;  // one request per batch: the floor is
+  opts.max_delay = std::chrono::microseconds(0);  // per-request cost
+  opts.queue_capacity = 4096;
+  opts.shed_capacity = 64;  // bounded backlog; excess is shed, visibly
+
+  std::unique_ptr<serve::Engine> engine;
+  std::unique_ptr<serve::ShardRouter> router;
+  serve::Backend* backend = nullptr;
+  const serve::QosPolicy chat_qos{.priority = serve::Priority::kInteractive,
+                                  .weight = 4};
+  const serve::QosPolicy bulk_qos{.priority = serve::Priority::kBackground};
+  if (shards == 1) {
+    opts.fault = &floor;
+    engine = std::make_unique<serve::Engine>(opts);
+    (void)engine->add_model(dnn, "chat", chat_qos);
+    (void)engine->add_model(dnn, "bulk", bulk_qos);
+    backend = engine.get();
+  } else {
+    serve::ShardRouterOptions ropts;
+    ropts.shards = shards;
+    ropts.engine = opts;
+    ropts.tune_shard = [&floor](std::size_t, serve::EngineOptions& eo) {
+      eo.fault = &floor;
+    };
+    router = std::make_unique<serve::ShardRouter>(ropts);
+    (void)router->add_model(dnn, "chat", chat_qos);
+    (void)router->add_model(dnn, "bulk", bulk_qos);
+    backend = router.get();
+  }
+  const serve::ModelId chat = backend->find_model("chat").value();
+  const serve::ModelId bulk = backend->find_model("bulk").value();
+
+  // Offered load: capacity is UNDER workers/floor (the floor ignores
+  // the forward cost), so 2x that bound is over capacity everywhere.
+  const double total_workers = static_cast<double>(shards * kWorkers);
+  const double cap_bound =
+      total_workers / std::chrono::duration<double>(kFloor).count();
+  const double bulk_rate = 2.0 * cap_bound;
+  const double chat_rate = 100.0;
+  std::printf("fleet: %zu shard%s x %u workers, %.0fms injected service "
+              "floor per batch => capacity < %.0f req/s\n"
+              "offered: bulk (background, no deadline) %.0f req/s + chat "
+              "(interactive, 250ms deadline) %.0f req/s, open loop, 1s\n\n",
+              shards, shards == 1 ? "" : "s", kWorkers,
+              std::chrono::duration<double>(kFloor).count() * 1e3, cap_bound,
+              bulk_rate, chat_rate);
+
+  Rng irng(7);
+  const std::vector<float> x = gc::synthetic_input(kRows, 1024, 0.4, irng);
+  struct Ledger {
+    std::atomic<std::uint64_t> offered{0};
+    std::atomic<std::uint64_t> ok{0};
+    std::atomic<std::uint64_t> dropped{0};  // DeadlineExceededError
+    std::atomic<std::uint64_t> other{0};
+    std::uint64_t completed() const {
+      return ok.load() + dropped.load() + other.load();
+    }
+  };
+  Ledger chat_led, bulk_led;
+  const auto submit_class = [&](serve::ModelId id, Ledger& led,
+                                std::chrono::microseconds deadline) {
+    return [&, id, deadline](std::uint64_t, double) {
+      serve::SubmitOptions so;
+      so.deadline = deadline;
+      so.done = [&led](std::span<const float>, const serve::RequestTiming&,
+                       std::exception_ptr err) {
+        if (!err) {
+          led.ok.fetch_add(1);
+          return;
+        }
+        try {
+          std::rethrow_exception(err);
+        } catch (const serve::DeadlineExceededError&) {
+          led.dropped.fetch_add(1);
+        } catch (...) {
+          led.other.fetch_add(1);
+        }
+      };
+      led.offered.fetch_add(1);
+      (void)backend->submit(serve::InferenceRequest::borrowed(id, x, kRows),
+                            std::move(so));
+    };
+  };
+
+  {
+    serve::LoadGenOptions chat_gen_opts;
+    chat_gen_opts.arrivals.rate = serve::constant_rate(chat_rate);
+    chat_gen_opts.arrivals.peak_rate = chat_rate;
+    chat_gen_opts.arrivals.seed = 11;
+    chat_gen_opts.duration = kWindow;
+    serve::LoadGenOptions bulk_gen_opts;
+    bulk_gen_opts.arrivals.rate = serve::constant_rate(bulk_rate);
+    bulk_gen_opts.arrivals.peak_rate = bulk_rate;
+    bulk_gen_opts.arrivals.seed = 12;
+    bulk_gen_opts.duration = kWindow;
+    serve::LoadGen chat_gen(chat_gen_opts), bulk_gen(bulk_gen_opts);
+    chat_gen.start(submit_class(chat, chat_led, 250ms));
+    bulk_gen.start(submit_class(bulk, bulk_led, std::chrono::microseconds(0)));
+    const auto give_up = std::chrono::steady_clock::now() + 30s;
+    while ((!chat_gen.exhausted() || !bulk_gen.exhausted()) &&
+           std::chrono::steady_clock::now() < give_up) {
+      std::this_thread::sleep_for(1ms);
+    }
+  }  // generators stop + join
+
+  // Drain: bounded queues make the tail bounded too.
+  const auto give_up = std::chrono::steady_clock::now() + 30s;
+  while ((chat_led.completed() < chat_led.offered.load() ||
+          bulk_led.completed() < bulk_led.offered.load()) &&
+         std::chrono::steady_clock::now() < give_up) {
+    std::this_thread::sleep_for(1ms);
+  }
+  backend->shutdown();
+
+  const serve::ServeStats chat_stats =
+      router ? router->class_stats(serve::Priority::kInteractive)
+             : engine->class_stats(serve::Priority::kInteractive);
+  const serve::ServeStats bulk_stats =
+      router ? router->class_stats(serve::Priority::kBackground)
+             : engine->class_stats(serve::Priority::kBackground);
+
+  std::printf("[chat]  offered %llu, served %llu, deadline-dropped %llu "
+              "(shed %llu, expired %llu), e2e p99 %.1fms\n",
+              static_cast<unsigned long long>(chat_led.offered.load()),
+              static_cast<unsigned long long>(chat_led.ok.load()),
+              static_cast<unsigned long long>(chat_led.dropped.load()),
+              static_cast<unsigned long long>(chat_stats.shed),
+              static_cast<unsigned long long>(chat_stats.expired),
+              chat_stats.e2e_p99 * 1e3);
+  std::printf("[bulk]  offered %llu, served %llu, shed %llu "
+              "(%.0f%% of offered)\n\n",
+              static_cast<unsigned long long>(bulk_led.offered.load()),
+              static_cast<unsigned long long>(bulk_led.ok.load()),
+              static_cast<unsigned long long>(bulk_stats.shed),
+              bulk_led.offered.load() == 0
+                  ? 0.0
+                  : 100.0 * static_cast<double>(bulk_stats.shed) /
+                        static_cast<double>(bulk_led.offered.load()));
+
+  const bool all_completed =
+      chat_led.completed() == chat_led.offered.load() &&
+      bulk_led.completed() == bulk_led.offered.load();
+  const bool chat_protected = chat_stats.shed == 0 &&
+                              chat_led.dropped.load() == 0 &&
+                              chat_led.other.load() == 0;
+  const bool bulk_shed = bulk_stats.shed > 0;
+  std::printf("every request completed exactly once: %s\n",
+              all_completed ? "yes" : "NO");
+  std::printf("interactive protected (zero shed, zero deadline misses): "
+              "%s\n", chat_protected ? "yes" : "NO");
+  std::printf("background absorbed the overload (shed > 0): %s\n",
+              bulk_shed ? "yes" : "NO");
+  const bool ok = all_completed && chat_protected && bulk_shed;
+  std::printf("%s\n", ok ? "SURVIVED OVERLOAD" : "FAILED");
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   std::size_t shards = 2;
+  bool overload = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--shards") == 0 && i + 1 < argc) {
       shards = static_cast<std::size_t>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--overload") == 0) {
+      overload = true;
     } else {
-      std::fprintf(stderr, "usage: %s [--shards N]\n", argv[0]);
+      std::fprintf(stderr, "usage: %s [--shards N] [--overload]\n", argv[0]);
       return 2;
     }
   }
   if (shards == 0) shards = 1;
+  if (overload) return run_overload(shards);
 
   std::printf("== Serving a Graph-Challenge RadiX-Net with QoS "
               "(%zu shard%s) ==\n\n", shards, shards == 1 ? "" : "s");

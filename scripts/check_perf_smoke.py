@@ -12,6 +12,13 @@ only two invariants that must hold on any host:
     the job; the fused path measures 2-4x on a quiet host, so a geomean
     under 0.9 is a genuine regression, not noise).
 
+When bench_overload is present, its overload-robustness shape is gated
+too: interactive traffic is never shed at any offered load, and at 2x
+the calibrated saturating rate the background shed rate is nonzero
+while the interactive p99 stays within the SLO bound -- the PR-7
+policy invariants, which the injected service floor makes host-
+independent.
+
 When bench_serving is present (it is skipped only when Google Benchmark
 is unavailable), its output *shape* is sanity-checked too: the direct,
 closed-loop, latency, QoS and sharded-router benchmarks must all be
@@ -114,6 +121,63 @@ def check_serving_shape(build_dir: str, min_time: str) -> int:
     return 0
 
 
+def check_overload_shape(build_dir: str) -> int:
+    """Run bench_overload briefly and validate the overload robustness
+    shape (PR 7): both sweeps present at loads 50/100/200, interactive
+    NEVER shed at any load, and at 200% of the calibrated saturating
+    rate the background shed rate is nonzero while the interactive p99
+    stays within the reported SLO bound.  These are policy invariants,
+    not throughput numbers -- the injected service floor makes them hold
+    on any host.  A missing binary (benchmarks disabled) is a skip."""
+    exe = os.path.join(build_dir, "bench", "bench_overload")
+    if not os.path.isfile(exe):
+        print("note: bench_overload not built; skipping overload shape check")
+        return 0
+    out = subprocess.run(
+        [exe, "--benchmark_format=json", "--benchmark_min_time=0.05"],
+        capture_output=True, text=True, check=True)
+    data = json.loads(out.stdout)
+
+    seen = {"BM_ServeOverload": set(), "BM_ServeOverloadFaulty": set()}
+    for b in data["benchmarks"]:
+        parts = b["name"].split("/")
+        family = parts[0]
+        if family not in seen:
+            continue
+        load_pct = int(parts[1])
+        seen[family].add(load_pct)
+        if b.get("interactive_shed", -1.0) != 0.0:
+            print(f"FAIL: {b['name']} shed interactive requests "
+                  f"({b.get('interactive_shed')}) -- pressure must shed "
+                  "background first")
+            return 1
+        p99 = b.get("interactive_p99_us", 0.0)
+        slo = b.get("slo_us", 0.0)
+        if not 0.0 < p99 <= slo:
+            print(f"FAIL: {b['name']} interactive p99 {p99}us outside "
+                  f"(0, slo={slo}us] -- overload must not be paid in "
+                  "interactive latency")
+            return 1
+        attainment = b.get("interactive_attainment", 0.0)
+        if not 0.0 < attainment <= 1.0:
+            print(f"FAIL: {b['name']} interactive_attainment {attainment} "
+                  "not in (0, 1]")
+            return 1
+        if load_pct == 200 and b.get("bg_shed_rate", 0.0) <= 0.0:
+            print(f"FAIL: {b['name']} reports no background shedding at "
+                  "2x saturating load -- bounded queues must shed")
+            return 1
+    for family, loads in seen.items():
+        missing = {50, 100, 200} - loads
+        if missing:
+            print(f"FAIL: bench_overload produced no {family} runs for "
+                  f"loads {sorted(missing)}")
+            return 1
+    print("overload shape OK (interactive never shed; background sheds "
+          "at 2x load)")
+    return 0
+
+
 def main() -> int:
     ap = argparse.ArgumentParser()
     ap.add_argument("--build-dir", default=os.path.join(REPO_ROOT, "build"))
@@ -159,6 +223,8 @@ def main() -> int:
         return 1
 
     if check_serving_shape(args.build_dir, args.min_time) != 0:
+        return 1
+    if check_overload_shape(args.build_dir) != 0:
         return 1
     print("perf smoke OK")
     return 0

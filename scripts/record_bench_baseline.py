@@ -21,7 +21,11 @@ bounds, so the ratio quantizes to powers of two), and mixed aggregate
 edges/sec over the batch-only single-class throughput (bar: >= 0.9),
 and the PR-5 sharded-scaling sweep: BM_ServeSharded aggregate edges/sec
 by ShardRouter shard count (1, 2, 4) with each count's ratio over the
-single-shard run.  Shard scaling is compute-bound -- it needs free
+single-shard run, and the PR-7 overload robustness curves from
+bench_overload: interactive SLO attainment and background shed rate per
+offered-load point with the knee of each curve (the highest load whose
+attainment stays >= 0.95), plus the E16 fault-tolerance survival
+headline from the converted bench_fault_tolerance.  Shard scaling is compute-bound -- it needs free
 cores to show up -- so the snapshot records the host core count next to
 the curve; on a 1-core host a flat curve is the expected shape, not a
 regression.  Numbers are machine-specific; the file anchors trends on
@@ -66,11 +70,14 @@ def run_gbench(build_dir: str, name: str, min_time: str = "0.05") -> dict:
                 "iterations": b["iterations"],
                 **({"items_per_second": round(b["items_per_second"], 1)}
                    if "items_per_second" in b else {}),
-                # Serving QoS / batching counters (latency percentiles,
-                # batch-size means) ride along where a bench reports them.
-                **{k: round(v, 1) for k, v in b.items()
+                # Serving QoS / batching / overload / survival counters
+                # ride along where a bench reports them.
+                **{k: round(v, 4) for k, v in b.items()
                    if isinstance(v, (int, float)) and
-                   k.endswith(("_us", "_rows"))},
+                   (k.endswith(("_us", "_rows", "_rps", "_rate",
+                                "_attainment", "_shed")) or
+                    k in ("survival", "kills", "failovers",
+                          "injected_delays"))},
             }
             for b in data["benchmarks"]
         ],
@@ -162,6 +169,77 @@ def serving_sharded(serving: dict) -> dict:
     }
 
 
+def serving_overload(overload: dict) -> dict:
+    """PR-7 overload robustness curve: SLO-attainment and background
+    shed rate per offered-load point (percent of the calibrated
+    saturating rate), for the healthy single-engine sweep and the
+    grey-failure 2-shard sweep, plus the knee of each curve -- the
+    highest swept load whose interactive SLO attainment stays >= 0.95.
+    The headline serving robustness metric: under 2x saturating load the
+    background shed rate must be nonzero while interactive is never
+    shed (interactive_shed stays 0 at every point)."""
+    curves = {}
+    for b in overload["benchmarks"]:
+        name = b["name"]  # BM_ServeOverload[Faulty]/<load_pct>/...
+        family = name.split("/", 1)[0]
+        if family not in ("BM_ServeOverload", "BM_ServeOverloadFaulty"):
+            continue
+        try:
+            load_pct = int(name.split("/")[1])
+        except (IndexError, ValueError):
+            continue
+        curves.setdefault(family, {})[load_pct] = {
+            "offered_rps": round(b.get("offered_rps", 0.0), 1),
+            "interactive_p99_us": round(b.get("interactive_p99_us", 0.0), 1),
+            "interactive_attainment":
+                round(b.get("interactive_attainment", 0.0), 4),
+            "interactive_shed": int(b.get("interactive_shed", 0)),
+            "bg_shed_rate": round(b.get("bg_shed_rate", 0.0), 4),
+        }
+    if not curves:
+        return {}
+    out = {}
+    for family, points in curves.items():
+        knee = None
+        for load_pct in sorted(points):
+            if points[load_pct]["interactive_attainment"] >= 0.95:
+                knee = load_pct
+        out[family] = {
+            "by_load_pct": {str(k): v for k, v in sorted(points.items())},
+            "slo_knee_load_pct": knee,
+        }
+    out["note"] = ("Loads are percent of the calibrated saturating rate "
+                   "(injected service floor + best forward time).  The "
+                   "knee is the highest swept load with interactive SLO "
+                   "attainment >= 0.95; interactive_shed must be 0 at "
+                   "every point -- overload is paid by the background "
+                   "class.")
+    return out
+
+
+def fault_tolerance(survival: dict) -> dict:
+    """E16 headline from the converted bench_fault_tolerance: mean
+    connected-pair survival at 50% random edge loss per topology, and
+    the paper-extension comparison (RadiX-Net must not degrade worse
+    than the matched-density ER control)."""
+    at_half = {}
+    for b in survival["benchmarks"]:
+        name = b["name"]  # BM_Survival<Topo>/<drop_pct>
+        parts = name.split("/")
+        if len(parts) < 2 or parts[1] != "50":
+            continue
+        at_half[parts[0]] = round(b.get("survival", 0.0), 4)
+    if not at_half:
+        return {}
+    radix = at_half.get("BM_SurvivalRadixNet")
+    er = at_half.get("BM_SurvivalErRandom")
+    return {
+        "survival_at_50pct_loss": at_half,
+        "radix_at_least_er": (radix is not None and er is not None
+                              and radix >= er),
+    }
+
+
 def run_fig6(build_dir: str) -> dict:
     exe = find_bench(build_dir, "bench_fig6_algorithm")
     t0 = time.perf_counter()
@@ -204,8 +282,12 @@ def main() -> int:
     # Longer window for the serving bench: its latency percentiles need
     # enough samples that the per-engine cold start falls outside p99.
     serving = run_gbench(args.build_dir, "bench_serving", min_time="0.3")
+    # The overload windows are fixed-length (100ms of offered load per
+    # iteration); min_time only controls how many windows are averaged.
+    overload = run_gbench(args.build_dir, "bench_overload", min_time="0.2")
+    survival = run_gbench(args.build_dir, "bench_fault_tolerance")
     baseline = {
-        "schema": "radix-bench-baseline/v5",
+        "schema": "radix-bench-baseline/v6",
         "recorded": datetime.date.today().isoformat(),
         "build_type": "Release",
         "compiler": compiler_id(args.build_dir),
@@ -223,6 +305,10 @@ def main() -> int:
         "serving_over_direct": serving_over_direct(serving),
         "serving_qos": serving_qos(serving),
         "serving_sharded": serving_sharded(serving),
+        "bench_overload": overload,
+        "serving_overload": serving_overload(overload),
+        "bench_fault_tolerance": survival,
+        "fault_tolerance": fault_tolerance(survival),
     }
     with open(args.output, "w") as f:
         json.dump(baseline, f, indent=2)
@@ -232,6 +318,10 @@ def main() -> int:
         "best_closed_loop_over_direct")
     qos = baseline["serving_qos"]
     sharded = baseline["serving_sharded"]
+    over = baseline["serving_overload"]
+    knees = {f: over[f].get("slo_knee_load_pct")
+             for f in ("BM_ServeOverload", "BM_ServeOverloadFaulty")
+             if f in over}
     print(f"wrote {args.output} "
           f"({len(baseline['bench_sparse_kernels']['benchmarks'])} kernel "
           f"benchmarks, fig6 reproduced="
@@ -243,7 +333,10 @@ def main() -> int:
           f"qos aggregate mixed/batch-only: "
           f"{qos.get('aggregate_mixed_over_batch_only')}, "
           f"sharded scaling over 1 shard: "
-          f"{sharded.get('scaling_over_one_shard')})")
+          f"{sharded.get('scaling_over_one_shard')}, "
+          f"overload SLO knees: {knees}, "
+          f"e16 radix>=er at 50% loss: "
+          f"{baseline['fault_tolerance'].get('radix_at_least_er')})")
     return 0
 
 

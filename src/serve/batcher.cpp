@@ -112,23 +112,70 @@ std::vector<std::pair<std::size_t, Request>> MicroBatcher::abort() {
       q.pop_front_locked();
     }
   }
+  queued_total_ = 0;
   monitor_.cv.notify_all();
   return orphans;
 }
 
-bool MicroBatcher::push_locked(std::size_t model, Request&& r) {
+bool MicroBatcher::shed_for_pressure_locked(std::size_t model,
+                                            ShedList* shed) {
+  if (options_.shed_capacity == 0) return false;
+  const std::size_t incoming =
+      static_cast<std::size_t>(slots_[model]->policy.priority);
+  while (queued_total_ >= options_.shed_capacity) {
+    // Victim: the newest queued request of the lowest-priority class
+    // STRICTLY below the incoming class -- background is shed to admit
+    // batch, background and batch to admit interactive.  Within the
+    // victim class, drop-tail across its models: the request enqueued
+    // last is furthest from service, so shedding it wastes the least
+    // already-paid queue wait.
+    std::size_t victim = kNone;
+    Clock::time_point newest{};
+    for (std::size_t c = kNumPriorities; c-- > incoming + 1;) {
+      for (std::size_t m : classes_[c].members) {
+        Queue& q = *slots_[m]->queue;
+        if (q.empty_locked()) continue;
+        if (victim == kNone || q.back_locked().enqueued >= newest) {
+          victim = m;
+          newest = q.back_locked().enqueued;
+        }
+      }
+      if (victim != kNone) break;
+    }
+    // No lower class backlogged: the incoming request is itself the
+    // lowest-value work at this instant, so it is the one shed.
+    if (victim == kNone) return true;
+    Queue& q = *slots_[victim]->queue;
+    shed->emplace_back(victim, std::move(q.back_locked()));
+    q.pop_back_locked();
+    --queued_total_;
+  }
+  return false;
+}
+
+bool MicroBatcher::push_locked(std::size_t model, Request&& r,
+                               ShedList* shed) {
   // Enqueue time is stamped here, after any backpressure wait: the
   // max_delay bound is measured from admission, with the injected
   // clock.  `submitted` (the stats anchor) was stamped at submit entry
   // so latency percentiles include the backpressure wait itself.
   r.enqueued = clock_->now();
   if (r.submitted == Clock::time_point{}) r.submitted = r.enqueued;
+  RADIX_REQUIRE(options_.shed_capacity == 0 || shed != nullptr,
+                "MicroBatcher: shed_capacity > 0 requires a shed list");
+  if (shed_for_pressure_locked(model, shed)) {
+    // Admitted-then-shed: the caller completes it with
+    // DeadlineExceededError; it never enters a queue.
+    shed->emplace_back(model, std::move(r));
+    return true;
+  }
   slots_[model]->queue->push_locked(std::move(r));
+  ++queued_total_;
   monitor_.cv.notify_all();
   return true;
 }
 
-bool MicroBatcher::submit(std::size_t model, Request&& r) {
+bool MicroBatcher::submit(std::size_t model, Request&& r, ShedList* shed) {
   std::unique_lock lock(monitor_.mutex);
   RADIX_REQUIRE(model < slots_.size(), "MicroBatcher: unknown model id");
   r.submitted = clock_->now();
@@ -137,15 +184,18 @@ bool MicroBatcher::submit(std::size_t model, Request&& r) {
   monitor_.cv.wait(
       lock, [&] { return closed_ || slot.retired || !q.full_locked(); });
   if (closed_ || slot.retired) return false;
-  return push_locked(model, std::move(r));
+  return push_locked(model, std::move(r), shed);
 }
 
-bool MicroBatcher::try_submit(std::size_t model, Request&& r) {
-  return submit_for(model, std::move(r), std::chrono::microseconds::zero());
+bool MicroBatcher::try_submit(std::size_t model, Request&& r,
+                              ShedList* shed) {
+  return submit_for(model, std::move(r), std::chrono::microseconds::zero(),
+                    shed);
 }
 
 bool MicroBatcher::submit_for(std::size_t model, Request&& r,
-                              std::chrono::microseconds timeout) {
+                              std::chrono::microseconds timeout,
+                              ShedList* shed) {
   std::unique_lock lock(monitor_.mutex);
   RADIX_REQUIRE(model < slots_.size(), "MicroBatcher: unknown model id");
   r.submitted = clock_->now();
@@ -162,7 +212,7 @@ bool MicroBatcher::submit_for(std::size_t model, Request&& r,
     }
   }
   if (closed_ || slot.retired || q.full_locked()) return false;
-  return push_locked(model, std::move(r));
+  return push_locked(model, std::move(r), shed);
 }
 
 std::size_t MicroBatcher::pick_model_locked() {
@@ -268,10 +318,26 @@ bool MicroBatcher::next(Batch& out) {
     out.model = pick;
     out.priority = slot.policy.priority;
     Queue& q = *slot.queue;
+    const auto is_expired = [](const Request& r, Clock::time_point now) {
+      // "now >= deadline" so a request expiring exactly at its deadline
+      // is shed, never dispatched.
+      return r.deadline != Clock::time_point{} && now >= r.deadline;
+    };
     const auto take_fitting = [&] {
       bool popped = false;
+      const auto now = clock_->now();
       while (!q.empty_locked()) {
         Request& r = q.front_locked();
+        // A request whose end-to-end deadline has passed is claimed as
+        // shed work, not forward work: it costs no rows and does not
+        // end the FIFO scan -- the next live request may still fit.
+        if (is_expired(r, now)) {
+          out.expired.push_back(std::move(r));
+          q.pop_front_locked();
+          --queued_total_;
+          popped = true;
+          continue;
+        }
         // FIFO, no reordering: stop at the first request that does not
         // fit.  A lone oversize request still ships (forward handles
         // any batch size).
@@ -279,6 +345,7 @@ bool MicroBatcher::next(Batch& out) {
         out.rows += r.rows;
         out.requests.push_back(std::move(r));
         q.pop_front_locked();
+        --queued_total_;
         popped = true;
       }
       // Wake producers blocked on a full queue *now*, not after the
@@ -294,7 +361,11 @@ bool MicroBatcher::next(Batch& out) {
     // the model is idle while a worker still holds its work.
     ++slot.inflight;
 
-    if (out.rows < max_rows && max_delay.count() > 0 && !closed_) {
+    // A pure-expired claim ships immediately (no coalescing wait): the
+    // consumer should deliver the DeadlineExceeded completions now, and
+    // there is no live request to anchor the window on.
+    if (!out.requests.empty() && out.rows < max_rows &&
+        max_delay.count() > 0 && !closed_) {
       // Coalescing window anchored at the *oldest* claimed request's
       // enqueue time: total added latency is bounded by max_delay, and
       // a request that already waited that long ships immediately.
@@ -307,13 +378,26 @@ bool MicroBatcher::next(Batch& out) {
         }
         take_fitting();
       }
+      // Requests claimed before the wait may have expired during it:
+      // sweep them into `expired` so the batch never dispatches a
+      // request past its deadline.
+      const auto now = clock_->now();
+      const auto first_dead = std::stable_partition(
+          out.requests.begin(), out.requests.end(),
+          [&](const Request& r) { return !is_expired(r, now); });
+      for (auto it = first_dead; it != out.requests.end(); ++it) {
+        out.rows -= it->rows;
+        out.expired.push_back(std::move(*it));
+      }
+      out.requests.erase(first_dead, out.requests.end());
     }
 
-    // WDRR accounting: pay for every row claimed.  A batch may exceed
-    // the head-request cost it was admitted under (coalescing fills to
-    // the budget; an oversize lone request exceeds it), so deficit can
-    // go negative -- that debt is the mechanism that keeps long-run row
-    // shares proportional to the weights.
+    // WDRR accounting: pay for every LIVE row claimed (expired requests
+    // consumed no service).  A batch may exceed the head-request cost
+    // it was admitted under (coalescing fills to the budget; an
+    // oversize lone request exceeds it), so deficit can go negative --
+    // that debt is the mechanism that keeps long-run row shares
+    // proportional to the weights.
     slot.deficit -= static_cast<std::int64_t>(out.rows);
     monitor_.cv.notify_all();  // queue space freed for blocked submitters
     return true;

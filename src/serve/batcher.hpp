@@ -35,6 +35,25 @@
 //     rows proportional to their weights regardless of request sizes.
 //     Credit does not accumulate while a model's queue is empty.
 //
+// Overload shedding (PR 7)
+// ------------------------
+// Two mechanisms keep the batcher from collapsing under sustained
+// overload instead of growing unbounded latency:
+//
+//   * Expiry at claim time: a request carrying an end-to-end deadline
+//     (Request::deadline) that has passed when a consumer claims it is
+//     returned in Batch::expired instead of Batch::requests -- it never
+//     becomes forward work; the consumer completes it exceptionally.
+//     "now >= deadline" counts as expired, so a request expiring
+//     exactly at its deadline is shed, not dispatched.
+//   * Pressure shedding: with BatcherOptions::shed_capacity > 0, an
+//     admission that would push the total queued count past the bound
+//     drop-tails the newest queued request of the lowest-priority
+//     backlogged class strictly below the incoming class (background
+//     before batch before interactive); if none exists the incoming
+//     request itself is shed.  Victims are handed back through the
+//     submit call's ShedList for completion outside the monitor.
+//
 // Time is injectable (support/thread.hpp ClockSource): production uses
 // the steady clock; tests inject a FakeClock so the deadline and
 // fairness behavior above is asserted deterministically, without
@@ -92,6 +111,11 @@ struct Request {
   DoneFn done;
   std::chrono::steady_clock::time_point submitted{};
   std::chrono::steady_clock::time_point enqueued{};
+  /// Absolute end-to-end deadline by the batcher's clock; the default
+  /// (epoch) means none.  A request whose deadline has passed when a
+  /// consumer claims it is returned in Batch::expired instead of
+  /// Batch::requests -- it must never be served as forward work.
+  std::chrono::steady_clock::time_point deadline{};
 };
 
 struct BatcherOptions {
@@ -105,6 +129,16 @@ struct BatcherOptions {
   /// A backlogged lower class is served after being passed over this
   /// many consecutive claims (>= 1; see file comment).
   std::uint64_t starvation_bound = 16;
+  /// Total queued-request bound across ALL models; 0 disables pressure
+  /// shedding.  When an admission would push the total past this bound,
+  /// the batcher sheds (drop-tail) the newest queued request of the
+  /// lowest-priority backlogged class strictly below the incoming
+  /// request's class -- background before batch before interactive.  If
+  /// no lower class is backlogged the incoming request itself is shed.
+  /// Shed requests are handed back through the submit call's shed list
+  /// for the caller to complete (with DeadlineExceededError); they are
+  /// never silently dropped.
+  std::size_t shed_capacity = 0;
   /// Time source; nullptr means the process steady clock.
   ClockSource* clock = nullptr;
 };
@@ -114,19 +148,30 @@ class MicroBatcher {
   using Clock = std::chrono::steady_clock;
 
   /// A claimed batch: requests of one model, FIFO, totalling `rows`.
+  /// `expired` holds requests of the same model whose end-to-end
+  /// deadline had passed at claim time: they are NOT part of `rows`,
+  /// must not run forward, and the consumer owns completing them
+  /// (with DeadlineExceededError) before batch_complete.  A claim may
+  /// be pure-expired (rows == 0, requests empty).
   struct Batch {
     std::size_t model = 0;
     Priority priority = Priority::kBatch;
     index_t rows = 0;
     std::vector<Request> requests;
+    std::vector<Request> expired;
 
     void clear() noexcept {
       model = 0;
       priority = Priority::kBatch;
       rows = 0;
       requests.clear();  // keeps capacity across reuse
+      expired.clear();
     }
   };
+
+  /// (model, request) pairs shed by the pressure policy during one
+  /// submit call; the caller owns completing them outside the monitor.
+  using ShedList = std::vector<std::pair<std::size_t, Request>>;
 
   explicit MicroBatcher(BatcherOptions options = {});
   ~MicroBatcher();  // detaches from a fake clock, if one was injected
@@ -183,16 +228,22 @@ class MicroBatcher {
 
   /// Blocking submit with backpressure; false when closed (the request's
   /// callback is NOT invoked -- the caller owns rejection handling).
-  bool submit(std::size_t model, Request&& r);
+  /// When shed_capacity > 0, `shed` (required then) receives any
+  /// requests the pressure policy dropped to admit this one -- possibly
+  /// including the incoming request itself, in which case the call still
+  /// returns true (admitted, then immediately shed): the caller
+  /// completes everything in the list with DeadlineExceededError.
+  bool submit(std::size_t model, Request&& r, ShedList* shed = nullptr);
 
   /// Non-blocking submit: false when the model queue is full or closed.
-  bool try_submit(std::size_t model, Request&& r);
+  bool try_submit(std::size_t model, Request&& r, ShedList* shed = nullptr);
 
   /// Bounded-wait submit: waits up to `timeout` (by the injected clock)
   /// for queue space; false when still full at the deadline or closed.
   /// timeout <= 0 behaves like try_submit().
   bool submit_for(std::size_t model, Request&& r,
-                  std::chrono::microseconds timeout);
+                  std::chrono::microseconds timeout,
+                  ShedList* shed = nullptr);
 
   /// Claim the next coalesced batch (see file comment for the policy).
   /// Blocks until work arrives; returns false only when closed *and*
@@ -235,13 +286,18 @@ class MicroBatcher {
   /// starvation counters and, within the chosen class, the WDRR state.
   std::size_t pick_model_locked();
   std::size_t pick_in_class_locked(ClassState& cls);
-  bool push_locked(std::size_t model, Request&& r);
+  bool push_locked(std::size_t model, Request&& r, ShedList* shed);
+  /// Enforce shed_capacity before admitting a request for `model`:
+  /// pops pressure victims into `shed`.  Returns true when the incoming
+  /// request itself must be shed (no strictly lower class backlogged).
+  bool shed_for_pressure_locked(std::size_t model, ShedList* shed);
 
   mutable Monitor monitor_;
   BatcherOptions options_;
   ClockSource* clock_;
   std::vector<std::unique_ptr<ModelSlot>> slots_;
   std::array<ClassState, kNumPriorities> classes_{};
+  std::size_t queued_total_ = 0;  // requests across all queues
   bool closed_ = false;
 };
 

@@ -35,6 +35,7 @@ BatcherOptions batcher_options(const EngineOptions& o) {
   b.max_delay = o.max_delay;
   b.starvation_bound = o.starvation_bound;
   b.clock = o.clock;
+  b.shed_capacity = o.shed_capacity;
   return b;
 }
 
@@ -295,22 +296,63 @@ SubmitResult Engine::submit(InferenceRequest req, SubmitOptions opts) {
   } else {
     r.input = req.input.data();
   }
+  if (opts.deadline.count() != 0) {
+    // Absolute end-to-end deadline, anchored at submit entry.  A
+    // non-positive remaining budget (a failover relay that already
+    // spent it) stamps a deadline in the past: admitted, then shed at
+    // the first claim.
+    r.deadline = batcher_.clock().now() + opts.deadline;
+  }
 
+  // Pressure-shed victims are handed back here and completed OUTSIDE
+  // the batcher monitor -- the batcher never runs completions.
+  MicroBatcher::ShedList shed;
   bool admitted = false;
   switch (opts.admission) {
     case Admission::kBlock:
-      admitted = batcher_.submit(req.model, std::move(r));
+      admitted = batcher_.submit(req.model, std::move(r), &shed);
       break;
     case Admission::kFailFast:
-      admitted = batcher_.try_submit(req.model, std::move(r));
+      admitted = batcher_.try_submit(req.model, std::move(r), &shed);
       break;
     case Admission::kBoundedWait:
-      admitted = batcher_.submit_for(req.model, std::move(r), opts.timeout);
+      admitted =
+          batcher_.submit_for(req.model, std::move(r), opts.timeout, &shed);
       break;
   }
+  complete_shed(shed);
   if (!admitted) return SubmitResult::rejected();
   return callback ? SubmitResult::admitted_callback()
                   : SubmitResult::admitted_future(std::move(future));
+}
+
+void Engine::complete_shed(MicroBatcher::ShedList& shed) {
+  if (shed.empty()) return;
+  const auto now = batcher_.clock().now();
+  for (auto& [model, r] : shed) {
+    const auto st = state(model);
+    StatsCollector& cls = class_stats_[static_cast<std::size_t>(
+        batcher_.policy(model).priority)];
+    RequestTiming timing;
+    timing.queue_seconds = seconds_between(r.submitted, now);
+    timing.total_seconds = timing.queue_seconds;
+    // A shed request IS a completed request of this engine: it counts
+    // into requests/errors/shed on both the model and class ledgers,
+    // and its wait lands in the latency tails.
+    st->stats->record_shed(timing.queue_seconds, timing.total_seconds,
+                           /*expired=*/false);
+    cls.record_shed(timing.queue_seconds, timing.total_seconds, false);
+    if (r.done) {
+      try {
+        r.done({}, timing,
+               std::make_exception_ptr(DeadlineExceededError(
+                   "request shed under queue pressure")));
+      } catch (...) {
+        // DoneFn contract: escaping exceptions are swallowed.
+      }
+    }
+  }
+  shed.clear();
 }
 
 ServeStats Engine::stats(ModelId id) const {
@@ -395,14 +437,54 @@ void Engine::worker_loop(std::size_t worker_index) {
         class_stats_[static_cast<std::size_t>(batch.priority)];
     const auto claimed = clock.now();
 
+    // Requests whose end-to-end deadline passed before this claim are
+    // completed FIRST -- before any injected latency or forward work --
+    // with DeadlineExceededError.  They never touch a workspace; their
+    // only cost was queue residency.
+    for (Request& r : batch.expired) {
+      const double qs = seconds_between(r.submitted, claimed);
+      st->stats->record_shed(qs, qs, /*expired=*/true);
+      cls.record_shed(qs, qs, true);
+      RequestTiming timing;
+      timing.queue_seconds = qs;
+      timing.total_seconds = qs;
+      if (r.done) {
+        try {
+          r.done({}, timing,
+                 std::make_exception_ptr(DeadlineExceededError(
+                     "end-to-end deadline passed before the request "
+                     "was claimed")));
+        } catch (...) {
+          // DoneFn contract: escaping exceptions are swallowed.
+        }
+      }
+    }
+    if (batch.rows == 0) {
+      // Pure-expired claim: nothing live to serve.
+      batcher_.batch_complete(batch.model);
+      continue;
+    }
+
     const float* input = assembly.assemble(batch, st->input_width);
     infer::InferenceStats fstats;
     std::span<const float> y;
     std::exception_ptr error;
-    try {
-      y = st->dnn->forward(input, batch.rows, workspace, &fstats);
-    } catch (...) {
-      error = std::current_exception();
+    // Fault-injection seam: added latency (a virtual wait under a
+    // FakeClock) models a slow shard; an injected throw fails the whole
+    // batch through the normal forward-error path below.
+    if (options_.fault) {
+      try {
+        options_.fault->on_batch(clock);
+      } catch (...) {
+        error = std::current_exception();
+      }
+    }
+    if (!error) {
+      try {
+        y = st->dnn->forward(input, batch.rows, workspace, &fstats);
+      } catch (...) {
+        error = std::current_exception();
+      }
     }
     const auto finished = clock.now();
 

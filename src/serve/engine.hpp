@@ -88,6 +88,7 @@
 #include "infer/sparse_dnn.hpp"
 #include "serve/backend.hpp"
 #include "serve/batcher.hpp"
+#include "serve/fault.hpp"
 #include "serve/qos.hpp"
 #include "serve/request.hpp"
 #include "serve/stats.hpp"
@@ -121,6 +122,20 @@ struct EngineOptions {
   /// Time source for deadlines and latency stats; nullptr = steady
   /// clock.  Tests inject a FakeClock for deterministic assertions.
   ClockSource* clock = nullptr;
+  /// Overload bound on TOTAL queued requests across this engine's
+  /// models (0 = unbounded, the pre-PR-7 behavior).  When an admission
+  /// would exceed it, the batcher sheds the newest queued request of
+  /// the lowest-priority backlogged class below the incoming one (the
+  /// incoming request itself when no such class is backlogged); shed
+  /// requests complete with DeadlineExceededError and count into the
+  /// per-model / per-class `shed` counters.  See serve/batcher.hpp.
+  std::size_t shed_capacity = 0;
+  /// Fault-injection seam: when set, every worker calls
+  /// fault->on_batch(clock) after claiming a batch and before running
+  /// it -- added latency models a slow shard, injected failures
+  /// complete the batch's requests with FaultInjectedError.  The
+  /// injector must outlive the engine.  See serve/fault.hpp.
+  FaultInjector* fault = nullptr;
 };
 
 class Engine final : public Backend {
@@ -244,6 +259,10 @@ class Engine final : public Backend {
   std::shared_ptr<const ModelState> state(ModelId id) const;
   /// Copy-edit-publish helper; caller holds models_mutex_.
   void publish_locked(ModelId id, std::shared_ptr<const ModelState> st);
+  /// Complete pressure-shed victims with DeadlineExceededError and
+  /// record them (model + class `shed` counters).  Runs on the
+  /// submitting thread, outside the batcher monitor.
+  void complete_shed(MicroBatcher::ShedList& shed);
   void stop(bool abort_queued);
   QosPolicy resolve_qos(QosPolicy qos) const;
   void worker_loop(std::size_t worker_index);

@@ -1,0 +1,170 @@
+#include "serve/loadgen.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "support/error.hpp"
+
+namespace radix::serve {
+
+RateFn constant_rate(double rate) {
+  RADIX_REQUIRE(rate >= 0.0, "constant_rate: rate must be >= 0");
+  return [rate](double) { return rate; };
+}
+
+RateFn burst_rate(double base, double burst, double period_seconds,
+                  double duty) {
+  RADIX_REQUIRE(base >= 0.0 && burst >= base,
+                "burst_rate: need 0 <= base <= burst");
+  RADIX_REQUIRE(period_seconds > 0.0, "burst_rate: period must be > 0");
+  RADIX_REQUIRE(duty >= 0.0 && duty <= 1.0,
+                "burst_rate: duty must be in [0, 1]");
+  return [=](double t) {
+    const double phase = t - period_seconds * std::floor(t / period_seconds);
+    return phase < duty * period_seconds ? burst : base;
+  };
+}
+
+RateFn diurnal_rate(double trough, double peak, double period_seconds) {
+  RADIX_REQUIRE(trough >= 0.0 && peak >= trough,
+                "diurnal_rate: need 0 <= trough <= peak");
+  RADIX_REQUIRE(period_seconds > 0.0, "diurnal_rate: period must be > 0");
+  const double mid = 0.5 * (trough + peak);
+  const double amp = 0.5 * (peak - trough);
+  const double omega = 2.0 * 3.14159265358979323846 / period_seconds;
+  // -cos starts the cycle at the trough: load ramps up from quiet.
+  return [=](double t) { return mid - amp * std::cos(omega * t); };
+}
+
+ArrivalProcess::ArrivalProcess(ArrivalProcessOptions options)
+    : options_(std::move(options)), rng_(options_.seed) {
+  RADIX_REQUIRE(static_cast<bool>(options_.rate),
+                "ArrivalProcess: a rate function is required");
+  RADIX_REQUIRE(options_.peak_rate > 0.0,
+                "ArrivalProcess: peak_rate must be > 0");
+  RADIX_REQUIRE(options_.inversion_step > 0.0,
+                "ArrivalProcess: inversion_step must be > 0");
+}
+
+double ArrivalProcess::exponential() {
+  // Inverse-CDF with the draw flipped so u = 0 (a legal
+  // uniform_real_distribution output) cannot produce log(0).
+  const double u =
+      std::uniform_real_distribution<double>(0.0, 1.0)(rng_);
+  return -std::log1p(-u);
+}
+
+double ArrivalProcess::next() {
+  if (options_.algorithm == ArrivalProcessOptions::Algorithm::kThinning) {
+    // Lewis-Shedler: homogeneous candidates at peak_rate, each kept
+    // with probability rate(t)/peak_rate.  The accepted subsequence is
+    // exactly IPPP(rate).
+    for (;;) {
+      t_ += exponential() / options_.peak_rate;
+      const double lambda = options_.rate(t_);
+      RADIX_REQUIRE(lambda >= 0.0 && lambda <= options_.peak_rate,
+                    "ArrivalProcess: rate(t) outside [0, peak_rate]");
+      const double u =
+          std::uniform_real_distribution<double>(0.0, 1.0)(rng_);
+      if (u * options_.peak_rate < lambda) {
+        ++count_;
+        return t_;
+      }
+    }
+  }
+  // Inversion: the next arrival sits where the cumulative rate
+  // Lambda(t) has grown by a unit-rate exponential gap.  March the
+  // trapezoid integration forward until the target is bracketed, then
+  // solve the final (locally linear) step.
+  const double target = integral_ + exponential();
+  double lo = t_;
+  double f_lo = options_.rate(lo);
+  RADIX_REQUIRE(f_lo >= 0.0, "ArrivalProcess: rate(t) must be >= 0");
+  for (;;) {
+    const double hi = lo + options_.inversion_step;
+    const double f_hi = options_.rate(hi);
+    RADIX_REQUIRE(f_hi >= 0.0, "ArrivalProcess: rate(t) must be >= 0");
+    const double gain = 0.5 * (f_lo + f_hi) * options_.inversion_step;
+    if (integral_ + gain >= target) {
+      // Linear-in-t within the step: advance the fraction that closes
+      // the remaining gap (full step when the step gained nothing --
+      // a zero-rate stretch is crossed, not divided by).
+      const double frac =
+          gain > 0.0 ? std::min((target - integral_) / gain, 1.0) : 1.0;
+      t_ = lo + frac * options_.inversion_step;
+      integral_ = target;
+      ++count_;
+      return t_;
+    }
+    integral_ += gain;
+    lo = hi;
+    f_lo = f_hi;
+  }
+}
+
+LoadGen::LoadGen(LoadGenOptions options) : options_(std::move(options)) {
+  clock_ = options_.clock ? options_.clock : &steady_clock_source();
+}
+
+LoadGen::~LoadGen() {
+  stop();
+  // A fake clock remembers monitors of past waiters; detach before the
+  // Monitor member dies.
+  clock_->forget(monitor_);
+}
+
+void LoadGen::start(SubmitFn submit) {
+  RADIX_REQUIRE(!started_, "LoadGen: start() may be called once");
+  RADIX_REQUIRE(static_cast<bool>(submit),
+                "LoadGen: a submit callback is required");
+  started_ = true;
+  thread_ = std::thread([this, submit = std::move(submit)]() mutable {
+    run(std::move(submit));
+  });
+}
+
+void LoadGen::stop() {
+  {
+    std::scoped_lock lock(monitor_.mutex);
+    stopping_ = true;
+  }
+  monitor_.cv.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+void LoadGen::run(SubmitFn submit) {
+  ArrivalProcess arrivals(options_.arrivals);
+  const auto origin = clock_->now();
+  std::uint64_t index = 0;
+  for (;;) {
+    if (options_.max_requests != 0 && index >= options_.max_requests) {
+      exhausted_.store(true, std::memory_order_release);
+      return;
+    }
+    const double t = arrivals.next();
+    if (options_.duration.count() != 0 &&
+        t > std::chrono::duration<double>(options_.duration).count()) {
+      exhausted_.store(true, std::memory_order_release);
+      return;
+    }
+    // Hold the schedule: wait until the arrival's absolute time.  If
+    // submission work has pushed us past it already, fire immediately
+    // (open loop catches up; it never drops arrivals).
+    const auto due =
+        origin + std::chrono::duration_cast<ClockSource::time_point::duration>(
+                     std::chrono::duration<double>(t));
+    {
+      std::unique_lock lock(monitor_.mutex);
+      while (!stopping_ && clock_->now() < due) {
+        clock_->wait_until(monitor_, lock, due);
+      }
+      if (stopping_) return;
+    }
+    submit(index, t);
+    ++index;
+    fired_.store(index, std::memory_order_release);
+  }
+}
+
+}  // namespace radix::serve

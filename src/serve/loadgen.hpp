@@ -1,0 +1,175 @@
+// Open-loop load generation with inhomogeneous Poisson arrivals.
+//
+// Closed-loop drivers (N threads, each submit -> wait -> submit) are
+// the wrong instrument for overload work: when the system slows down,
+// a closed-loop client slows its own offered load with it, so the
+// pain the generator was supposed to inflict evaporates exactly when
+// it matters (coordinated omission).  An OPEN-loop generator draws the
+// arrival times first, from a rate function that does not care how the
+// server is doing, and holds the schedule: if the server falls behind,
+// requests pile up -- which is the phenomenon under test.
+//
+// Arrivals are an inhomogeneous Poisson point process (IPPP) with a
+// caller-supplied rate function lambda(t) in requests/second.  Two
+// classic exact samplers are implemented (see Hohmann,
+// arXiv:1901.10754, for a modern survey):
+//
+//   * kThinning (Lewis & Shedler 1979): draw candidate arrivals from a
+//     homogeneous process at lambda_max (exponential gaps), accept each
+//     candidate with probability lambda(t)/lambda_max.  Exact for any
+//     bounded rate; cost scales with lambda_max / average(lambda).
+//   * kInversion: transform unit-rate exponential arrivals through the
+//     inverse of the cumulative rate Lambda(t) = integral of lambda.
+//     Lambda is integrated numerically (trapezoid steps of
+//     `inversion_step` seconds) with a linear solve inside the final
+//     step, so the rate function stays a black box.  Preferable when
+//     lambda_max >> average rate (a spiky burst profile would make
+//     thinning reject almost every candidate).
+//
+// Rate functions for the overload harness: constant_rate (homogeneous
+// Poisson), burst_rate (square wave: base rate with periodic bursts),
+// diurnal_rate (sinusoid between trough and peak -- the classic
+// day/night traffic shape).
+//
+// ArrivalProcess is the deterministic core: next() returns strictly
+// increasing arrival times in seconds from a seeded RNG -- two
+// processes with equal options yield the same schedule, so tests can
+// replay exact traffic.  LoadGen is the threaded driver: it walks the
+// schedule on an injected ClockSource (virtual time under a FakeClock
+// -- the overload acceptance tests advance the clock and the generator
+// fires deterministically; real time under the steady clock for
+// benches) and invokes a submit callback per arrival, never waiting
+// for completions.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <random>
+#include <thread>
+
+#include "support/thread.hpp"
+
+namespace radix::serve {
+
+/// Instantaneous arrival rate in requests/second at time t (seconds
+/// since the process origin).  Must be >= 0 and bounded.
+using RateFn = std::function<double(double t_seconds)>;
+
+/// Homogeneous rate: lambda(t) = rate.
+RateFn constant_rate(double rate);
+
+/// Square-wave bursts: `base` requests/s, lifted to `burst` for the
+/// first `duty` fraction of every `period` seconds.  duty in [0, 1].
+RateFn burst_rate(double base, double burst, double period_seconds,
+                  double duty = 0.1);
+
+/// Sinusoidal day/night shape: oscillates between `trough` and `peak`
+/// with the given period, starting at the trough.
+RateFn diurnal_rate(double trough, double peak, double period_seconds);
+
+struct ArrivalProcessOptions {
+  /// Arrival rate profile (requests/second over seconds).
+  RateFn rate{};
+  /// Upper bound of the rate over the horizon of interest; the thinning
+  /// candidate rate.  Must satisfy rate(t) <= peak_rate wherever the
+  /// process is sampled (checked per draw).
+  double peak_rate = 0.0;
+  enum class Algorithm : std::uint8_t {
+    kThinning = 0,  ///< Lewis-Shedler; exact, cost ~ peak/average rate
+    kInversion = 1, ///< integrated-rate inversion; exact to step size
+  };
+  Algorithm algorithm = Algorithm::kThinning;
+  std::uint64_t seed = 1;
+  /// Trapezoid step (seconds) of the numeric Lambda integration used by
+  /// kInversion.  Smaller = closer to exact for curvy rates.
+  double inversion_step = 1e-3;
+};
+
+/// Deterministic IPPP sampler: next() yields strictly increasing
+/// arrival times (seconds since 0).  Same options => same schedule.
+class ArrivalProcess {
+ public:
+  explicit ArrivalProcess(ArrivalProcessOptions options);
+
+  /// Time of the next arrival, in seconds; strictly greater than the
+  /// previous one.
+  double next();
+
+  /// Arrivals drawn so far.
+  std::uint64_t count() const noexcept { return count_; }
+
+ private:
+  double exponential();  // unit-mean exponential draw
+
+  ArrivalProcessOptions options_;
+  std::mt19937_64 rng_;
+  double t_ = 0.0;        // last arrival (thinning: last candidate)
+  double integral_ = 0.0; // kInversion: Lambda(t_) so far
+  std::uint64_t count_ = 0;
+};
+
+struct LoadGenOptions {
+  /// The arrival schedule (moved in; the generator owns it).
+  ArrivalProcessOptions arrivals{};
+  /// Time source the schedule is walked on; nullptr = steady clock.
+  /// Under a FakeClock the generator thread parks between arrivals and
+  /// fires exactly when the test advances virtual time past them.
+  ClockSource* clock = nullptr;
+  /// Stop after this many arrivals (0 = unbounded).
+  std::uint64_t max_requests = 0;
+  /// Stop once the schedule passes this horizon (0 = unbounded).
+  std::chrono::microseconds duration{0};
+};
+
+/// Open-loop driver: one thread walking an ArrivalProcess schedule on
+/// the injected clock, invoking the submit callback once per arrival.
+/// The callback runs on the generator thread and should hand off
+/// asynchronously (Engine::submit with a callback completion is ideal);
+/// blocking in it delays subsequent arrivals -- which, being open-loop,
+/// are then fired back-to-back to catch up, not silently dropped.
+class LoadGen {
+ public:
+  /// Invoked per arrival with the arrival's index (0-based) and its
+  /// scheduled time in seconds since start().
+  using SubmitFn = std::function<void(std::uint64_t index, double t_seconds)>;
+
+  explicit LoadGen(LoadGenOptions options);
+  ~LoadGen();  // stop()
+
+  LoadGen(const LoadGen&) = delete;
+  LoadGen& operator=(const LoadGen&) = delete;
+
+  /// Launch the generator thread.  May be called once.
+  void start(SubmitFn submit);
+
+  /// Stop generating (wakes a parked wait) and join the thread.
+  /// Idempotent.  Arrivals already fired stay fired.
+  void stop();
+
+  /// Arrivals fired so far.
+  std::uint64_t fired() const noexcept {
+    return fired_.load(std::memory_order_acquire);
+  }
+
+  /// True once the schedule ended on its own (max_requests or duration
+  /// reached) rather than via stop().
+  bool exhausted() const noexcept {
+    return exhausted_.load(std::memory_order_acquire);
+  }
+
+ private:
+  void run(SubmitFn submit);
+
+  LoadGenOptions options_;
+  ClockSource* clock_ = nullptr;
+  Monitor monitor_;
+  bool stopping_ = false;  // guarded by monitor_.mutex
+  std::atomic<std::uint64_t> fired_{0};
+  std::atomic<bool> exhausted_{false};
+  std::thread thread_;
+  bool started_ = false;
+};
+
+}  // namespace radix::serve

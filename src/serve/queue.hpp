@@ -131,6 +131,12 @@ class BoundedMpmcQueue {
   T& front_locked() noexcept { return items_.front(); }
   void pop_front_locked() noexcept { items_.pop_front(); }
 
+  /// Back (newest) element; queue must be non-empty.  Drop-tail access
+  /// for overload shedding: the newest request is the one furthest from
+  /// service, so shedding it preserves the most already-paid queue wait.
+  T& back_locked() noexcept { return items_.back(); }
+  void pop_back_locked() noexcept { items_.pop_back(); }
+
  private:
   Monitor owned_monitor_;
   Monitor* monitor_;

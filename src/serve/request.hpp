@@ -55,6 +55,19 @@ class AbortedError : public Error {
       : Error("aborted: " + what) {}
 };
 
+/// Completion error of a request the backend shed instead of serving:
+/// either its end-to-end deadline (SubmitOptions::deadline) had passed
+/// by the time a worker claimed it, or it was dropped under queue
+/// pressure by the priority-aware overload policy (lowest QoS class
+/// first; see serve/batcher.hpp).  Unlike AbortedError this is a
+/// terminal verdict -- the deadline budget is spent, so a failover
+/// layer delivers it rather than retrying.
+class DeadlineExceededError : public Error {
+ public:
+  explicit DeadlineExceededError(const std::string& what)
+      : Error("deadline exceeded: " + what) {}
+};
+
 /// Per-request timing delivered to completion callbacks and recorded by
 /// the stats surface.
 struct RequestTiming {
@@ -146,6 +159,14 @@ struct SubmitOptions {
   /// Admission::kBoundedWait budget; ignored by the other modes.
   /// timeout <= 0 behaves like kFailFast.
   std::chrono::microseconds timeout{0};
+  /// End-to-end deadline budget, measured from submit entry -- distinct
+  /// from `timeout`, which only bounds the admission wait.  0 means no
+  /// deadline.  An admitted request whose deadline passes before a
+  /// worker claims it is shed: it never runs forward and completes with
+  /// DeadlineExceededError (still exactly one completion).  A negative
+  /// value means "already expired" -- used by relays carrying a spent
+  /// remaining budget; such a request is admitted and shed at claim.
+  std::chrono::microseconds deadline{0};
   /// When set, completion is the callback (zero-copy output span, worker
   /// thread) and SubmitResult carries no future; when empty, completion
   /// is SubmitResult::take_future().

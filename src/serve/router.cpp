@@ -72,7 +72,14 @@ struct ShardRouter::Relay {
   std::vector<float> owned;      // backs `input` for owned submissions
   std::span<const float> input;  // what every shard sees (borrowed)
   DoneFn done;                   // the caller's completion, run exactly once
+  // The caller's ORIGINAL budgets, anchored at `t0` (router submit
+  // entry).  Each dispatch -- first try and every failover resubmission
+  // alike -- deducts the elapsed time and hands the shard only what
+  // remains: a request that already burned 80 of its 100 ms on a shard
+  // that died must not get a fresh 100 ms elsewhere.
   std::chrono::microseconds timeout{0};
+  std::chrono::microseconds deadline{0};
+  ClockSource::time_point t0{};
   std::uint64_t tried = 0;
 };
 
@@ -80,10 +87,12 @@ ShardRouter::ShardRouter(ShardRouterOptions options)
     : options_(std::move(options)) {
   RADIX_REQUIRE(options_.shards >= 1 && options_.shards <= 64,
                 "ShardRouter: shards must be in [1, 64]");
+  clock_ = options_.engine.clock ? options_.engine.clock
+                                 : &steady_clock_source();
   auto f = std::make_shared<Fleet>();
   f->engines.reserve(options_.shards);
   for (std::size_t s = 0; s < options_.shards; ++s) {
-    f->engines.push_back(std::make_shared<Engine>(options_.engine));
+    f->engines.push_back(std::make_shared<Engine>(shard_options(s)));
   }
   f->health.assign(options_.shards, ShardHealth::kUp);
   f->healthy.resize(options_.shards);
@@ -295,12 +304,20 @@ void ShardRouter::restart_shard(std::size_t index) {
       carried_[m].merge(f->engines[index]->stats(m));
     }
   }
-  auto engine = std::make_shared<Engine>(options_.engine);
+  auto engine = std::make_shared<Engine>(shard_options(index));
   replay_registry_locked(*engine);
   auto next = clone_fleet_locked();
   next->engines[index] = std::move(engine);
   next->health[index] = ShardHealth::kUp;
   publish_locked(std::move(next));
+}
+
+EngineOptions ShardRouter::shard_options(std::size_t index) const {
+  EngineOptions eo = options_.engine;
+  if (options_.tune_shard) options_.tune_shard(index, eo);
+  RADIX_REQUIRE(eo.clock == options_.engine.clock,
+                "ShardRouter: tune_shard must not change the clock");
+  return eo;
 }
 
 void ShardRouter::replay_registry_locked(Engine& engine) const {
@@ -361,7 +378,23 @@ bool ShardRouter::dispatch(const Fleet& fleet, std::size_t index,
   relay->tried |= (std::uint64_t{1} << index);
   SubmitOptions opts;
   opts.admission = admission;
-  opts.timeout = relay->timeout;
+  // Deduct what the request has already spent since router entry: a
+  // resubmission (or a re-pick after a racing kill) carries only the
+  // REMAINING admission budget and end-to-end deadline, never a fresh
+  // copy of the originals.
+  const auto elapsed = std::chrono::duration_cast<std::chrono::microseconds>(
+      clock_->now() - relay->t0);
+  if (relay->timeout.count() > 0) {
+    opts.timeout = std::max(relay->timeout - elapsed,
+                            std::chrono::microseconds{0});
+  }
+  if (relay->deadline.count() != 0) {
+    auto remaining = relay->deadline - elapsed;
+    // 0 means "no deadline" in SubmitOptions; an exactly exhausted
+    // budget is expressed as already-expired instead.
+    if (remaining.count() == 0) remaining = std::chrono::microseconds{-1};
+    opts.deadline = remaining;
+  }
   opts.done = [this, relay](std::span<const float> out,
                             const RequestTiming& timing,
                             std::exception_ptr err) {
@@ -424,6 +457,8 @@ SubmitResult ShardRouter::submit(InferenceRequest req, SubmitOptions opts) {
   relay->model = req.model;
   relay->rows = req.rows;
   relay->timeout = opts.timeout;
+  relay->deadline = opts.deadline;
+  relay->t0 = clock_->now();
   if (!req.storage.empty()) {
     relay->owned = std::move(req.storage);
     relay->input = std::span<const float>(relay->owned);
@@ -471,6 +506,24 @@ ServeStats ShardRouter::stats(ModelId model) const {
   // abort); only a restart moves their numbers into carried_.
   const auto f = fleet();
   for (const auto& engine : f->engines) merged.merge(engine->stats(model));
+  return merged;
+}
+
+ServeStats ShardRouter::class_stats(Priority p) const {
+  RADIX_REQUIRE(static_cast<std::size_t>(p) < kNumPriorities,
+                "ShardRouter: invalid priority class");
+  ServeStats merged;
+  {
+    // Carried per-model histories are folded in by class membership
+    // (registry_ keeps a removed model's QoS).  Lock order matches
+    // restart_shard: admin before carried.
+    std::scoped_lock lock(admin_mutex_, carried_mutex_);
+    for (ModelId m = 0; m < registry_.size() && m < carried_.size(); ++m) {
+      if (registry_[m].qos.priority == p) merged.merge(carried_[m]);
+    }
+  }
+  const auto f = fleet();
+  for (const auto& engine : f->engines) merged.merge(engine->class_stats(p));
   return merged;
 }
 

@@ -134,6 +134,14 @@ struct ShardRouterOptions {
   /// hook simulates a shard failing mid-registration, exercising the
   /// rollback path.  Leave empty in production.
   std::function<void(std::size_t shard, ModelId id)> registration_hook{};
+  /// Per-shard EngineOptions tuning: when set, invoked with a copy of
+  /// `engine` before each shard's Engine is constructed (including the
+  /// replacement engine built by restart_shard).  The fault-injection
+  /// scenario harness targets one shard with this -- e.g. install a
+  /// FaultInjector on shard 2 only, or give shards asymmetric worker
+  /// counts.  Must not change `clock`: the router derives its own
+  /// failover time source from the shared `engine.clock`.
+  std::function<void(std::size_t shard, EngineOptions& options)> tune_shard{};
 };
 
 class ShardRouter final : public Backend {
@@ -203,6 +211,12 @@ class ShardRouter final : public Backend {
   /// Requests successfully resubmitted on another shard after their
   /// first shard aborted them.
   std::uint64_t failovers() const noexcept;
+
+  /// Aggregate per-class counters across shards (histograms merged
+  /// bucket-wise), including the carried history of since-restarted
+  /// shards -- the class-level companion of stats().  The overload
+  /// harness reads interactive vs background shed counts through this.
+  ServeStats class_stats(Priority p) const;
 
   // -- Backend interface --------------------------------------------------
 
@@ -276,7 +290,15 @@ class ShardRouter final : public Backend {
   /// Resubmit an aborted capsule on an untried in-rotation shard.
   bool failover(const std::shared_ptr<Relay>& relay);
 
+  /// The shard's EngineOptions: the fleet-wide template with tune_shard
+  /// applied.  Used at construction and by restart_shard's rebuild.
+  EngineOptions shard_options(std::size_t index) const;
+
   ShardRouterOptions options_;
+  /// Failover/relay time source: options_.engine.clock, or the shared
+  /// steady clock.  Budget deductions on resubmission read this, so
+  /// FakeClock tests observe deterministic remaining budgets.
+  ClockSource* clock_ = nullptr;
 
   std::atomic<std::shared_ptr<const Fleet>> fleet_;
 

@@ -84,6 +84,20 @@ void StatsCollector::record_request(double queue_seconds,
   e2e_.record(total_seconds);
 }
 
+void StatsCollector::record_shed(double queue_seconds, double total_seconds,
+                                 bool expired) {
+  std::scoped_lock lock(mutex_);
+  ++requests_;
+  ++errors_;
+  if (expired) {
+    ++expired_;
+  } else {
+    ++shed_;
+  }
+  queue_wait_.record(queue_seconds);
+  e2e_.record(total_seconds);
+}
+
 void ServeStats::finalize() {
   edges_per_busy_second =
       busy_seconds > 0.0 ? static_cast<double>(edges) / busy_seconds : 0.0;
@@ -105,6 +119,8 @@ void ServeStats::merge(const ServeStats& other) {
   batches += other.batches;
   edges += other.edges;
   errors += other.errors;
+  shed += other.shed;
+  expired += other.expired;
   busy_seconds += other.busy_seconds;
   batch_rows_hist.merge(other.batch_rows_hist);
   queue_wait_hist.merge(other.queue_wait_hist);
@@ -120,6 +136,8 @@ ServeStats StatsCollector::snapshot() const {
   s.batches = batches_;
   s.edges = edges_;
   s.errors = errors_;
+  s.shed = shed_;
+  s.expired = expired_;
   s.busy_seconds = busy_seconds_;
   s.batch_rows_hist = batch_rows_;
   s.queue_wait_hist = queue_wait_;
@@ -132,10 +150,12 @@ std::string to_string(const ServeStats& s) {
   char line[192];
   std::string out;
   std::snprintf(line, sizeof(line),
-                "requests %llu (errors %llu), rows %llu, batches %llu, "
-                "mean batch %.1f rows\n",
+                "requests %llu (errors %llu, shed %llu, expired %llu), "
+                "rows %llu, batches %llu, mean batch %.1f rows\n",
                 static_cast<unsigned long long>(s.requests),
                 static_cast<unsigned long long>(s.errors),
+                static_cast<unsigned long long>(s.shed),
+                static_cast<unsigned long long>(s.expired),
                 static_cast<unsigned long long>(s.rows),
                 static_cast<unsigned long long>(s.batches),
                 s.mean_batch_rows);

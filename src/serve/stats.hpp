@@ -88,6 +88,14 @@ struct ServeStats {
   std::uint64_t batches = 0;   ///< coalesced batches executed
   std::uint64_t edges = 0;     ///< batch rows x model nnz, summed
   std::uint64_t errors = 0;    ///< requests completed with an exception
+  /// Requests dropped by the overload policy (queue pressure shed the
+  /// newest request of the lowest backlogged class); completed with
+  /// DeadlineExceededError, counted in `requests` and `errors` too.
+  std::uint64_t shed = 0;
+  /// Requests whose end-to-end deadline passed before a worker claimed
+  /// them; completed with DeadlineExceededError, counted in `requests`
+  /// and `errors` too.  shed + expired <= errors always holds.
+  std::uint64_t expired = 0;
 
   double busy_seconds = 0.0;          ///< summed forward wall time
   double edges_per_busy_second = 0.0; ///< challenge metric over busy time
@@ -132,11 +140,19 @@ class StatsCollector {
   void record_request(double queue_seconds, double total_seconds,
                       bool error);
 
+  /// One request was dropped by the overload policy instead of served:
+  /// `expired` distinguishes a passed end-to-end deadline from a queue-
+  /// pressure shed.  Counts as a completed request AND an error (the
+  /// caller sees DeadlineExceededError), and its waits still land in
+  /// the latency histograms -- shed traffic is part of the tail.
+  void record_shed(double queue_seconds, double total_seconds, bool expired);
+
   ServeStats snapshot() const;
 
  private:
   mutable std::mutex mutex_;
   std::uint64_t requests_ = 0, batches_ = 0, edges_ = 0, errors_ = 0;
+  std::uint64_t shed_ = 0, expired_ = 0;
   std::uint64_t rows_ = 0;
   double busy_seconds_ = 0.0;
   Log2Histogram batch_rows_{1.0};   // bucket 0 = single-row batches

@@ -266,6 +266,112 @@ TEST(ServeStatsMerge, AggregatesCountersAndRederivesPercentiles) {
   EXPECT_EQ(merged.batch_rows_histogram, want.batch_rows_histogram);
 }
 
+TEST(ServeStatsMerge, ShedAndExpiredCountersMergeExactly) {
+  // The overload counters ride the same merge contract as everything
+  // else: per-shard shed/expired sums must be EXACT across a merge --
+  // the overload harness asserts router.class_stats == sum of shard
+  // class_stats on these fields, so any drift here is a correctness
+  // bug, not a rounding nit.  Shed traffic also lands in the latency
+  // histograms (it is part of the tail), so the pooled-percentile
+  // equality must keep holding with record_shed in the mix.
+  Rng rng(999);
+  const auto lat_a = random_latencies(rng, 300);
+  const auto lat_b = random_latencies(rng, 500);
+
+  StatsCollector shard_a, shard_b, all;
+  std::uint64_t shed_a = 0, expired_a = 0, shed_b = 0, expired_b = 0;
+  for (std::size_t i = 0; i < lat_a.size(); ++i) {
+    const double s = lat_a[i];
+    if (i % 7 == 0) {  // queue-pressure shed
+      shard_a.record_shed(s * 0.5, s, /*expired=*/false);
+      all.record_shed(s * 0.5, s, false);
+      ++shed_a;
+    } else if (i % 11 == 0) {  // deadline expiry at claim
+      shard_a.record_shed(s * 0.5, s, /*expired=*/true);
+      all.record_shed(s * 0.5, s, true);
+      ++expired_a;
+    } else {
+      shard_a.record_request(s * 0.5, s, false);
+      all.record_request(s * 0.5, s, false);
+    }
+  }
+  for (std::size_t i = 0; i < lat_b.size(); ++i) {
+    const double s = lat_b[i];
+    if (i % 3 == 0) {
+      shard_b.record_shed(s * 0.5, s, /*expired=*/false);
+      all.record_shed(s * 0.5, s, false);
+      ++shed_b;
+    } else if (i % 5 == 0) {
+      shard_b.record_shed(s * 0.5, s, /*expired=*/true);
+      all.record_shed(s * 0.5, s, true);
+      ++expired_b;
+    } else {
+      shard_b.record_request(s * 0.5, s, true);
+      all.record_request(s * 0.5, s, true);
+    }
+  }
+
+  const ServeStats sa = shard_a.snapshot();
+  const ServeStats sb = shard_b.snapshot();
+  EXPECT_EQ(sa.shed, shed_a);
+  EXPECT_EQ(sa.expired, expired_a);
+  EXPECT_EQ(sb.shed, shed_b);
+  EXPECT_EQ(sb.expired, expired_b);
+  // Documented invariant: a shed/expired request is also a completed
+  // request and an error.
+  EXPECT_LE(sa.shed + sa.expired, sa.errors);
+  EXPECT_EQ(sa.requests, lat_a.size());
+  EXPECT_EQ(sb.requests, lat_b.size());
+
+  ServeStats merged = sa;
+  merged.merge(sb);
+  const ServeStats want = all.snapshot();
+  EXPECT_EQ(merged.shed, shed_a + shed_b);
+  EXPECT_EQ(merged.expired, expired_a + expired_b);
+  EXPECT_EQ(merged.shed, want.shed);
+  EXPECT_EQ(merged.expired, want.expired);
+  EXPECT_EQ(merged.requests, want.requests);
+  EXPECT_EQ(merged.errors, want.errors);
+  EXPECT_LE(merged.shed + merged.expired, merged.errors);
+  // Shed waits are part of the pooled latency tail.
+  EXPECT_DOUBLE_EQ(merged.queue_wait_p99, want.queue_wait_p99);
+  EXPECT_DOUBLE_EQ(merged.e2e_p99, want.e2e_p99);
+  EXPECT_DOUBLE_EQ(merged.e2e_max, want.e2e_max);
+}
+
+TEST(ServeStatsMerge, ShedCountersSurviveEmptyIdentity) {
+  // Same both-directions identity as the base counters: carried-history
+  // accumulators start empty (empty.merge(full)) and rebuilt shards
+  // fold empty snapshots into live aggregates (full.merge(empty)) --
+  // shed/expired must pass through both unchanged.
+  StatsCollector collector;
+  collector.record_shed(1e-5, 1e-5, /*expired=*/false);
+  collector.record_shed(2e-5, 4e-5, /*expired=*/true);
+  collector.record_shed(3e-5, 9e-5, /*expired=*/true);
+  collector.record_request(1e-6, 2e-6, false);
+  const ServeStats want = collector.snapshot();
+  ASSERT_EQ(want.shed, 1u);
+  ASSERT_EQ(want.expired, 2u);
+  ASSERT_EQ(want.errors, 3u);
+  ASSERT_EQ(want.requests, 4u);
+
+  ServeStats empty_absorbs;
+  empty_absorbs.merge(want);
+  ServeStats full_keeps = want;
+  full_keeps.merge(ServeStats{});
+  for (const ServeStats* got : {&empty_absorbs, &full_keeps}) {
+    EXPECT_EQ(got->shed, want.shed);
+    EXPECT_EQ(got->expired, want.expired);
+    EXPECT_EQ(got->errors, want.errors);
+    EXPECT_EQ(got->requests, want.requests);
+  }
+
+  ServeStats zero;
+  zero.merge(ServeStats{});
+  EXPECT_EQ(zero.shed, 0u);
+  EXPECT_EQ(zero.expired, 0u);
+}
+
 TEST(ServeStatsMerge, EmptyOperandsAreIdentityAndAllEmptyStaysZero) {
   // Default-constructed ServeStats must be the identity of merge in
   // BOTH operand positions: the router folds restarted-shard history
