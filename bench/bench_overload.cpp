@@ -54,6 +54,8 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <vector>
 
@@ -166,6 +168,16 @@ struct WindowTotals {
   double seconds_offered = 0.0;
 };
 
+// Background arrival shape of one window.  kBurst keeps the labeled
+// MEAN rate but delivers it as a square wave (kBurstDuty of each
+// kBurstPeriod at kBurstFactor x the mean, a reduced base in between):
+// the same offered work arriving in spikes that transiently exceed
+// capacity even at the "50%" point.
+enum class BgShape { kConstant, kBurst };
+constexpr double kBurstPeriod = 0.025;  // seconds; 4 bursts per window
+constexpr double kBurstDuty = 0.25;
+constexpr double kBurstFactor = 2.8;  // peak/mean; base = 0.4x mean
+
 // Drive one open-loop window of two-class traffic at `load` x the
 // saturating rate per worker (`workers` scales the fleet's capacity)
 // against `backend`, then drain to completion.  The interactive class
@@ -173,7 +185,7 @@ struct WindowTotals {
 // the background class crossing the rest of the fleet's capacity.
 void run_window(serve::Backend& backend, serve::ModelId interactive,
                 serve::ModelId background, double load, double workers,
-                WindowTotals& totals) {
+                WindowTotals& totals, BgShape shape = BgShape::kConstant) {
   const auto& x = cached_input();
   const double sat = saturating_rps();
   const double ia_rate = 0.25 * sat;
@@ -198,8 +210,17 @@ void run_window(serve::Backend& backend, serve::ModelId interactive,
   ia_opts.arrivals.seed = 17;
   ia_opts.duration = kWindow;
   serve::LoadGenOptions bg_opts;
-  bg_opts.arrivals.rate = serve::constant_rate(bg_rate);
-  bg_opts.arrivals.peak_rate = bg_rate;
+  if (shape == BgShape::kBurst) {
+    // Mean-preserving square wave: duty*factor + (1-duty)*base = 1.
+    const double base =
+        bg_rate * (1.0 - kBurstDuty * kBurstFactor) / (1.0 - kBurstDuty);
+    bg_opts.arrivals.rate = serve::burst_rate(base, bg_rate * kBurstFactor,
+                                              kBurstPeriod, kBurstDuty);
+    bg_opts.arrivals.peak_rate = bg_rate * kBurstFactor;
+  } else {
+    bg_opts.arrivals.rate = serve::constant_rate(bg_rate);
+    bg_opts.arrivals.peak_rate = bg_rate;
+  }
   bg_opts.arrivals.seed = 23;
   bg_opts.duration = kWindow;
 
@@ -253,13 +274,46 @@ void report(benchmark::State& state, const serve::Backend&,
 // --- Single-engine sweep --------------------------------------------------
 
 std::unique_ptr<serve::FaultInjector> g_floor;
+std::unique_ptr<serve::Tracer> g_tracer;
 std::unique_ptr<serve::Engine> g_engine;
 serve::ModelId g_interactive = 0;
 serve::ModelId g_background = 0;
 
+// Post-run trace digest: how many reconstructed timelines ended in a
+// shed/expiry, surfaced as a counter; set RADIX_TRACE_DUMP=1 to print
+// the first few shed timelines for eyeballing what overload did to
+// individual requests.
+void report_shed_timelines(benchmark::State& state,
+                           const serve::Tracer& tracer) {
+  const auto timelines = serve::build_timelines(tracer.drain());
+  std::uint64_t shed = 0;
+  int dumped = 0;
+  const bool dump = std::getenv("RADIX_TRACE_DUMP") != nullptr;
+  for (const auto& t : timelines) {
+    if (!t.has(serve::TraceEventKind::kShed) &&
+        !t.has(serve::TraceEventKind::kExpired)) {
+      continue;
+    }
+    ++shed;
+    if (dump && dumped < 5) {
+      std::fprintf(stderr, "shed timeline:\n%s", to_string(t).c_str());
+      ++dumped;
+    }
+  }
+  state.counters["shed_timelines"] =
+      benchmark::Counter(static_cast<double>(shed));
+  state.counters["trace_dropped"] =
+      benchmark::Counter(static_cast<double>(tracer.dropped()));
+}
+
 void SetupEngine(const benchmark::State&) {
   g_floor = std::make_unique<serve::FaultInjector>(
       serve::FaultInjectorOptions{.added_latency = kServiceFloor});
+  // Tracing stays ON through the overload runs: the overhead gate lives
+  // in bench_serving; here the trace is the product -- per-request
+  // timelines of what shedding did.
+  g_tracer = std::make_unique<serve::Tracer>(
+      serve::TracerOptions{.ring_capacity = 1u << 15, .rings = 2});
   serve::EngineOptions opts;
   opts.workers = 1;
   opts.max_batch_rows = kRows;
@@ -267,6 +321,7 @@ void SetupEngine(const benchmark::State&) {
   opts.queue_capacity = 4096;
   opts.shed_capacity = 16;
   opts.fault = g_floor.get();
+  opts.tracer = g_tracer.get();
   g_engine = std::make_unique<serve::Engine>(opts);
   g_interactive = g_engine->add_model(
       make_dnn(), "interactive",
@@ -280,6 +335,7 @@ void SetupEngine(const benchmark::State&) {
 void TeardownEngine(const benchmark::State&) {
   g_engine->shutdown();
   g_engine.reset();
+  g_tracer.reset();
   g_floor.reset();
 }
 
@@ -293,9 +349,38 @@ void BM_ServeOverload(benchmark::State& state) {
   report(state, *g_engine, totals,
          g_engine->class_stats(serve::Priority::kInteractive),
          g_engine->class_stats(serve::Priority::kBackground));
+  report_shed_timelines(state, *g_tracer);
 }
 
 BENCHMARK(BM_ServeOverload)
+    ->Arg(50)
+    ->Arg(100)
+    ->Arg(200)
+    ->Setup(SetupEngine)
+    ->Teardown(TeardownEngine)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime()
+    ->MeasureProcessCPUTime();
+
+// Same engine, same mean loads, bursty arrivals (see BgShape::kBurst):
+// records how much attainment the spiky schedule costs relative to
+// BM_ServeOverload at the same label -- the "burst_rate is implemented
+// but never swept" gap from the roadmap.
+void BM_ServeOverloadBurst(benchmark::State& state) {
+  const double load = static_cast<double>(state.range(0)) / 100.0;
+  WindowTotals totals;
+  for (auto _ : state) {
+    run_window(*g_engine, g_interactive, g_background, load, 1.0, totals,
+               BgShape::kBurst);
+  }
+  report(state, *g_engine, totals,
+         g_engine->class_stats(serve::Priority::kInteractive),
+         g_engine->class_stats(serve::Priority::kBackground));
+  report_shed_timelines(state, *g_tracer);
+  state.counters["burst_factor"] = benchmark::Counter(kBurstFactor);
+}
+
+BENCHMARK(BM_ServeOverloadBurst)
     ->Arg(50)
     ->Arg(100)
     ->Arg(200)

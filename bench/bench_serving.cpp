@@ -123,6 +123,31 @@ void TeardownEngine(const benchmark::State&) {
   g_engine.reset();
 }
 
+// Tracing-overhead twin: the same engine with a Tracer attached, so
+// BM_ServeClosedLoopTraced / BM_ServeClosedLoop measures what the
+// always-on event stream costs the hot path (check_perf_smoke.py gates
+// the ratio at >= 0.95).
+std::unique_ptr<serve::Tracer> g_tracer;
+
+void SetupTracedEngine(const benchmark::State& state) {
+  serve::EngineOptions opts;
+  opts.workers = 1;
+  opts.max_batch_rows = kMaxBatchRows;
+  opts.max_delay = std::chrono::microseconds(state.range(1));
+  opts.queue_capacity = 4096;
+  g_tracer = std::make_unique<serve::Tracer>();
+  opts.tracer = g_tracer.get();
+  g_engine = std::make_unique<serve::Engine>(opts);
+  g_model = g_engine->add_model(make_dnn(), "bench");
+  (void)cached_input(static_cast<index_t>(state.range(0)));
+}
+
+void TeardownTracedEngine(const benchmark::State&) {
+  g_engine->shutdown();
+  g_engine.reset();
+  g_tracer.reset();
+}
+
 // Direct fused path at the serving batch size: the throughput ceiling
 // the engine is graded against.
 void BM_ServeDirect(benchmark::State& state) {
@@ -162,6 +187,35 @@ void BM_ServeClosedLoop(benchmark::State& state) {
     state.counters["queue_p95_us"] =
         benchmark::Counter(s.queue_wait_p95 * 1e6);
     state.counters["e2e_p95_us"] = benchmark::Counter(s.e2e_p95 * 1e6);
+  }
+}
+
+// Identical body to BM_ServeClosedLoop; only the Setup differs (tracer
+// attached).  Kept as a separate family so baseline tooling can pair
+// the two by name and compute the tracing-overhead ratio.
+void BM_ServeClosedLoopTraced(benchmark::State& state) {
+  const index_t rows = static_cast<index_t>(state.range(0));
+  const auto& x = cached_input(rows);
+  const std::uint64_t nnz = g_engine->model(g_model).total_nnz();
+
+  for (auto _ : state) {
+    auto fut = g_engine
+                   ->submit(serve::InferenceRequest::borrowed(g_model, x, rows))
+                   .take_future();
+    benchmark::DoNotOptimize(fut.get().data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          rows * static_cast<std::int64_t>(nnz));
+
+  if (state.thread_index() == 0) {
+    const auto s = g_engine->stats(g_model);
+    state.counters["mean_batch_rows"] =
+        benchmark::Counter(s.mean_batch_rows);
+    state.counters["queue_p95_us"] =
+        benchmark::Counter(s.queue_wait_p95 * 1e6);
+    state.counters["e2e_p95_us"] = benchmark::Counter(s.e2e_p95 * 1e6);
+    state.counters["trace_events"] =
+        benchmark::Counter(static_cast<double>(g_tracer->recorded()));
   }
 }
 
@@ -278,6 +332,18 @@ BENCHMARK(BM_ServeClosedLoop)
     ->Args({1, 200})
     ->Setup(SetupEngine)
     ->Teardown(TeardownEngine)
+    ->Threads(1)
+    ->Threads(4)
+    ->Threads(16)
+    ->Threads(32)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime()
+    ->MeasureProcessCPUTime();
+
+BENCHMARK(BM_ServeClosedLoopTraced)
+    ->Args({1, 200})
+    ->Setup(SetupTracedEngine)
+    ->Teardown(TeardownTracedEngine)
     ->Threads(1)
     ->Threads(4)
     ->Threads(16)

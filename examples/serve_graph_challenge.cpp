@@ -34,6 +34,14 @@
 // never interactive -- to keep the interactive class inside its
 // deadline.  See the "Overload behavior" section of the README.
 //
+// Observability flags compose with either mode: --metrics exports the
+// backend's counters/gauges/histograms after the run and prints both
+// the Prometheus text exposition and the JSON dump; --trace attaches a
+// serve::Tracer to every shard and prints a few reconstructed
+// per-request timelines (a failed-over request shows events on both
+// the aborting and the serving shard under one RequestId).  See the
+// "Observability" section of the README.
+//
 // Runs in a few seconds; registered as a CTest smoke test (which
 // exercises the sharded router end-to-end via the default --shards 2;
 // a second smoke covers --overload).
@@ -52,13 +60,53 @@
 #include "serve/engine.hpp"
 #include "serve/fault.hpp"
 #include "serve/loadgen.hpp"
+#include "serve/metrics.hpp"
 #include "serve/router.hpp"
+#include "serve/trace.hpp"
 #include "support/random.hpp"
 #include "support/thread.hpp"
 
 using namespace radix;
 
 namespace {
+
+// --- Observability ride-alongs (--metrics / --trace) ----------------------
+
+// Export the backend's counters/gauges/histograms and print both
+// renderings between fixed delimiters (scripts/check_perf_smoke.py
+// parses the exposition block).
+void print_metrics(const serve::Engine* engine,
+                   const serve::ShardRouter* router) {
+  serve::MetricsRegistry registry;
+  if (router) {
+    router->export_metrics(registry);
+  } else {
+    engine->export_metrics(registry);
+  }
+  std::printf("=== metrics (prometheus) ===\n%s"
+              "=== metrics (json) ===\n%s\n",
+              registry.render_prometheus().c_str(),
+              registry.to_json().c_str());
+}
+
+// Drain the tracer and print the first few reconstructed per-request
+// timelines (a failed-over request shows hops on both shards).
+void print_timelines(const serve::Tracer& tracer) {
+  const auto timelines = serve::build_timelines(tracer.drain());
+  std::printf("=== trace (%zu timelines, %llu events recorded, "
+              "%llu dropped) ===\n",
+              timelines.size(),
+              static_cast<unsigned long long>(tracer.recorded()),
+              static_cast<unsigned long long>(tracer.dropped()));
+  constexpr std::size_t kShow = 5;
+  for (std::size_t i = 0; i < timelines.size() && i < kShow; ++i) {
+    std::printf("%s", serve::to_string(timelines[i]).c_str());
+  }
+  if (timelines.size() > kShow) {
+    std::printf("... (%zu more)\n", timelines.size() - kShow);
+  }
+  std::printf("=== end trace ===\n\n");
+}
 
 // --- The overload scenario (--overload) -----------------------------------
 //
@@ -71,7 +119,7 @@ namespace {
 // enforced via the exit code): every request completes exactly once,
 // background shedding is nonzero, interactive shedding is zero, and no
 // interactive deadline is missed.
-int run_overload(std::size_t shards) {
+int run_overload(std::size_t shards, bool metrics, bool trace) {
   using namespace std::chrono_literals;
   constexpr index_t kRows = 4;
   constexpr unsigned kWorkers = 2;
@@ -93,6 +141,12 @@ int run_overload(std::size_t shards) {
   opts.max_delay = std::chrono::microseconds(0);  // per-request cost
   opts.queue_capacity = 4096;
   opts.shed_capacity = 64;  // bounded backlog; excess is shed, visibly
+  std::unique_ptr<serve::Tracer> tracer;
+  if (trace) {
+    tracer = std::make_unique<serve::Tracer>(
+        serve::TracerOptions{.ring_capacity = 1u << 15});
+    opts.tracer = tracer.get();
+  }
 
   std::unique_ptr<serve::Engine> engine;
   std::unique_ptr<serve::ShardRouter> router;
@@ -241,6 +295,9 @@ int run_overload(std::size_t shards) {
               "%s\n", chat_protected ? "yes" : "NO");
   std::printf("background absorbed the overload (shed > 0): %s\n",
               bulk_shed ? "yes" : "NO");
+  if (metrics) print_metrics(engine.get(), router.get());
+  if (tracer) print_timelines(*tracer);
+
   const bool ok = all_completed && chat_protected && bulk_shed;
   std::printf("%s\n", ok ? "SURVIVED OVERLOAD" : "FAILED");
   return ok ? 0 : 1;
@@ -251,18 +308,26 @@ int run_overload(std::size_t shards) {
 int main(int argc, char** argv) {
   std::size_t shards = 2;
   bool overload = false;
+  bool metrics = false;
+  bool trace = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--shards") == 0 && i + 1 < argc) {
       shards = static_cast<std::size_t>(std::strtoul(argv[++i], nullptr, 10));
     } else if (std::strcmp(argv[i], "--overload") == 0) {
       overload = true;
+    } else if (std::strcmp(argv[i], "--metrics") == 0) {
+      metrics = true;
+    } else if (std::strcmp(argv[i], "--trace") == 0) {
+      trace = true;
     } else {
-      std::fprintf(stderr, "usage: %s [--shards N] [--overload]\n", argv[0]);
+      std::fprintf(stderr,
+                   "usage: %s [--shards N] [--overload] [--metrics] "
+                   "[--trace]\n", argv[0]);
       return 2;
     }
   }
   if (shards == 0) shards = 1;
-  if (overload) return run_overload(shards);
+  if (overload) return run_overload(shards, metrics, trace);
 
   std::printf("== Serving a Graph-Challenge RadiX-Net with QoS "
               "(%zu shard%s) ==\n\n", shards, shards == 1 ? "" : "s");
@@ -284,6 +349,12 @@ int main(int argc, char** argv) {
   opts.class_policy[static_cast<std::size_t>(
       serve::Priority::kInteractive)] = {
       .max_delay = std::chrono::microseconds(50), .max_batch_rows = 8};
+  std::unique_ptr<serve::Tracer> tracer;
+  if (trace) {
+    tracer = std::make_unique<serve::Tracer>(
+        serve::TracerOptions{.ring_capacity = 1u << 15});
+    opts.tracer = tracer.get();
+  }
 
   // The backend: one engine, or the same options per shard behind a
   // ShardRouter -- the serving code below only sees serve::Backend.
@@ -407,6 +478,10 @@ int main(int argc, char** argv) {
   const serve::ServeStats bulk_stats = bulk.stats();
   std::printf("[chat]\n%s\n", serve::to_string(chat_stats).c_str());
   std::printf("[bulk]\n%s\n", serve::to_string(bulk_stats).c_str());
+
+  if (metrics) print_metrics(engine.get(), router.get());
+  if (tracer) print_timelines(*tracer);
+
   std::printf("bit-exact vs direct forward: %s\n",
               mismatches.load() == 0 ? "yes" : "NO");
 

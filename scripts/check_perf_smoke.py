@@ -42,6 +42,10 @@ import sys
 
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 MIN_GEOMEAN_RATIO = 0.9
+# Tracing must be on-cheap: closed-loop throughput with a Tracer
+# attached must stay within 5% of the untraced run (geomean across
+# thread counts; the slack absorbs shared-runner noise).
+MIN_TRACED_RATIO = 0.95
 
 
 def fused_reference_ratios(rates):
@@ -60,6 +64,22 @@ def fused_reference_ratios(rates):
     return ratios
 
 
+def traced_untraced_ratios(rates):
+    """Pair BM_ServeClosedLoopTraced/<shape> with BM_ServeClosedLoop/
+    <shape> (same args and thread count) and return {shape:
+    traced/untraced}; a traced entry whose untraced counterpart is
+    missing or zero maps to None.  Shared with record_bench_baseline.py
+    so the pairing cannot drift."""
+    ratios = {}
+    for name, traced in rates.items():
+        if not name.startswith("BM_ServeClosedLoopTraced/"):
+            continue
+        suffix = name.split("/", 1)[1]
+        base = rates.get(f"BM_ServeClosedLoop/{suffix}")
+        ratios[suffix] = traced / base if base else None
+    return ratios
+
+
 def check_serving_shape(build_dir: str, min_time: str) -> int:
     """Run bench_serving briefly and validate its output shape (see
     module docstring).  Returns 0 on pass, 1 on failure; a missing
@@ -75,23 +95,30 @@ def check_serving_shape(build_dir: str, min_time: str) -> int:
     data = json.loads(out.stdout)
 
     seen = {"BM_ServeDirect": 0, "BM_ServeClosedLoop": 0,
+            "BM_ServeClosedLoopTraced": 0,
             "BM_ServeLatencyVsDelay": 0, "BM_ServeInteractiveSolo": 0,
             "BM_ServeBatchOnly": 0, "BM_ServeMixedQoS": 0,
             "BM_ServeSharded": 0, "BM_ServeFailover": 0}
+    rates = {}
     for b in data["benchmarks"]:
         family = b["name"].split("/", 1)[0]
         if family not in seen:
             continue
         seen[family] += 1
+        rates[b["name"]] = b.get("items_per_second", 0.0)
         if b.get("items_per_second", 0.0) <= 0.0 and family != \
                 "BM_ServeLatencyVsDelay":
             print(f"FAIL: {b['name']} reports no edges/sec")
             return 1
-        if family == "BM_ServeClosedLoop":
+        if family in ("BM_ServeClosedLoop", "BM_ServeClosedLoopTraced"):
             for counter in ("mean_batch_rows", "e2e_p95_us"):
                 if b.get(counter, 0.0) <= 0.0:
                     print(f"FAIL: {b['name']} missing counter {counter}")
                     return 1
+        if family == "BM_ServeClosedLoopTraced" and \
+                b.get("trace_events", 0.0) <= 0.0:
+            print(f"FAIL: {b['name']} recorded no trace events")
+            return 1
         if family in ("BM_ServeInteractiveSolo", "BM_ServeMixedQoS") and \
                 b.get("interactive_p99_us", 0.0) <= 0.0:
             print(f"FAIL: {b['name']} missing counter interactive_p99_us")
@@ -117,6 +144,28 @@ def check_serving_shape(build_dir: str, min_time: str) -> int:
     if missing:
         print(f"FAIL: bench_serving produced no runs for {missing}")
         return 1
+
+    # Tracing-overhead gate: every traced closed-loop run pairs with the
+    # untraced run of identical shape (same args and thread count).
+    traced = traced_untraced_ratios(rates)
+    for suffix, ratio in traced.items():
+        if ratio is None:
+            print(f"FAIL: no untraced counterpart for "
+                  f"BM_ServeClosedLoopTraced/{suffix}")
+            return 1
+    if not traced:
+        print("FAIL: no traced/untraced closed-loop pairs found")
+        return 1
+    geomean = math.exp(sum(math.log(r) for r in traced.values())
+                       / len(traced))
+    for suffix, ratio in sorted(traced.items()):
+        print(f"  {suffix:>32}: traced/untraced = {ratio:.2f}x")
+    print(f"geomean traced/untraced = {geomean:.2f}x "
+          f"(gate: >= {MIN_TRACED_RATIO})")
+    if geomean < MIN_TRACED_RATIO:
+        print("FAIL: tracing costs more than 5% of closed-loop throughput")
+        return 1
+
     print(f"serving shape OK ({sum(seen.values())} benchmark runs)")
     return 0
 
@@ -178,6 +227,67 @@ def check_overload_shape(build_dir: str) -> int:
     return 0
 
 
+def check_metrics_shape(build_dir: str) -> int:
+    """Run the serving example with --metrics --trace and validate the
+    export surface: the Prometheus exposition block renders every
+    documented family with per-class and per-shard labels, the JSON dump
+    follows it, and the trace block reconstructs at least one
+    per-request timeline.  A missing binary is a skip (examples are
+    always built alongside benchmarks in CI, but a bench-only build
+    should not fail here)."""
+    exe = os.path.join(build_dir, "examples", "example_serve_graph_challenge")
+    if not os.path.isfile(exe):
+        print("note: serving example not built; skipping metrics shape check")
+        return 0
+    out = subprocess.run([exe, "--metrics", "--trace"],
+                         capture_output=True, text=True)
+    if out.returncode != 0:
+        print(f"FAIL: {exe} --metrics --trace exited {out.returncode}")
+        return 1
+    text = out.stdout
+    begin = text.find("=== metrics (prometheus) ===")
+    end = text.find("=== metrics (json) ===")
+    if begin < 0 or end < begin:
+        print("FAIL: --metrics output lacks the exposition delimiters")
+        return 1
+    exposition = text[begin:end]
+    required = [
+        'radix_serve_requests_total{class="interactive",shard="0"}',
+        'radix_serve_requests_total{class="interactive",shard="1"}',
+        'radix_serve_shed_total{',
+        'radix_serve_expired_total{',
+        'radix_serve_errors_total{',
+        'radix_serve_rows_total{',
+        'radix_serve_batches_total{',
+        'radix_serve_busy_seconds_total{',
+        'radix_serve_queue_depth{',
+        'radix_serve_worker_busy_fraction{shard="0"}',
+        'radix_serve_workers{shard="1"}',
+        'radix_serve_shard_health{shard="0"}',
+        'radix_serve_failovers_total',
+        'radix_serve_e2e_latency_seconds_bucket{',
+        'radix_serve_e2e_latency_seconds_sum{',
+        'radix_serve_queue_wait_seconds_bucket{',
+        'radix_serve_batch_rows_bucket{',
+        'le="+Inf"',
+    ]
+    for series in required:
+        if series not in exposition:
+            print(f"FAIL: exposition is missing {series}")
+            return 1
+    if '"families"' not in text[end:]:
+        print("FAIL: --metrics output lacks the JSON dump")
+        return 1
+    begin = text.find("=== trace (")
+    if begin < 0 or " completed " not in text[begin:] or \
+            "request " not in text[begin:]:
+        print("FAIL: --trace output lacks a reconstructed timeline with "
+              "a completed event")
+        return 1
+    print("metrics shape OK (exposition + JSON + timelines)")
+    return 0
+
+
 def main() -> int:
     ap = argparse.ArgumentParser()
     ap.add_argument("--build-dir", default=os.path.join(REPO_ROOT, "build"))
@@ -225,6 +335,8 @@ def main() -> int:
     if check_serving_shape(args.build_dir, args.min_time) != 0:
         return 1
     if check_overload_shape(args.build_dir) != 0:
+        return 1
+    if check_metrics_shape(args.build_dir) != 0:
         return 1
     print("perf smoke OK")
     return 0

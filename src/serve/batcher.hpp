@@ -105,6 +105,9 @@ namespace radix::serve {
 /// so a request that waited out backpressure still gets a full
 /// coalescing window).
 struct Request {
+  /// Trace identity assigned at submit (serve/trace.hpp); flows into
+  /// RequestTiming::request_id and every trace event of this request.
+  RequestId id = 0;
   index_t rows = 0;
   const float* input = nullptr;
   std::vector<float> owned;

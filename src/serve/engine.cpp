@@ -14,6 +14,12 @@ double seconds_between(std::chrono::steady_clock::time_point a,
   return std::chrono::duration<double>(b - a).count();
 }
 
+std::int64_t nanos_of(std::chrono::steady_clock::time_point tp) {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             tp.time_since_epoch())
+      .count();
+}
+
 // Completion adapter for future-completion submissions.
 DoneFn promise_done(
     std::shared_ptr<std::promise<std::vector<float>>> promise) {
@@ -130,7 +136,9 @@ ModelId Engine::add_model(std::shared_ptr<const infer::SparseDnn> model,
   // after the slot exists) only leaves an unreachable empty queue,
   // which the scheduler skips.
   const ModelId id = reg->size();
-  const ModelId batcher_id = batcher_.add_model(resolve_qos(qos));
+  const QosPolicy resolved = resolve_qos(qos);
+  st->priority = resolved.priority;
+  const ModelId batcher_id = batcher_.add_model(resolved);
   RADIX_ASSERT(batcher_id == id,
                "Engine: model registry and batcher out of sync");
   publish_locked(id, std::move(st));
@@ -265,22 +273,42 @@ SubmitResult Engine::submit(InferenceRequest req, SubmitOptions opts) {
       "Engine::submit: input size != rows * input_width");
 
   const bool callback = static_cast<bool>(opts.done);
+  // Every admitted request carries a process-wide trace identity: a
+  // relay (router failover capsule) passes the one it already assigned
+  // so all hops record under one id; direct callers get a fresh one.
+  const RequestId rid =
+      opts.trace_id != 0 ? opts.trace_id : next_request_id();
+  Tracer* const tracer = options_.tracer;
   if (req.rows == 0) {
     // Nothing to batch: complete inline.  Admission still applies --
     // after shutdown the engine serves nothing, not even empties.
     if (!accepting() || batcher_.model_retired(req.model)) {
       return SubmitResult::rejected();
     }
+    if (tracer) {
+      const std::int64_t t = tracer->now_ns();
+      tracer->record_at(t, rid, TraceEventKind::kSubmitted,
+                        options_.shard_index,
+                        static_cast<std::uint32_t>(req.model), st->priority,
+                        0);
+      tracer->record_at(t, rid, TraceEventKind::kCompleted,
+                        options_.shard_index,
+                        static_cast<std::uint32_t>(req.model), st->priority,
+                        0);
+    }
+    RequestTiming timing;
+    timing.request_id = rid;
     if (callback) {
-      opts.done({}, RequestTiming{}, nullptr);
-      return SubmitResult::admitted_callback();
+      opts.done({}, timing, nullptr);
+      return SubmitResult::admitted_callback(rid);
     }
     std::promise<std::vector<float>> p;
     p.set_value({});
-    return SubmitResult::admitted_future(p.get_future());
+    return SubmitResult::admitted_future(p.get_future(), rid);
   }
 
   Request r;
+  r.id = rid;
   r.rows = req.rows;
   std::future<std::vector<float>> future;
   if (callback) {
@@ -304,6 +332,12 @@ SubmitResult Engine::submit(InferenceRequest req, SubmitOptions opts) {
     r.deadline = batcher_.clock().now() + opts.deadline;
   }
 
+  if (tracer) {
+    tracer->record(rid, TraceEventKind::kSubmitted, options_.shard_index,
+                   static_cast<std::uint32_t>(req.model), st->priority,
+                   static_cast<std::uint32_t>(req.rows));
+  }
+
   // Pressure-shed victims are handed back here and completed OUTSIDE
   // the batcher monitor -- the batcher never runs completions.
   MicroBatcher::ShedList shed;
@@ -320,10 +354,15 @@ SubmitResult Engine::submit(InferenceRequest req, SubmitOptions opts) {
           batcher_.submit_for(req.model, std::move(r), opts.timeout, &shed);
       break;
   }
+  if (tracer && admitted) {
+    tracer->record(rid, TraceEventKind::kAdmitted, options_.shard_index,
+                   static_cast<std::uint32_t>(req.model), st->priority,
+                   static_cast<std::uint32_t>(req.rows));
+  }
   complete_shed(shed);
   if (!admitted) return SubmitResult::rejected();
-  return callback ? SubmitResult::admitted_callback()
-                  : SubmitResult::admitted_future(std::move(future));
+  return callback ? SubmitResult::admitted_callback(rid)
+                  : SubmitResult::admitted_future(std::move(future), rid);
 }
 
 void Engine::complete_shed(MicroBatcher::ShedList& shed) {
@@ -331,17 +370,25 @@ void Engine::complete_shed(MicroBatcher::ShedList& shed) {
   const auto now = batcher_.clock().now();
   for (auto& [model, r] : shed) {
     const auto st = state(model);
-    StatsCollector& cls = class_stats_[static_cast<std::size_t>(
-        batcher_.policy(model).priority)];
+    StatsCollector& cls =
+        class_stats_[static_cast<std::size_t>(st->priority)];
     RequestTiming timing;
     timing.queue_seconds = seconds_between(r.submitted, now);
     timing.total_seconds = timing.queue_seconds;
+    timing.request_id = r.id;
     // A shed request IS a completed request of this engine: it counts
     // into requests/errors/shed on both the model and class ledgers,
     // and its wait lands in the latency tails.
     st->stats->record_shed(timing.queue_seconds, timing.total_seconds,
                            /*expired=*/false);
     cls.record_shed(timing.queue_seconds, timing.total_seconds, false);
+    if (options_.tracer) {
+      options_.tracer->record_at(nanos_of(now), r.id, TraceEventKind::kShed,
+                                 options_.shard_index,
+                                 static_cast<std::uint32_t>(model),
+                                 st->priority,
+                                 static_cast<std::uint32_t>(r.rows));
+    }
     if (r.done) {
       try {
         r.done({}, timing,
@@ -390,11 +437,12 @@ void Engine::stop(bool abort_queued) {
     const auto now = batcher_.clock().now();
     for (auto& [model, r] : orphans) {
       const auto st = state(model);
-      StatsCollector& cls = class_stats_[static_cast<std::size_t>(
-          batcher_.policy(model).priority)];
+      StatsCollector& cls =
+          class_stats_[static_cast<std::size_t>(st->priority)];
       RequestTiming timing;
       timing.queue_seconds = seconds_between(r.submitted, now);
       timing.total_seconds = timing.queue_seconds;
+      timing.request_id = r.id;
       // The shard's own ledger records the abort as an error even when
       // a router retry later serves the request elsewhere: per-shard
       // stats count what THIS engine did with its admissions.
@@ -429,6 +477,9 @@ void Engine::worker_loop(std::size_t worker_index) {
   MicroBatcher::Batch batch;
   ClockSource& clock = batcher_.clock();
 
+  Tracer* const tracer = options_.tracer;
+  const std::uint16_t shard = options_.shard_index;
+
   while (batcher_.next(batch)) {
     // One snapshot resolve per claimed batch: every row of this batch
     // is served by this version, so a swap can never split a batch.
@@ -436,6 +487,10 @@ void Engine::worker_loop(std::size_t worker_index) {
     StatsCollector& cls =
         class_stats_[static_cast<std::size_t>(batch.priority)];
     const auto claimed = clock.now();
+    const std::uint32_t model32 = static_cast<std::uint32_t>(batch.model);
+    // The claim timestamp is taken once and reused for every member
+    // request's claim-stage events.
+    const std::int64_t t_claim = tracer ? nanos_of(claimed) : 0;
 
     // Requests whose end-to-end deadline passed before this claim are
     // completed FIRST -- before any injected latency or forward work --
@@ -445,9 +500,15 @@ void Engine::worker_loop(std::size_t worker_index) {
       const double qs = seconds_between(r.submitted, claimed);
       st->stats->record_shed(qs, qs, /*expired=*/true);
       cls.record_shed(qs, qs, true);
+      if (tracer) {
+        tracer->record_at(t_claim, r.id, TraceEventKind::kExpired, shard,
+                          model32, batch.priority,
+                          static_cast<std::uint32_t>(r.rows));
+      }
       RequestTiming timing;
       timing.queue_seconds = qs;
       timing.total_seconds = qs;
+      timing.request_id = r.id;
       if (r.done) {
         try {
           r.done({}, timing,
@@ -464,8 +525,31 @@ void Engine::worker_loop(std::size_t worker_index) {
       batcher_.batch_complete(batch.model);
       continue;
     }
+    if (tracer) {
+      for (const Request& r : batch.requests) {
+        tracer->record_at(t_claim, r.id, TraceEventKind::kClaimed, shard,
+                          model32, batch.priority,
+                          static_cast<std::uint32_t>(r.rows));
+        // kBatched carries the COALESCED size: the batch this request
+        // rode in, not its own rows.
+        tracer->record_at(t_claim, r.id, TraceEventKind::kBatched, shard,
+                          model32, batch.priority,
+                          static_cast<std::uint32_t>(batch.rows));
+      }
+    }
+    busy_workers_.fetch_add(1, std::memory_order_relaxed);
 
     const float* input = assembly.assemble(batch, st->input_width);
+    if (tracer) {
+      // One stamp for the whole batch: every member request entered
+      // the forward pass at the same instant.
+      const std::int64_t t_fwd = tracer->now_ns();
+      for (const Request& r : batch.requests) {
+        tracer->record_at(t_fwd, r.id, TraceEventKind::kForwardBegin, shard,
+                          model32, batch.priority,
+                          static_cast<std::uint32_t>(batch.rows));
+      }
+    }
     infer::InferenceStats fstats;
     std::span<const float> y;
     std::exception_ptr error;
@@ -487,6 +571,8 @@ void Engine::worker_loop(std::size_t worker_index) {
       }
     }
     const auto finished = clock.now();
+    busy_workers_.fetch_sub(1, std::memory_order_relaxed);
+    const std::int64_t t_done = tracer ? nanos_of(finished) : 0;
 
     // Record stats BEFORE delivering completions: a caller that wakes
     // on its future and immediately reads stats() must already see its
@@ -512,10 +598,19 @@ void Engine::worker_loop(std::size_t worker_index) {
     // sub-span of the batch output.
     std::size_t row0 = 0;
     for (Request& r : batch.requests) {
+      if (tracer) {
+        tracer->record_at(t_done, r.id, TraceEventKind::kForwardEnd, shard,
+                          model32, batch.priority,
+                          static_cast<std::uint32_t>(batch.rows));
+        tracer->record_at(t_done, r.id, TraceEventKind::kCompleted, shard,
+                          model32, batch.priority,
+                          static_cast<std::uint32_t>(r.rows));
+      }
       RequestTiming timing;
       timing.queue_seconds = seconds_between(r.submitted, claimed);
       timing.total_seconds = seconds_between(r.submitted, finished);
       timing.batch_rows = batch.rows;
+      timing.request_id = r.id;
       std::span<const float> rows_out;
       if (!error) {
         rows_out = y.subspan(row0 * st->output_width,
@@ -537,6 +632,72 @@ void Engine::worker_loop(std::size_t worker_index) {
     // Claim retired: what remove_model's drain and quiesce() wait on.
     batcher_.batch_complete(batch.model);
   }
+}
+
+std::size_t Engine::class_pending(Priority p) const {
+  const auto reg = models_.load(std::memory_order_acquire);
+  std::size_t total = 0;
+  for (ModelId id = 0; id < reg->size(); ++id) {
+    const auto& st = (*reg)[id];
+    if (st->retired || st->priority != p) continue;
+    total += batcher_.pending(id);
+  }
+  return total;
+}
+
+unsigned Engine::busy_workers() const noexcept {
+  return busy_workers_.load(std::memory_order_relaxed);
+}
+
+void Engine::export_metrics(MetricsRegistry& registry) const {
+  const std::string shard = std::to_string(options_.shard_index);
+  for (std::size_t i = 0; i < kNumPriorities; ++i) {
+    const auto p = static_cast<Priority>(i);
+    const ServeStats s = class_stats_[i].snapshot();
+    const MetricLabels labels{{"class", std::string(to_string(p))},
+                              {"shard", shard}};
+    registry.set_counter("radix_serve_requests_total", labels,
+                         static_cast<double>(s.requests),
+                         "Requests completed (including shed/expired)");
+    registry.set_counter("radix_serve_shed_total", labels,
+                         static_cast<double>(s.shed),
+                         "Requests dropped by the overload policy");
+    registry.set_counter("radix_serve_expired_total", labels,
+                         static_cast<double>(s.expired),
+                         "Requests whose e2e deadline passed before claim");
+    registry.set_counter("radix_serve_errors_total", labels,
+                         static_cast<double>(s.errors),
+                         "Requests completed with an exception");
+    registry.set_counter("radix_serve_rows_total", labels,
+                         static_cast<double>(s.rows), "Input rows served");
+    registry.set_counter("radix_serve_batches_total", labels,
+                         static_cast<double>(s.batches),
+                         "Coalesced batches executed");
+    registry.set_counter("radix_serve_edges_total", labels,
+                         static_cast<double>(s.edges),
+                         "Edges processed (batch rows x model nnz)");
+    registry.set_counter("radix_serve_busy_seconds_total", labels,
+                         s.busy_seconds, "Summed forward wall time");
+    registry.set_gauge("radix_serve_queue_depth", labels,
+                       static_cast<double>(class_pending(p)),
+                       "Admitted requests not yet claimed by a worker");
+    registry.set_histogram("radix_serve_e2e_latency_seconds", labels,
+                           s.e2e_hist, "Submit-to-completion latency");
+    registry.set_histogram("radix_serve_queue_wait_seconds", labels,
+                           s.queue_wait_hist, "Submit-to-claim latency");
+    registry.set_histogram("radix_serve_batch_rows", labels,
+                           s.batch_rows_hist, "Coalesced batch sizes");
+  }
+  const MetricLabels shard_labels{{"shard", shard}};
+  const unsigned workers = num_workers();
+  registry.set_gauge("radix_serve_workers", shard_labels,
+                     static_cast<double>(workers),
+                     "Worker threads in the pool");
+  registry.set_gauge(
+      "radix_serve_worker_busy_fraction", shard_labels,
+      workers == 0 ? 0.0
+                   : static_cast<double>(busy_workers()) / workers,
+      "Fraction of workers inside a claimed batch right now");
 }
 
 }  // namespace radix::serve

@@ -89,9 +89,11 @@
 #include "serve/backend.hpp"
 #include "serve/batcher.hpp"
 #include "serve/fault.hpp"
+#include "serve/metrics.hpp"
 #include "serve/qos.hpp"
 #include "serve/request.hpp"
 #include "serve/stats.hpp"
+#include "serve/trace.hpp"
 #include "support/thread.hpp"
 
 namespace radix::serve {
@@ -136,6 +138,15 @@ struct EngineOptions {
   /// complete the batch's requests with FaultInjectedError.  The
   /// injector must outlive the engine.  See serve/fault.hpp.
   FaultInjector* fault = nullptr;
+  /// Request-tracing sink (serve/trace.hpp); nullptr (the default)
+  /// disables tracing at the cost of one pointer test per would-be
+  /// event.  A ShardRouter shares ONE tracer across its shards; the
+  /// tracer must outlive the engine and should stamp with the same
+  /// clock as `clock` or timelines mix epochs.
+  Tracer* tracer = nullptr;
+  /// Shard label stamped into every trace event and metrics series this
+  /// engine emits; a ShardRouter sets it to the shard's fleet index.
+  std::uint16_t shard_index = 0;
 };
 
 class Engine final : public Backend {
@@ -205,8 +216,32 @@ class Engine final : public Backend {
   /// The fully resolved QoS policy a model is served under.
   QosPolicy model_policy(ModelId id) const;
 
+  /// The resolved service class alone, read lock-free off the registry
+  /// snapshot (model_policy takes the batcher monitor) -- safe to call
+  /// on an aborted engine, which the router's failover trace path does.
+  Priority model_priority(ModelId id) const { return state(id)->priority; }
+
   /// Aggregate counters for one service class across its models.
   ServeStats class_stats(Priority p) const;
+
+  /// Requests queued (not yet claimed) across this engine's models of
+  /// one class -- the live queue-depth gauge behind export_metrics.
+  std::size_t class_pending(Priority p) const;
+
+  /// Workers currently inside a claimed batch (fault seam + forward +
+  /// completion delivery), over num_workers() = the busy fraction.
+  unsigned busy_workers() const noexcept;
+
+  /// Publish this engine's current state into `registry` as the
+  /// radix_serve_* metric family set: per-class counters (requests,
+  /// shed, expired, errors, rows, batches, edges, busy seconds), live
+  /// gauges (queue depth, worker busy fraction) and latency/batch-shape
+  /// histograms.  Labels every series {class=<name>, shard=<shard>};
+  /// `shard` defaults to options().shard_index.  Rebuilt per scrape
+  /// from collector snapshots -- nothing here touches the hot path.
+  void export_metrics(MetricsRegistry& registry) const;
+
+  const EngineOptions& options() const noexcept { return options_; }
 
   // -- Backend interface --------------------------------------------------
 
@@ -248,6 +283,10 @@ class Engine final : public Backend {
     std::shared_ptr<StatsCollector> stats;  // survives swap/remove
     std::uint32_t version = 1;
     bool retired = false;
+    /// Resolved service class, duplicated from the batcher policy so
+    /// trace stamping and class_pending read it lock-free off the
+    /// registry snapshot instead of taking the batcher monitor.
+    Priority priority = Priority::kBatch;
   };
 
   // The copy-on-write registry: readers atomically load the current
@@ -275,6 +314,9 @@ class Engine final : public Backend {
 
   // Per-class aggregation across models (workers record into both).
   std::array<StatsCollector, kNumPriorities> class_stats_;
+
+  // Live gauge behind export_metrics: workers inside a claimed batch.
+  std::atomic<unsigned> busy_workers_{0};
 
   ThreadGroup workers_;
   unsigned worker_count_ = 0;

@@ -1,0 +1,257 @@
+#include "serve/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "support/error.hpp"
+
+namespace radix::serve {
+
+namespace {
+
+// Prometheus label values and JSON strings share the same escapes.
+std::string escaped(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string label_block(const MetricLabels& labels) {
+  if (labels.empty()) return "";
+  std::string out = "{";
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (i) out += ',';
+    out += labels[i].first;
+    out += "=\"";
+    out += escaped(labels[i].second);
+    out += '"';
+  }
+  out += '}';
+  return out;
+}
+
+// Extra labels appended to a histogram series' own labels (`le`).
+std::string label_block_with(const MetricLabels& labels,
+                             std::string_view extra_name,
+                             std::string_view extra_value) {
+  MetricLabels all = labels;
+  all.emplace_back(std::string(extra_name), std::string(extra_value));
+  return label_block(all);
+}
+
+std::string number(double v) {
+  if (std::isinf(v)) return v > 0 ? "+Inf" : "-Inf";
+  char buf[64];
+  // %.17g round-trips doubles; integral values render without noise.
+  if (v == std::floor(v) && std::abs(v) < 1e15) {
+    std::snprintf(buf, sizeof(buf), "%.0f", v);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.9g", v);
+  }
+  return buf;
+}
+
+std::uint64_t delta(std::uint64_t now, std::uint64_t before) {
+  // A restarted collector (or a reset key) can move a counter
+  // backwards; clamp rather than wrap.
+  return now >= before ? now - before : 0;
+}
+
+}  // namespace
+
+MetricsRegistry::Family& MetricsRegistry::family(std::string_view name,
+                                                 MetricKind kind,
+                                                 std::string_view help) {
+  for (Family& f : families_) {
+    if (f.name == name) {
+      RADIX_REQUIRE(f.kind == kind,
+                    "MetricsRegistry: one name cannot hold two metric kinds");
+      if (f.help.empty() && !help.empty()) f.help = std::string(help);
+      return f;
+    }
+  }
+  Family f;
+  f.name = std::string(name);
+  f.help = std::string(help);
+  f.kind = kind;
+  families_.push_back(std::move(f));
+  return families_.back();
+}
+
+MetricsRegistry::Series& MetricsRegistry::series(Family& fam,
+                                                 MetricLabels&& labels) {
+  for (Series& s : fam.series) {
+    if (s.labels == labels) return s;
+  }
+  Series s;
+  s.labels = std::move(labels);
+  fam.series.push_back(std::move(s));
+  return fam.series.back();
+}
+
+void MetricsRegistry::set_counter(std::string_view name, MetricLabels labels,
+                                  double value, std::string_view help) {
+  Family& f = family(name, MetricKind::kCounter, help);
+  series(f, std::move(labels)).value = value;
+}
+
+void MetricsRegistry::set_gauge(std::string_view name, MetricLabels labels,
+                                double value, std::string_view help) {
+  Family& f = family(name, MetricKind::kGauge, help);
+  series(f, std::move(labels)).value = value;
+}
+
+void MetricsRegistry::set_histogram(std::string_view name, MetricLabels labels,
+                                    const Log2Histogram& hist,
+                                    std::string_view help) {
+  Family& f = family(name, MetricKind::kHistogram, help);
+  Series& s = series(f, std::move(labels));
+  s.hist = hist;
+  s.value = static_cast<double>(hist.count());
+}
+
+const double* MetricsRegistry::find(std::string_view name,
+                                    const MetricLabels& labels) const {
+  for (const Family& f : families_) {
+    if (f.name != name) continue;
+    for (const Series& s : f.series) {
+      if (s.labels == labels) return &s.value;
+    }
+  }
+  return nullptr;
+}
+
+std::string MetricsRegistry::render_prometheus() const {
+  std::string out;
+  for (const Family& f : families_) {
+    if (!f.help.empty()) {
+      out += "# HELP " + f.name + " " + f.help + "\n";
+    }
+    out += "# TYPE " + f.name + " ";
+    out += to_string(f.kind);
+    out += '\n';
+    for (const Series& s : f.series) {
+      if (f.kind != MetricKind::kHistogram) {
+        out += f.name + label_block(s.labels) + " " + number(s.value) + "\n";
+        continue;
+      }
+      // Cumulative buckets over the log-2 grid: every non-empty bucket
+      // bound plus the mandatory +Inf.
+      std::uint64_t cum = 0;
+      for (const auto& [bound, count] : s.hist.buckets()) {
+        cum += count;
+        out += f.name + "_bucket" +
+               label_block_with(s.labels, "le", number(bound)) + " " +
+               number(static_cast<double>(cum)) + "\n";
+      }
+      out += f.name + "_bucket" + label_block_with(s.labels, "le", "+Inf") +
+             " " + number(static_cast<double>(s.hist.count())) + "\n";
+      out += f.name + "_sum" + label_block(s.labels) + " " +
+             number(s.hist.sum()) + "\n";
+      out += f.name + "_count" + label_block(s.labels) + " " +
+             number(static_cast<double>(s.hist.count())) + "\n";
+    }
+  }
+  return out;
+}
+
+std::string MetricsRegistry::to_json() const {
+  std::string out = "{\"families\":[";
+  for (std::size_t fi = 0; fi < families_.size(); ++fi) {
+    const Family& f = families_[fi];
+    if (fi) out += ',';
+    out += "{\"name\":\"" + escaped(f.name) + "\",\"kind\":\"";
+    out += to_string(f.kind);
+    out += "\",\"help\":\"" + escaped(f.help) + "\",\"series\":[";
+    for (std::size_t si = 0; si < f.series.size(); ++si) {
+      const Series& s = f.series[si];
+      if (si) out += ',';
+      out += "{\"labels\":{";
+      for (std::size_t li = 0; li < s.labels.size(); ++li) {
+        if (li) out += ',';
+        out += '"';
+        out += escaped(s.labels[li].first);
+        out += "\":\"";
+        out += escaped(s.labels[li].second);
+        out += '"';
+      }
+      out += "}";
+      if (f.kind == MetricKind::kHistogram) {
+        out += ",\"buckets\":[";
+        const auto buckets = s.hist.buckets();
+        for (std::size_t bi = 0; bi < buckets.size(); ++bi) {
+          if (bi) out += ',';
+          out += '[';
+          out += number(buckets[bi].first);
+          out += ',';
+          out += number(static_cast<double>(buckets[bi].second));
+          out += ']';
+        }
+        out += "],\"sum\":" + number(s.hist.sum()) +
+               ",\"count\":" + number(static_cast<double>(s.hist.count()));
+      } else {
+        out += ",\"value\":" + number(s.value);
+      }
+      out += "}";
+    }
+    out += "]}";
+  }
+  out += "]}";
+  return out;
+}
+
+MetricsWindow::MetricsWindow(ClockSource* clock)
+    : clock_(clock ? clock : &steady_clock_source()) {}
+
+void MetricsWindow::reset(const std::string& key) { anchors_.erase(key); }
+
+WindowedRates MetricsWindow::tick(const std::string& key,
+                                  const ServeStats& current,
+                                  unsigned workers) {
+  const auto now = clock_->now();
+  WindowedRates r;
+  auto it = anchors_.find(key);
+  if (it == anchors_.end()) {
+    anchors_.emplace(key, Anchor{now, current});
+    return r;  // first tick anchors the window; nothing to rate yet
+  }
+  Anchor& a = it->second;
+  r.interval_seconds = std::chrono::duration<double>(now - a.at).count();
+  r.d_requests = delta(current.requests, a.stats.requests);
+  r.d_shed = delta(current.shed, a.stats.shed);
+  r.d_expired = delta(current.expired, a.stats.expired);
+  r.d_errors = delta(current.errors, a.stats.errors);
+  r.d_rows = delta(current.rows, a.stats.rows);
+  r.d_batches = delta(current.batches, a.stats.batches);
+  r.d_edges = delta(current.edges, a.stats.edges);
+  r.d_busy_seconds =
+      std::max(current.busy_seconds - a.stats.busy_seconds, 0.0);
+  if (r.interval_seconds > 0.0) {
+    r.requests_per_second =
+        static_cast<double>(r.d_requests) / r.interval_seconds;
+    r.shed_per_second = static_cast<double>(r.d_shed) / r.interval_seconds;
+    r.expired_per_second =
+        static_cast<double>(r.d_expired) / r.interval_seconds;
+    r.rows_per_second = static_cast<double>(r.d_rows) / r.interval_seconds;
+    r.edges_per_second = static_cast<double>(r.d_edges) / r.interval_seconds;
+    if (workers > 0) {
+      r.busy_fraction =
+          r.d_busy_seconds / (static_cast<double>(workers) *
+                              r.interval_seconds);
+    }
+  }
+  a.at = now;
+  a.stats = current;
+  return r;
+}
+
+}  // namespace radix::serve

@@ -1,0 +1,159 @@
+// Windowed metrics and export surface for the serving stack.
+//
+// ServeStats (serve/stats.hpp) is a cumulative, since-boot snapshot;
+// an operator wants "what is the shed rate RIGHT NOW" and a scraper
+// wants a stable named-series surface.  This header provides both:
+//
+//   * MetricsRegistry -- an ordered collection of metric families
+//     (counter / gauge / histogram), each holding labeled series.  The
+//     registry is a RENDER-TIME value, not a live store: Engine::
+//     export_metrics / ShardRouter::export_metrics rebuild it from
+//     StatsCollector snapshots and live gauges on every scrape, so
+//     there is no double bookkeeping on the hot path.  Two renderers:
+//     render_prometheus() emits the text exposition format (HELP/TYPE
+//     headers, cumulative `le` histogram buckets, _sum/_count), and
+//     to_json() a structured dump for programmatic consumers.
+//   * MetricsWindow -- turns cumulative ServeStats snapshots into rates
+//     over a rolling window: tick(key, stats) diffs against the
+//     previous snapshot under the same key and divides by the elapsed
+//     time on the injected clock.  Deltas of mergeable counters are
+//     exact (ServeStats::merge sums them), so cross-shard windowed
+//     rates computed from a merged fleet snapshot equal the sum of the
+//     per-shard rates -- pinned by test_serve_metrics.
+//
+// Naming follows Prometheus conventions: `radix_serve_` prefix,
+// `_total` suffix on counters, base units (seconds) in histogram
+// names.  The standard label set is {class, shard}; the router's
+// export adds shard="<index>" per shard plus its own fleet-level
+// series (shard health, failover count).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "serve/stats.hpp"
+#include "support/thread.hpp"
+
+namespace radix::serve {
+
+/// (name, value) pairs; order given is preserved in the rendering.
+using MetricLabels = std::vector<std::pair<std::string, std::string>>;
+
+enum class MetricKind : std::uint8_t { kCounter, kGauge, kHistogram };
+
+inline constexpr const char* to_string(MetricKind k) noexcept {
+  switch (k) {
+    case MetricKind::kCounter: return "counter";
+    case MetricKind::kGauge: return "gauge";
+    case MetricKind::kHistogram: return "histogram";
+  }
+  return "?";
+}
+
+/// Ordered registry of metric families (see the file comment).  Not
+/// thread-safe: build one per scrape on the scraping thread -- the
+/// underlying collectors do the synchronizing.
+class MetricsRegistry {
+ public:
+  /// Add/overwrite one series.  The first call for `name` fixes the
+  /// family's kind and help text; a later call with a different kind
+  /// throws (a name must not render under two TYPEs).
+  void set_counter(std::string_view name, MetricLabels labels, double value,
+                   std::string_view help = "");
+  void set_gauge(std::string_view name, MetricLabels labels, double value,
+                 std::string_view help = "");
+  void set_histogram(std::string_view name, MetricLabels labels,
+                     const Log2Histogram& hist, std::string_view help = "");
+
+  /// Prometheus text exposition format, version 0.0.4: per family a
+  /// `# HELP` / `# TYPE` header, then one line per series.  Histograms
+  /// render cumulative `le`-labeled buckets (upper bounds from the
+  /// Log2Histogram grid, only non-empty buckets plus `+Inf`), `_sum`
+  /// and `_count`.
+  std::string render_prometheus() const;
+
+  /// Structured JSON: {"families":[{name, kind, help, series:[{labels,
+  /// value | buckets/sum/count}]}]}.
+  std::string to_json() const;
+
+  /// Scalar value of one counter/gauge series; nullptr when the family
+  /// or exact label set is absent.  Test/assertion helper.
+  const double* find(std::string_view name, const MetricLabels& labels) const;
+
+  std::size_t num_families() const noexcept { return families_.size(); }
+
+ private:
+  struct Series {
+    MetricLabels labels;
+    double value = 0.0;           // counter / gauge
+    Log2Histogram hist{1.0};      // histogram families only
+  };
+  struct Family {
+    std::string name;
+    std::string help;
+    MetricKind kind = MetricKind::kCounter;
+    std::vector<Series> series;
+  };
+
+  Family& family(std::string_view name, MetricKind kind,
+                 std::string_view help);
+  Series& series(Family& fam, MetricLabels&& labels);
+
+  std::vector<Family> families_;  // insertion-ordered for stable output
+};
+
+/// Rates computed from the delta between two cumulative snapshots.
+struct WindowedRates {
+  double interval_seconds = 0.0;
+
+  // Exact counter deltas over the window.
+  std::uint64_t d_requests = 0;
+  std::uint64_t d_shed = 0;
+  std::uint64_t d_expired = 0;
+  std::uint64_t d_errors = 0;
+  std::uint64_t d_rows = 0;
+  std::uint64_t d_batches = 0;
+  std::uint64_t d_edges = 0;
+  double d_busy_seconds = 0.0;
+
+  // Deltas over the interval (0 when the interval is empty).
+  double requests_per_second = 0.0;
+  double shed_per_second = 0.0;
+  double expired_per_second = 0.0;
+  double rows_per_second = 0.0;
+  double edges_per_second = 0.0;
+  /// d_busy_seconds / (workers * interval): the fraction of the fleet's
+  /// worker-time spent in forward passes this window.
+  double busy_fraction = 0.0;
+};
+
+/// Per-key delta tracker over an injected clock.  Call tick(key,
+/// snapshot) periodically; each call returns the rates since the
+/// previous tick of the same key (the first tick of a key anchors the
+/// window and returns zero rates over a zero interval).  Not
+/// thread-safe -- one window per observer thread.
+class MetricsWindow {
+ public:
+  /// nullptr = the process steady clock (tests inject a FakeClock).
+  explicit MetricsWindow(ClockSource* clock = nullptr);
+
+  WindowedRates tick(const std::string& key, const ServeStats& current,
+                     unsigned workers = 1);
+
+  /// Forget a key (e.g. a retired model), re-anchoring its next tick.
+  void reset(const std::string& key);
+
+ private:
+  struct Anchor {
+    ClockSource::time_point at{};
+    ServeStats stats;
+  };
+  ClockSource* clock_;
+  std::map<std::string, Anchor> anchors_;
+};
+
+}  // namespace radix::serve

@@ -33,6 +33,7 @@
 #include <utility>
 #include <vector>
 
+#include "serve/trace.hpp"
 #include "sparse/types.hpp"
 #include "support/error.hpp"
 
@@ -40,6 +41,10 @@ namespace radix::serve {
 
 /// Identifies a registered model within one Backend.
 using ModelId = std::size_t;
+
+// RequestId -- the process-wide monotonically increasing identity every
+// admitted request carries through timing, completion and the trace
+// timeline -- lives in serve/trace.hpp with the tracing machinery.
 
 /// Completion error of a request orphaned by a backend abort: the
 /// serving shard went down (Engine::abort) after admitting the request
@@ -74,6 +79,10 @@ struct RequestTiming {
   double queue_seconds = 0.0;  ///< submit -> claimed by a worker
   double total_seconds = 0.0;  ///< submit -> completion delivered
   index_t batch_rows = 0;      ///< rows of the coalesced batch served in
+  /// The request's trace identity (also SubmitResult::request_id()):
+  /// correlates this completion with its drained trace timeline.  0 only
+  /// on paths that never entered submit (e.g. default-constructed).
+  RequestId request_id = 0;
 };
 
 /// Completion callback.  On success `output` holds the request's rows of
@@ -171,6 +180,11 @@ struct SubmitOptions {
   /// thread) and SubmitResult carries no future; when empty, completion
   /// is SubmitResult::take_future().
   DoneFn done{};
+  /// Trace identity to serve the request under.  0 (the default) makes
+  /// the backend assign a fresh next_request_id(); a relaying layer
+  /// (ShardRouter's failover capsule) passes the id it already
+  /// assigned, so every hop of one request records under one id.
+  RequestId trace_id = 0;
 };
 
 /// Outcome of Backend::submit.  `admitted()` is the admission verdict:
@@ -185,6 +199,11 @@ class SubmitResult {
 
   bool admitted() const noexcept { return admitted_; }
   explicit operator bool() const noexcept { return admitted_; }
+
+  /// The admitted request's trace identity: matches the
+  /// RequestTiming::request_id its completion will carry and the id its
+  /// trace timeline records under.  0 for rejections.
+  RequestId request_id() const noexcept { return request_id_; }
 
   /// True until take_future() is called on an admitted future-completion
   /// result; always false for callback submissions and rejections.
@@ -203,21 +222,25 @@ class SubmitResult {
 
   static SubmitResult rejected() { return {}; }
 
-  static SubmitResult admitted_callback() {
+  static SubmitResult admitted_callback(RequestId id) {
     SubmitResult r;
     r.admitted_ = true;
+    r.request_id_ = id;
     return r;
   }
 
-  static SubmitResult admitted_future(std::future<std::vector<float>> f) {
+  static SubmitResult admitted_future(std::future<std::vector<float>> f,
+                                      RequestId id) {
     SubmitResult r;
     r.admitted_ = true;
+    r.request_id_ = id;
     r.future_ = std::move(f);
     return r;
   }
 
  private:
   bool admitted_ = false;
+  RequestId request_id_ = 0;
   std::future<std::vector<float>> future_{};
 };
 

@@ -69,6 +69,10 @@ DoneFn promise_done(
 struct ShardRouter::Relay {
   ModelId model = 0;
   index_t rows = 0;
+  /// The request's trace identity, assigned ONCE at router submit and
+  /// handed to every shard tried (SubmitOptions::trace_id), so the
+  /// events of all failover hops land under one timeline.
+  RequestId id = 0;
   std::vector<float> owned;      // backs `input` for owned submissions
   std::span<const float> input;  // what every shard sees (borrowed)
   DoneFn done;                   // the caller's completion, run exactly once
@@ -317,6 +321,11 @@ EngineOptions ShardRouter::shard_options(std::size_t index) const {
   if (options_.tune_shard) options_.tune_shard(index, eo);
   RADIX_REQUIRE(eo.clock == options_.engine.clock,
                 "ShardRouter: tune_shard must not change the clock");
+  RADIX_REQUIRE(eo.tracer == options_.engine.tracer,
+                "ShardRouter: tune_shard must not change the tracer");
+  // The router owns shard identity: events and metric labels from this
+  // engine carry its fleet index regardless of the template's value.
+  eo.shard_index = static_cast<std::uint16_t>(index);
   return eo;
 }
 
@@ -378,6 +387,7 @@ bool ShardRouter::dispatch(const Fleet& fleet, std::size_t index,
   relay->tried |= (std::uint64_t{1} << index);
   SubmitOptions opts;
   opts.admission = admission;
+  opts.trace_id = relay->id;  // every hop records under the router's id
   // Deduct what the request has already spent since router entry: a
   // resubmission (or a re-pick after a racing kill) carries only the
   // REMAINING admission budget and end-to-end deadline, never a fresh
@@ -442,6 +452,15 @@ bool ShardRouter::failover(const std::shared_ptr<Relay>& relay) {
     if (index == kNoShard) return false;
     if (dispatch(*f, index, relay, Admission::kBlock)) {
       failovers_.fetch_add(1, std::memory_order_relaxed);
+      // The trace attributes the hop to the shard that ACCEPTED the
+      // resubmission -- the destination, where the request now lives.
+      if (Tracer* const tracer = options_.engine.tracer) {
+        tracer->record(relay->id, TraceEventKind::kFailover,
+                       static_cast<std::uint16_t>(index),
+                       static_cast<std::uint32_t>(relay->model),
+                       f->engines[index]->model_priority(relay->model),
+                       static_cast<std::uint32_t>(relay->rows));
+      }
       return true;
     }
   }
@@ -456,6 +475,9 @@ SubmitResult ShardRouter::submit(InferenceRequest req, SubmitOptions opts) {
   auto relay = std::make_shared<Relay>();
   relay->model = req.model;
   relay->rows = req.rows;
+  // Honor a caller-assigned trace id (a front-end relaying its own);
+  // otherwise mint the identity every hop will serve under.
+  relay->id = opts.trace_id != 0 ? opts.trace_id : next_request_id();
   relay->timeout = opts.timeout;
   relay->deadline = opts.deadline;
   relay->t0 = clock_->now();
@@ -477,8 +499,9 @@ SubmitResult ShardRouter::submit(InferenceRequest req, SubmitOptions opts) {
   std::size_t index = pick_shard(*f, req.model);
   while (index != kNoShard) {
     if (dispatch(*f, index, relay, opts.admission)) {
-      return callback ? SubmitResult::admitted_callback()
-                      : SubmitResult::admitted_future(std::move(future));
+      return callback
+                 ? SubmitResult::admitted_callback(relay->id)
+                 : SubmitResult::admitted_future(std::move(future), relay->id);
     }
     // Rejected.  A full queue under kFailFast/kBoundedWait is the
     // chosen shard's legitimate answer -- deliver it.  A shard that is
@@ -525,6 +548,25 @@ ServeStats ShardRouter::class_stats(Priority p) const {
   const auto f = fleet();
   for (const auto& engine : f->engines) merged.merge(engine->class_stats(p));
   return merged;
+}
+
+void ShardRouter::export_metrics(MetricsRegistry& registry) const {
+  const auto f = fleet();
+  for (std::size_t s = 0; s < f->engines.size(); ++s) {
+    registry.set_gauge(
+        "radix_serve_shard_health",
+        {{"shard", std::to_string(s)}},
+        static_cast<double>(static_cast<std::uint8_t>(f->health[s])),
+        "Shard lifecycle state: 0 up, 1 draining, 2 down");
+    // A down shard's engine is stopped; its history lives on in the
+    // carried accumulator and the siblings' series.  Only live shards
+    // contribute engine series.
+    if (f->health[s] == ShardHealth::kDown) continue;
+    f->engines[s]->export_metrics(registry);
+  }
+  registry.set_counter("radix_serve_failovers_total", {},
+                       static_cast<double>(failovers()),
+                       "Requests resubmitted on another shard after an abort");
 }
 
 std::size_t ShardRouter::pending(ModelId model) const {

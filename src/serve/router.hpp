@@ -218,6 +218,14 @@ class ShardRouter final : public Backend {
   /// harness reads interactive vs background shed counts through this.
   ServeStats class_stats(Priority p) const;
 
+  /// Merged fleet view for the export surface: every live shard's
+  /// Engine::export_metrics series (distinguished by their `shard`
+  /// label), plus per-shard radix_serve_shard_health gauges (the
+  /// ShardHealth enum value: 0 up, 1 draining, 2 down) and the
+  /// router-level radix_serve_failovers_total counter.  Down shards
+  /// contribute their health gauge but no engine series.
+  void export_metrics(MetricsRegistry& registry) const;
+
   // -- Backend interface --------------------------------------------------
 
   /// Route to an in-rotation shard by power-of-two-choices on pending

@@ -61,6 +61,21 @@ class Log2Histogram {
   /// Approximate p-quantile (p in [0,1]): upper bound of the bucket
   /// holding the rank-p sample, clipped to the observed max.  0 when
   /// empty.
+  ///
+  /// The clipping contract, precisely (rank = p * count(), scan stops
+  /// at the first bucket where cumulative count >= rank):
+  ///   * p = 0 has rank 0, which every bucket satisfies -- the scan
+  ///     stops at bucket 0 and returns min(base, max()).  It is NOT the
+  ///     minimum sample; a histogram does not retain one.
+  ///   * p = 1 lands in the last non-empty bucket; the result is that
+  ///     bucket's upper bound clipped to max(), so percentile(1) ==
+  ///     max() exactly whenever the largest sample is the clip.
+  ///   * A single-sample histogram answers every p > 0 with that
+  ///     sample's bucket bound clipped to the sample itself.
+  ///   * merge() adds counts bucket-wise and takes the larger max, so a
+  ///     merged histogram's percentile equals the percentile of one
+  ///     histogram fed both sample streams -- bounds and clips
+  ///     included.  (Cross-shard aggregation depends on this.)
   double percentile(double p) const noexcept;
 
   /// (upper_bound, count) per non-empty bucket, ascending.

@@ -1,0 +1,216 @@
+#include "serve/trace.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cstdio>
+#include <functional>
+#include <thread>
+
+namespace radix::serve {
+
+namespace {
+
+// meta packing: kind in bits [56,64), priority in [48,56), shard in
+// [32,48), rows in [0,32).  model gets its own word (a registry index
+// fits easily, but 32 bits of headroom beats silent truncation).
+constexpr std::uint64_t pack_meta(TraceEventKind kind, Priority priority,
+                                  std::uint16_t shard,
+                                  std::uint32_t rows) noexcept {
+  return (static_cast<std::uint64_t>(kind) << 56) |
+         (static_cast<std::uint64_t>(priority) << 48) |
+         (static_cast<std::uint64_t>(shard) << 32) |
+         static_cast<std::uint64_t>(rows);
+}
+
+void unpack_meta(std::uint64_t meta, TraceEvent& e) noexcept {
+  e.kind = static_cast<TraceEventKind>((meta >> 56) & 0xff);
+  e.priority = static_cast<Priority>((meta >> 48) & 0xff);
+  e.shard = static_cast<std::uint16_t>((meta >> 32) & 0xffff);
+  e.rows = static_cast<std::uint32_t>(meta & 0xffffffffu);
+}
+
+bool timeline_order(const TraceEvent& a, const TraceEvent& b) noexcept {
+  if (a.t_ns != b.t_ns) return a.t_ns < b.t_ns;
+  return static_cast<std::uint8_t>(a.kind) < static_cast<std::uint8_t>(b.kind);
+}
+
+}  // namespace
+
+RequestId next_request_id() noexcept {
+  static std::atomic<RequestId> counter{0};
+  return counter.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+TraceRing::TraceRing(std::size_t capacity)
+    : slots_(std::bit_ceil(std::max<std::size_t>(capacity, 2))),
+      mask_(slots_.size() - 1) {}
+
+void TraceRing::record(const TraceEvent& e) noexcept {
+  const std::uint64_t pos = head_.fetch_add(1, std::memory_order_relaxed);
+  Slot& s = slots_[static_cast<std::size_t>(pos) & mask_];
+  // Odd marker first: a reader that loads it mid-write sees "in
+  // progress" and skips.  The field stores are relaxed -- the release
+  // on the closing marker publishes them, and a torn interleave with a
+  // lapped writer is detected by the reader's marker re-check.
+  s.marker.store(2 * pos + 1, std::memory_order_relaxed);
+  s.id.store(e.id, std::memory_order_relaxed);
+  s.t_ns.store(e.t_ns, std::memory_order_relaxed);
+  s.meta.store(pack_meta(e.kind, e.priority, e.shard, e.rows),
+               std::memory_order_relaxed);
+  s.model.store(e.model, std::memory_order_relaxed);
+  s.marker.store(2 * pos + 2, std::memory_order_release);
+}
+
+std::uint64_t TraceRing::dropped() const noexcept {
+  const std::uint64_t h = head_.load(std::memory_order_acquire);
+  const std::uint64_t cap = slots_.size();
+  return h > cap ? h - cap : 0;
+}
+
+void TraceRing::snapshot(std::vector<TraceEvent>& out) const {
+  const std::uint64_t h = head_.load(std::memory_order_acquire);
+  const std::uint64_t cap = slots_.size();
+  const std::uint64_t start = h > cap ? h - cap : 0;
+  for (std::uint64_t pos = start; pos < h; ++pos) {
+    const Slot& s = slots_[static_cast<std::size_t>(pos) & mask_];
+    // Seqlock read: the slot is valid only if the closing marker of
+    // exactly this position is observed both before and after the field
+    // reads -- otherwise a concurrent writer (same or a lapping
+    // position) owned it and the data may interleave generations.
+    if (s.marker.load(std::memory_order_acquire) != 2 * pos + 2) continue;
+    TraceEvent e;
+    e.id = s.id.load(std::memory_order_relaxed);
+    e.t_ns = s.t_ns.load(std::memory_order_relaxed);
+    unpack_meta(s.meta.load(std::memory_order_relaxed), e);
+    e.model =
+        static_cast<std::uint32_t>(s.model.load(std::memory_order_relaxed));
+    if (s.marker.load(std::memory_order_acquire) != 2 * pos + 2) continue;
+    out.push_back(e);
+  }
+}
+
+Tracer::Tracer(TracerOptions options)
+    : clock_(options.clock ? options.clock : &steady_clock_source()) {
+  const std::size_t n = std::max<std::size_t>(options.rings, 1);
+  rings_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    rings_.push_back(std::make_unique<TraceRing>(options.ring_capacity));
+  }
+}
+
+TraceRing& Tracer::ring_for_thread() noexcept {
+  thread_local const std::size_t hash =
+      std::hash<std::thread::id>{}(std::this_thread::get_id());
+  return *rings_[hash % rings_.size()];
+}
+
+std::int64_t Tracer::now_ns() const noexcept {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             clock_->now().time_since_epoch())
+      .count();
+}
+
+void Tracer::record(RequestId id, TraceEventKind kind, std::uint16_t shard,
+                    std::uint32_t model, Priority priority,
+                    std::uint32_t rows) noexcept {
+  record_at(now_ns(), id, kind, shard, model, priority, rows);
+}
+
+void Tracer::record_at(std::int64_t t_ns, RequestId id, TraceEventKind kind,
+                       std::uint16_t shard, std::uint32_t model,
+                       Priority priority, std::uint32_t rows) noexcept {
+  TraceEvent e;
+  e.id = id;
+  e.t_ns = t_ns;
+  e.kind = kind;
+  e.priority = priority;
+  e.shard = shard;
+  e.model = model;
+  e.rows = rows;
+  ring_for_thread().record(e);
+}
+
+std::vector<TraceEvent> Tracer::drain() const {
+  std::vector<TraceEvent> out;
+  std::size_t resident = 0;
+  for (const auto& r : rings_) {
+    resident += static_cast<std::size_t>(
+        std::min<std::uint64_t>(r->recorded(), r->capacity()));
+  }
+  out.reserve(resident);
+  for (const auto& r : rings_) r->snapshot(out);
+  std::sort(out.begin(), out.end(), [](const TraceEvent& a,
+                                       const TraceEvent& b) {
+    if (a.t_ns != b.t_ns) return a.t_ns < b.t_ns;
+    if (a.id != b.id) return a.id < b.id;
+    return static_cast<std::uint8_t>(a.kind) <
+           static_cast<std::uint8_t>(b.kind);
+  });
+  return out;
+}
+
+std::uint64_t Tracer::recorded() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& r : rings_) total += r->recorded();
+  return total;
+}
+
+std::uint64_t Tracer::dropped() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& r : rings_) total += r->dropped();
+  return total;
+}
+
+bool RequestTimeline::has(TraceEventKind kind) const noexcept {
+  for (const TraceEvent& e : events) {
+    if (e.kind == kind) return true;
+  }
+  return false;
+}
+
+std::vector<std::uint16_t> RequestTimeline::shards() const {
+  std::vector<std::uint16_t> out;
+  for (const TraceEvent& e : events) out.push_back(e.shard);
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+std::vector<RequestTimeline> build_timelines(std::vector<TraceEvent> events) {
+  std::sort(events.begin(), events.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              if (a.id != b.id) return a.id < b.id;
+              return timeline_order(a, b);
+            });
+  std::vector<RequestTimeline> out;
+  for (TraceEvent& e : events) {
+    if (e.id == 0) continue;  // untraced (no id assigned)
+    if (out.empty() || out.back().id != e.id) {
+      out.push_back(RequestTimeline{e.id, {}});
+    }
+    out.back().events.push_back(e);
+  }
+  return out;
+}
+
+std::string to_string(const TraceEvent& e) {
+  char line[160];
+  std::snprintf(line, sizeof(line),
+                "id=%llu t=%lldns shard=%u model=%u %s %s %ur",
+                static_cast<unsigned long long>(e.id),
+                static_cast<long long>(e.t_ns), unsigned{e.shard}, e.model,
+                to_string(e.priority), to_string(e.kind), e.rows);
+  return line;
+}
+
+std::string to_string(const RequestTimeline& t) {
+  std::string out = "request " + std::to_string(t.id) + ":\n";
+  for (const TraceEvent& e : t.events) {
+    out += "  ";
+    out += to_string(e);
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace radix::serve

@@ -1,0 +1,225 @@
+// Request-level tracing for the serving stack.
+//
+// The stats surface (serve/stats.hpp) answers aggregate questions --
+// throughput, p99s, shed counts -- but not "what happened to THIS
+// request": which shard admitted it, how long it sat queued, whether it
+// failed over mid-flight, and where its latency went.  This header adds
+// that layer:
+//
+//   * RequestId -- a process-wide monotonically increasing id assigned
+//     at submit (next_request_id()).  The router stamps it through its
+//     failover capsule, so every hop of a resubmitted request records
+//     under the same id and a cross-shard timeline reconstructs exactly.
+//   * TraceEvent -- one fixed-size record: id, lifecycle kind, shard,
+//     model, priority, rows, and a timestamp taken ONCE per event from
+//     the injected ClockSource (FakeClock in tests makes timelines
+//     deterministic).
+//   * TraceRing -- a bounded, allocation-free ring of event slots.
+//     record() is lock-free and wait-free: one relaxed fetch_add claims
+//     a position, the slot's fields are written as relaxed atomic
+//     stores bracketed by a per-slot sequence marker (odd = write in
+//     progress, even = published).  Writers never wait for readers or
+//     for each other; when the ring wraps, the oldest events are
+//     overwritten and counted as dropped.  drain() validates the marker
+//     before AND after reading a slot, so a concurrently overwritten
+//     slot is skipped, never torn.
+//   * Tracer -- a handful of TraceRings with threads spread across them
+//     by thread-id hash (keeps concurrent workers off each other's
+//     cache lines), plus the clock that stamps every event.  One Tracer
+//     is shared by a router and all its shard engines; events carry the
+//     shard index (EngineOptions::shard_index) so the merged drain
+//     attributes every hop.
+//   * build_timelines() -- groups drained events by RequestId and sorts
+//     each group by (timestamp, lifecycle order), reconstructing one
+//     per-request timeline even when its events span shards and rings.
+//
+// Cost model: tracing off is one null-pointer test per would-be event;
+// tracing on is one clock read, one relaxed fetch_add and five relaxed
+// atomic stores -- no locks, no allocation, bounded memory.  The
+// overhead is measured by bench_serving's traced closed-loop twin and
+// gated (>= 0.95x untraced) by scripts/check_perf_smoke.py.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "serve/qos.hpp"
+#include "support/thread.hpp"
+
+namespace radix::serve {
+
+/// Process-wide request identity; 0 means "none assigned".
+using RequestId = std::uint64_t;
+
+/// Monotonically increasing, process-wide, starts at 1.  One relaxed
+/// fetch_add -- cheap enough to assign unconditionally at submit.
+RequestId next_request_id() noexcept;
+
+/// Lifecycle stages of a traced request.  Enum values are in lifecycle
+/// order so that events sharing a (FakeClock) timestamp sort into the
+/// order they logically occurred; kCompleted is last among the states a
+/// request can reach at one instant on one shard.
+enum class TraceEventKind : std::uint8_t {
+  kSubmitted = 0,     ///< entered Backend::submit
+  kAdmitted = 1,      ///< accepted into a queue
+  kClaimed = 2,       ///< picked up by a worker
+  kBatched = 3,       ///< coalesced; rows = total batch rows
+  kForwardBegin = 4,  ///< fused forward started
+  kForwardEnd = 5,    ///< fused forward returned
+  kShed = 6,          ///< dropped by the queue-pressure policy
+  kExpired = 7,       ///< end-to-end deadline passed before claim
+  kFailover = 8,      ///< resubmitted on another shard after an abort
+  kCompleted = 9,     ///< completion delivered to the caller
+};
+
+inline constexpr const char* to_string(TraceEventKind k) noexcept {
+  switch (k) {
+    case TraceEventKind::kSubmitted: return "submitted";
+    case TraceEventKind::kAdmitted: return "admitted";
+    case TraceEventKind::kClaimed: return "claimed";
+    case TraceEventKind::kBatched: return "batched";
+    case TraceEventKind::kForwardBegin: return "forward-begin";
+    case TraceEventKind::kForwardEnd: return "forward-end";
+    case TraceEventKind::kShed: return "shed";
+    case TraceEventKind::kExpired: return "expired";
+    case TraceEventKind::kFailover: return "failover";
+    case TraceEventKind::kCompleted: return "completed";
+  }
+  return "?";
+}
+
+/// One fixed-size trace record.
+struct TraceEvent {
+  RequestId id = 0;
+  std::int64_t t_ns = 0;  ///< clock timestamp, ns since the clock epoch
+  TraceEventKind kind = TraceEventKind::kSubmitted;
+  Priority priority = Priority::kBatch;
+  std::uint16_t shard = 0;
+  std::uint32_t model = 0;
+  std::uint32_t rows = 0;
+};
+
+/// One line: "id=5 t=123456ns shard=1 model=0 interactive claimed 4r".
+std::string to_string(const TraceEvent& e);
+
+/// Bounded lock-free ring of trace events (see the file comment for the
+/// slot protocol).  Capacity is rounded up to a power of two.
+class TraceRing {
+ public:
+  explicit TraceRing(std::size_t capacity);
+
+  TraceRing(const TraceRing&) = delete;
+  TraceRing& operator=(const TraceRing&) = delete;
+
+  /// Lock-free, wait-free append; overwrites the oldest slot when full.
+  void record(const TraceEvent& e) noexcept;
+
+  /// Events still resident, oldest first, skipping slots that a racing
+  /// writer holds or has overwritten.  Safe concurrently with record();
+  /// does not consume (the ring keeps overwriting in place).
+  void snapshot(std::vector<TraceEvent>& out) const;
+
+  /// Events recorded since construction (including overwritten ones).
+  std::uint64_t recorded() const noexcept {
+    return head_.load(std::memory_order_acquire);
+  }
+
+  /// Events lost to wraparound so far (recorded - capacity, floored).
+  std::uint64_t dropped() const noexcept;
+
+  std::size_t capacity() const noexcept { return slots_.size(); }
+
+ private:
+  // Every field is a relaxed atomic: a wrap collision (two writers
+  // >= capacity positions apart landing on one slot) interleaves
+  // stores, which the marker re-check detects and discards -- no torn
+  // non-atomic reads, so the protocol is clean under TSan.
+  struct Slot {
+    std::atomic<std::uint64_t> marker{0};  // 2*pos+1 writing, 2*pos+2 done
+    std::atomic<RequestId> id{0};
+    std::atomic<std::int64_t> t_ns{0};
+    std::atomic<std::uint64_t> meta{0};  // kind|priority|shard|rows packed
+    std::atomic<std::uint64_t> model{0};
+  };
+
+  std::vector<Slot> slots_;
+  std::size_t mask_;
+  std::atomic<std::uint64_t> head_{0};
+};
+
+struct TracerOptions {
+  /// Event capacity per ring (rounded up to a power of two).
+  std::size_t ring_capacity = 4096;
+  /// Independent rings; threads spread across them by thread-id hash so
+  /// concurrent recorders rarely share a head counter.
+  std::size_t rings = 4;
+  /// Timestamp source; nullptr = the process steady clock.  Must match
+  /// the clock of the engines recording into this tracer, or timelines
+  /// mix epochs.
+  ClockSource* clock = nullptr;
+};
+
+/// The recording surface handed to engines and routers (EngineOptions::
+/// tracer / shared through ShardRouterOptions::engine).  All methods are
+/// thread-safe; record paths are lock-free.
+class Tracer {
+ public:
+  explicit Tracer(TracerOptions options = {});
+
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// Stamp the clock once and record.
+  void record(RequestId id, TraceEventKind kind, std::uint16_t shard,
+              std::uint32_t model, Priority priority,
+              std::uint32_t rows) noexcept;
+
+  /// Record with a caller-provided timestamp: batch-scoped call sites
+  /// (claim, forward begin/end) stamp the clock once per batch and
+  /// reuse it for every member request.
+  void record_at(std::int64_t t_ns, RequestId id, TraceEventKind kind,
+                 std::uint16_t shard, std::uint32_t model, Priority priority,
+                 std::uint32_t rows) noexcept;
+
+  /// Nanosecond timestamp of `now` by this tracer's clock.
+  std::int64_t now_ns() const noexcept;
+
+  /// Merge-snapshot every ring: all resident events, globally sorted by
+  /// (t_ns, id, kind).  Safe while recording continues.
+  std::vector<TraceEvent> drain() const;
+
+  std::uint64_t recorded() const noexcept;
+  std::uint64_t dropped() const noexcept;
+
+  ClockSource& clock() const noexcept { return *clock_; }
+
+ private:
+  TraceRing& ring_for_thread() noexcept;
+
+  ClockSource* clock_;
+  std::vector<std::unique_ptr<TraceRing>> rings_;
+};
+
+/// All events of one request, sorted by (t_ns, lifecycle order).
+struct RequestTimeline {
+  RequestId id = 0;
+  std::vector<TraceEvent> events;
+
+  /// True when any event carries `kind`.
+  bool has(TraceEventKind kind) const noexcept;
+  /// Distinct shard indices touched, ascending.
+  std::vector<std::uint16_t> shards() const;
+};
+
+/// Group drained events by RequestId (id 0 -- untraced -- is dropped)
+/// and sort each group into lifecycle order; timelines come back sorted
+/// by ascending id, i.e. submit order.
+std::vector<RequestTimeline> build_timelines(std::vector<TraceEvent> events);
+
+/// Multi-line rendering of one timeline (debugging, bench dumps).
+std::string to_string(const RequestTimeline& t);
+
+}  // namespace radix::serve

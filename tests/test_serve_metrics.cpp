@@ -1,0 +1,352 @@
+// Metrics-surface tests: the registry's Prometheus exposition and JSON
+// must render exactly what was set (kind headers, label blocks,
+// cumulative histogram buckets); MetricsWindow's deltas must equal the
+// hand-computed difference of two snapshots over FakeClock time -- and
+// merge exactly across shards; Engine/ShardRouter::export_metrics must
+// publish the documented radix_serve_* series.  Sized for TSan
+// (`serve` CTest label).
+#include "serve/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "radixnet/graph_challenge.hpp"
+#include "serve/engine.hpp"
+#include "serve/router.hpp"
+#include "support/error.hpp"
+#include "support/random.hpp"
+#include "support/thread.hpp"
+
+namespace radix::serve {
+namespace {
+
+using namespace std::chrono_literals;
+
+std::shared_ptr<infer::SparseDnn> make_dnn(index_t neurons,
+                                           std::size_t layers,
+                                           std::uint64_t seed) {
+  Rng rng(seed);
+  const auto net = gc::network(neurons, layers, &rng);
+  return std::make_shared<infer::SparseDnn>(net.layers, net.bias, gc::kClamp);
+}
+
+bool contains(const std::string& haystack, const std::string& needle) {
+  return haystack.find(needle) != std::string::npos;
+}
+
+TEST(MetricsRegistry, RendersCountersAndGaugesExactly) {
+  MetricsRegistry reg;
+  reg.set_counter("radix_serve_requests_total",
+                  {{"class", "interactive"}, {"shard", "0"}}, 42,
+                  "Requests completed");
+  reg.set_counter("radix_serve_requests_total",
+                  {{"class", "batch"}, {"shard", "0"}}, 7);
+  reg.set_gauge("radix_serve_queue_depth", {{"class", "interactive"}}, 3);
+
+  const std::string text = reg.render_prometheus();
+  EXPECT_TRUE(contains(text, "# HELP radix_serve_requests_total "
+                             "Requests completed\n"))
+      << text;
+  EXPECT_TRUE(contains(text, "# TYPE radix_serve_requests_total counter\n"));
+  EXPECT_TRUE(contains(
+      text,
+      "radix_serve_requests_total{class=\"interactive\",shard=\"0\"} 42\n"));
+  EXPECT_TRUE(contains(
+      text, "radix_serve_requests_total{class=\"batch\",shard=\"0\"} 7\n"));
+  EXPECT_TRUE(contains(text, "# TYPE radix_serve_queue_depth gauge\n"));
+  EXPECT_TRUE(
+      contains(text, "radix_serve_queue_depth{class=\"interactive\"} 3\n"));
+
+  // Re-setting a series overwrites in place -- one line per scrape.
+  reg.set_gauge("radix_serve_queue_depth", {{"class", "interactive"}}, 9);
+  const std::string again = reg.render_prometheus();
+  EXPECT_TRUE(
+      contains(again, "radix_serve_queue_depth{class=\"interactive\"} 9\n"));
+  EXPECT_FALSE(contains(again, "} 3\n"));
+
+  const double* v = reg.find("radix_serve_requests_total",
+                             {{"class", "batch"}, {"shard", "0"}});
+  ASSERT_NE(v, nullptr);
+  EXPECT_DOUBLE_EQ(*v, 7.0);
+  EXPECT_EQ(reg.find("radix_serve_requests_total", {{"class", "nope"}}),
+            nullptr);
+}
+
+TEST(MetricsRegistry, OneNameCannotHoldTwoKinds) {
+  MetricsRegistry reg;
+  reg.set_counter("radix_serve_requests_total", {}, 1);
+  EXPECT_THROW(reg.set_gauge("radix_serve_requests_total", {}, 1), Error);
+  EXPECT_THROW(reg.set_histogram("radix_serve_requests_total", {},
+                                 Log2Histogram(1e-6)),
+               Error);
+}
+
+TEST(MetricsRegistry, HistogramRendersCumulativeBucketsSumAndCount) {
+  Log2Histogram h(1e-6);
+  h.record(1.5e-6);  // bucket (1us, 2us]
+  h.record(1.8e-6);  // same bucket
+  h.record(7e-6);    // bucket (4us, 8us]
+
+  MetricsRegistry reg;
+  reg.set_histogram("radix_serve_e2e_latency_seconds", {{"shard", "1"}}, h,
+                    "e2e");
+  const std::string text = reg.render_prometheus();
+  EXPECT_TRUE(
+      contains(text, "# TYPE radix_serve_e2e_latency_seconds histogram\n"));
+  // Cumulative: 2 at the 2us bound, 3 at the 8us bound, 3 at +Inf.
+  EXPECT_TRUE(contains(text,
+                       "radix_serve_e2e_latency_seconds_bucket{shard=\"1\","
+                       "le=\"2e-06\"} 2\n"))
+      << text;
+  EXPECT_TRUE(contains(text,
+                       "radix_serve_e2e_latency_seconds_bucket{shard=\"1\","
+                       "le=\"8e-06\"} 3\n"));
+  EXPECT_TRUE(contains(text,
+                       "radix_serve_e2e_latency_seconds_bucket{shard=\"1\","
+                       "le=\"+Inf\"} 3\n"));
+  EXPECT_TRUE(
+      contains(text, "radix_serve_e2e_latency_seconds_count{shard=\"1\"} 3\n"));
+  EXPECT_TRUE(contains(text, "radix_serve_e2e_latency_seconds_sum{shard=\"1\"} "));
+
+  const std::string json = reg.to_json();
+  EXPECT_TRUE(contains(json, "\"name\":\"radix_serve_e2e_latency_seconds\""));
+  EXPECT_TRUE(contains(json, "\"kind\":\"histogram\""));
+  EXPECT_TRUE(contains(json, "\"labels\":{\"shard\":\"1\"}"));
+  EXPECT_TRUE(contains(json, "\"count\":3"));
+}
+
+TEST(MetricsRegistry, EscapesLabelValues) {
+  MetricsRegistry reg;
+  reg.set_gauge("g", {{"name", "a\"b\\c\nd"}}, 1);
+  const std::string text = reg.render_prometheus();
+  EXPECT_TRUE(contains(text, "g{name=\"a\\\"b\\\\c\\nd\"} 1\n")) << text;
+}
+
+TEST(MetricsWindow, DeltasMatchHandComputedDifferenceOverFakeTime) {
+  FakeClock clock;
+  MetricsWindow window(&clock);
+
+  ServeStats t0;
+  t0.requests = 100;
+  t0.shed = 10;
+  t0.expired = 4;
+  t0.errors = 14;
+  t0.rows = 400;
+  t0.batches = 25;
+  t0.edges = 1'000'000;
+  t0.busy_seconds = 3.0;
+
+  // First tick anchors: zero interval, zero deltas.
+  const WindowedRates first = window.tick("k", t0, /*workers=*/2);
+  EXPECT_DOUBLE_EQ(first.interval_seconds, 0.0);
+  EXPECT_EQ(first.d_requests, 0u);
+  EXPECT_DOUBLE_EQ(first.requests_per_second, 0.0);
+
+  ServeStats t1 = t0;
+  t1.requests = 250;  // +150 over 2s -> 75 rps
+  t1.shed = 30;       // +20 -> 10/s
+  t1.expired = 8;     // +4 -> 2/s
+  t1.errors = 38;
+  t1.rows = 1000;         // +600 -> 300/s
+  t1.batches = 75;        // +50
+  t1.edges = 5'000'000;   // +4e6 -> 2e6/s
+  t1.busy_seconds = 6.0;  // +3 over 2 workers * 2s -> 0.75 busy
+  clock.advance(2s);
+
+  const WindowedRates r = window.tick("k", t1, /*workers=*/2);
+  EXPECT_DOUBLE_EQ(r.interval_seconds, 2.0);
+  EXPECT_EQ(r.d_requests, 150u);
+  EXPECT_EQ(r.d_shed, 20u);
+  EXPECT_EQ(r.d_expired, 4u);
+  EXPECT_EQ(r.d_errors, 24u);
+  EXPECT_EQ(r.d_rows, 600u);
+  EXPECT_EQ(r.d_batches, 50u);
+  EXPECT_EQ(r.d_edges, 4'000'000u);
+  EXPECT_DOUBLE_EQ(r.d_busy_seconds, 3.0);
+  EXPECT_DOUBLE_EQ(r.requests_per_second, 75.0);
+  EXPECT_DOUBLE_EQ(r.shed_per_second, 10.0);
+  EXPECT_DOUBLE_EQ(r.expired_per_second, 2.0);
+  EXPECT_DOUBLE_EQ(r.rows_per_second, 300.0);
+  EXPECT_DOUBLE_EQ(r.edges_per_second, 2'000'000.0);
+  EXPECT_DOUBLE_EQ(r.busy_fraction, 0.75);
+
+  // The tick re-anchored: an immediate re-tick with the same snapshot
+  // is a zero-width window, rates stay finite (0), deltas zero.
+  const WindowedRates z = window.tick("k", t1, 2);
+  EXPECT_DOUBLE_EQ(z.interval_seconds, 0.0);
+  EXPECT_EQ(z.d_requests, 0u);
+  EXPECT_DOUBLE_EQ(z.requests_per_second, 0.0);
+
+  // A backwards counter (collector restart) clamps to zero, not wraps.
+  ServeStats t2 = t1;
+  t2.requests = 50;
+  clock.advance(1s);
+  const WindowedRates back = window.tick("k", t2, 2);
+  EXPECT_EQ(back.d_requests, 0u);
+
+  // reset() forgets the anchor: the next tick re-anchors.
+  window.reset("k");
+  clock.advance(1s);
+  const WindowedRates fresh = window.tick("k", t2, 2);
+  EXPECT_DOUBLE_EQ(fresh.interval_seconds, 0.0);
+}
+
+TEST(MetricsWindow, CrossShardMergeOfWindowedDeltasIsExact) {
+  // Two shards, one merged fleet view: the merged snapshot's windowed
+  // deltas must equal the SUM of the per-shard windowed deltas,
+  // exactly, uint64 for uint64 -- what the ISSUE calls the cross-shard
+  // merge contract.  Independent keys give each stream its own anchor.
+  FakeClock clock;
+  MetricsWindow window(&clock);
+
+  ServeStats a0, b0;
+  a0.requests = 10;
+  a0.shed = 1;
+  a0.edges = 1000;
+  b0.requests = 20;
+  b0.shed = 2;
+  b0.edges = 3000;
+  ServeStats m0 = a0;
+  m0.merge(b0);
+
+  (void)window.tick("a", a0);
+  (void)window.tick("b", b0);
+  (void)window.tick("merged", m0);
+
+  clock.advance(500ms);
+  ServeStats a1 = a0, b1 = b0;
+  a1.requests = 45;  // +35
+  a1.shed = 6;       // +5
+  a1.edges = 4000;   // +3000
+  b1.requests = 31;  // +11
+  b1.shed = 2;       // +0
+  b1.edges = 3700;   // +700
+  ServeStats m1 = a1;
+  m1.merge(b1);
+
+  const WindowedRates ra = window.tick("a", a1);
+  const WindowedRates rb = window.tick("b", b1);
+  const WindowedRates rm = window.tick("merged", m1);
+  EXPECT_EQ(rm.d_requests, ra.d_requests + rb.d_requests);
+  EXPECT_EQ(rm.d_requests, 46u);
+  EXPECT_EQ(rm.d_shed, ra.d_shed + rb.d_shed);
+  EXPECT_EQ(rm.d_shed, 5u);
+  EXPECT_EQ(rm.d_edges, ra.d_edges + rb.d_edges);
+  EXPECT_EQ(rm.d_edges, 3700u);
+  EXPECT_DOUBLE_EQ(rm.interval_seconds, 0.5);
+  EXPECT_DOUBLE_EQ(rm.requests_per_second,
+                   ra.requests_per_second + rb.requests_per_second);
+  EXPECT_DOUBLE_EQ(rm.requests_per_second, 92.0);
+  EXPECT_DOUBLE_EQ(rm.edges_per_second, 7400.0);
+}
+
+TEST(EngineMetrics, ExportPublishesTheDocumentedSeries) {
+  const auto dnn = make_dnn(1024, 2, 51);
+  Engine engine({.workers = 1, .max_delay = 0us, .shard_index = 3});
+  const auto id = engine.add_model(dnn, "m",
+                                   {.priority = Priority::kInteractive});
+  Rng irng(52);
+  const auto x = gc::synthetic_input(1, 1024, 0.4, irng);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(engine.submit(InferenceRequest::borrowed(id, x, 1)).get().size(),
+              1024u);
+  }
+  engine.quiesce();
+
+  MetricsRegistry reg;
+  engine.export_metrics(reg);
+  const MetricLabels inter{{"class", "interactive"}, {"shard", "3"}};
+  const double* requests = reg.find("radix_serve_requests_total", inter);
+  ASSERT_NE(requests, nullptr);
+  EXPECT_DOUBLE_EQ(*requests, 5.0);
+  const double* shed = reg.find("radix_serve_shed_total", inter);
+  ASSERT_NE(shed, nullptr);
+  EXPECT_DOUBLE_EQ(*shed, 0.0);
+  const double* depth = reg.find("radix_serve_queue_depth", inter);
+  ASSERT_NE(depth, nullptr);
+  EXPECT_DOUBLE_EQ(*depth, 0.0) << "quiesced engine has nothing queued";
+  EXPECT_EQ(engine.class_pending(Priority::kInteractive), 0u);
+  EXPECT_EQ(engine.busy_workers(), 0u);
+
+  // Every documented family renders; the exposition parses as
+  // one-metric-per-line text.
+  const std::string text = reg.render_prometheus();
+  for (const char* family :
+       {"radix_serve_requests_total", "radix_serve_shed_total",
+        "radix_serve_expired_total", "radix_serve_errors_total",
+        "radix_serve_rows_total", "radix_serve_batches_total",
+        "radix_serve_edges_total", "radix_serve_busy_seconds_total",
+        "radix_serve_queue_depth", "radix_serve_worker_busy_fraction",
+        "radix_serve_workers", "radix_serve_e2e_latency_seconds",
+        "radix_serve_queue_wait_seconds", "radix_serve_batch_rows"}) {
+    EXPECT_TRUE(contains(text, std::string("# TYPE ") + family))
+        << "missing family " << family;
+  }
+  // The e2e histogram saw all five requests.
+  EXPECT_TRUE(contains(
+      text, "radix_serve_e2e_latency_seconds_count{class=\"interactive\","
+            "shard=\"3\"} 5\n"))
+      << text;
+  const double* workers = reg.find("radix_serve_workers", {{"shard", "3"}});
+  ASSERT_NE(workers, nullptr);
+  EXPECT_DOUBLE_EQ(*workers, 1.0);
+}
+
+TEST(RouterMetrics, MergedFleetViewLabelsShardsAndTracksHealth) {
+  const auto dnn = make_dnn(1024, 2, 53);
+  ShardRouter router({.shards = 2,
+                      .engine = {.workers = 1, .max_delay = 0us}});
+  const auto id = router.add_model(dnn, "m");
+  Rng irng(54);
+  const auto x = gc::synthetic_input(1, 1024, 0.4, irng);
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_EQ(router.submit(InferenceRequest::borrowed(id, x, 1)).get().size(),
+              1024u);
+  }
+
+  MetricsRegistry reg;
+  router.export_metrics(reg);
+  // Both shards' class series are present, distinguished by label; the
+  // fleet total equals the sum (each request served exactly once).
+  const double* s0 = reg.find("radix_serve_requests_total",
+                              {{"class", "batch"}, {"shard", "0"}});
+  const double* s1 = reg.find("radix_serve_requests_total",
+                              {{"class", "batch"}, {"shard", "1"}});
+  ASSERT_NE(s0, nullptr);
+  ASSERT_NE(s1, nullptr);
+  EXPECT_DOUBLE_EQ(*s0 + *s1, 6.0);
+  const double* h0 = reg.find("radix_serve_shard_health", {{"shard", "0"}});
+  const double* h1 = reg.find("radix_serve_shard_health", {{"shard", "1"}});
+  ASSERT_NE(h0, nullptr);
+  ASSERT_NE(h1, nullptr);
+  EXPECT_DOUBLE_EQ(*h0, 0.0);
+  EXPECT_DOUBLE_EQ(*h1, 0.0);
+  const double* failovers = reg.find("radix_serve_failovers_total", {});
+  ASSERT_NE(failovers, nullptr);
+  EXPECT_DOUBLE_EQ(*failovers, 0.0);
+
+  // Kill shard 0: its health gauge flips to down (2) and its engine
+  // series drop out of the NEXT scrape (fresh registry per scrape).
+  router.kill_shard(0);
+  MetricsRegistry after;
+  router.export_metrics(after);
+  const double* h0_after =
+      after.find("radix_serve_shard_health", {{"shard", "0"}});
+  ASSERT_NE(h0_after, nullptr);
+  EXPECT_DOUBLE_EQ(*h0_after, 2.0);
+  EXPECT_EQ(after.find("radix_serve_requests_total",
+                       {{"class", "batch"}, {"shard", "0"}}),
+            nullptr)
+      << "a down shard contributes no engine series";
+  ASSERT_NE(after.find("radix_serve_requests_total",
+                       {{"class", "batch"}, {"shard", "1"}}),
+            nullptr);
+  router.shutdown();
+}
+
+}  // namespace
+}  // namespace radix::serve

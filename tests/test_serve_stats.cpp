@@ -113,6 +113,59 @@ TEST(Log2HistogramGolden, EdgeCases) {
                    std::min(upper_bound(kBuckets - 1), huge));
 }
 
+TEST(Log2HistogramGolden, PercentileBoundaries) {
+  // Pin the documented clipping contract at the p boundaries (see
+  // stats.hpp): p=0 is the bucket-0 bound (min(base, max)), NOT a
+  // minimum sample; p=1 is the last non-empty bucket's bound clipped to
+  // the observed max; a single sample answers every p > 0 identically;
+  // and a merged histogram keeps all of the above exactly.
+  Log2Histogram empty(kBase);
+  EXPECT_EQ(empty.percentile(0.0), 0.0);
+  EXPECT_EQ(empty.percentile(1.0), 0.0);
+
+  // Single sample above base: its bucket bound clips to the sample.
+  Log2Histogram one(kBase);
+  one.record(3e-6);  // bucket (2us, 4us] -> bound 4e-6, max 3e-6
+  EXPECT_DOUBLE_EQ(one.percentile(1.0), 3e-6) << "clip to max";
+  EXPECT_DOUBLE_EQ(one.percentile(0.5), 3e-6);
+  EXPECT_DOUBLE_EQ(one.percentile(1e-9), 3e-6)
+      << "any p > 0 ranks the only sample";
+  // p = 0: rank 0 stops the scan at bucket 0 regardless of contents.
+  EXPECT_DOUBLE_EQ(one.percentile(0.0), std::min(kBase, 3e-6));
+
+  // Single sample BELOW base: max clips the p=0 answer under base.
+  Log2Histogram tiny(kBase);
+  tiny.record(0.25e-6);
+  EXPECT_DOUBLE_EQ(tiny.percentile(0.0), 0.25e-6);
+  EXPECT_DOUBLE_EQ(tiny.percentile(1.0), 0.25e-6);
+
+  // Multi-bucket: p=0 and p=1 bracket the distribution.
+  Log2Histogram h(kBase);
+  for (double v : {1.5e-6, 3e-6, 10e-6, 100e-6, 900e-6}) h.record(v);
+  EXPECT_DOUBLE_EQ(h.percentile(0.0), kBase) << "bucket-0 bound";
+  EXPECT_DOUBLE_EQ(h.percentile(1.0), 900e-6) << "last bound clips to max";
+  EXPECT_DOUBLE_EQ(h.percentile(1.0),
+                   golden_percentile({1.5e-6, 3e-6, 10e-6, 100e-6, 900e-6},
+                                     1.0));
+
+  // Merged-then-queried: the boundary answers equal those of a pooled
+  // histogram -- the cross-shard aggregation path hits exactly this.
+  Log2Histogram a(kBase), b(kBase), pooled(kBase);
+  for (double v : {2e-6, 40e-6}) {
+    a.record(v);
+    pooled.record(v);
+  }
+  for (double v : {0.5e-6, 7000e-6}) {
+    b.record(v);
+    pooled.record(v);
+  }
+  a.merge(b);
+  EXPECT_DOUBLE_EQ(a.percentile(0.0), pooled.percentile(0.0));
+  EXPECT_DOUBLE_EQ(a.percentile(1.0), pooled.percentile(1.0));
+  EXPECT_DOUBLE_EQ(a.percentile(1.0), 7000e-6);
+  EXPECT_DOUBLE_EQ(a.percentile(0.0), kBase);
+}
+
 TEST(Log2HistogramGolden, BucketsSumToCountAndAscend) {
   Rng rng(31);
   const auto samples = random_latencies(rng, 500);
