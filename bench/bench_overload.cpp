@@ -173,10 +173,15 @@ struct WindowTotals {
 // kBurstPeriod at kBurstFactor x the mean, a reduced base in between):
 // the same offered work arriving in spikes that transiently exceed
 // capacity even at the "50%" point.
-enum class BgShape { kConstant, kBurst };
+enum class BgShape { kConstant, kBurst, kDiurnal };
 constexpr double kBurstPeriod = 0.025;  // seconds; 4 bursts per window
 constexpr double kBurstDuty = 0.25;
 constexpr double kBurstFactor = 2.8;  // peak/mean; base = 0.4x mean
+// Diurnal shape: a mean-preserving sinusoid between trough and peak
+// (trough + peak = 2 x mean), two full cycles per window -- the classic
+// day/night curve compressed to bench scale.
+constexpr double kDiurnalPeriod = 0.05;     // seconds; 2 cycles per window
+constexpr double kDiurnalPeakFactor = 1.6;  // peak/mean; trough = 0.4x mean
 
 // Drive one open-loop window of two-class traffic at `load` x the
 // saturating rate per worker (`workers` scales the fleet's capacity)
@@ -217,6 +222,11 @@ void run_window(serve::Backend& backend, serve::ModelId interactive,
     bg_opts.arrivals.rate = serve::burst_rate(base, bg_rate * kBurstFactor,
                                               kBurstPeriod, kBurstDuty);
     bg_opts.arrivals.peak_rate = bg_rate * kBurstFactor;
+  } else if (shape == BgShape::kDiurnal) {
+    const double peak = bg_rate * kDiurnalPeakFactor;
+    const double trough = 2.0 * bg_rate - peak;  // mean-preserving
+    bg_opts.arrivals.rate = serve::diurnal_rate(trough, peak, kDiurnalPeriod);
+    bg_opts.arrivals.peak_rate = peak;
   } else {
     bg_opts.arrivals.rate = serve::constant_rate(bg_rate);
     bg_opts.arrivals.peak_rate = bg_rate;
@@ -390,6 +400,34 @@ BENCHMARK(BM_ServeOverloadBurst)
     ->UseRealTime()
     ->MeasureProcessCPUTime();
 
+// Same engine, same mean loads, sinusoidal arrivals: the diurnal sweep
+// whose SLO knee (the load point where interactive attainment falls off)
+// is extracted into the bench JSON by scripts/record_bench_baseline.py.
+void BM_ServeOverloadDiurnal(benchmark::State& state) {
+  const double load = static_cast<double>(state.range(0)) / 100.0;
+  WindowTotals totals;
+  for (auto _ : state) {
+    run_window(*g_engine, g_interactive, g_background, load, 1.0, totals,
+               BgShape::kDiurnal);
+  }
+  report(state, *g_engine, totals,
+         g_engine->class_stats(serve::Priority::kInteractive),
+         g_engine->class_stats(serve::Priority::kBackground));
+  report_shed_timelines(state, *g_tracer);
+  state.counters["diurnal_peak_factor"] =
+      benchmark::Counter(kDiurnalPeakFactor);
+}
+
+BENCHMARK(BM_ServeOverloadDiurnal)
+    ->Arg(50)
+    ->Arg(100)
+    ->Arg(200)
+    ->Setup(SetupEngine)
+    ->Teardown(TeardownEngine)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime()
+    ->MeasureProcessCPUTime();
+
 // --- Grey-failure sweep: 2-shard router, one slow shard -------------------
 
 std::unique_ptr<serve::FaultInjector> g_router_floor;
@@ -453,6 +491,92 @@ BENCHMARK(BM_ServeOverloadFaulty)
     ->Arg(100)
     ->Arg(200)
     ->Setup(SetupRouter)
+    ->Teardown(TeardownRouter)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime()
+    ->MeasureProcessCPUTime();
+
+// --- Grey-FAILURE sweep: one shard fails batches outright -----------------
+//
+// BM_ServeOverloadFaulty degrades a shard's latency; this arm degrades
+// its RELIABILITY: shard 1 pays the normal service floor but kills 5%
+// of its claimed batches with FaultInjectedError
+// (FaultInjector::fail_probability).  Injected failures are delivered
+// to callers -- mid-service errors must not be blind-retried -- so the
+// curve shows what an unreliable shard costs in delivered error rate
+// while the error ACCOUNTING stays exact (tests/test_serve_grey.cpp
+// pins router errors == sum of shard errors under exactly this setup).
+constexpr double kGreyFailProbability = 0.05;
+
+void SetupRouterGrey(const benchmark::State&) {
+  g_router_floor = std::make_unique<serve::FaultInjector>(
+      serve::FaultInjectorOptions{.added_latency = kServiceFloor});
+  g_grey = std::make_unique<serve::FaultInjector>(serve::FaultInjectorOptions{
+      .added_latency = kServiceFloor,
+      .fail_probability = kGreyFailProbability,
+      .seed = 1213});
+  serve::ShardRouterOptions opts;
+  opts.shards = 2;
+  opts.engine.workers = 1;
+  opts.engine.max_batch_rows = kRows;
+  opts.engine.max_delay = 0us;
+  opts.engine.queue_capacity = 4096;
+  opts.engine.shed_capacity = 16;
+  opts.tune_shard = [](std::size_t shard, serve::EngineOptions& eo) {
+    eo.fault = shard == 1 ? g_grey.get() : g_router_floor.get();
+  };
+  g_router = std::make_unique<serve::ShardRouter>(opts);
+  g_router_interactive = g_router->add_model(
+      make_dnn(), "interactive",
+      {.priority = serve::Priority::kInteractive, .weight = 4});
+  g_router_background = g_router->add_model(
+      make_dnn(), "background", {.priority = serve::Priority::kBackground});
+  (void)cached_input();
+  (void)saturating_rps();
+}
+
+void BM_ServeOverloadGrey(benchmark::State& state) {
+  const double load = static_cast<double>(state.range(0)) / 100.0;
+  WindowTotals totals;
+  for (auto _ : state) {
+    run_window(*g_router, g_router_interactive, g_router_background, load,
+               2.0, totals);
+  }
+  const auto ia = g_router->class_stats(serve::Priority::kInteractive);
+  const auto bg = g_router->class_stats(serve::Priority::kBackground);
+  report(state, *g_router, totals, ia, bg);
+
+  // Cross-check the merged ledgers against the per-shard sum: the
+  // exactness contract, surfaced where a baseline diff would catch a
+  // regression even outside the unit suite.
+  std::uint64_t shard_errors = 0;
+  for (std::size_t i = 0; i < g_router->num_shards(); ++i) {
+    shard_errors += g_router->shard(i).stats(g_router_interactive).errors;
+    shard_errors += g_router->shard(i).stats(g_router_background).errors;
+  }
+  state.counters["grey_failures"] = benchmark::Counter(
+      static_cast<double>(g_grey->injected_failures()));
+  state.counters["merged_errors"] =
+      benchmark::Counter(static_cast<double>(ia.errors + bg.errors));
+  state.counters["shard_error_sum"] =
+      benchmark::Counter(static_cast<double>(shard_errors));
+  const double offered = static_cast<double>(totals.interactive_offered +
+                                             totals.bg_offered);
+  state.counters["delivered_error_rate"] = benchmark::Counter(
+      offered > 0.0 ? static_cast<double>(ia.errors + bg.errors -
+                                          ia.shed - ia.expired - bg.shed -
+                                          bg.expired) /
+                          offered
+                    : 0.0);
+  state.counters["grey_fail_probability"] =
+      benchmark::Counter(kGreyFailProbability);
+}
+
+BENCHMARK(BM_ServeOverloadGrey)
+    ->Arg(50)
+    ->Arg(100)
+    ->Arg(200)
+    ->Setup(SetupRouterGrey)
     ->Teardown(TeardownRouter)
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime()

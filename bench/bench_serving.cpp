@@ -63,6 +63,8 @@
 #include <vector>
 
 #include "infer/sparse_dnn.hpp"
+#include "net/remote_backend.hpp"
+#include "net/server.hpp"
 #include "radixnet/graph_challenge.hpp"
 #include "serve/engine.hpp"
 #include "serve/router.hpp"
@@ -456,6 +458,76 @@ BENCHMARK(BM_ServeSharded)
     ->Setup(SetupRouter)
     ->Teardown(TeardownRouter)
     ->Threads(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime()
+    ->MeasureProcessCPUTime();
+
+// --- Networked front-end sweep (PR 9) ------------------------------------
+
+// BM_ServeClosedLoop's twin THROUGH the socket: the same engine behind
+// an in-process net::Server, driven by closed-loop clients sharing one
+// net::RemoteBackend over loopback.  The ratio
+// BM_ServeRemoteClosedLoop / BM_ServeClosedLoop at matching thread
+// counts is the wire tax -- framing, one syscall round-trip each way,
+// and the single-connection demux -- which scripts/check_perf_smoke.py
+// gates at >= 0.5x for 32 clients.
+std::unique_ptr<net::Server> g_net_server;
+std::unique_ptr<net::RemoteBackend> g_remote;
+
+void SetupRemoteEngine(const benchmark::State& state) {
+  SetupEngine(state);
+  net::ServerOptions opts;
+  opts.submit_workers = 2;
+  opts.hooks = net::make_admin_hooks(*g_engine);
+  g_net_server = std::make_unique<net::Server>(*g_engine, opts);
+  g_remote = std::make_unique<net::RemoteBackend>(g_net_server->port());
+}
+
+void TeardownRemoteEngine(const benchmark::State& state) {
+  g_remote->shutdown();
+  g_remote.reset();
+  g_net_server->stop();
+  g_net_server.reset();
+  TeardownEngine(state);
+}
+
+// Args: {rows_per_request, max_delay_us}; ->Threads(N) closed-loop
+// remote clients, one outstanding request each, all multiplexed on one
+// TCP connection.
+void BM_ServeRemoteClosedLoop(benchmark::State& state) {
+  const index_t rows = static_cast<index_t>(state.range(0));
+  const auto& x = cached_input(rows);
+  const std::uint64_t nnz = g_engine->model(g_model).total_nnz();
+
+  for (auto _ : state) {
+    auto fut = g_remote
+                   ->submit(serve::InferenceRequest::borrowed(g_model, x, rows))
+                   .take_future();
+    benchmark::DoNotOptimize(fut.get().data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          rows * static_cast<std::int64_t>(nnz));
+
+  if (state.thread_index() == 0) {
+    // Stats fetched OVER THE WIRE: the bench doubles as a smoke test of
+    // the remote stats path under concurrent submit traffic.
+    const auto s = g_remote->stats(g_model);
+    state.counters["mean_batch_rows"] =
+        benchmark::Counter(s.mean_batch_rows);
+    state.counters["queue_p95_us"] =
+        benchmark::Counter(s.queue_wait_p95 * 1e6);
+    state.counters["e2e_p95_us"] = benchmark::Counter(s.e2e_p95 * 1e6);
+  }
+}
+
+BENCHMARK(BM_ServeRemoteClosedLoop)
+    ->Args({1, 200})
+    ->Setup(SetupRemoteEngine)
+    ->Teardown(TeardownRemoteEngine)
+    ->Threads(1)
+    ->Threads(4)
+    ->Threads(16)
+    ->Threads(32)
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime()
     ->MeasureProcessCPUTime();

@@ -30,7 +30,13 @@ observability numbers: the traced/untraced closed-loop throughput
 ratio per thread count (the tracing-overhead headline; the acceptance
 bar is >= 0.95 geomean, shared with the CI gate) and the bursty
 background sweep (BM_ServeOverloadBurst) next to the constant-rate
-curve.  Shard scaling is compute-bound -- it needs free
+curve, plus the PR-9 networked-serving numbers: the remote/in-process
+closed-loop throughput ratio per client count (BM_ServeRemoteClosedLoop
+drives the same engine through the loopback wire protocol; the CI
+acceptance bar is >= 0.5 at 32 clients) and the grey-failure
+(BM_ServeOverloadGrey, one unreliable shard) and diurnal
+(BM_ServeOverloadDiurnal, sinusoidal offered rate) overload sweeps
+with their SLO knees.  Shard scaling is compute-bound -- it needs free
 cores to show up -- so the snapshot records the host core count next to
 the curve; on a 1-core host a flat curve is the expected shape, not a
 regression.  Numbers are machine-specific; the file anchors trends on
@@ -84,7 +90,9 @@ def run_gbench(build_dir: str, name: str, min_time: str = "0.05") -> dict:
                     k in ("survival", "kills", "failovers",
                           "injected_delays", "burst_factor",
                           "trace_events", "trace_dropped",
-                          "shed_timelines"))},
+                          "shed_timelines", "diurnal_peak_factor",
+                          "grey_failures", "merged_errors",
+                          "shard_error_sum", "grey_fail_probability"))},
             }
             for b in data["benchmarks"]
         ],
@@ -213,25 +221,30 @@ def serving_overload(overload: dict) -> dict:
     """PR-7 overload robustness curve: SLO-attainment and background
     shed rate per offered-load point (percent of the calibrated
     saturating rate), for the healthy single-engine sweep, the
-    grey-failure 2-shard sweep, and the PR-8 bursty-background sweep
+    fault-injected 2-shard sweep, the PR-8 bursty-background sweep
     (same mean offered rate shaped into 2.8x-peak square-wave bursts),
-    plus the knee of each curve -- the highest swept load whose
-    interactive SLO attainment stays >= 0.95.  The headline serving
-    robustness metric: under 2x saturating load the background shed
-    rate must be nonzero while interactive is never shed
-    (interactive_shed stays 0 at every point)."""
+    and the PR-9 sweeps -- grey failure (one shard fails a fraction of
+    its batches; errors are delivered, not retried) and diurnal (the
+    offered rate swings sinusoidally around the same mean) -- plus the
+    knee of each curve: the highest swept load whose interactive SLO
+    attainment stays >= 0.95.  The diurnal knee is the PR-9 headline:
+    the load point where attainment falls off under a 1.6x-peak swing.
+    The headline serving robustness metric: under 2x saturating load
+    the background shed rate must be nonzero while interactive is never
+    shed (interactive_shed stays 0 at every point)."""
     curves = {}
     for b in overload["benchmarks"]:
-        name = b["name"]  # BM_ServeOverload[Faulty|Burst]/<load_pct>/...
+        name = b["name"]  # BM_ServeOverload[Faulty|Burst|...]/<load_pct>/
         family = name.split("/", 1)[0]
         if family not in ("BM_ServeOverload", "BM_ServeOverloadFaulty",
-                          "BM_ServeOverloadBurst"):
+                          "BM_ServeOverloadBurst", "BM_ServeOverloadGrey",
+                          "BM_ServeOverloadDiurnal"):
             continue
         try:
             load_pct = int(name.split("/")[1])
         except (IndexError, ValueError):
             continue
-        curves.setdefault(family, {})[load_pct] = {
+        point = {
             "offered_rps": round(b.get("offered_rps", 0.0), 1),
             "interactive_p99_us": round(b.get("interactive_p99_us", 0.0), 1),
             "interactive_attainment":
@@ -239,6 +252,13 @@ def serving_overload(overload: dict) -> dict:
             "interactive_shed": int(b.get("interactive_shed", 0)),
             "bg_shed_rate": round(b.get("bg_shed_rate", 0.0), 4),
         }
+        # Family-specific counters ride along where reported: the grey
+        # sweep's exact error accounting, the diurnal sweep's swing.
+        for extra in ("grey_failures", "merged_errors", "shard_error_sum",
+                      "delivered_error_rate", "diurnal_peak_factor"):
+            if extra in b:
+                point[extra] = round(b[extra], 4)
+        curves.setdefault(family, {})[load_pct] = point
     if not curves:
         return {}
     out = {}
@@ -258,6 +278,34 @@ def serving_overload(overload: dict) -> dict:
                    "every point -- overload is paid by the background "
                    "class.")
     return out
+
+
+def serving_remote(serving: dict) -> dict:
+    """PR-9 networked-serving headline: closed-loop throughput through
+    the loopback wire protocol (net::RemoteBackend -> radix-served
+    framing -> the same engine) over the in-process run of identical
+    shape, per client count (pairing logic shared with the CI gate in
+    check_perf_smoke.py, which enforces >= 0.5x at 32 clients)."""
+    sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+    from check_perf_smoke import remote_inprocess_ratios
+    rates = {b["name"]: b.get("items_per_second", 0.0)
+             for b in serving["benchmarks"]}
+    ratios = {shape: ratio
+              for shape, ratio in remote_inprocess_ratios(rates).items()
+              if ratio is not None}
+    if not ratios:
+        return {}
+    return {
+        "remote_over_inprocess": {shape: round(ratio, 3)
+                                  for shape, ratio in sorted(ratios.items())},
+        "note": ("Closed-loop serving throughput through the length-"
+                 "prefixed wire protocol over a loopback socket, over "
+                 "the in-process run of identical shape.  At 1 client "
+                 "the ratio is wire round-trip latency and expected to "
+                 "be small; batching amortizes the socket cost as "
+                 "clients rise.  The CI gate requires >= 0.5 at 32 "
+                 "clients."),
+    }
 
 
 def fault_tolerance(survival: dict) -> dict:
@@ -330,7 +378,7 @@ def main() -> int:
     overload = run_gbench(args.build_dir, "bench_overload", min_time="0.2")
     survival = run_gbench(args.build_dir, "bench_fault_tolerance")
     baseline = {
-        "schema": "radix-bench-baseline/v7",
+        "schema": "radix-bench-baseline/v8",
         "recorded": datetime.date.today().isoformat(),
         "build_type": "Release",
         "compiler": compiler_id(args.build_dir),
@@ -349,6 +397,7 @@ def main() -> int:
         "serving_qos": serving_qos(serving),
         "serving_sharded": serving_sharded(serving),
         "serving_traced_overhead": serving_traced_overhead(serving),
+        "serving_remote": serving_remote(serving),
         "bench_overload": overload,
         "serving_overload": serving_overload(overload),
         "bench_fault_tolerance": survival,
@@ -365,9 +414,11 @@ def main() -> int:
     over = baseline["serving_overload"]
     knees = {f: over[f].get("slo_knee_load_pct")
              for f in ("BM_ServeOverload", "BM_ServeOverloadFaulty",
-                       "BM_ServeOverloadBurst")
+                       "BM_ServeOverloadBurst", "BM_ServeOverloadGrey",
+                       "BM_ServeOverloadDiurnal")
              if f in over}
     traced = baseline["serving_traced_overhead"]
+    remote = baseline["serving_remote"]
     print(f"wrote {args.output} "
           f"({len(baseline['bench_sparse_kernels']['benchmarks'])} kernel "
           f"benchmarks, fig6 reproduced="
@@ -382,6 +433,7 @@ def main() -> int:
           f"{sharded.get('scaling_over_one_shard')}, "
           f"overload SLO knees: {knees}, "
           f"traced/untraced geomean: {traced.get('geomean')}, "
+          f"remote/in-process: {remote.get('remote_over_inprocess')}, "
           f"e16 radix>=er at 50% loss: "
           f"{baseline['fault_tolerance'].get('radix_at_least_er')})")
     return 0

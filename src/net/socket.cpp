@@ -1,0 +1,199 @@
+#include "net/socket.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "support/error.hpp"
+
+namespace radix::net {
+
+namespace {
+
+[[noreturn]] void throw_errno(const char* what) {
+  throw IoError(std::string(what) + ": " + std::strerror(errno));
+}
+
+void set_nodelay(int fd) {
+  const int one = 1;
+  // Best-effort: a socketpair or exotic transport without TCP_NODELAY
+  // still works, just with Nagle latency.
+  (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+sockaddr_in loopback(std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  return addr;
+}
+
+}  // namespace
+
+void Fd::reset() noexcept {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+std::pair<Fd, std::uint16_t> listen_tcp(std::uint16_t port, int backlog) {
+  Fd fd(::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0));
+  if (!fd.valid()) throw_errno("socket");
+  const int one = 1;
+  if (::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one)) !=
+      0) {
+    throw_errno("setsockopt(SO_REUSEADDR)");
+  }
+  sockaddr_in addr = loopback(port);
+  if (::bind(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    throw_errno("bind");
+  }
+  if (::listen(fd.get(), backlog) != 0) throw_errno("listen");
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd.get(), reinterpret_cast<sockaddr*>(&bound), &len) !=
+      0) {
+    throw_errno("getsockname");
+  }
+  return {std::move(fd), ntohs(bound.sin_port)};
+}
+
+Fd connect_tcp(std::uint16_t port) {
+  Fd fd(::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0));
+  if (!fd.valid()) throw_errno("socket");
+  sockaddr_in addr = loopback(port);
+  int rc;
+  do {
+    rc = ::connect(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+                   sizeof(addr));
+  } while (rc != 0 && errno == EINTR);
+  if (rc != 0) throw_errno("connect");
+  set_nodelay(fd.get());
+  return fd;
+}
+
+std::optional<Fd> accept_one(const Fd& listener) {
+  for (;;) {
+    const int fd = ::accept4(listener.get(), nullptr, nullptr, SOCK_CLOEXEC);
+    if (fd >= 0) {
+      Fd conn(fd);
+      set_nodelay(conn.get());
+      return conn;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return std::nullopt;
+    // A connection that died between readiness and accept is not an
+    // event-loop error; report "nothing to accept".
+    if (errno == ECONNABORTED) return std::nullopt;
+    throw_errno("accept");
+  }
+}
+
+void set_nonblocking(const Fd& fd, bool nonblocking) {
+  const int flags = ::fcntl(fd.get(), F_GETFL, 0);
+  if (flags < 0) throw_errno("fcntl(F_GETFL)");
+  const int want = nonblocking ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK);
+  if (::fcntl(fd.get(), F_SETFL, want) != 0) throw_errno("fcntl(F_SETFL)");
+}
+
+bool read_exact(const Fd& fd, std::span<std::uint8_t> buf) {
+  std::size_t off = 0;
+  while (off < buf.size()) {
+    const ssize_t n = ::read(fd.get(), buf.data() + off, buf.size() - off);
+    if (n > 0) {
+      off += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n == 0) {
+      if (off == 0) return false;  // clean EOF between frames
+      throw IoError("read: connection closed mid-frame");
+    }
+    if (errno == EINTR) continue;
+    throw_errno("read");
+  }
+  return true;
+}
+
+void write_all(const Fd& fd, std::span<const std::uint8_t> buf) {
+  std::size_t off = 0;
+  while (off < buf.size()) {
+    const ssize_t n = ::send(fd.get(), buf.data() + off, buf.size() - off,
+                             MSG_NOSIGNAL);
+    if (n > 0) {
+      off += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    throw_errno("write");
+  }
+}
+
+IoStatus read_some(const Fd& fd, std::vector<std::uint8_t>& buf) {
+  std::uint8_t chunk[16 * 1024];
+  for (;;) {
+    const ssize_t n = ::read(fd.get(), chunk, sizeof(chunk));
+    if (n > 0) {
+      buf.insert(buf.end(), chunk, chunk + n);
+      return IoStatus::kProgress;
+    }
+    if (n == 0) return IoStatus::kClosed;
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return IoStatus::kWouldBlock;
+    throw_errno("read");
+  }
+}
+
+IoStatus write_some(const Fd& fd, std::span<const std::uint8_t> buf,
+                    std::size_t& offset) {
+  while (offset < buf.size()) {
+    const ssize_t n = ::send(fd.get(), buf.data() + offset,
+                             buf.size() - offset, MSG_NOSIGNAL);
+    if (n > 0) {
+      offset += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      return IoStatus::kWouldBlock;
+    }
+    throw_errno("write");
+  }
+  return IoStatus::kProgress;
+}
+
+void send_frame(const Fd& fd, MsgType type, std::uint64_t correlation,
+                std::span<const std::uint8_t> body) {
+  write_all(fd, encode_frame(type, correlation, body));
+}
+
+std::optional<Frame> recv_frame(const Fd& fd) {
+  std::uint8_t head[4];
+  if (!read_exact(fd, head)) return std::nullopt;
+  std::uint32_t length = 0;
+  for (std::size_t i = 0; i < 4; ++i) length |= std::uint32_t(head[i]) << (8 * i);
+  if (length < 1 + 8 || length > kMaxFrameBytes) {
+    throw IoError("wire: corrupt frame length");
+  }
+  std::vector<std::uint8_t> rest(length);
+  if (!read_exact(fd, rest)) {
+    throw IoError("read: connection closed mid-frame");
+  }
+  Frame f;
+  f.type = static_cast<MsgType>(rest[0]);
+  std::uint64_t corr = 0;
+  for (std::size_t i = 0; i < 8; ++i) corr |= std::uint64_t(rest[1 + i]) << (8 * i);
+  f.correlation = corr;
+  f.body.assign(rest.begin() + 9, rest.end());
+  return f;
+}
+
+}  // namespace radix::net

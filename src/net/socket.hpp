@@ -1,0 +1,103 @@
+// Thin POSIX socket layer under the serving front-end.
+//
+// Everything the event loop and the blocking client need, and nothing
+// more: an RAII fd, loopback-only listen/connect, EINTR-safe exact
+// read/write loops for blocking sockets, and partial-read/-write
+// helpers for nonblocking ones.  All failures surface as IoError with
+// errno text -- callers translate "peer went away" into their own
+// vocabulary (RemoteBackend fails inflight requests, the server reaps
+// the connection).
+//
+// The server binds 127.0.0.1 only.  The protocol has no auth; keeping
+// it off external interfaces is the safety line, and the tests/benches
+// only ever need loopback.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "net/wire.hpp"
+
+namespace radix::net {
+
+/// Owning file descriptor.  Move-only; closes on destruction (EINTR on
+/// close is ignored -- retrying close is a double-close on Linux).
+class Fd {
+ public:
+  Fd() = default;
+  explicit Fd(int fd) : fd_(fd) {}
+  ~Fd() { reset(); }
+
+  Fd(Fd&& other) noexcept : fd_(std::exchange(other.fd_, -1)) {}
+  Fd& operator=(Fd&& other) noexcept {
+    if (this != &other) {
+      reset();
+      fd_ = std::exchange(other.fd_, -1);
+    }
+    return *this;
+  }
+  Fd(const Fd&) = delete;
+  Fd& operator=(const Fd&) = delete;
+
+  int get() const noexcept { return fd_; }
+  bool valid() const noexcept { return fd_ >= 0; }
+  int release() noexcept { return std::exchange(fd_, -1); }
+  void reset() noexcept;
+
+ private:
+  int fd_ = -1;
+};
+
+/// Result of one nonblocking read/write step.
+enum class IoStatus {
+  kProgress,     ///< moved >= 1 byte
+  kWouldBlock,   ///< EAGAIN/EWOULDBLOCK -- wait for readiness
+  kClosed,       ///< orderly EOF (reads only)
+};
+
+/// Listen on 127.0.0.1:`port` (0 = ephemeral).  Returns the socket and
+/// the actually-bound port.  SO_REUSEADDR is set so test restarts do
+/// not trip over TIME_WAIT.
+std::pair<Fd, std::uint16_t> listen_tcp(std::uint16_t port, int backlog = 64);
+
+/// Blocking connect to 127.0.0.1:`port`; TCP_NODELAY set (the protocol
+/// is request/response with tiny frames -- Nagle would serialize it).
+Fd connect_tcp(std::uint16_t port);
+
+/// Accept one pending connection (nonblocking listener): the new
+/// connection with TCP_NODELAY set, or nullopt on EAGAIN.
+std::optional<Fd> accept_one(const Fd& listener);
+
+void set_nonblocking(const Fd& fd, bool nonblocking);
+
+/// Blocking: read exactly `buf.size()` bytes, retrying on EINTR and
+/// short reads.  Returns false on clean EOF at a frame boundary
+/// (offset 0); throws IoError on mid-buffer EOF or any other failure.
+bool read_exact(const Fd& fd, std::span<std::uint8_t> buf);
+
+/// Blocking: write all of `buf`, retrying on EINTR and short writes.
+void write_all(const Fd& fd, std::span<const std::uint8_t> buf);
+
+/// Nonblocking read step: appends whatever is available (up to a fixed
+/// chunk) to `buf`.  kProgress may leave more readable -- call again.
+IoStatus read_some(const Fd& fd, std::vector<std::uint8_t>& buf);
+
+/// Nonblocking write step: writes from `buf[offset..]`, advancing
+/// `offset`.  kProgress with offset == buf.size() means fully flushed.
+/// A peer reset (EPIPE/ECONNRESET) throws IoError.
+IoStatus write_some(const Fd& fd, std::span<const std::uint8_t> buf,
+                    std::size_t& offset);
+
+/// Blocking frame transport over read_exact/write_all (client side and
+/// tests; the server speaks frames through its own nonblocking
+/// buffers).  recv_frame returns nullopt on clean EOF between frames.
+void send_frame(const Fd& fd, MsgType type, std::uint64_t correlation,
+                std::span<const std::uint8_t> body);
+std::optional<Frame> recv_frame(const Fd& fd);
+
+}  // namespace radix::net

@@ -25,6 +25,23 @@ std::string escaped(std::string_view s) {
   return out;
 }
 
+// HELP text has its own (smaller) escape set in the exposition format:
+// backslash and newline only.  Double quotes must pass through raw --
+// HELP is not a quoted string, so reusing escaped() would corrupt any
+// help text containing one.
+std::string help_escaped(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
 std::string label_block(const MetricLabels& labels) {
   if (labels.empty()) return "";
   std::string out = "{";
@@ -134,7 +151,7 @@ std::string MetricsRegistry::render_prometheus() const {
   std::string out;
   for (const Family& f : families_) {
     if (!f.help.empty()) {
-      out += "# HELP " + f.name + " " + f.help + "\n";
+      out += "# HELP " + f.name + " " + help_escaped(f.help) + "\n";
     }
     out += "# TYPE " + f.name + " ";
     out += to_string(f.kind);

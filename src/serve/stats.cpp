@@ -56,6 +56,21 @@ double Log2Histogram::percentile(double p) const noexcept {
   return max_;
 }
 
+Log2Histogram Log2Histogram::from_raw(
+    double base, const std::array<std::uint64_t, kBuckets>& counts,
+    std::uint64_t count, double sum, double max) {
+  std::uint64_t total = 0;
+  for (const std::uint64_t c : counts) total += c;
+  RADIX_REQUIRE(total == count,
+                "Log2Histogram::from_raw: count != sum of bucket counts");
+  Log2Histogram h(base);
+  h.counts_ = counts;
+  h.count_ = count;
+  h.sum_ = sum;
+  h.max_ = max;
+  return h;
+}
+
 std::vector<std::pair<double, std::uint64_t>> Log2Histogram::buckets() const {
   std::vector<std::pair<double, std::uint64_t>> out;
   for (int k = 0; k < kBuckets; ++k) {

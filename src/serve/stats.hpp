@@ -81,9 +81,30 @@ class Log2Histogram {
   /// (upper_bound, count) per non-empty bucket, ascending.
   std::vector<std::pair<double, std::uint64_t>> buckets() const;
 
- private:
+  /// Fixed grid size: bucket k's upper bound is base * 2^k, k in
+  /// [0, kBuckets).  Public because the wire protocol (src/net/wire.*)
+  /// serializes the grid verbatim.
   static constexpr int kBuckets = 48;  // base .. base * 2^47
 
+  /// The raw per-bucket counts over the fixed grid, including empty
+  /// buckets -- the exact state behind buckets()/percentile().  The
+  /// wire protocol ships these so a deserialized histogram merges
+  /// bit-exactly with locally recorded ones.
+  const std::array<std::uint64_t, kBuckets>& raw_counts() const noexcept {
+    return counts_;
+  }
+
+  /// Rebuild a histogram from previously captured raw state (the
+  /// inverse of raw_counts()/count()/sum()/max()).  `count` must equal
+  /// the sum of `counts`; queries on the result answer exactly as they
+  /// did on the histogram the state was captured from, and merge()
+  /// composes exactly -- the round-trip contract the stats wire frames
+  /// rely on.
+  static Log2Histogram from_raw(double base,
+                                const std::array<std::uint64_t, kBuckets>& counts,
+                                std::uint64_t count, double sum, double max);
+
+ private:
   double upper_bound(int k) const noexcept;
 
   double base_;

@@ -1,0 +1,195 @@
+// Grey-failure tests: a shard that is up but UNRELIABLE (fault-injected
+// batch failures on one shard of a fleet) must keep the error
+// accounting exact.  The claims pinned here:
+//
+//   * an injected failure is delivered to its caller as
+//     FaultInjectedError -- the failover layer must NOT blind-retry it
+//     (the batch RAN; only AbortedError proves non-execution);
+//   * every error is counted exactly once: the router's merged
+//     per-model view, the sum of the per-shard views, the per-class
+//     view and the caller-observed failure count all agree -- no
+//     double-counting through the merge or the failover path;
+//   * shed + expired <= errors survives grey failure (injected failures
+//     are errors but neither shed nor expired).
+#include "serve/fault.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <future>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "radixnet/graph_challenge.hpp"
+#include "serve/router.hpp"
+#include "support/random.hpp"
+
+namespace radix::serve {
+namespace {
+
+using namespace std::chrono_literals;
+
+std::shared_ptr<infer::SparseDnn> make_dnn(index_t neurons,
+                                           std::size_t layers,
+                                           std::uint64_t seed) {
+  Rng rng(seed);
+  const auto net = gc::network(neurons, layers, &rng);
+  return std::make_shared<infer::SparseDnn>(net.layers, net.bias, gc::kClamp);
+}
+
+TEST(GreyFailure, InjectedFailuresAreDeliveredOnceAndCountedExactly) {
+  const auto dnn = make_dnn(1024, 2, 110);
+
+  // Shard 1 fails ~30% of its batches; shards 0 and 2 run clean.
+  // max_batch_rows = 1 and max_delay = 0 make batch == request, so the
+  // injector's failure count equals the failed-request count.
+  FaultInjector fault({.fail_probability = 0.3, .seed = 111});
+  ShardRouterOptions options;
+  options.shards = 3;
+  options.engine = {.workers = 1, .max_batch_rows = 1, .max_delay = 0us};
+  options.tune_shard = [&](std::size_t shard, EngineOptions& engine) {
+    if (shard == 1) engine.fault = &fault;
+  };
+  ShardRouter router(options);
+  const auto id = router.add_model(dnn, "grey");
+
+  constexpr int kRequests = 200;
+  Rng irng(112);
+  std::vector<std::vector<float>> inputs;
+  std::vector<std::future<std::vector<float>>> futures;
+  for (int i = 0; i < kRequests; ++i) {
+    inputs.push_back(gc::synthetic_input(1, 1024, 0.4, irng));
+    futures.push_back(
+        router.submit(InferenceRequest::borrowed(id, inputs.back(), 1))
+            .take_future());
+  }
+
+  int delivered_failures = 0;
+  int delivered_successes = 0;
+  for (auto& f : futures) {
+    try {
+      const auto out = f.get();
+      EXPECT_EQ(out.size(), 1024u);
+      ++delivered_successes;
+    } catch (const FaultInjectedError&) {
+      ++delivered_failures;
+    }
+    // Any other exception type escapes and fails the test: grey
+    // failures must surface as themselves, never as aborts/deadline.
+  }
+  EXPECT_EQ(delivered_successes + delivered_failures, kRequests)
+      << "exactly one completion per request";
+  EXPECT_GT(delivered_failures, 0) << "the grey shard must see traffic";
+  EXPECT_EQ(static_cast<std::uint64_t>(delivered_failures),
+            fault.injected_failures())
+      << "a failed batch must be delivered, not blind-retried";
+
+  // Error accounting is exact across every view of the same traffic.
+  std::uint64_t shard_errors = 0;
+  std::uint64_t shard_requests = 0;
+  ServeStats merged;
+  for (std::size_t i = 0; i < router.num_shards(); ++i) {
+    const ServeStats s = router.shard(i).stats(id);
+    shard_errors += s.errors;
+    shard_requests += s.requests;
+    merged.merge(s);
+  }
+  const ServeStats view = router.stats(id);
+  EXPECT_EQ(shard_requests, kRequests);
+  EXPECT_EQ(view.requests, kRequests);
+  EXPECT_EQ(view.errors, shard_errors);
+  EXPECT_EQ(view.errors, static_cast<std::uint64_t>(delivered_failures));
+  EXPECT_EQ(view.errors, merged.errors);
+  EXPECT_EQ(view.e2e_hist.raw_counts(), merged.e2e_hist.raw_counts())
+      << "the merged latency distribution must be the bucket-wise sum";
+
+  // Per-class view agrees with the per-model view (one model here).
+  const ServeStats cls = router.class_stats(Priority::kBatch);
+  EXPECT_EQ(cls.requests, view.requests);
+  EXPECT_EQ(cls.errors, view.errors);
+
+  // Injected failures are errors, not shed/expired traffic.
+  EXPECT_EQ(view.shed, 0u);
+  EXPECT_EQ(view.expired, 0u);
+  EXPECT_LE(view.shed + view.expired, view.errors + 0u);
+  EXPECT_EQ(router.failovers(), 0u)
+      << "grey failures must not trigger the failover path";
+
+  router.shutdown();
+}
+
+TEST(GreyFailure, FailoverAndGreyErrorsDoNotDoubleCount) {
+  const auto dnn = make_dnn(1024, 2, 113);
+
+  // Shard 0 fails EVERY batch it claims.  Submit traffic, then kill the
+  // grey shard mid-stream: queued requests abort and fail over to the
+  // healthy shard, already-claimed grey failures are delivered.  The
+  // per-shard ledgers intentionally record an abort as an error even
+  // when the router re-serves the request elsewhere (each shard counts
+  // what IT did with its admissions), so the exactness invariants are:
+  // every request completes exactly once; the router's merged error
+  // count equals the shard sum exactly; caller-visible failures are
+  // the injected ones alone; and the abort-side errors are exactly the
+  // successful failovers -- nothing counted twice, nothing lost.
+  FaultInjector fault({.fail_probability = 1.0, .seed = 114});
+  ShardRouterOptions options;
+  options.shards = 2;
+  options.engine = {.workers = 1, .max_batch_rows = 1, .max_delay = 0us};
+  options.tune_shard = [&](std::size_t shard, EngineOptions& engine) {
+    if (shard == 0) engine.fault = &fault;
+  };
+  ShardRouter router(options);
+  const auto id = router.add_model(dnn, "grey");
+
+  constexpr int kRequests = 120;
+  Rng irng(115);
+  std::vector<std::vector<float>> inputs;
+  std::vector<std::future<std::vector<float>>> futures;
+  for (int i = 0; i < kRequests; ++i) {
+    inputs.push_back(gc::synthetic_input(1, 1024, 0.4, irng));
+    futures.push_back(
+        router.submit(InferenceRequest::borrowed(id, inputs.back(), 1))
+            .take_future());
+    if (i == kRequests / 2) router.kill_shard(0);
+  }
+
+  int failures = 0;
+  int successes = 0;
+  for (auto& f : futures) {
+    try {
+      (void)f.get();
+      ++successes;
+    } catch (const FaultInjectedError&) {
+      ++failures;
+    }
+    // AbortedError escaping here means a kill-orphaned request was
+    // delivered instead of failed over -- a failover bug.
+  }
+  EXPECT_EQ(successes + failures, kRequests);
+
+  std::uint64_t shard_errors = 0;
+  std::uint64_t shard_requests = 0;
+  for (std::size_t i = 0; i < router.num_shards(); ++i) {
+    const ServeStats s = router.shard(i).stats(id);
+    shard_errors += s.errors;
+    shard_requests += s.requests;
+  }
+  const ServeStats view = router.stats(id);
+  EXPECT_EQ(view.errors, shard_errors) << "merge must not double-count";
+  // Callers only see the grey failures; aborts were retried away.
+  EXPECT_EQ(static_cast<std::uint64_t>(failures),
+            fault.injected_failures());
+  // Shard-side errors decompose exactly: injected failures (delivered)
+  // plus aborts (each re-served once, counted by failovers()).  Any
+  // double count -- an abort recorded on both hops, a failover retried
+  // twice -- breaks one of these equalities.
+  EXPECT_EQ(view.errors, fault.injected_failures() + router.failovers());
+  EXPECT_EQ(shard_requests,
+            static_cast<std::uint64_t>(kRequests) + router.failovers());
+
+  router.shutdown();
+}
+
+}  // namespace
+}  // namespace radix::serve

@@ -126,6 +126,34 @@ TEST(MetricsRegistry, EscapesLabelValues) {
   EXPECT_TRUE(contains(text, "g{name=\"a\\\"b\\\\c\\nd\"} 1\n")) << text;
 }
 
+TEST(MetricsRegistry, EscapesHelpTextPerExpositionFormat) {
+  // HELP has its own escape set in the Prometheus exposition format:
+  // backslash -> \\ and newline -> \n, and NOTHING else -- a double
+  // quote passes through raw because HELP text is not a quoted string.
+  // (The original renderer reused the label-value escaper here, which
+  // corrupted any help text containing a quote; this golden pins the
+  // fix.)
+  MetricsRegistry reg;
+  reg.set_counter("radix_demo_total", {}, 1,
+                  "path C:\\radix, a \"quoted\" word\nand a second line");
+  const std::string text = reg.render_prometheus();
+  EXPECT_TRUE(contains(text,
+                       "# HELP radix_demo_total path C:\\\\radix, "
+                       "a \"quoted\" word\\nand a second line\n"))
+      << text;
+  // The exposition stays line-oriented: exactly one HELP line, and the
+  // raw newline never leaks into the output.
+  EXPECT_EQ(text.find("path C:"), text.rfind("path C:"));
+  EXPECT_FALSE(contains(text, "word\nand"));
+
+  // JSON keeps the full escape set -- the quote IS escaped there.
+  const std::string json = reg.to_json();
+  EXPECT_TRUE(contains(json,
+                       "\"help\":\"path C:\\\\radix, a \\\"quoted\\\" "
+                       "word\\nand a second line\""))
+      << json;
+}
+
 TEST(MetricsWindow, DeltasMatchHandComputedDifferenceOverFakeTime) {
   FakeClock clock;
   MetricsWindow window(&clock);

@@ -1,0 +1,147 @@
+// radix-ctl: admin CLI against a running radix-served.
+//
+//   radix-ctl --port <p> <command> [arg]
+//
+//   ping                      round-trip liveness probe
+//   models                    registry table (id, name, widths, class, ...)
+//   stats <model>             one model's ServeStats (name or numeric id)
+//   pending <model>           queued-but-unclaimed count
+//   class-stats <class>       interactive | batch | background
+//   metrics                   Prometheus text exposition (scrape to stdout)
+//   health                    per-shard health
+//   drain <shard>             take a shard out of rotation, wait for drain
+//   restart <shard>           return/replace a shard
+//   kill <shard>              crash-shaped shard stop (failover exercise)
+//   shutdown                  stop the served process
+//
+// Exit code 0 on success, 1 on a server/connection error, 2 on usage
+// errors -- the bash smoke tests grep this tool's stdout.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "net/remote_backend.hpp"
+#include "support/args.hpp"
+
+using namespace radix;
+
+namespace {
+
+const char* health_name(serve::ShardHealth h) {
+  switch (h) {
+    case serve::ShardHealth::kUp: return "up";
+    case serve::ShardHealth::kDraining: return "draining";
+    case serve::ShardHealth::kDown: return "down";
+  }
+  return "?";
+}
+
+serve::Priority parse_class(const std::string& name) {
+  if (name == "interactive") return serve::Priority::kInteractive;
+  if (name == "batch") return serve::Priority::kBatch;
+  if (name == "background") return serve::Priority::kBackground;
+  throw SpecError("unknown class '" + name +
+                  "' (interactive | batch | background)");
+}
+
+serve::ModelId parse_model(const net::RemoteBackend& remote,
+                           const std::string& arg) {
+  if (!arg.empty() && arg.find_first_not_of("0123456789") == std::string::npos) {
+    return static_cast<serve::ModelId>(std::stoull(arg));
+  }
+  const auto id = remote.find_model(arg);
+  RADIX_REQUIRE(id.has_value(), "no model named '" + arg + "'");
+  return *id;
+}
+
+std::size_t parse_shard(const std::string& arg) {
+  RADIX_REQUIRE(!arg.empty() &&
+                    arg.find_first_not_of("0123456789") == std::string::npos,
+                "shard index must be a number, got '" + arg + "'");
+  return static_cast<std::size_t>(std::stoull(arg));
+}
+
+void print_health(const std::vector<serve::ShardHealth>& health) {
+  for (std::size_t i = 0; i < health.size(); ++i) {
+    std::printf("shard %zu: %s\n", i, health_name(health[i]));
+  }
+}
+
+int run(const net::RemoteBackend& remote, const std::string& command,
+        const std::vector<std::string>& rest) {
+  const auto arg = [&](const char* what) -> const std::string& {
+    RADIX_REQUIRE(rest.size() >= 2,
+                  std::string("missing argument: ") + what);
+    return rest[1];
+  };
+  if (command == "ping") {
+    remote.ping();
+    std::printf("pong\n");
+  } else if (command == "models") {
+    std::printf("%-4s %-16s %6s %6s %-12s %3s %8s %8s\n", "id", "name", "in",
+                "out", "class", "ver", "pending", "state");
+    for (const net::WireModelInfo& m : remote.list_models()) {
+      std::printf("%-4llu %-16s %6u %6u %-12s %3u %8llu %8s\n",
+                  static_cast<unsigned long long>(m.id), m.name.c_str(),
+                  m.input_width, m.output_width,
+                  serve::to_string(m.priority), m.version,
+                  static_cast<unsigned long long>(m.pending),
+                  m.retired ? "retired" : "live");
+    }
+  } else if (command == "stats") {
+    const serve::ModelId id = parse_model(remote, arg("model"));
+    std::printf("%s", serve::to_string(remote.stats(id)).c_str());
+  } else if (command == "pending") {
+    const serve::ModelId id = parse_model(remote, arg("model"));
+    std::printf("%zu\n", remote.pending(id));
+  } else if (command == "class-stats") {
+    const serve::Priority p = parse_class(arg("class"));
+    std::printf("class %s:\n%s", serve::to_string(p),
+                serve::to_string(remote.class_stats(p)).c_str());
+  } else if (command == "metrics") {
+    std::printf("%s", remote.metrics_text().c_str());
+  } else if (command == "health") {
+    print_health(remote.shard_ctl(net::ShardVerb::kHealth));
+  } else if (command == "drain") {
+    print_health(
+        remote.shard_ctl(net::ShardVerb::kDrain, parse_shard(arg("shard"))));
+  } else if (command == "restart") {
+    print_health(remote.shard_ctl(net::ShardVerb::kRestart,
+                                  parse_shard(arg("shard"))));
+  } else if (command == "kill") {
+    print_health(
+        remote.shard_ctl(net::ShardVerb::kKill, parse_shard(arg("shard"))));
+  } else if (command == "shutdown") {
+    remote.server_shutdown();
+    std::printf("shutdown requested\n");
+  } else {
+    std::fprintf(stderr, "radix-ctl: unknown command '%s'\n",
+                 command.c_str());
+    return 2;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  args.add_flag("port", "", "radix-served port on 127.0.0.1 (required)");
+  try {
+    args.parse(argc, argv);
+    RADIX_REQUIRE(!args.get("port").empty(), "--port is required");
+    RADIX_REQUIRE(!args.positional().empty(), "missing command");
+  } catch (const Error& e) {
+    std::fprintf(stderr, "%s\n%s", e.what(), args.usage("radix-ctl").c_str());
+    return 2;
+  }
+
+  try {
+    net::RemoteBackend remote(
+        static_cast<std::uint16_t>(args.get_int("port")));
+    return run(remote, args.positional().front(), args.positional());
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "radix-ctl: %s\n", e.what());
+    return 1;
+  }
+}
