@@ -428,6 +428,161 @@ BENCHMARK(BM_ServeOverloadDiurnal)
     ->UseRealTime()
     ->MeasureProcessCPUTime();
 
+// --- Bounded-wait admission sweep -----------------------------------------
+//
+// The sweeps above absorb overload with priority-aware pressure
+// shedding; this arm replaces shedding with ADMISSION CONTROL: a tiny
+// queue, no shed capacity, and every submit under Admission::
+// kBoundedWait -- wait up to a class budget for queue space, then be
+// rejected at the door.  Rejected requests never invoke DoneFn, so this
+// arm keeps its own rejection ledger and drains on completed ==
+// admitted (the shared run_window would wait forever on completions
+// that were never admitted).  The admission wait composes with the e2e
+// deadline (engine caps the wait at the remaining deadline; pinned by
+// tests/test_serve_deadline.cpp).
+
+// Interactive may wait meaningfully for a slot (still well under the
+// SLO); background gives up fast -- under overload it is the class
+// that gets turned away.
+constexpr std::chrono::microseconds kIaAdmitBudget = 20ms;
+constexpr std::chrono::microseconds kBgAdmitBudget = 2ms;
+constexpr std::size_t kBoundedQueueRows = 8;
+
+struct BoundedLedger : Ledger {
+  std::atomic<std::uint64_t> rejected{0};
+};
+
+// run_window with bounded-wait admission and rejection accounting.
+void run_window_bounded(serve::Backend& backend, serve::ModelId interactive,
+                        serve::ModelId background, double load,
+                        WindowTotals& totals, std::uint64_t& ia_rejected,
+                        std::uint64_t& bg_rejected) {
+  const auto& x = cached_input();
+  const double sat = saturating_rps();
+  const double ia_rate = 0.25 * sat;
+  const double bg_rate = load * sat;
+
+  BoundedLedger ia_led, bg_led;
+  const auto submit_class = [&](serve::ModelId id, BoundedLedger& led,
+                                std::chrono::microseconds wait,
+                                std::chrono::microseconds deadline) {
+    return [&backend, &led, id, &x, wait, deadline](std::uint64_t, double) {
+      serve::SubmitOptions so;
+      so.admission = serve::Admission::kBoundedWait;
+      so.timeout = wait;
+      so.deadline = deadline;
+      so.done = led.done(std::chrono::steady_clock::now());
+      led.offered.fetch_add(1);
+      if (!backend
+               .submit(serve::InferenceRequest::borrowed(id, x, kRows),
+                       std::move(so))
+               .admitted()) {
+        led.rejected.fetch_add(1);
+      }
+    };
+  };
+
+  serve::LoadGenOptions ia_opts;
+  ia_opts.arrivals.rate = serve::constant_rate(ia_rate);
+  ia_opts.arrivals.peak_rate = ia_rate;
+  ia_opts.arrivals.seed = 17;
+  ia_opts.duration = kWindow;
+  serve::LoadGenOptions bg_opts;
+  bg_opts.arrivals.rate = serve::constant_rate(bg_rate);
+  bg_opts.arrivals.peak_rate = bg_rate;
+  bg_opts.arrivals.seed = 23;
+  bg_opts.duration = kWindow;
+
+  {
+    serve::LoadGen ia_gen(ia_opts), bg_gen(bg_opts);
+    ia_gen.start(submit_class(interactive, ia_led, kIaAdmitBudget, 500ms));
+    bg_gen.start(submit_class(background, bg_led, kBgAdmitBudget, 0us));
+    const auto give_up = std::chrono::steady_clock::now() + 10s;
+    while ((!ia_gen.exhausted() || !bg_gen.exhausted()) &&
+           std::chrono::steady_clock::now() < give_up) {
+      std::this_thread::sleep_for(500us);
+    }
+  }
+
+  // Drain on admitted (= offered - rejected): rejections complete
+  // nothing.
+  const auto give_up = std::chrono::steady_clock::now() + 30s;
+  while ((ia_led.completed.load() + ia_led.rejected.load() <
+              ia_led.offered.load() ||
+          bg_led.completed.load() + bg_led.rejected.load() <
+              bg_led.offered.load()) &&
+         std::chrono::steady_clock::now() < give_up) {
+    std::this_thread::sleep_for(500us);
+  }
+
+  totals.interactive_offered += ia_led.offered.load();
+  totals.interactive_within_slo += ia_led.within_slo.load();
+  totals.bg_offered += bg_led.offered.load();
+  totals.seconds_offered += std::chrono::duration<double>(kWindow).count();
+  ia_rejected += ia_led.rejected.load();
+  bg_rejected += bg_led.rejected.load();
+}
+
+void SetupEngineBounded(const benchmark::State&) {
+  g_floor = std::make_unique<serve::FaultInjector>(
+      serve::FaultInjectorOptions{.added_latency = kServiceFloor});
+  serve::EngineOptions opts;
+  opts.workers = 1;
+  opts.max_batch_rows = kRows;
+  opts.max_delay = 0us;
+  // The whole point: a queue shallow enough to fill under overload, and
+  // NO pressure shedding -- admission control is the only relief valve.
+  opts.queue_capacity = kBoundedQueueRows;
+  opts.fault = g_floor.get();
+  g_engine = std::make_unique<serve::Engine>(opts);
+  g_interactive = g_engine->add_model(
+      make_dnn(), "interactive",
+      {.priority = serve::Priority::kInteractive, .weight = 4});
+  g_background = g_engine->add_model(
+      make_dnn(), "background", {.priority = serve::Priority::kBackground});
+  (void)cached_input();
+  (void)saturating_rps();
+}
+
+void TeardownEngineBounded(const benchmark::State&) {
+  g_engine->shutdown();
+  g_engine.reset();
+  g_floor.reset();
+}
+
+void BM_ServeOverloadBoundedWait(benchmark::State& state) {
+  const double load = static_cast<double>(state.range(0)) / 100.0;
+  WindowTotals totals;
+  std::uint64_t ia_rejected = 0, bg_rejected = 0;
+  for (auto _ : state) {
+    run_window_bounded(*g_engine, g_interactive, g_background, load, totals,
+                       ia_rejected, bg_rejected);
+  }
+  report(state, *g_engine, totals,
+         g_engine->class_stats(serve::Priority::kInteractive),
+         g_engine->class_stats(serve::Priority::kBackground));
+  const double ia_off = static_cast<double>(totals.interactive_offered);
+  const double bg_off = static_cast<double>(totals.bg_offered);
+  state.counters["interactive_reject_rate"] = benchmark::Counter(
+      ia_off > 0.0 ? static_cast<double>(ia_rejected) / ia_off : 0.0);
+  state.counters["bg_reject_rate"] = benchmark::Counter(
+      bg_off > 0.0 ? static_cast<double>(bg_rejected) / bg_off : 0.0);
+  state.counters["admit_budget_ia_us"] = benchmark::Counter(
+      std::chrono::duration<double, std::micro>(kIaAdmitBudget).count());
+  state.counters["admit_budget_bg_us"] = benchmark::Counter(
+      std::chrono::duration<double, std::micro>(kBgAdmitBudget).count());
+}
+
+BENCHMARK(BM_ServeOverloadBoundedWait)
+    ->Arg(50)
+    ->Arg(100)
+    ->Arg(200)
+    ->Setup(SetupEngineBounded)
+    ->Teardown(TeardownEngineBounded)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime()
+    ->MeasureProcessCPUTime();
+
 // --- Grey-failure sweep: 2-shard router, one slow shard -------------------
 
 std::unique_ptr<serve::FaultInjector> g_router_floor;

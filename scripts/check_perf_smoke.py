@@ -23,6 +23,12 @@ router's merged error count to equal the per-shard sum exactly, and
 the diurnal arm (BM_ServeOverloadDiurnal) holds the same never-shed-
 interactive policy under a sinusoidal offered rate.
 
+When bench_store is present, the model-store load path is gated: the
+RADIXART mmap load must be >= 10x faster than the legacy TSV parse of
+the same model at every benchmarked depth (the mmap path validates
+checksums but never deserializes, so losing that margin means the
+zero-copy path started copying).
+
 When bench_serving is present (it is skipped only when Google Benchmark
 is unavailable), its output *shape* is sanity-checked too: the direct,
 closed-loop, latency, QoS and sharded-router benchmarks must all be
@@ -62,6 +68,11 @@ MIN_TRACED_RATIO = 0.95
 # ratio is expected to be small.
 MIN_REMOTE_RATIO = 0.5
 REMOTE_GATED_THREADS = 32
+# The RADIXART mmap load path must beat the legacy TSV parse by a wide
+# margin at equal depth -- it validates checksums but never
+# deserializes, so 10x is conservative (a quiet host measures >100x).
+# Falling under 10x means the zero-copy path started copying.
+MIN_STORE_MMAP_RATIO = 10.0
 
 
 def fused_reference_ratios(rates):
@@ -110,6 +121,60 @@ def remote_inprocess_ratios(rates):
         base = rates.get(f"BM_ServeClosedLoop/{suffix}")
         ratios[suffix] = remote / base if base else None
     return ratios
+
+
+def store_mmap_over_tsv(times):
+    """Pair BM_StoreLoadMmap/<depth> with BM_StoreLoadTsv/<depth> (same
+    model on disk in each format) and return {depth: tsv_time /
+    mmap_time} -- the mmap path's load speedup; a mmap entry whose TSV
+    counterpart is missing or zero-time maps to None.  Shared with
+    record_bench_baseline.py so the pairing cannot drift."""
+    ratios = {}
+    for name, mmap_time in times.items():
+        if not name.startswith("BM_StoreLoadMmap/"):
+            continue
+        depth = name.split("/", 1)[1]
+        tsv_time = times.get(f"BM_StoreLoadTsv/{depth}")
+        ratios[depth] = (tsv_time / mmap_time
+                         if tsv_time and mmap_time else None)
+    return ratios
+
+
+def check_store_shape(build_dir: str, min_time: str) -> int:
+    """Run bench_store briefly and gate the model-store load path: the
+    mmap artifact load must be >= 10x faster than the legacy TSV parse
+    at every depth, and the spec-only and cold-start arms must be
+    present.  A missing binary (benchmarks disabled) is a skip."""
+    exe = os.path.join(build_dir, "bench", "bench_store")
+    if not os.path.isfile(exe):
+        print("note: bench_store not built; skipping store load check")
+        return 0
+    out = subprocess.run(
+        [exe, "--benchmark_format=json",
+         f"--benchmark_min_time={min_time}"],
+        capture_output=True, text=True, check=True)
+    data = json.loads(out.stdout)
+
+    times = {b["name"]: b.get("real_time", 0.0)
+             for b in data["benchmarks"]}
+    for family in ("BM_StoreLoadMmap", "BM_StoreLoadTsv",
+                   "BM_StoreLoadSpec", "BM_StoreColdStart"):
+        if not any(n.startswith(family + "/") for n in times):
+            print(f"FAIL: bench_store produced no {family} runs")
+            return 1
+    ratios = store_mmap_over_tsv(times)
+    for depth, ratio in sorted(ratios.items()):
+        if ratio is None:
+            print(f"FAIL: no TSV counterpart for BM_StoreLoadMmap/{depth}")
+            return 1
+        print(f"  depth {depth:>4}: mmap load speedup over TSV = "
+              f"{ratio:.0f}x (gate: >= {MIN_STORE_MMAP_RATIO:.0f}x)")
+        if ratio < MIN_STORE_MMAP_RATIO:
+            print("FAIL: the mmap artifact load lost its margin over the "
+                  "TSV parse -- the zero-copy path is copying")
+            return 1
+    print("store load OK (mmap >= 10x TSV at every depth)")
+    return 0
 
 
 def check_serving_shape(build_dir: str, min_time: str) -> int:
@@ -413,6 +478,8 @@ def main() -> int:
     if check_serving_shape(args.build_dir, args.min_time) != 0:
         return 1
     if check_overload_shape(args.build_dir) != 0:
+        return 1
+    if check_store_shape(args.build_dir, args.min_time) != 0:
         return 1
     if check_metrics_shape(args.build_dir) != 0:
         return 1

@@ -36,7 +36,10 @@ drives the same engine through the loopback wire protocol; the CI
 acceptance bar is >= 0.5 at 32 clients) and the grey-failure
 (BM_ServeOverloadGrey, one unreliable shard) and diurnal
 (BM_ServeOverloadDiurnal, sinusoidal offered rate) overload sweeps
-with their SLO knees.  Shard scaling is compute-bound -- it needs free
+with their SLO knees, plus the PR-10 model-store load-path numbers
+from bench_store: the RADIXART mmap load's speedup over the legacy TSV
+parse at equal depth (the CI gate requires >= 10x) and the
+cold-start-to-first-response time.  Shard scaling is compute-bound -- it needs free
 cores to show up -- so the snapshot records the host core count next to
 the curve; on a 1-core host a flat curve is the expected shape, not a
 regression.  Numbers are machine-specific; the file anchors trends on
@@ -331,6 +334,36 @@ def fault_tolerance(survival: dict) -> dict:
     }
 
 
+def store_load(store: dict) -> dict:
+    """PR-10 model-store headline: artifact mmap load speedup over the
+    legacy TSV parse at equal depth (pairing logic shared with the CI
+    gate in check_perf_smoke.py, which enforces >= 10x), plus the
+    spec-only load and the cold-start-to-first-response time."""
+    sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+    from check_perf_smoke import store_mmap_over_tsv
+    times = {b["name"]: b.get("real_time_ns", 0.0)
+             for b in store["benchmarks"]}
+    ratios = {depth: ratio
+              for depth, ratio in store_mmap_over_tsv(times).items()
+              if ratio is not None}
+    if not ratios:
+        return {}
+    cold = {name.split("/")[1]: round(t / 1e3, 1)
+            for name, t in times.items()
+            if name.startswith("BM_StoreColdStart/")}
+    return {
+        "mmap_speedup_over_tsv": {depth: round(ratio, 1)
+                                  for depth, ratio in sorted(ratios.items())},
+        "cold_start_to_first_response_us": cold,
+        "note": ("Time to a ready SparseDnn from each on-disk format at "
+                 "equal depth; the mmap path validates checksums but "
+                 "never deserializes (zero-copy views into the mapping). "
+                 "The CI gate requires mmap >= 10x the TSV parse.  Cold "
+                 "start adds the first forward pass (lazy transposes) on "
+                 "top of the mmap load."),
+    }
+
+
 def run_fig6(build_dir: str) -> dict:
     exe = find_bench(build_dir, "bench_fig6_algorithm")
     t0 = time.perf_counter()
@@ -377,8 +410,9 @@ def main() -> int:
     # iteration); min_time only controls how many windows are averaged.
     overload = run_gbench(args.build_dir, "bench_overload", min_time="0.2")
     survival = run_gbench(args.build_dir, "bench_fault_tolerance")
+    store = run_gbench(args.build_dir, "bench_store")
     baseline = {
-        "schema": "radix-bench-baseline/v8",
+        "schema": "radix-bench-baseline/v9",
         "recorded": datetime.date.today().isoformat(),
         "build_type": "Release",
         "compiler": compiler_id(args.build_dir),
@@ -402,6 +436,8 @@ def main() -> int:
         "serving_overload": serving_overload(overload),
         "bench_fault_tolerance": survival,
         "fault_tolerance": fault_tolerance(survival),
+        "bench_store": store,
+        "store_load": store_load(store),
     }
     with open(args.output, "w") as f:
         json.dump(baseline, f, indent=2)
@@ -419,6 +455,7 @@ def main() -> int:
              if f in over}
     traced = baseline["serving_traced_overhead"]
     remote = baseline["serving_remote"]
+    store_ratios = baseline["store_load"].get("mmap_speedup_over_tsv")
     print(f"wrote {args.output} "
           f"({len(baseline['bench_sparse_kernels']['benchmarks'])} kernel "
           f"benchmarks, fig6 reproduced="
@@ -434,6 +471,7 @@ def main() -> int:
           f"overload SLO knees: {knees}, "
           f"traced/untraced geomean: {traced.get('geomean')}, "
           f"remote/in-process: {remote.get('remote_over_inprocess')}, "
+          f"store mmap/tsv speedup: {store_ratios}, "
           f"e16 radix>=er at 50% loss: "
           f"{baseline['fault_tolerance'].get('radix_at_least_er')})")
     return 0

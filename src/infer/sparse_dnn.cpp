@@ -12,6 +12,7 @@ SparseDnn::SparseDnn(std::vector<Csr<float>> layers,
                      std::vector<float> biases, float clamp)
     : layers_(std::move(layers)), biases_(std::move(biases)),
       clamp_(clamp) {
+  views_.assign(layers_.begin(), layers_.end());
   validate_and_index();
 }
 
@@ -19,23 +20,55 @@ SparseDnn::SparseDnn(std::vector<Csr<float>> layers, float bias, float clamp)
     : layers_(std::move(layers)), clamp_(clamp) {
   // Not a delegating constructor: evaluating layers.size() in the same
   // argument list that moves `layers` is indeterminately sequenced.
+  views_.assign(layers_.begin(), layers_.end());
   biases_.assign(layers_.size(), bias);
   validate_and_index();
 }
 
+SparseDnn::SparseDnn(std::vector<CsrFloatView> layers,
+                     std::vector<float> biases, float clamp,
+                     std::shared_ptr<const void> storage)
+    : views_(std::move(layers)), storage_(std::move(storage)),
+      biases_(std::move(biases)), clamp_(clamp) {
+  validate_and_index();
+}
+
+SparseDnn::SparseDnn(SparseDnn&& other) noexcept
+    : layers_(std::move(other.layers_)),
+      views_(std::move(other.views_)),
+      storage_(std::move(other.storage_)),
+      biases_(std::move(other.biases_)),
+      clamp_(other.clamp_),
+      layer_uniform_(std::move(other.layer_uniform_)),
+      uniform_weight_(std::move(other.uniform_weight_)),
+      transposed_(std::move(other.transposed_)) {}
+
+SparseDnn& SparseDnn::operator=(SparseDnn&& other) noexcept {
+  if (this == &other) return *this;
+  layers_ = std::move(other.layers_);
+  views_ = std::move(other.views_);
+  storage_ = std::move(other.storage_);
+  biases_ = std::move(other.biases_);
+  clamp_ = other.clamp_;
+  layer_uniform_ = std::move(other.layer_uniform_);
+  uniform_weight_ = std::move(other.uniform_weight_);
+  transposed_ = std::move(other.transposed_);
+  return *this;
+}
+
 void SparseDnn::validate_and_index() {
-  RADIX_REQUIRE(!layers_.empty(), "SparseDnn: need at least one layer");
-  RADIX_REQUIRE(biases_.size() == layers_.size(),
+  RADIX_REQUIRE(!views_.empty(), "SparseDnn: need at least one layer");
+  RADIX_REQUIRE(biases_.size() == views_.size(),
                 "SparseDnn: one bias per layer required");
-  for (std::size_t i = 0; i + 1 < layers_.size(); ++i) {
-    RADIX_REQUIRE_DIM(layers_[i].cols() == layers_[i + 1].rows(),
+  for (std::size_t i = 0; i + 1 < views_.size(); ++i) {
+    RADIX_REQUIRE_DIM(views_[i].cols() == views_[i + 1].rows(),
                       "SparseDnn: layer shapes do not chain");
   }
-  transposed_.resize(layers_.size());
-  layer_uniform_.reserve(layers_.size());
-  uniform_weight_.reserve(layers_.size());
-  for (const auto& l : layers_) {
-    const auto& vals = l.values();
+  transposed_.resize(views_.size());
+  layer_uniform_.reserve(views_.size());
+  uniform_weight_.reserve(views_.size());
+  for (const auto& l : views_) {
+    const auto vals = l.values();
     const bool uniform =
         std::all_of(vals.begin(), vals.end(),
                     [&](float v) { return v == vals.front(); });
@@ -45,12 +78,12 @@ void SparseDnn::validate_and_index() {
   }
 }
 
-index_t SparseDnn::input_width() const { return layers_.front().rows(); }
-index_t SparseDnn::output_width() const { return layers_.back().cols(); }
+index_t SparseDnn::input_width() const { return views_.front().rows(); }
+index_t SparseDnn::output_width() const { return views_.back().cols(); }
 
 std::uint64_t SparseDnn::total_nnz() const noexcept {
   std::uint64_t n = 0;
-  for (const auto& l : layers_) n += l.nnz();
+  for (const auto& l : views_) n += l.nnz();
   return n;
 }
 
@@ -58,7 +91,7 @@ index_t SparseDnn::max_width() const noexcept {
   // Panels only ever hold layer *outputs*; the input batch is read from
   // the caller's buffer in place and never copied into a panel.
   index_t w = 0;
-  for (const auto& l : layers_) w = std::max(w, l.cols());
+  for (const auto& l : views_) w = std::max(w, l.cols());
   return w;
 }
 
@@ -67,20 +100,20 @@ const Csr<float>& SparseDnn::transposed(std::size_t k) const {
   // immutable, so returning the reference after unlock is safe.
   std::scoped_lock lock(transpose_mutex_);
   auto& slot = transposed_[k];
-  if (!slot) slot = std::make_unique<Csr<float>>(layers_[k].transpose());
+  if (!slot) slot = std::make_unique<Csr<float>>(views_[k].transpose());
   return *slot;
 }
 
 void SparseDnn::prewarm(const WorkspaceHint& hint) const {
   // Building via transposed() keeps the fill under the cache mutex, so
   // prewarming may race concurrent forward calls safely.
-  for (std::size_t k = 0; k < layers_.size(); ++k) (void)transposed(k);
+  for (std::size_t k = 0; k < views_.size(); ++k) (void)transposed(k);
   if (hint.workspace != nullptr) {
     hint.workspace->reserve(hint.max_batch, max_width());
     // forward() reserves the dispatch trace lazily; doing it here keeps
     // the first post-prewarm pass allocation-free.
-    if (hint.workspace->dispatch_.capacity() < layers_.size()) {
-      hint.workspace->dispatch_.reserve(layers_.size());
+    if (hint.workspace->dispatch_.capacity() < views_.size()) {
+      hint.workspace->dispatch_.reserve(views_.size());
     }
   }
 }
@@ -98,19 +131,19 @@ std::span<const float> SparseDnn::forward(const float* input, index_t batch,
                 "panels");
   workspace.reserve(batch, max_width());
   workspace.dispatch_.clear();
-  if (workspace.dispatch_.capacity() < layers_.size()) {
-    workspace.dispatch_.reserve(layers_.size());
+  if (workspace.dispatch_.capacity() < views_.size()) {
+    workspace.dispatch_.reserve(views_.size());
   }
 
   // Input nonzero count seeds the density signal for the first layer's
   // dispatch; every later layer gets it free from the fused epilogue.
   std::uint64_t nz = count_nonzeros(
-      input, static_cast<std::size_t>(batch) * layers_.front().rows());
+      input, static_cast<std::size_t>(batch) * views_.front().rows());
 
   const float* cur = input;  // layer 0 reads the caller's batch in place
   int out_panel = 0;
-  for (std::size_t k = 0; k < layers_.size(); ++k) {
-    const Csr<float>& w = layers_[k];
+  for (std::size_t k = 0; k < views_.size(); ++k) {
+    const CsrFloatView w = views_[k];
     const std::size_t in_elems =
         static_cast<std::size_t>(batch) * w.rows();
     const double density =
@@ -162,7 +195,7 @@ std::vector<float> SparseDnn::forward(const std::vector<float>& input,
                                       InferenceStats* stats) const {
   RADIX_REQUIRE_DIM(
       input.size() ==
-          static_cast<std::size_t>(batch) * layers_.front().rows(),
+          static_cast<std::size_t>(batch) * views_.front().rows(),
       "SparseDnn::forward: input size mismatch");
   InferenceWorkspace workspace;
   const auto y = forward(input.data(), batch, workspace, stats);

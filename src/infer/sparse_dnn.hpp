@@ -33,6 +33,20 @@
 // as each caller brings its own workspace (the lazy transpose cache is
 // mutex-guarded).
 //
+// Layer storage
+// -------------
+// Internally every layer is a CsrFloatView; the kernels only ever see
+// views.  A SparseDnn either owns its layers (the Csr<float>
+// constructors -- views point into the owned vectors) or borrows them
+// from external storage such as an mmap'd model artifact
+// (store/artifact.hpp): the view constructor takes a
+// shared_ptr<const void> keep-alive that pins the backing memory for
+// the engine's lifetime.  Borrowed layers are never copied -- the fused
+// kernels stream the mapped arrays directly; only derived structures
+// (the lazy gather-arm transposes) are materialized on the heap.
+// SparseDnn is move-only: views into owned layers stay valid across
+// moves (vector heap buffers are stable) but would dangle in a copy.
+//
 // The engine reports the standard challenge throughput metric: edges
 // processed per second = batch * sum_k nnz(W_k) / wall time.
 #pragma once
@@ -45,6 +59,7 @@
 
 #include "infer/workspace.hpp"
 #include "sparse/csr.hpp"
+#include "sparse/csr_view.hpp"
 
 namespace radix::infer {
 
@@ -82,10 +97,37 @@ class SparseDnn {
   /// Convenience: uniform bias across layers.
   SparseDnn(std::vector<Csr<float>> layers, float bias, float clamp = 0.0f);
 
+  /// Borrowed-storage constructor: the layer views point into memory
+  /// owned elsewhere (e.g. an mmap'd artifact); `storage` keeps that
+  /// memory alive for the engine's lifetime.  The caller vouches for
+  /// the views' CSR invariants (the artifact reader validates before
+  /// constructing); shapes are still chain-checked here.
+  SparseDnn(std::vector<CsrFloatView> layers, std::vector<float> biases,
+            float clamp, std::shared_ptr<const void> storage);
+
+  // Movable (the mutex member forbids =default: the moved-to instance
+  // gets a fresh mutex; moving while another thread runs forward is as
+  // undefined as for any container).  Views into owned layers_ survive
+  // the move -- vector heap buffers are stable.
+  SparseDnn(SparseDnn&& other) noexcept;
+  SparseDnn& operator=(SparseDnn&& other) noexcept;
+  SparseDnn(const SparseDnn&) = delete;
+  SparseDnn& operator=(const SparseDnn&) = delete;
+
   index_t input_width() const;
   index_t output_width() const;
-  std::size_t depth() const noexcept { return layers_.size(); }
+  std::size_t depth() const noexcept { return views_.size(); }
   std::uint64_t total_nnz() const noexcept;
+
+  /// Per-layer weight view (borrowed or into the owned layers) and the
+  /// epilogue parameters -- the surface the artifact writer serializes.
+  CsrFloatView layer_view(std::size_t k) const { return views_[k]; }
+  const std::vector<float>& biases() const noexcept { return biases_; }
+  float clamp() const noexcept { return clamp_; }
+  /// True when layer k stores one repeated weight value (Graph-Challenge
+  /// layers); uniform_weight(k) is that value.
+  bool layer_uniform(std::size_t k) const { return layer_uniform_[k] != 0; }
+  float uniform_weight(std::size_t k) const { return uniform_weight_[k]; }
 
   /// Widest activation panel a forward pass writes: the max over layer
   /// output widths.  The input batch is read in place, never staged in
@@ -127,7 +169,12 @@ class SparseDnn {
   void validate_and_index();
   const Csr<float>& transposed(std::size_t k) const;
 
+  // Owned layers (empty when borrowing); views_ is the single source of
+  // truth the hot path iterates -- one view per layer, pointing either
+  // into layers_ or into storage_-pinned external memory.
   std::vector<Csr<float>> layers_;
+  std::vector<CsrFloatView> views_;
+  std::shared_ptr<const void> storage_;
   std::vector<float> biases_;
   float clamp_;
   // Graph-Challenge layers store one repeated weight; the constructor

@@ -400,6 +400,32 @@ std::string RemoteBackend::metrics_text() const {
   return text;
 }
 
+std::uint64_t RemoteBackend::save_model(serve::ModelId id,
+                                        const std::string& path) const {
+  std::vector<std::uint8_t> body;
+  WireWriter w(body);
+  w.u64(id);
+  w.str(path);
+  const Frame resp = rpc(MsgType::kSaveModelReq, body, MsgType::kSaveModelResp);
+  WireReader r(resp.body);
+  const std::uint64_t bytes = r.u64();
+  r.expect_end();
+  return bytes;
+}
+
+serve::ModelId RemoteBackend::load_model(const std::string& path,
+                                         const std::string& name) const {
+  std::vector<std::uint8_t> body;
+  WireWriter w(body);
+  w.str(path);
+  w.str(name);
+  const Frame resp = rpc(MsgType::kLoadModelReq, body, MsgType::kLoadModelResp);
+  WireReader r(resp.body);
+  const auto id = static_cast<serve::ModelId>(r.u64());
+  r.expect_end();
+  return id;
+}
+
 std::vector<serve::ShardHealth> RemoteBackend::shard_ctl(
     ShardVerb verb, std::size_t index) const {
   std::vector<std::uint8_t> body;

@@ -91,6 +91,13 @@ class RemoteBackend final : public serve::Backend {
   /// Apply a shard lifecycle verb, get every shard's health back.
   std::vector<serve::ShardHealth> shard_ctl(ShardVerb verb,
                                             std::size_t index = 0) const;
+  /// Persist model `id` as a RADIXART artifact at `path` on the
+  /// SERVER's filesystem; returns the artifact size in bytes.
+  std::uint64_t save_model(serve::ModelId id, const std::string& path) const;
+  /// Register a model from the artifact at `path` (server-side) under
+  /// `name` (empty = the artifact's stored name); returns the new id.
+  serve::ModelId load_model(const std::string& path,
+                            const std::string& name = "") const;
   /// Ask the served process to stop (radix-ctl shutdown).
   void server_shutdown() const;
 

@@ -6,10 +6,12 @@
 
 #include <cerrno>
 #include <cstring>
+#include <filesystem>
 
 #include "serve/engine.hpp"
 #include "serve/metrics.hpp"
 #include "serve/router.hpp"
+#include "store/artifact.hpp"
 #include "support/error.hpp"
 
 namespace radix::net {
@@ -65,6 +67,20 @@ AdminHooks make_admin_hooks(serve::ShardRouter& router) {
     m.pending = router.pending(id);
     return m;
   };
+  hooks.save_model = [&router](serve::ModelId id, const std::string& path) {
+    // Shard 0 mirrors the fleet-wide registry; every shard serves the
+    // same shared SparseDnn, so shard 0's weights ARE the model.
+    const serve::Engine& e = router.shard(0);
+    store::save_artifact(path, e.model(id), e.model_name(id));
+    return static_cast<std::uint64_t>(std::filesystem::file_size(path));
+  };
+  hooks.load_model = [&router](const std::string& path,
+                               const std::string& name) {
+    store::ArtifactReader reader(path);
+    auto dnn = std::make_shared<const infer::SparseDnn>(reader.instantiate());
+    return router.add_model(std::move(dnn),
+                            name.empty() ? reader.name() : name);
+  };
   return hooks;
 }
 
@@ -106,6 +122,17 @@ AdminHooks make_admin_hooks(serve::Engine& engine) {
     }
     m.pending = engine.pending(id);
     return m;
+  };
+  hooks.save_model = [&engine](serve::ModelId id, const std::string& path) {
+    store::save_artifact(path, engine.model(id), engine.model_name(id));
+    return static_cast<std::uint64_t>(std::filesystem::file_size(path));
+  };
+  hooks.load_model = [&engine](const std::string& path,
+                               const std::string& name) {
+    store::ArtifactReader reader(path);
+    auto dnn = std::make_shared<const infer::SparseDnn>(reader.instantiate());
+    return engine.add_model(std::move(dnn),
+                            name.empty() ? reader.name() : name);
   };
   return hooks;
 }
@@ -514,6 +541,28 @@ void Server::execute(const std::shared_ptr<Connection>& conn,
         w.u8(static_cast<std::uint8_t>(h));
       }
       enqueue_response(conn, MsgType::kShardCtlResp, frame.correlation, body);
+      return;
+    }
+    case MsgType::kSaveModelReq: {
+      const auto model = static_cast<serve::ModelId>(r.u64());
+      const std::string path = r.str();
+      r.expect_end();
+      RADIX_REQUIRE(static_cast<bool>(options_.hooks.save_model),
+                    "radix-served: model save unsupported by this backend");
+      w.u64(options_.hooks.save_model(model, path));
+      enqueue_response(conn, MsgType::kSaveModelResp, frame.correlation,
+                       body);
+      return;
+    }
+    case MsgType::kLoadModelReq: {
+      const std::string path = r.str();
+      const std::string name = r.str();
+      r.expect_end();
+      RADIX_REQUIRE(static_cast<bool>(options_.hooks.load_model),
+                    "radix-served: model load unsupported by this backend");
+      w.u64(options_.hooks.load_model(path, name));
+      enqueue_response(conn, MsgType::kLoadModelResp, frame.correlation,
+                       body);
       return;
     }
     case MsgType::kShutdownReq: {

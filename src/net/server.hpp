@@ -75,6 +75,17 @@ struct AdminHooks {
       shard_ctl{};
   /// kListModelsReq: one registry row per model id.
   std::function<WireModelInfo(serve::ModelId)> model_info{};
+  /// kSaveModelReq: serialize model `id` as a RADIXART artifact
+  /// (store/artifact.hpp) at `path` on the SERVER's filesystem; returns
+  /// the artifact size in bytes.
+  std::function<std::uint64_t(serve::ModelId, const std::string& path)>
+      save_model{};
+  /// kLoadModelReq: map + validate the artifact at `path`, register it
+  /// under `name` (empty = the name stored in the artifact) and return
+  /// the new model id.
+  std::function<serve::ModelId(const std::string& path,
+                               const std::string& name)>
+      load_model{};
 };
 
 /// The full hook set for the composite backend: class_stats /

@@ -75,6 +75,10 @@ enum class MsgType : std::uint8_t {
   kError = 22,             ///< correlated failure of any request frame
   kNumModelsReq = 23,      ///< registered model count (ids are 0..n-1)
   kNumModelsResp = 24,
+  kSaveModelReq = 25,      ///< persist one model as a RADIXART artifact
+  kSaveModelResp = 26,
+  kLoadModelReq = 27,      ///< register a model from a RADIXART artifact
+  kLoadModelResp = 28,
 };
 
 /// Body of a kResult frame's error arm (and the retryability signal a

@@ -9,8 +9,16 @@ namespace radix {
 
 namespace {
 
+// Parse-error prefix "<origin>:<line>: spec parse:" so a bad file is
+// reported with the exact path and line that broke.
+std::string at(const std::string& origin, std::size_t lineno) {
+  return origin + ":" + std::to_string(lineno) + ": spec parse: ";
+}
+
 std::vector<std::uint32_t> parse_u32_list(const std::string& s,
-                                          const char* what) {
+                                          const char* what,
+                                          const std::string& origin,
+                                          std::size_t lineno) {
   std::vector<std::uint32_t> out;
   std::istringstream ss(s);
   std::string tok;
@@ -19,7 +27,7 @@ std::vector<std::uint32_t> parse_u32_list(const std::string& s,
     const auto b = tok.find_first_not_of(" \t");
     const auto e = tok.find_last_not_of(" \t");
     if (b == std::string::npos) {
-      throw IoError(std::string("spec parse: empty entry in ") + what);
+      throw IoError(at(origin, lineno) + "empty entry in " + what);
     }
     tok = tok.substr(b, e - b + 1);
     try {
@@ -30,12 +38,12 @@ std::vector<std::uint32_t> parse_u32_list(const std::string& s,
       }
       out.push_back(static_cast<std::uint32_t>(v));
     } catch (const std::exception&) {
-      throw IoError(std::string("spec parse: bad number '") + tok +
-                    "' in " + what);
+      throw IoError(at(origin, lineno) + "bad number '" + tok + "' in " +
+                    what);
     }
   }
   if (out.empty()) {
-    throw IoError(std::string("spec parse: no entries in ") + what);
+    throw IoError(at(origin, lineno) + std::string("no entries in ") + what);
   }
   return out;
 }
@@ -65,12 +73,15 @@ std::string spec_to_text(const RadixNetSpec& spec) {
   return os.str();
 }
 
-RadixNetSpec spec_from_text(const std::string& text) {
+RadixNetSpec spec_from_text(const std::string& text,
+                            const std::string& origin) {
   std::istringstream in(text);
   std::string line;
   bool have_header = false;
   std::string systems_line, d_line;
+  std::size_t lineno = 0, systems_lineno = 0, d_lineno = 0;
   while (std::getline(in, line)) {
+    ++lineno;
     const auto hash = line.find('#');
     if (hash != std::string::npos) line = line.substr(0, hash);
     const auto b = line.find_first_not_of(" \t\r");
@@ -81,23 +92,31 @@ RadixNetSpec spec_from_text(const std::string& text) {
       have_header = true;
     } else if (line.rfind("systems:", 0) == 0) {
       systems_line = line.substr(8);
+      systems_lineno = lineno;
     } else if (line.rfind("D:", 0) == 0) {
       d_line = line.substr(2);
+      d_lineno = lineno;
     } else {
-      throw IoError("spec parse: unrecognized line '" + line + "'");
+      throw IoError(at(origin, lineno) + "unrecognized line '" + line + "'");
     }
   }
-  if (!have_header) throw IoError("spec parse: missing header line");
-  if (systems_line.empty()) throw IoError("spec parse: missing systems:");
-  if (d_line.empty()) throw IoError("spec parse: missing D:");
+  if (!have_header) {
+    throw IoError(origin + ": spec parse: missing header line");
+  }
+  if (systems_line.empty()) {
+    throw IoError(origin + ": spec parse: missing systems:");
+  }
+  if (d_line.empty()) throw IoError(origin + ": spec parse: missing D:");
 
   std::vector<MixedRadix> systems;
   std::istringstream ss(systems_line);
   std::string sys_tok;
   while (std::getline(ss, sys_tok, '|')) {
-    systems.emplace_back(parse_u32_list(sys_tok, "systems"));
+    systems.emplace_back(
+        parse_u32_list(sys_tok, "systems", origin, systems_lineno));
   }
-  return RadixNetSpec(std::move(systems), parse_u32_list(d_line, "D"));
+  return RadixNetSpec(std::move(systems),
+                      parse_u32_list(d_line, "D", origin, d_lineno));
 }
 
 void save_spec(const std::string& path, const RadixNetSpec& spec) {
@@ -112,7 +131,7 @@ RadixNetSpec load_spec(const std::string& path) {
   if (!in) throw IoError("cannot open for reading: " + path);
   std::ostringstream buf;
   buf << in.rdbuf();
-  return spec_from_text(buf.str());
+  return spec_from_text(buf.str(), path);
 }
 
 }  // namespace radix

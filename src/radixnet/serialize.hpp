@@ -21,8 +21,10 @@ namespace radix {
 std::string spec_to_text(const RadixNetSpec& spec);
 
 /// Parse; throws IoError for malformed text and SpecError for a
-/// syntactically fine but invalid spec.
-RadixNetSpec spec_from_text(const std::string& text);
+/// syntactically fine but invalid spec.  Parse errors are reported as
+/// "<origin>:<line>: ..." -- load_spec passes the file path as origin.
+RadixNetSpec spec_from_text(const std::string& text,
+                            const std::string& origin = "spec");
 
 /// File round trip.
 void save_spec(const std::string& path, const RadixNetSpec& spec);

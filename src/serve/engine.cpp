@@ -349,10 +349,23 @@ SubmitResult Engine::submit(InferenceRequest req, SubmitOptions opts) {
     case Admission::kFailFast:
       admitted = batcher_.try_submit(req.model, std::move(r), &shed);
       break;
-    case Admission::kBoundedWait:
-      admitted =
-          batcher_.submit_for(req.model, std::move(r), opts.timeout, &shed);
+    case Admission::kBoundedWait: {
+      // The admission wait composes with the e2e deadline: waiting past
+      // the deadline could only admit a request that is already dead,
+      // so the wait budget is capped at the remaining deadline.  A
+      // pre-expired deadline (negative -- a relay with a spent budget)
+      // degrades to try_submit: still admitted when there is space
+      // (then shed at claim, preserving exactly-one-completion), but
+      // never waited for.
+      auto wait = opts.timeout;
+      if (opts.deadline.count() < 0) {
+        wait = std::chrono::microseconds{0};
+      } else if (opts.deadline.count() > 0 && opts.deadline < wait) {
+        wait = opts.deadline;
+      }
+      admitted = batcher_.submit_for(req.model, std::move(r), wait, &shed);
       break;
+    }
   }
   if (tracer && admitted) {
     tracer->record(rid, TraceEventKind::kAdmitted, options_.shard_index,

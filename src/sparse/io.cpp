@@ -42,13 +42,17 @@ ParsedTsv parse_tsv(const std::string& path) {
   std::vector<std::array<double, 3>> triples;
   std::size_t lineno = 0;
   index_t max_r = 0, max_c = 0;
+  // Line numbers of the entries that set max_r / max_c, so an entry
+  // outside the declared %%shape is reported at its own line.
+  std::size_t max_r_line = 0, max_c_line = 0;
   while (std::getline(in, line)) {
     ++lineno;
     if (line.empty()) continue;
     if (line.rfind("%%shape", 0) == 0) {
       std::istringstream ss(line.substr(7));
       if (!(ss >> parsed.rows >> parsed.cols))
-        throw IoError(path + ": bad %%shape header");
+        throw IoError(path + ":" + std::to_string(lineno) +
+                      ": bad %%shape header");
       have_shape = true;
       continue;
     }
@@ -56,19 +60,28 @@ ParsedTsv parse_tsv(const std::string& path) {
     std::istringstream ss(line);
     double r, c, v;
     if (!(ss >> r >> c >> v))
-      throw IoError(path + ": parse error at line " +
-                    std::to_string(lineno));
+      throw IoError(path + ":" + std::to_string(lineno) + ": parse error");
     if (r < 1 || c < 1)
-      throw IoError(path + ": indices must be 1-based positive");
+      throw IoError(path + ":" + std::to_string(lineno) +
+                    ": indices must be 1-based positive");
     triples.push_back({r, c, v});
-    max_r = std::max(max_r, static_cast<index_t>(r));
-    max_c = std::max(max_c, static_cast<index_t>(c));
+    if (static_cast<index_t>(r) > max_r) {
+      max_r = static_cast<index_t>(r);
+      max_r_line = lineno;
+    }
+    if (static_cast<index_t>(c) > max_c) {
+      max_c = static_cast<index_t>(c);
+      max_c_line = lineno;
+    }
   }
   if (!have_shape) {
     parsed.rows = max_r;
     parsed.cols = max_c;
   } else if (max_r > parsed.rows || max_c > parsed.cols) {
-    throw IoError(path + ": entry outside declared %%shape");
+    const std::size_t bad_line =
+        max_r > parsed.rows ? max_r_line : max_c_line;
+    throw IoError(path + ":" + std::to_string(bad_line) +
+                  ": entry outside declared %%shape");
   }
   parsed.coo = Coo<double>(parsed.rows, parsed.cols);
   parsed.coo.reserve(triples.size());
@@ -116,16 +129,25 @@ std::vector<Csr<pattern_t>> read_layer_stack(const std::string& prefix) {
   std::ifstream meta(prefix + "-meta.txt");
   if (!meta) throw IoError("cannot open for reading: " + prefix + "-meta.txt");
   std::size_t n = 0;
-  if (!(meta >> n)) throw IoError(prefix + "-meta.txt: bad layer count");
+  if (!(meta >> n)) throw IoError(prefix + "-meta.txt:1: bad layer count");
   std::vector<Csr<pattern_t>> layers;
   layers.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
     index_t r, c;
-    if (!(meta >> r >> c)) throw IoError(prefix + "-meta.txt: bad shape");
-    Csr<pattern_t> layer =
-        read_tsv_pattern(prefix + "-layer" + std::to_string(i) + ".tsv");
-    RADIX_REQUIRE_DIM(layer.rows() == r && layer.cols() == c,
-                      "read_layer_stack: shape mismatch vs meta");
+    // Meta line i+2 carries layer i's shape (line 1 is the count).
+    if (!(meta >> r >> c))
+      throw IoError(prefix + "-meta.txt:" + std::to_string(i + 2) +
+                    ": bad shape");
+    const std::string layer_path =
+        prefix + "-layer" + std::to_string(i) + ".tsv";
+    Csr<pattern_t> layer = read_tsv_pattern(layer_path);
+    if (layer.rows() != r || layer.cols() != c) {
+      throw IoError(layer_path + ": shape " + std::to_string(layer.rows()) +
+                    "x" + std::to_string(layer.cols()) + " disagrees with " +
+                    prefix + "-meta.txt:" + std::to_string(i + 2) +
+                    " (expected " + std::to_string(r) + "x" +
+                    std::to_string(c) + ")");
+    }
     layers.push_back(std::move(layer));
   }
   return layers;

@@ -37,14 +37,14 @@ inline float epilogue(float v, float scale, float bias, float clamp) {
 // ReLU-dead rows cost nothing in the inner loop.
 template <bool kUniform>
 std::uint64_t csr_fused_impl(const float* x, index_t batch, index_t m,
-                             const Csr<float>& w, float scale, float* y,
+                             CsrFloatView w, float scale, float* y,
                              float bias, float clamp) {
   RADIX_REQUIRE_DIM(w.rows() == m,
                     "spmm_dense_csr_fused: inner dim mismatch");
   const index_t n = w.cols();
-  const auto& rowptr = w.rowptr();
-  const auto& colind = w.colind();
-  const auto& vals = w.values();
+  const auto rowptr = w.rowptr();
+  const auto colind = w.colind();
+  const auto vals = w.values();
   const std::int64_t ntiles =
       batch == 0 ? 0 : (batch + kBatchTile - 1) / kBatchTile;
   const std::int64_t ops_per_tile =
@@ -107,9 +107,9 @@ std::uint64_t csr_fused_impl(const float* x, index_t batch, index_t m,
 // compile-time constant so the inner loops fully unroll.
 template <bool kUniform, int J>
 std::uint64_t csrT_fused_block(const float* x, index_t b0, index_t m,
-                               index_t n, const std::vector<offset_t>& rowptr,
-                               const std::vector<index_t>& colind,
-                               const std::vector<float>& vals, float scale,
+                               index_t n, std::span<const offset_t> rowptr,
+                               std::span<const index_t> colind,
+                               std::span<const float> vals, float scale,
                                float* y, float bias, float clamp) {
   const float* xb[J];
   for (int j = 0; j < J; ++j) {
@@ -146,14 +146,14 @@ std::uint64_t csrT_fused_block(const float* x, index_t b0, index_t m,
 // are bit-identical.
 template <bool kUniform>
 std::uint64_t csrT_fused_impl(const float* x, index_t batch, index_t m,
-                              const Csr<float>& wt, float scale, float* y,
+                              CsrFloatView wt, float scale, float* y,
                               float bias, float clamp) {
   RADIX_REQUIRE_DIM(wt.cols() == m,
                     "spmm_dense_csrT_fused: inner dim mismatch");
   const index_t n = wt.rows();  // output width
-  const auto& rowptr = wt.rowptr();
-  const auto& colind = wt.colind();
-  const auto& vals = wt.values();
+  const auto rowptr = wt.rowptr();
+  const auto colind = wt.colind();
+  const auto vals = wt.values();
   const std::int64_t ntiles =
       batch == 0 ? 0 : (batch + kBatchTile - 1) / kBatchTile;
   const std::int64_t ops_per_tile =
@@ -243,21 +243,21 @@ void spmm_dense_csrT(const float* x, index_t batch, index_t n,
 }
 
 std::uint64_t spmm_dense_csr_fused(const float* x, index_t batch, index_t m,
-                                   const Csr<float>& w, float* y,
+                                   CsrFloatView w, float* y,
                                    float bias, float clamp) {
   return csr_fused_impl<false>(x, batch, m, w, /*scale=*/1.0f, y, bias,
                                clamp);
 }
 
 std::uint64_t spmm_dense_csrT_fused(const float* x, index_t batch,
-                                    index_t m, const Csr<float>& wt,
+                                    index_t m, CsrFloatView wt,
                                     float* y, float bias, float clamp) {
   return csrT_fused_impl<false>(x, batch, m, wt, /*scale=*/1.0f, y, bias,
                                 clamp);
 }
 
 std::uint64_t spmm_dense_csr_fused_uniform(const float* x, index_t batch,
-                                           index_t m, const Csr<float>& w,
+                                           index_t m, CsrFloatView w,
                                            float uniform_weight, float* y,
                                            float bias, float clamp) {
   return csr_fused_impl<true>(x, batch, m, w, uniform_weight, y, bias,
@@ -265,7 +265,7 @@ std::uint64_t spmm_dense_csr_fused_uniform(const float* x, index_t batch,
 }
 
 std::uint64_t spmm_dense_csrT_fused_uniform(const float* x, index_t batch,
-                                            index_t m, const Csr<float>& wt,
+                                            index_t m, CsrFloatView wt,
                                             float uniform_weight, float* y,
                                             float bias, float clamp) {
   return csrT_fused_impl<true>(x, batch, m, wt, uniform_weight, y, bias,

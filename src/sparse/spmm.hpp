@@ -30,12 +30,19 @@
 // Both fused kernels process the batch in tiles sized so a tile's input
 // and output panels stay cache-resident while the weight matrix streams
 // through exactly once per tile (instead of once per batch row).
+//
+// The fused kernels take the weight matrix as a CsrFloatView (implicitly
+// constructible from Csr<float>, so owning call sites are unchanged):
+// the inner loops only ever stream the three CSR arrays, so they run
+// equally over heap-owned layers and mmap'd artifact sections -- the
+// zero-copy load path of store/artifact.hpp.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
 
 #include "sparse/csr.hpp"
+#include "sparse/csr_view.hpp"
 
 namespace radix {
 
@@ -55,7 +62,7 @@ void spmm_dense_csrT(const float* x, index_t batch, index_t n,
 /// which is what makes this arm win on sparse (post-ReLU) activations.
 /// Returns the number of nonzero outputs.
 std::uint64_t spmm_dense_csr_fused(const float* x, index_t batch, index_t m,
-                                   const Csr<float>& w, float* y,
+                                   CsrFloatView w, float* y,
                                    float bias, float clamp);
 
 /// Fused gather kernel over a pre-transposed layer: given wt = W^T
@@ -65,7 +72,7 @@ std::uint64_t spmm_dense_csr_fused(const float* x, index_t batch, index_t m,
 /// the single write.  Wins once activations are dense.  Returns the
 /// number of nonzero outputs.
 std::uint64_t spmm_dense_csrT_fused(const float* x, index_t batch,
-                                    index_t m, const Csr<float>& wt,
+                                    index_t m, CsrFloatView wt,
                                     float* y, float bias, float clamp);
 
 /// Uniform-weight specializations: Graph-Challenge layers store one
@@ -77,12 +84,12 @@ std::uint64_t spmm_dense_csrT_fused(const float* x, index_t batch,
 /// each other (not to the general kernels: (sum x) * w rounds once where
 /// sum(x * w) rounds per term).
 std::uint64_t spmm_dense_csr_fused_uniform(const float* x, index_t batch,
-                                           index_t m, const Csr<float>& w,
+                                           index_t m, CsrFloatView w,
                                            float uniform_weight, float* y,
                                            float bias, float clamp);
 
 std::uint64_t spmm_dense_csrT_fused_uniform(const float* x, index_t batch,
-                                            index_t m, const Csr<float>& wt,
+                                            index_t m, CsrFloatView wt,
                                             float uniform_weight, float* y,
                                             float bias, float clamp);
 

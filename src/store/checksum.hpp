@@ -1,0 +1,21 @@
+// XXH64 checksum, implemented in-repo (no external dependency).
+//
+// Every section of a model artifact (store/format.hpp) carries an XXH64
+// of its payload so truncation and bit-flips are caught at load time,
+// before a single mapped byte reaches the inference kernels.  XXH64 was
+// chosen over CRC32 for its 64-bit collision space and its speed on the
+// multi-megabyte value arrays (one multiply-rotate per 8 bytes per
+// lane); this is an integrity check against accidental corruption, not
+// a cryptographic MAC.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace radix::store {
+
+/// XXH64 of `len` bytes at `data` (reference algorithm constants).
+std::uint64_t xxh64(const void* data, std::size_t len,
+                    std::uint64_t seed = 0);
+
+}  // namespace radix::store

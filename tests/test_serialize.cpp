@@ -6,6 +6,7 @@
 #include <unistd.h>
 
 #include <filesystem>
+#include <fstream>
 
 #include "radixnet/analytics.hpp"
 #include "support/error.hpp"
@@ -71,6 +72,42 @@ TEST(SpecText, InvalidSpecStillThrowsSpecError) {
   EXPECT_THROW(
       spec_from_text("radixnet-spec v1\nsystems: 1,4\nD: 1,1,1\n"),
       SpecError);
+}
+
+TEST(SpecText, ParseErrorsCarryOriginAndLine) {
+  try {
+    spec_from_text("radixnet-spec v1\nsystems: 2,2\nwhat: 3\n", "my.spec");
+    FAIL() << "unrecognized line must throw";
+  } catch (const IoError& e) {
+    EXPECT_NE(std::string(e.what()).find("my.spec:3"), std::string::npos)
+        << e.what();
+  }
+  try {
+    spec_from_text("radixnet-spec v1\nsystems: 2,2\nD: 1,x,1\n", "my.spec");
+    FAIL() << "bad number must throw";
+  } catch (const IoError& e) {
+    EXPECT_NE(std::string(e.what()).find("my.spec:3"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(SpecText, LoadSpecErrorsCarryPathAndLine) {
+  const auto dir = std::filesystem::temp_directory_path() /
+                   ("radixnet_spec_err_" + std::to_string(::getpid()));
+  std::filesystem::create_directories(dir);
+  const std::string path = (dir / "broken.spec").string();
+  {
+    std::ofstream out(path);
+    out << "radixnet-spec v1\nsystems: 2,2\nD: 1,1,bogus\n";
+  }
+  try {
+    load_spec(path);
+    FAIL() << "broken spec file must throw";
+  } catch (const IoError& e) {
+    EXPECT_NE(std::string(e.what()).find(path + ":3"), std::string::npos)
+        << e.what();
+  }
+  std::filesystem::remove_all(dir);
 }
 
 TEST(SpecText, FileRoundTrip) {

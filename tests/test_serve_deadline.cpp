@@ -415,5 +415,110 @@ TEST(EngineShed, PressureShedDropsBackgroundBeforeInteractive) {
   EXPECT_EQ(fault.delayed_batches(), 5u);
 }
 
+// ---------------------------------------------------------------------------
+// kBoundedWait admission composes with the end-to-end deadline.
+
+TEST(EngineBoundedWait, AdmissionWaitIsCappedAtRemainingDeadline) {
+  const auto m = make_model(1024, 2, 4);
+  const std::vector<float> x(static_cast<std::size_t>(m.width), 1.0f);
+
+  FakeClock clock;
+  FaultInjector fault({.added_latency = 10ms});
+  Engine engine({.workers = 1,
+                 .max_batch_rows = 1,
+                 .max_delay = 0us,
+                 .queue_capacity = 1,
+                 .clock = &clock,
+                 .fault = &fault});
+  const auto id =
+      engine.add_model(m.dnn, "gc", {.priority = Priority::kInteractive});
+
+  Ledger plug, filler, doomed;
+  // The plug occupies the lone worker (parked in the injector's 10ms
+  // wait); the filler occupies the single queue slot.
+  ASSERT_TRUE(engine
+                  .submit(InferenceRequest::borrowed(id, x, 1),
+                          {.done = plug.done()})
+                  .admitted());
+  ASSERT_TRUE(eventually(
+      [&] { return engine.pending(id) == 0 && clock.parked() >= 1; }));
+  ASSERT_TRUE(engine
+                  .submit(InferenceRequest::borrowed(id, x, 1),
+                          {.done = filler.done()})
+                  .admitted());
+
+  // Bounded-wait submit with a 10ms admission budget but only 1ms of
+  // deadline left.  Waiting past the deadline could only admit a
+  // request that is already dead, so the wait must give up at 1ms.
+  std::atomic<int> verdict{-1};
+  std::thread submitter([&] {
+    SubmitOptions opts;
+    opts.admission = Admission::kBoundedWait;
+    opts.timeout = 10ms;
+    opts.deadline = 1ms;
+    opts.done = doomed.done();
+    verdict.store(
+        engine.submit(InferenceRequest::borrowed(id, x, 1), opts).admitted()
+            ? 1
+            : 0);
+  });
+  // Both the worker (fault wait) and the submitter (admission wait) are
+  // parked in virtual time.
+  ASSERT_TRUE(eventually([&] { return clock.parked() >= 2; }));
+
+  // Advance exactly the remaining deadline -- far short of the 10ms
+  // admission budget.  The worker's 10ms fault wait is still pending,
+  // so no queue space appeared: only the deadline cap can unblock the
+  // submitter, and it must report rejection.
+  clock.advance(1ms);
+  submitter.join();
+  EXPECT_EQ(verdict.load(), 0);
+  EXPECT_EQ(doomed.total(), 0u);  // never admitted => never completed
+
+  // A pre-expired deadline degrades to try_submit: with the queue still
+  // full it rejects immediately instead of parking for `timeout` (a
+  // wrongly parked wait would hang this test -- virtual time only
+  // advances below).
+  {
+    SubmitOptions opts;
+    opts.admission = Admission::kBoundedWait;
+    opts.timeout = 10ms;
+    opts.deadline = -1us;
+    opts.done = doomed.done();
+    EXPECT_FALSE(
+        engine.submit(InferenceRequest::borrowed(id, x, 1), opts).admitted());
+  }
+
+  // Drain the plug and the filler (10ms injected latency each).
+  const auto give_up = std::chrono::steady_clock::now() + 10s;
+  while (plug.total() + filler.total() < 2 &&
+         std::chrono::steady_clock::now() < give_up) {
+    clock.advance(10ms);
+    std::this_thread::sleep_for(500us);
+  }
+  ASSERT_EQ(plug.total() + filler.total(), 2u);
+
+  // With queue space available a pre-expired deadline is still ADMITTED
+  // (then shed at claim with DeadlineExceededError) -- the wire-pinned
+  // contract for relays carrying a spent budget.
+  Ledger relay;
+  {
+    SubmitOptions opts;
+    opts.admission = Admission::kBoundedWait;
+    opts.timeout = 10ms;
+    opts.deadline = -1us;
+    opts.done = relay.done();
+    EXPECT_TRUE(
+        engine.submit(InferenceRequest::borrowed(id, x, 1), opts).admitted());
+  }
+  ASSERT_TRUE(eventually([&] { return relay.total() == 1; }));
+  engine.shutdown();
+
+  EXPECT_EQ(plug.ok.load(), 1u);
+  EXPECT_EQ(filler.ok.load(), 1u);
+  EXPECT_EQ(relay.deadline.load(), 1u);
+  EXPECT_EQ(doomed.total(), 0u);
+}
+
 }  // namespace
 }  // namespace radix::serve

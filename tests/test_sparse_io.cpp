@@ -140,5 +140,91 @@ TEST_F(SparseIoTest, LayerStackMissingMetaThrows) {
   EXPECT_THROW(read_layer_stack(path("ghost")), IoError);
 }
 
+TEST_F(SparseIoTest, EmptyMatrixRoundTrip) {
+  const auto m = Csr<float>::from_coo(Coo<float>(3, 4));
+  ASSERT_EQ(m.nnz(), 0u);
+  write_tsv(path("empty.tsv"), m);
+  const auto back = read_tsv_f32(path("empty.tsv"));
+  EXPECT_EQ(back.rows(), 3u);
+  EXPECT_EQ(back.cols(), 4u);
+  EXPECT_EQ(back.nnz(), 0u);
+}
+
+TEST_F(SparseIoTest, ShapeHeaderPreservesTrailingZeroRowsAndCols) {
+  // Last two rows and last three columns hold no entries; only the
+  // %%shape header keeps them from being silently truncated.
+  Coo<float> coo(6, 8);
+  coo.push(0, 0, 1.0f);
+  coo.push(3, 4, -2.5f);
+  const auto m = Csr<float>::from_coo(coo);
+  write_tsv(path("trail.tsv"), m);
+  const auto back = read_tsv_f32(path("trail.tsv"));
+  EXPECT_EQ(back.rows(), 6u);
+  EXPECT_EQ(back.cols(), 8u);
+  EXPECT_EQ(back.nnz(), 2u);
+  EXPECT_FLOAT_EQ(back.at(3, 4), -2.5f);
+}
+
+TEST_F(SparseIoTest, ParseErrorsCarryPathAndLine) {
+  std::ofstream out(path("where.tsv"));
+  out << "1\t1\t1.0\n2\t2\t2.0\nbogus line here\n";
+  out.close();
+  try {
+    read_tsv_f32(path("where.tsv"));
+    FAIL() << "garbage line must throw";
+  } catch (const IoError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find(path("where.tsv") + ":3"), std::string::npos) << what;
+  }
+}
+
+TEST_F(SparseIoTest, OutOfShapeErrorNamesOffendingLine) {
+  std::ofstream out(path("oobline.tsv"));
+  out << "%%shape 2 2\n1\t1\t1.0\n3\t1\t1.0\n";
+  out.close();
+  try {
+    read_tsv_f32(path("oobline.tsv"));
+    FAIL() << "entry outside %%shape must throw";
+  } catch (const IoError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find(path("oobline.tsv") + ":3"), std::string::npos)
+        << what;
+  }
+}
+
+TEST_F(SparseIoTest, LayerStackMetaShapeDisagreementThrows) {
+  // An index file that disagrees with the layer files must throw, not
+  // quietly deliver the wrong shapes.
+  Rng rng(4);
+  std::vector<Csr<pattern_t>> layers;
+  layers.push_back(random_f32(4, 6, 0.5, rng).pattern());
+  layers.push_back(random_f32(6, 5, 0.5, rng).pattern());
+  write_layer_stack(path("liar"), layers);
+  {
+    std::ofstream meta(path("liar") + "-meta.txt", std::ios::trunc);
+    meta << 2 << '\n' << "4 6\n" << "7 5\n";  // wrong rows for layer 1
+  }
+  try {
+    read_layer_stack(path("liar"));
+    FAIL() << "meta/layer disagreement must throw";
+  } catch (const IoError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("disagrees"), std::string::npos) << what;
+    EXPECT_NE(what.find("layer1"), std::string::npos) << what;
+  }
+}
+
+TEST_F(SparseIoTest, LayerStackMetaCountBeyondFilesThrows) {
+  Rng rng(5);
+  std::vector<Csr<pattern_t>> layers;
+  layers.push_back(random_f32(3, 3, 0.5, rng).pattern());
+  write_layer_stack(path("overcount"), layers);
+  {
+    std::ofstream meta(path("overcount") + "-meta.txt", std::ios::trunc);
+    meta << 2 << '\n' << "3 3\n" << "3 3\n";  // claims a second layer
+  }
+  EXPECT_THROW(read_layer_stack(path("overcount")), IoError);
+}
+
 }  // namespace
 }  // namespace radix

@@ -1,0 +1,149 @@
+// Registry journal: append/replay round trips, last-event-wins folding
+// of the live set, crash-safety around the temp file, and typed
+// rejection of malformed journals.
+#include "store/journal.hpp"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <string>
+
+#include "support/error.hpp"
+
+namespace {
+
+using namespace radix;
+using store::JournalEvent;
+using store::JournalOp;
+using store::RegistryJournal;
+
+class StoreJournalTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = "radixnet_journal_test_" + std::to_string(::getpid());
+    std::string cmd = "rm -rf " + dir_ + " && mkdir -p " + dir_;
+    ASSERT_EQ(0, std::system(cmd.c_str()));
+  }
+  void TearDown() override {
+    std::string cmd = "rm -rf " + dir_;
+    (void)std::system(cmd.c_str());
+  }
+
+  std::string dir_;
+};
+
+TEST_F(StoreJournalTest, FreshDirectoryCreatesEmptyCommittedJournal) {
+  RegistryJournal j(dir_);
+  EXPECT_TRUE(j.events().empty());
+  EXPECT_TRUE(j.live().empty());
+
+  std::ifstream in(dir_ + "/journal");
+  std::string header;
+  ASSERT_TRUE(std::getline(in, header));
+  EXPECT_EQ(header, "radix-journal v1");
+}
+
+TEST_F(StoreJournalTest, AppendSurvivesReopen) {
+  {
+    RegistryJournal j(dir_);
+    j.append({JournalOp::kAdd, "alpha", "alpha.radixart", 3});
+    j.append({JournalOp::kAdd, "beta", "beta.radixart", 0});
+    j.append({JournalOp::kSwap, "alpha", "alpha-v2.radixart", 3});
+  }
+  RegistryJournal j(dir_);
+  ASSERT_EQ(j.events().size(), 3u);
+  EXPECT_EQ(j.events()[0].op, JournalOp::kAdd);
+  EXPECT_EQ(j.events()[2].op, JournalOp::kSwap);
+  EXPECT_EQ(j.events()[2].model, "alpha");
+  EXPECT_EQ(j.events()[2].artifact, "alpha-v2.radixart");
+  EXPECT_EQ(j.events()[2].priority, 3);
+}
+
+TEST_F(StoreJournalTest, LiveSetFoldsLastEventPerModel) {
+  RegistryJournal j(dir_);
+  j.append({JournalOp::kAdd, "a", "a1.radixart", 1});
+  j.append({JournalOp::kAdd, "b", "b1.radixart", 2});
+  j.append({JournalOp::kSwap, "a", "a2.radixart", 1});
+  j.append({JournalOp::kRemove, "b", "", 0});
+  j.append({JournalOp::kAdd, "c", "c1.radixart", 0});
+  j.append({JournalOp::kTombstone, "c", "", 0});
+
+  auto live = j.live();
+  ASSERT_EQ(live.size(), 1u);
+  EXPECT_EQ(live[0].model, "a");
+  EXPECT_EQ(live[0].artifact, "a2.radixart");
+  EXPECT_EQ(live[0].priority, 1);
+}
+
+TEST_F(StoreJournalTest, ReAddAfterRemoveComesBack) {
+  RegistryJournal j(dir_);
+  j.append({JournalOp::kAdd, "m", "m1.radixart", 0});
+  j.append({JournalOp::kRemove, "m", "", 0});
+  j.append({JournalOp::kAdd, "m", "m2.radixart", 5});
+  auto live = j.live();
+  ASSERT_EQ(live.size(), 1u);
+  EXPECT_EQ(live[0].artifact, "m2.radixart");
+  EXPECT_EQ(live[0].priority, 5);
+}
+
+TEST_F(StoreJournalTest, StaleTempFileIsIgnored) {
+  {
+    RegistryJournal j(dir_);
+    j.append({JournalOp::kAdd, "m", "m.radixart", 0});
+  }
+  // A crash between write and rename leaves journal.tmp behind; replay
+  // must read only the committed journal.
+  std::ofstream tmp(dir_ + "/journal.tmp");
+  tmp << "garbage that must never be parsed\n";
+  tmp.close();
+
+  RegistryJournal j(dir_);
+  ASSERT_EQ(j.events().size(), 1u);
+  EXPECT_EQ(j.events()[0].model, "m");
+}
+
+TEST_F(StoreJournalTest, MalformedJournalThrowsWithLineNumber) {
+  {
+    std::ofstream out(dir_ + "/journal");
+    out << "radix-journal v1\n";
+    out << "add\tm\tm.radixart\t0\n";
+    out << "frobnicate\tm\n";
+  }
+  try {
+    RegistryJournal j(dir_);
+    FAIL() << "malformed journal must not load";
+  } catch (const IoError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find(":3"), std::string::npos) << what;
+    EXPECT_NE(what.find("frobnicate"), std::string::npos) << what;
+  }
+}
+
+TEST_F(StoreJournalTest, MissingHeaderThrows) {
+  {
+    std::ofstream out(dir_ + "/journal");
+    out << "add\tm\tm.radixart\t0\n";
+  }
+  EXPECT_THROW(RegistryJournal j(dir_), IoError);
+}
+
+TEST_F(StoreJournalTest, BadPriorityThrows) {
+  {
+    std::ofstream out(dir_ + "/journal");
+    out << "radix-journal v1\n";
+    out << "add\tm\tm.radixart\t9000\n";
+  }
+  EXPECT_THROW(RegistryJournal j(dir_), IoError);
+}
+
+TEST_F(StoreJournalTest, FieldsMayNotContainTabs) {
+  RegistryJournal j(dir_);
+  EXPECT_THROW(j.append({JournalOp::kAdd, "bad\tname", "a.radixart", 0}),
+               IoError);
+  // The failed append must not poison the in-memory event list.
+  EXPECT_TRUE(j.events().empty());
+}
+
+}  // namespace

@@ -12,6 +12,15 @@
 //   drain <shard>             take a shard out of rotation, wait for drain
 //   restart <shard>           return/replace a shard
 //   kill <shard>              crash-shaped shard stop (failover exercise)
+//   save <model> <path>       persist a model as a RADIXART artifact at
+//                             <path> on the SERVER's filesystem
+//   load <path> [name]        register a model from a server-side
+//                             artifact (name defaults to the one stored
+//                             in the artifact)
+//   infer-hash <model> [rows] run a deterministic synthetic batch and
+//                             print the xxh64 of the output activations
+//                             -- two servers hosting bit-identical
+//                             copies of a model print the same hash
 //   shutdown                  stop the served process
 //
 // Exit code 0 on success, 1 on a server/connection error, 2 on usage
@@ -21,7 +30,10 @@
 #include <string>
 
 #include "net/remote_backend.hpp"
+#include "radixnet/graph_challenge.hpp"
+#include "store/checksum.hpp"
 #include "support/args.hpp"
+#include "support/random.hpp"
 
 using namespace radix;
 
@@ -67,7 +79,7 @@ void print_health(const std::vector<serve::ShardHealth>& health) {
   }
 }
 
-int run(const net::RemoteBackend& remote, const std::string& command,
+int run(net::RemoteBackend& remote, const std::string& command,
         const std::vector<std::string>& rest) {
   const auto arg = [&](const char* what) -> const std::string& {
     RADIX_REQUIRE(rest.size() >= 2,
@@ -111,6 +123,43 @@ int run(const net::RemoteBackend& remote, const std::string& command,
   } else if (command == "kill") {
     print_health(
         remote.shard_ctl(net::ShardVerb::kKill, parse_shard(arg("shard"))));
+  } else if (command == "save") {
+    const serve::ModelId id = parse_model(remote, arg("model"));
+    RADIX_REQUIRE(rest.size() >= 3, "missing argument: path");
+    const std::uint64_t bytes = remote.save_model(id, rest[2]);
+    std::printf("saved model %llu to %s (%llu bytes)\n",
+                static_cast<unsigned long long>(id), rest[2].c_str(),
+                static_cast<unsigned long long>(bytes));
+  } else if (command == "load") {
+    const std::string& path = arg("path");
+    const std::string name = rest.size() >= 3 ? rest[2] : "";
+    const serve::ModelId id = remote.load_model(path, name);
+    std::printf("loaded %s as model %llu\n", path.c_str(),
+                static_cast<unsigned long long>(id));
+  } else if (command == "infer-hash") {
+    // Deterministic end-to-end probe: a fixed-seed synthetic batch sized
+    // to the model's input width, hashed output.  The warm-restart smoke
+    // compares these hashes across a daemon kill/restart -- they match
+    // iff the restarted server serves a bit-identical model.
+    const serve::ModelId id = parse_model(remote, arg("model"));
+    const index_t rows = rest.size() >= 3
+                             ? static_cast<index_t>(std::stoul(rest[2]))
+                             : index_t{4};
+    index_t width = 0;
+    for (const net::WireModelInfo& m : remote.list_models()) {
+      if (m.id == id) width = static_cast<index_t>(m.input_width);
+    }
+    RADIX_REQUIRE(width > 0, "model has no registered input width");
+    Rng rng(1234);
+    const std::vector<float> input =
+        gc::synthetic_input(rows, width, 0.3, rng);
+    auto result =
+        remote.submit(serve::InferenceRequest::borrowed(id, input, rows));
+    RADIX_REQUIRE(result.admitted(), "inference rejected");
+    const std::vector<float> output = result.get();
+    std::printf("%016llx\n",
+                static_cast<unsigned long long>(store::xxh64(
+                    output.data(), output.size() * sizeof(float))));
   } else if (command == "shutdown") {
     remote.server_shutdown();
     std::printf("shutdown requested\n");

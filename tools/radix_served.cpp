@@ -14,10 +14,20 @@
 // Models are registered as "model-0" .. "model-<n-1>"; model-0 is
 // interactive class, the rest are batch class, so the per-class stats
 // verbs have something to show.
+//
+// With --store-dir <dir> the daemon is restartable warm: on first boot
+// it saves every default model as a RADIXART artifact into <dir> and
+// journals the registrations (store/journal.hpp); on any later boot it
+// replays the journal and mmaps the artifacts back instead of
+// rebuilding, so a kill -9 + restart serves the exact pre-crash model
+// set bit-identically.  Models registered at runtime through the
+// `radix-ctl load` verb are copied into the store and journaled too.
 #include <chrono>
 #include <csignal>
 #include <cstdio>
+#include <filesystem>
 #include <memory>
+#include <mutex>
 #include <thread>
 
 #include "infer/sparse_dnn.hpp"
@@ -25,6 +35,8 @@
 #include "radixnet/graph_challenge.hpp"
 #include "serve/engine.hpp"
 #include "serve/router.hpp"
+#include "store/artifact.hpp"
+#include "store/journal.hpp"
 #include "support/args.hpp"
 #include "support/random.hpp"
 
@@ -50,6 +62,9 @@ int main(int argc, char** argv) {
   args.add_flag("layers", "12", "challenge network depth");
   args.add_flag("queue-capacity", "256", "per-model queue capacity");
   args.add_flag("submit-workers", "2", "server threads executing verbs");
+  args.add_flag("store-dir", "",
+                "artifact store: replay its journal for a warm restart, "
+                "or seed it with the default fleet on first boot");
   try {
     args.parse(argc, argv);
   } catch (const Error& e) {
@@ -59,13 +74,6 @@ int main(int argc, char** argv) {
   }
 
   try {
-    Rng rng(42);
-    const auto neurons = static_cast<index_t>(args.get_int("neurons"));
-    const auto layers = static_cast<std::size_t>(args.get_int("layers"));
-    const gc::Network network = gc::network(neurons, layers, &rng);
-    const auto dnn = std::make_shared<infer::SparseDnn>(
-        network.layers, network.bias, gc::kClamp);
-
     serve::EngineOptions engine_options;
     engine_options.workers =
         static_cast<unsigned>(args.get_int("workers"));
@@ -92,15 +100,92 @@ int main(int argc, char** argv) {
       hooks = net::make_admin_hooks(*router);
     }
 
-    for (std::size_t i = 0; i < models; ++i) {
-      serve::QosPolicy qos;
-      qos.priority = i == 0 ? serve::Priority::kInteractive
-                            : serve::Priority::kBatch;
-      if (engine) {
-        engine->add_model(dnn, "", qos);
-      } else {
-        router->add_model(dnn, "", qos);
+    const auto register_model =
+        [&](std::shared_ptr<const infer::SparseDnn> m, const std::string& n,
+            serve::QosPolicy qos) {
+          return engine ? engine->add_model(std::move(m), n, qos)
+                        : router->add_model(std::move(m), n, qos);
+        };
+    const auto build_defaults = [&](auto&& place) {
+      // place(dnn, name, qos) for each default model; model-0 is
+      // interactive class, the rest batch, so the per-class stats verbs
+      // have something to show.
+      Rng rng(42);
+      const auto neurons = static_cast<index_t>(args.get_int("neurons"));
+      const auto layers = static_cast<std::size_t>(args.get_int("layers"));
+      const gc::Network network = gc::network(neurons, layers, &rng);
+      const auto dnn = std::make_shared<const infer::SparseDnn>(
+          network.layers, network.bias, gc::kClamp);
+      for (std::size_t i = 0; i < models; ++i) {
+        serve::QosPolicy qos;
+        qos.priority = i == 0 ? serve::Priority::kInteractive
+                              : serve::Priority::kBatch;
+        place(dnn, "model-" + std::to_string(i), qos);
       }
+    };
+
+    const std::string store_dir = args.get("store-dir");
+    std::unique_ptr<store::RegistryJournal> journal;
+    std::mutex journal_mutex;  // hooks run on concurrent submit workers
+    if (store_dir.empty()) {
+      build_defaults([&](const auto& dnn, const std::string& n,
+                         serve::QosPolicy qos) { register_model(dnn, n, qos); });
+    } else {
+      std::filesystem::create_directories(store_dir);
+      journal = std::make_unique<store::RegistryJournal>(store_dir);
+      const auto live = journal->live();
+      if (live.empty()) {
+        // Cold boot: seed the store -- save each default model as an
+        // artifact and journal the registration, so the NEXT boot is
+        // warm.
+        build_defaults([&](const auto& dnn, const std::string& n,
+                           serve::QosPolicy qos) {
+          register_model(dnn, n, qos);
+          const std::string file = n + ".radixart";
+          store::save_artifact(store_dir + "/" + file, *dnn, n);
+          journal->append({store::JournalOp::kAdd, n, file,
+                           static_cast<std::uint8_t>(qos.priority)});
+        });
+        std::printf("radix-served: seeded store %s (%zu artifacts)\n",
+                    store_dir.c_str(), models);
+      } else {
+        // Warm restart: mmap every live artifact back under its journaled
+        // name and class; no model is rebuilt.
+        for (const store::JournalEvent& ev : live) {
+          const std::string path =
+              !ev.artifact.empty() && ev.artifact.front() == '/'
+                  ? ev.artifact
+                  : store_dir + "/" + ev.artifact;
+          store::ArtifactReader reader(path);
+          auto dnn =
+              std::make_shared<const infer::SparseDnn>(reader.instantiate());
+          serve::QosPolicy qos;
+          qos.priority = static_cast<serve::Priority>(ev.priority);
+          register_model(std::move(dnn), ev.model, qos);
+        }
+        std::printf("radix-served: warm restart from %s (%zu models)\n",
+                    store_dir.c_str(), live.size());
+      }
+      // Persist runtime loads: copy the artifact into the store under
+      // the registered name and journal it, so `radix-ctl load` survives
+      // a restart like the boot-time fleet does.
+      const auto inner_load = hooks.load_model;
+      hooks.load_model = [&, inner_load](const std::string& path,
+                                         const std::string& name) {
+        const serve::ModelId id = inner_load(path, name);
+        const serve::Engine& reg = engine ? *engine : router->shard(0);
+        const std::string n = reg.model_name(id);
+        const std::string file = n + ".radixart";
+        std::error_code ec;
+        std::filesystem::copy_file(
+            path, store_dir + "/" + file,
+            std::filesystem::copy_options::overwrite_existing, ec);
+        std::scoped_lock lock(journal_mutex);
+        journal->append(
+            {store::JournalOp::kAdd, n, ec ? path : file,
+             static_cast<std::uint8_t>(reg.model_priority(id))});
+        return id;
+      };
     }
 
     net::ServerOptions server_options;
